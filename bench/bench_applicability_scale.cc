@@ -1,0 +1,113 @@
+// Scalability of the IsApplicable algorithm (Section 4.1), probing the cost
+// drivers the paper leaves unevaluated: method call-graph depth, breadth
+// (independent methods), and cycle density (the MethodStack/dependency-list
+// machinery).
+
+#include <benchmark/benchmark.h>
+
+#include "core/is_applicable.h"
+#include "workloads.h"
+
+namespace tyder::bench {
+namespace {
+
+// Projection keeps only the last chain attribute, so the verdict of every
+// chain method depends on resolving the whole call chain.
+void BM_ApplicabilityCallChainDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildChainSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("T0");
+  std::vector<AttrId> cumulative =
+      schema->types().CumulativeAttributes(*source);
+  std::set<AttrId> projection = {cumulative.back()};
+  for (auto _ : state) {
+    auto result = ComputeApplicableMethods(*schema, *source, projection);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->applicable.size());
+  }
+  state.counters["methods"] = static_cast<double>(schema->NumMethods());
+}
+BENCHMARK(BM_ApplicabilityCallChainDepth)->RangeMultiplier(2)->Range(4, 256);
+
+// Independent methods: cost should be linear in their number.
+void BM_ApplicabilityBreadth(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  auto schema = BuildWideSchema(width);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("Src");
+  std::vector<AttrId> cumulative =
+      schema->types().CumulativeAttributes(*source);
+  std::set<AttrId> projection(cumulative.begin(),
+                              cumulative.begin() + cumulative.size() / 2);
+  for (auto _ : state) {
+    auto result = ComputeApplicableMethods(*schema, *source, projection);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->applicable.size());
+  }
+  state.counters["methods"] = static_cast<double>(schema->NumMethods());
+}
+BENCHMARK(BM_ApplicabilityBreadth)->RangeMultiplier(2)->Range(4, 256);
+
+// A full ring of mutually recursive methods: every check trips the optimistic
+// cycle path once.
+void BM_ApplicabilityCycleRing(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto schema = BuildCyclicSchema(n);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("T");
+  auto kept = schema->types().FindAttribute("kept");
+  std::set<AttrId> projection = {*kept};
+  for (auto _ : state) {
+    auto result = ComputeApplicableMethods(*schema, *source, projection);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->applicable.size());
+  }
+}
+BENCHMARK(BM_ApplicabilityCycleRing)->RangeMultiplier(2)->Range(4, 128);
+
+// The failing-cycle variant: drop the kept attribute from the projection so
+// the whole ring collapses to NotApplicable through dependency eviction.
+void BM_ApplicabilityCycleRingAllFail(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto schema = BuildCyclicSchema(n);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("T");
+  // Project a fresh attribute so "kept" is excluded.
+  auto extra = schema->types().DeclareAttribute(*source, "other",
+                                                schema->builtins().int_type);
+  std::set<AttrId> projection = {*extra};
+  for (auto _ : state) {
+    auto result = ComputeApplicableMethods(*schema, *source, projection);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->not_applicable.size());
+  }
+}
+BENCHMARK(BM_ApplicabilityCycleRingAllFail)->RangeMultiplier(2)->Range(4, 128);
+
+}  // namespace
+}  // namespace tyder::bench

@@ -1,0 +1,90 @@
+// Throughput of the static analyses underpinning the derivation pipeline:
+// whole-schema type checking, per-method def-use flow analysis, and
+// relevant-call extraction, on randomly generated schemas of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "mir/call_graph.h"
+#include "mir/dataflow.h"
+#include "mir/type_check.h"
+#include "testing/random_schema.h"
+
+namespace tyder::bench {
+namespace {
+
+tyder::testing::RandomSchemaOptions OptionsFor(int scale) {
+  tyder::testing::RandomSchemaOptions options;
+  options.seed = 42;
+  options.num_types = scale;
+  options.num_general_methods = scale * 2;
+  options.max_stmts_per_body = 6;
+  return options;
+}
+
+void BM_TypeCheckSchema(benchmark::State& state) {
+  auto schema =
+      tyder::testing::GenerateRandomSchema(OptionsFor(static_cast<int>(state.range(0))));
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Status status = TypeCheckSchema(*schema);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["methods"] = static_cast<double>(schema->NumMethods());
+}
+BENCHMARK(BM_TypeCheckSchema)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_FlowAnalysisAllMethods(benchmark::State& state) {
+  auto schema =
+      tyder::testing::GenerateRandomSchema(OptionsFor(static_cast<int>(state.range(0))));
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    for (MethodId m = 0; m < schema->NumMethods(); ++m) {
+      auto flow = AnalyzeFlow(*schema, m);
+      if (!flow.ok()) {
+        state.SkipWithError(flow.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(flow->var_reached_by.size());
+    }
+  }
+  state.counters["methods"] = static_cast<double>(schema->NumMethods());
+}
+BENCHMARK(BM_FlowAnalysisAllMethods)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_RelevantCallExtraction(benchmark::State& state) {
+  auto schema =
+      tyder::testing::GenerateRandomSchema(OptionsFor(static_cast<int>(state.range(0))));
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  TypeId source = kInvalidType;
+  std::vector<AttrId> attrs;
+  if (!tyder::testing::PickRandomProjection(*schema, 7, &source, &attrs)) {
+    state.SkipWithError("no projectable type");
+    return;
+  }
+  for (auto _ : state) {
+    for (MethodId m = 0; m < schema->NumMethods(); ++m) {
+      auto calls = ExtractRelevantCalls(*schema, m, source);
+      if (!calls.ok()) {
+        state.SkipWithError(calls.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(calls->size());
+    }
+  }
+}
+BENCHMARK(BM_RelevantCallExtraction)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace tyder::bench

@@ -1,0 +1,115 @@
+// Transparency of the refactoring at dispatch time: the paper requires
+// existing types to keep the same behavior; this bench quantifies the *cost*
+// side — how much slower multi-method dispatch gets once surrogate types
+// lengthen the class precedence lists. Also measures interpreter call
+// throughput before and after a derivation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/projection.h"
+#include "instances/interp.h"
+#include "methods/dispatch.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+using tyder::testing::BuildPersonEmployee;
+using tyder::testing::PersonEmployeeFixture;
+
+void BM_DispatchOriginal(benchmark::State& state) {
+  auto fx = BuildPersonEmployee();
+  if (!fx.ok()) {
+    state.SkipWithError(fx.status().ToString().c_str());
+    return;
+  }
+  auto age = fx->schema.FindGenericFunction("age");
+  for (auto _ : state) {
+    auto m = Dispatch(fx->schema, *age, {fx->employee});
+    benchmark::DoNotOptimize(m.ok());
+  }
+}
+BENCHMARK(BM_DispatchOriginal);
+
+void BM_DispatchAfterDerivation(benchmark::State& state) {
+  auto fx = BuildPersonEmployee();
+  if (!fx.ok()) {
+    state.SkipWithError(fx.status().ToString().c_str());
+    return;
+  }
+  auto derived = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  if (!derived.ok()) {
+    state.SkipWithError(derived.status().ToString().c_str());
+    return;
+  }
+  auto age = fx->schema.FindGenericFunction("age");
+  for (auto _ : state) {
+    auto m = Dispatch(fx->schema, *age, {fx->employee});
+    benchmark::DoNotOptimize(m.ok());
+  }
+}
+BENCHMARK(BM_DispatchAfterDerivation);
+
+void BM_DispatchOnDerivedType(benchmark::State& state) {
+  auto fx = BuildPersonEmployee();
+  if (!fx.ok()) {
+    state.SkipWithError(fx.status().ToString().c_str());
+    return;
+  }
+  auto derived = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  if (!derived.ok()) {
+    state.SkipWithError(derived.status().ToString().c_str());
+    return;
+  }
+  auto age = fx->schema.FindGenericFunction("age");
+  for (auto _ : state) {
+    auto m = Dispatch(fx->schema, *age, {derived->derived});
+    benchmark::DoNotOptimize(m.ok());
+  }
+}
+BENCHMARK(BM_DispatchOnDerivedType);
+
+void InterpreterThroughput(benchmark::State& state, bool derive_first) {
+  auto fx = BuildPersonEmployee();
+  if (!fx.ok()) {
+    state.SkipWithError(fx.status().ToString().c_str());
+    return;
+  }
+  if (derive_first) {
+    auto derived = DeriveProjectionByName(
+        fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+        "EmployeeView");
+    if (!derived.ok()) {
+      state.SkipWithError(derived.status().ToString().c_str());
+      return;
+    }
+  }
+  ObjectStore store;
+  auto obj = store.CreateObject(fx->schema, fx->employee);
+  (void)store.SetSlot(*obj, fx->date_of_birth, Value::Int(1990));
+  (void)store.SetSlot(*obj, fx->pay_rate, Value::Float(55));
+  (void)store.SetSlot(*obj, fx->hrs_worked, Value::Float(40));
+  Interpreter interp(fx->schema, &store);
+  for (auto _ : state) {
+    auto income = interp.CallByName("income", {Value::Object(*obj)});
+    auto promote = interp.CallByName("promote", {Value::Object(*obj)});
+    benchmark::DoNotOptimize(income.ok() && promote.ok());
+  }
+}
+
+void BM_InterpreterOriginal(benchmark::State& state) {
+  InterpreterThroughput(state, false);
+}
+BENCHMARK(BM_InterpreterOriginal);
+
+void BM_InterpreterAfterDerivation(benchmark::State& state) {
+  InterpreterThroughput(state, true);
+}
+BENCHMARK(BM_InterpreterAfterDerivation);
+
+}  // namespace
+}  // namespace tyder::bench

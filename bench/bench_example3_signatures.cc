@@ -1,0 +1,53 @@
+// Reproduces Example 3 (Section 6.2): the factored method signatures after
+// the full derivation — v1(Ã, C̃), u3(B̃), w2(C̃), get_h2(B̃) — and that no
+// inapplicable method was touched.
+
+#include <iostream>
+
+#include "core/projection.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+int Run() {
+  ReproCheck check("Example 3: factored method signatures");
+
+  auto fx = testing::BuildExample1();
+  if (!fx.ok()) {
+    std::cerr << "fixture failed: " << fx.status() << "\n";
+    return 1;
+  }
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  if (!result.ok()) {
+    std::cerr << "derivation failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  auto sig = [&](MethodId m) {
+    const Method& method = fx->schema.method(m);
+    return SignatureToString(fx->schema.types(),
+                             fx->schema.gf(method.gf).name.view(), method.sig);
+  };
+  check.Expect("v1", "v(ProjA, ~C) -> Void", sig(fx->v1));
+  check.Expect("u3", "u(~B) -> Void", sig(fx->u3));
+  check.Expect("w2", "w(~C) -> Void", sig(fx->w2));
+  check.Expect("get_h2", "get_h2(~B) -> Int", sig(fx->get_h2));
+
+  check.Expect("u1 untouched", "u(A) -> Void", sig(fx->u1));
+  check.Expect("v2 untouched", "v(B, C) -> Void", sig(fx->v2));
+  check.Expect("x1 untouched", "x(A, B) -> Void", sig(fx->x1));
+  check.Expect("y1 untouched", "y(A, B) -> Void", sig(fx->y1));
+  check.Expect("get_a1 untouched", "get_a1(A) -> Int", sig(fx->get_a1));
+  return check.ExitCode();
+}
+
+}  // namespace
+}  // namespace tyder::bench
+
+int main() { return tyder::bench::Run(); }

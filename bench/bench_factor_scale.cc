@@ -1,0 +1,115 @@
+// Scalability of FactorState (Section 5.1) and the full derivation pipeline
+// over deep chains and wide/diamond-heavy hierarchies. Each iteration clones
+// the schema (derivations mutate in place), so a baseline that only clones is
+// reported for reference.
+
+#include <benchmark/benchmark.h>
+
+#include "core/projection.h"
+#include "workloads.h"
+
+namespace tyder::bench {
+namespace {
+
+void RunProjection(benchmark::State& state, const Schema& pristine,
+                   TypeId source, const std::vector<AttrId>& attrs,
+                   bool verify) {
+  int64_t surrogates = 0;
+  for (auto _ : state) {
+    Schema schema = pristine;
+    ProjectionSpec spec;
+    spec.source = source;
+    spec.attributes = attrs;
+    spec.view_name = "BenchView";
+    ProjectionOptions options;
+    options.verify = verify;
+    auto result = DeriveProjection(schema, spec, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    surrogates = static_cast<int64_t>(result->surrogates.created.size());
+    benchmark::DoNotOptimize(result->derived);
+  }
+  state.counters["surrogates"] = static_cast<double>(surrogates);
+}
+
+// Deep linear chain: FactorState recursion depth == chain depth.
+void BM_FactorStateChainDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildChainSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("T0");
+  // Keep every attribute: every chain type gets factored.
+  RunProjection(state, *schema, *source,
+                schema->types().CumulativeAttributes(*source),
+                /*verify=*/false);
+}
+BENCHMARK(BM_FactorStateChainDepth)->RangeMultiplier(2)->Range(4, 128);
+
+// Wide fan-in: source inherits from `width` unrelated supertypes.
+void BM_FactorStateFanIn(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  auto schema = BuildWideSchema(width);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("Src");
+  RunProjection(state, *schema, *source,
+                schema->types().CumulativeAttributes(*source),
+                /*verify=*/false);
+}
+BENCHMARK(BM_FactorStateFanIn)->RangeMultiplier(2)->Range(4, 128);
+
+// Diamond-heavy binary-tree hierarchy (2^depth - 1 types).
+void BM_FactorStateTree(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildTreeSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("N0_0");
+  RunProjection(state, *schema, *source,
+                schema->types().CumulativeAttributes(*source),
+                /*verify=*/false);
+}
+BENCHMARK(BM_FactorStateTree)->DenseRange(3, 8);
+
+// Cost of the built-in behavior-preservation verifier (ablation: the same
+// chain with and without verify).
+void BM_DerivationWithVerifier(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildChainSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("T0");
+  RunProjection(state, *schema, *source,
+                schema->types().CumulativeAttributes(*source),
+                /*verify=*/true);
+}
+BENCHMARK(BM_DerivationWithVerifier)->RangeMultiplier(2)->Range(4, 64);
+
+// Baseline: schema clone alone, to subtract from the numbers above.
+void BM_SchemaCloneBaseline(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildChainSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Schema copy = *schema;
+    benchmark::DoNotOptimize(copy.NumMethods());
+  }
+}
+BENCHMARK(BM_SchemaCloneBaseline)->RangeMultiplier(2)->Range(4, 128);
+
+}  // namespace
+}  // namespace tyder::bench

@@ -1,0 +1,59 @@
+// Reproduces Figures 1 and 2 (Section 3.1): the Person/Employee hierarchy,
+// the projection Π_{SSN, date_of_birth, pay_rate} Employee, the inferred
+// method verdicts (income drops; age and promote survive), and the
+// refactored hierarchy with the ~Person surrogate.
+
+#include <iostream>
+
+#include "core/projection.h"
+#include "objmodel/schema_printer.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+int Run() {
+  ReproCheck check("Figures 1-2: projection over Employee (Section 3.1)");
+
+  auto fx = testing::BuildPersonEmployee();
+  if (!fx.ok()) {
+    std::cerr << "fixture failed: " << fx.status() << "\n";
+    return 1;
+  }
+
+  check.Expect(
+      "Figure 1: original hierarchy",
+      "Person {SSN: String, name: String, date_of_birth: Date}\n"
+      "Employee {pay_rate: Float, hrs_worked: Float} <- Person(0)\n",
+      PrintHierarchy(fx->schema.types()));
+
+  auto result = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  if (!result.ok()) {
+    std::cerr << "derivation failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  check.Expect(
+      "Figure 2: refactored hierarchy",
+      "Person {name: String} <- ~Person(0)\n"
+      "Employee {hrs_worked: Float} <- EmployeeView(0), Person(1)\n"
+      "EmployeeView [surrogate of Employee] {pay_rate: Float} <- ~Person(0)\n"
+      "~Person [surrogate of Person] {SSN: String, date_of_birth: Date}\n",
+      PrintHierarchy(fx->schema.types()));
+
+  check.ExpectTrue("income not applicable to the derived type",
+                   !result->applicability.IsApplicable(fx->income));
+  check.ExpectTrue("age applicable to the derived type",
+                   result->applicability.IsApplicable(fx->age));
+  check.ExpectTrue("promote applicable to the derived type",
+                   result->applicability.IsApplicable(fx->promote));
+  return check.ExitCode();
+}
+
+}  // namespace
+}  // namespace tyder::bench
+
+int main() { return tyder::bench::Run(); }

@@ -1,0 +1,82 @@
+// Reproduces Figure 3 (original hierarchy), Example 2 (the FactorState call
+// sequence) and Figure 4 (the factored hierarchy after Π_{a2,e2,h2} A).
+
+#include <iostream>
+
+#include "core/factor_state.h"
+#include "objmodel/schema_printer.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+int Run() {
+  ReproCheck check("Figures 3-4 / Example 2: FactorState for Π_{a2,e2,h2} A");
+
+  auto fx = testing::BuildExample1();
+  if (!fx.ok()) {
+    std::cerr << "fixture failed: " << fx.status() << "\n";
+    return 1;
+  }
+  check.Expect("Figure 3: original hierarchy",
+               "H {h1: Int, h2: Int}\n"
+               "G {g1: Int}\n"
+               "D {d1: Int}\n"
+               "E {e1: Int, e2: Int} <- G(0), H(1)\n"
+               "F {f1: Int} <- H(0)\n"
+               "C {c1: Int} <- F(0), E(1)\n"
+               "B {b1: Int} <- D(0), E(1)\n"
+               "A {a1: Int, a2: Int} <- C(0), B(1)\n",
+               PrintHierarchy(fx->schema.types()));
+
+  SurrogateSet surrogates;
+  std::vector<std::string> trace;
+  auto derived = FactorState(fx->schema, fx->a, fx->Projection(), "ProjA",
+                             &surrogates, &trace);
+  if (!derived.ok()) {
+    std::cerr << "FactorState failed: " << derived.status() << "\n";
+    return 1;
+  }
+
+  std::string calls;
+  for (const std::string& line : trace) {
+    if (line.rfind("FactorState(", 0) == 0) calls += line + "\n";
+  }
+  check.Expect("Example 2: recursive call sequence",
+               "FactorState({a2,e2,h2}, A, -, 0)\n"
+               "FactorState({e2,h2}, C, ProjA, 1)\n"
+               "FactorState({h2}, F, ~C, 1)\n"
+               "FactorState({h2}, H, ~F, 1)\n"
+               "FactorState({e2,h2}, E, ~C, 2)\n"
+               "FactorState({h2}, H, ~E, 2)\n"
+               "FactorState({e2,h2}, B, ProjA, 2)\n"
+               "FactorState({e2,h2}, E, ~B, 2)\n",
+               calls);
+
+  check.Expect("Figure 4: factored hierarchy",
+               "H {h1: Int} <- ~H(0)\n"
+               "G {g1: Int}\n"
+               "D {d1: Int}\n"
+               "E {e1: Int} <- ~E(0), G(1), H(2)\n"
+               "F {f1: Int} <- ~F(0), H(1)\n"
+               "C {c1: Int} <- ~C(0), F(1), E(2)\n"
+               "B {b1: Int} <- ~B(0), D(1), E(2)\n"
+               "A {a1: Int} <- ProjA(0), C(1), B(2)\n"
+               "ProjA [surrogate of A] {a2: Int} <- ~C(0), ~B(1)\n"
+               "~C [surrogate of C] {} <- ~F(0), ~E(1)\n"
+               "~F [surrogate of F] {} <- ~H(0)\n"
+               "~H [surrogate of H] {h2: Int}\n"
+               "~E [surrogate of E] {e2: Int} <- ~H(0)\n"
+               "~B [surrogate of B] {} <- ~E(0)\n",
+               PrintHierarchy(fx->schema.types()));
+
+  check.ExpectTrue("schema still validates",
+                   fx->schema.Validate().ok());
+  return check.ExitCode();
+}
+
+}  // namespace
+}  // namespace tyder::bench
+
+int main() { return tyder::bench::Run(); }

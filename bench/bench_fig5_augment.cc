@@ -1,0 +1,79 @@
+// Reproduces Example 4 and Figure 5 (Sections 6.3–6.5): with the z methods
+// that assign parameters into G- and D-typed locals, the analysis finds
+// Z = {D, G}; Augment adds the state-less surrogates ~G and ~D with the
+// precedence layout of Figure 5, and the z1 body is retyped per Section 6.3.
+
+#include <iostream>
+
+#include "core/projection.h"
+#include "mir/printer.h"
+#include "objmodel/schema_printer.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+int Run() {
+  ReproCheck check("Figure 5 / Example 4: hierarchy augmentation");
+
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  if (!fx.ok()) {
+    std::cerr << "fixture failed: " << fx.status() << "\n";
+    return 1;
+  }
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ProjectionOptions options;
+  options.record_trace = true;
+  auto result = DeriveProjection(fx->schema, spec, options);
+  if (!result.ok()) {
+    std::cerr << "derivation failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::set<std::string> z_sorted;
+  for (TypeId t : result->augment_z) {
+    z_sorted.insert(fx->schema.types().TypeName(t));
+  }
+  std::string z_names;
+  for (const std::string& name : z_sorted) {
+    if (!z_names.empty()) z_names += ", ";
+    z_names += name;
+  }
+  check.Expect("Example 4: Z set", "D, G", z_names);
+
+  check.Expect("Figure 5: augmented hierarchy",
+               "H {h1: Int} <- ~H(0)\n"
+               "G {g1: Int} <- ~G(0)\n"
+               "D {d1: Int} <- ~D(0)\n"
+               "E {e1: Int} <- ~E(0), G(1), H(2)\n"
+               "F {f1: Int} <- ~F(0), H(1)\n"
+               "C {c1: Int} <- ~C(0), F(1), E(2)\n"
+               "B {b1: Int} <- ~B(0), D(1), E(2)\n"
+               "A {a1: Int} <- ProjA(0), C(1), B(2)\n"
+               "ProjA [surrogate of A] {a2: Int} <- ~C(0), ~B(1)\n"
+               "~C [surrogate of C] {} <- ~F(0), ~E(1)\n"
+               "~F [surrogate of F] {} <- ~H(0)\n"
+               "~H [surrogate of H] {h2: Int}\n"
+               "~E [surrogate of E] {e2: Int} <- ~G(0), ~H(1)\n"
+               "~B [surrogate of B] {} <- ~D(0), ~E(1)\n"
+               "~G [surrogate of G] {}\n"
+               "~D [surrogate of D] {}\n",
+               PrintHierarchy(fx->schema.types()));
+
+  check.Expect("Section 6.3: retyped z1",
+               "z1: z(~C) -> ~G = { gv: ~G; gv = pc; u(pc); return gv; }",
+               PrintMethod(fx->schema, fx->z1));
+  check.Expect("Section 6.3: retyped z2",
+               "z2: zz(~B) -> Void = { dv: ~D; dv = pb; get_h2(pb); }",
+               PrintMethod(fx->schema, fx->z2));
+  return check.ExitCode();
+}
+
+}  // namespace
+}  // namespace tyder::bench
+
+int main() { return tyder::bench::Run(); }

@@ -1,0 +1,80 @@
+// Ablation: the memoized subtype-reachability cache vs. per-query BFS, on
+// the operations that hammer IsSubtype — full dispatch sweeps and whole
+// derivations over tree-shaped hierarchies.
+
+#include <benchmark/benchmark.h>
+
+#include "core/projection.h"
+#include "methods/precedence.h"
+#include "workloads.h"
+
+namespace tyder::bench {
+namespace {
+
+void DispatchSweep(benchmark::State& state, bool cache) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildTreeSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  schema->types().set_subtype_cache_enabled(cache);
+  size_t n = schema->types().NumTypes();
+  for (auto _ : state) {
+    for (GfId g = 0; g < schema->NumGenericFunctions(); ++g) {
+      for (TypeId t = 0; t < n; ++t) {
+        auto m = MostSpecificApplicable(*schema, g, {t});
+        benchmark::DoNotOptimize(m.ok());
+      }
+    }
+  }
+  state.counters["types"] = static_cast<double>(n);
+}
+
+void BM_DispatchSweepCached(benchmark::State& state) {
+  DispatchSweep(state, true);
+}
+BENCHMARK(BM_DispatchSweepCached)->DenseRange(3, 7);
+
+void BM_DispatchSweepUncached(benchmark::State& state) {
+  DispatchSweep(state, false);
+}
+BENCHMARK(BM_DispatchSweepUncached)->DenseRange(3, 7);
+
+void Derivation(benchmark::State& state, bool cache) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = BuildTreeSchema(depth);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("N0_0");
+  std::vector<AttrId> attrs = schema->types().CumulativeAttributes(*source);
+  for (auto _ : state) {
+    Schema copy = *schema;
+    copy.types().set_subtype_cache_enabled(cache);
+    ProjectionSpec spec;
+    spec.source = *source;
+    spec.attributes = attrs;
+    spec.view_name = "CacheView";
+    ProjectionOptions options;
+    options.verify = false;
+    auto result = DeriveProjection(copy, spec, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->derived);
+  }
+}
+
+void BM_DerivationCached(benchmark::State& state) { Derivation(state, true); }
+BENCHMARK(BM_DerivationCached)->DenseRange(3, 7);
+
+void BM_DerivationUncached(benchmark::State& state) {
+  Derivation(state, false);
+}
+BENCHMARK(BM_DerivationUncached)->DenseRange(3, 7);
+
+}  // namespace
+}  // namespace tyder::bench

@@ -1,0 +1,50 @@
+// Helpers shared by the figure-reproduction binaries: print a labeled block,
+// compare expected vs measured, and keep a process-wide pass/fail verdict.
+
+#ifndef TYDER_BENCH_REPRO_UTIL_H_
+#define TYDER_BENCH_REPRO_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+namespace tyder::bench {
+
+class ReproCheck {
+ public:
+  explicit ReproCheck(std::string title) {
+    std::cout << "==== " << title << " ====\n";
+  }
+
+  void Block(const std::string& label, const std::string& content) {
+    std::cout << "--- " << label << " ---\n" << content;
+    if (content.empty() || content.back() != '\n') std::cout << "\n";
+  }
+
+  // Prints measured content and compares against the paper's expectation.
+  void Expect(const std::string& label, const std::string& expected,
+              const std::string& measured) {
+    Block(label + " (measured)", measured);
+    if (expected == measured) {
+      std::cout << "[OK] " << label << " matches the paper\n";
+    } else {
+      Block(label + " (paper)", expected);
+      std::cout << "[MISMATCH] " << label << "\n";
+      failed_ = true;
+    }
+  }
+
+  void ExpectTrue(const std::string& label, bool ok) {
+    std::cout << (ok ? "[OK] " : "[MISMATCH] ") << label << "\n";
+    if (!ok) failed_ = true;
+  }
+
+  // 0 on success, 1 on any mismatch.
+  int ExitCode() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace tyder::bench
+
+#endif  // TYDER_BENCH_REPRO_UTIL_H_

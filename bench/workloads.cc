@@ -1,0 +1,163 @@
+#include "workloads.h"
+
+#include "methods/accessor_gen.h"
+#include "mir/builder.h"
+#include "mir/type_check.h"
+
+namespace tyder::bench {
+
+namespace {
+
+Result<MethodId> AddChainMethod(Schema& schema, const std::string& label,
+                                GfId gf, TypeId formal, ExprPtr body) {
+  Method m;
+  m.label = Symbol::Intern(label);
+  m.gf = gf;
+  m.kind = MethodKind::kGeneral;
+  m.sig = Signature{{formal}, schema.builtins().void_type};
+  m.param_names = {Symbol::Intern("p")};
+  m.body = std::move(body);
+  return schema.AddMethod(std::move(m));
+}
+
+}  // namespace
+
+Result<Schema> BuildChainSchema(int depth) {
+  TYDER_ASSIGN_OR_RETURN(Schema schema, Schema::Create());
+  TypeId int_t = schema.builtins().int_type;
+  std::vector<TypeId> types;
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < depth; ++i) {
+    TYDER_ASSIGN_OR_RETURN(
+        TypeId t,
+        schema.types().DeclareType("T" + std::to_string(i), TypeKind::kUser));
+    if (i > 0) {
+      // T_{i-1} is the subtype: chain grows upward from T0.
+      TYDER_RETURN_IF_ERROR(schema.types().AddSupertype(types.back(), t));
+    }
+    TYDER_ASSIGN_OR_RETURN(
+        AttrId a,
+        schema.types().DeclareAttribute(t, "a" + std::to_string(i), int_t));
+    TYDER_RETURN_IF_ERROR(GenerateReader(schema, a).status());
+    types.push_back(t);
+    attrs.push_back(a);
+  }
+  // Generic functions first so bodies can call forward.
+  std::vector<GfId> gfs;
+  for (int i = 0; i < depth; ++i) {
+    TYDER_ASSIGN_OR_RETURN(
+        GfId gf, schema.DeclareGenericFunction("m" + std::to_string(i), 1));
+    gfs.push_back(gf);
+  }
+  for (int i = 0; i < depth; ++i) {
+    ExprPtr call;
+    if (i + 1 < depth) {
+      call = mir::Call(gfs[i + 1], {mir::Param(0)});
+    } else {
+      MethodId reader = schema.ReaderOf(attrs.back());
+      call = mir::Call(schema.method(reader).gf, {mir::Param(0)});
+    }
+    TYDER_RETURN_IF_ERROR(AddChainMethod(schema, "m" + std::to_string(i) + "_impl",
+                                         gfs[i], types[0],
+                                         mir::Seq({mir::ExprStmt(call)}))
+                              .status());
+  }
+  TYDER_RETURN_IF_ERROR(TypeCheckSchema(schema));
+  return schema;
+}
+
+Result<Schema> BuildWideSchema(int width) {
+  TYDER_ASSIGN_OR_RETURN(Schema schema, Schema::Create());
+  TypeId int_t = schema.builtins().int_type;
+  TYDER_ASSIGN_OR_RETURN(TypeId src,
+                         schema.types().DeclareType("Src", TypeKind::kUser));
+  for (int i = 0; i < width; ++i) {
+    TYDER_ASSIGN_OR_RETURN(
+        TypeId s,
+        schema.types().DeclareType("S" + std::to_string(i), TypeKind::kUser));
+    TYDER_RETURN_IF_ERROR(schema.types().AddSupertype(src, s));
+    TYDER_ASSIGN_OR_RETURN(
+        AttrId a,
+        schema.types().DeclareAttribute(s, "w" + std::to_string(i), int_t));
+    TYDER_ASSIGN_OR_RETURN(MethodId reader, GenerateReader(schema, a));
+    TYDER_ASSIGN_OR_RETURN(
+        GfId gf, schema.DeclareGenericFunction("f" + std::to_string(i), 1));
+    TYDER_RETURN_IF_ERROR(
+        AddChainMethod(schema, "f" + std::to_string(i) + "_impl", gf, s,
+                       mir::Seq({mir::ExprStmt(mir::Call(
+                           schema.method(reader).gf, {mir::Param(0)}))}))
+            .status());
+  }
+  TYDER_RETURN_IF_ERROR(TypeCheckSchema(schema));
+  return schema;
+}
+
+Result<Schema> BuildCyclicSchema(int n) {
+  TYDER_ASSIGN_OR_RETURN(Schema schema, Schema::Create());
+  TypeId int_t = schema.builtins().int_type;
+  TYDER_ASSIGN_OR_RETURN(TypeId t,
+                         schema.types().DeclareType("T", TypeKind::kUser));
+  TYDER_ASSIGN_OR_RETURN(AttrId kept,
+                         schema.types().DeclareAttribute(t, "kept", int_t));
+  TYDER_ASSIGN_OR_RETURN(MethodId reader, GenerateReader(schema, kept));
+  std::vector<GfId> gfs;
+  for (int i = 0; i < n; ++i) {
+    TYDER_ASSIGN_OR_RETURN(
+        GfId gf, schema.DeclareGenericFunction("c" + std::to_string(i), 1));
+    gfs.push_back(gf);
+  }
+  for (int i = 0; i < n; ++i) {
+    // Each method calls the next around the ring and also reads the kept
+    // attribute, so the whole ring resolves applicable after one optimistic
+    // cycle assumption.
+    TYDER_RETURN_IF_ERROR(
+        AddChainMethod(
+            schema, "c" + std::to_string(i) + "_impl", gfs[i], t,
+            mir::Seq({mir::ExprStmt(mir::Call(gfs[(i + 1) % n],
+                                              {mir::Param(0)})),
+                      mir::ExprStmt(mir::Call(schema.method(reader).gf,
+                                              {mir::Param(0)}))}))
+            .status());
+  }
+  TYDER_RETURN_IF_ERROR(TypeCheckSchema(schema));
+  return schema;
+}
+
+Result<Schema> BuildTreeSchema(int depth) {
+  TYDER_ASSIGN_OR_RETURN(Schema schema, Schema::Create());
+  TypeId int_t = schema.builtins().int_type;
+  // Level 0 is the root source type; each node has two supertypes at the
+  // next level up; attributes live at the top level.
+  int total_levels = depth;
+  std::vector<std::vector<TypeId>> levels(total_levels);
+  for (int level = total_levels - 1; level >= 0; --level) {
+    int count = 1 << level;
+    for (int i = 0; i < count; ++i) {
+      std::string name = "N" + std::to_string(level) + "_" + std::to_string(i);
+      TYDER_ASSIGN_OR_RETURN(
+          TypeId t, schema.types().DeclareType(name, TypeKind::kUser));
+      levels[level].push_back(t);
+      if (level + 1 < total_levels) {
+        TYDER_RETURN_IF_ERROR(
+            schema.types().AddSupertype(t, levels[level + 1][2 * i]));
+        TYDER_RETURN_IF_ERROR(
+            schema.types().AddSupertype(t, levels[level + 1][2 * i + 1]));
+      } else {
+        TYDER_RETURN_IF_ERROR(schema.types()
+                                  .DeclareAttribute(t, "leaf" + name, int_t)
+                                  .status());
+      }
+    }
+  }
+  TYDER_RETURN_IF_ERROR(GenerateAllAccessors(schema, /*with_mutators=*/false));
+  return schema;
+}
+
+std::vector<AttrId> FirstAttributes(const Schema& schema, TypeId source,
+                                    size_t keep) {
+  std::vector<AttrId> attrs = schema.types().CumulativeAttributes(source);
+  if (attrs.size() > keep) attrs.resize(keep);
+  return attrs;
+}
+
+}  // namespace tyder::bench

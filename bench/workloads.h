@@ -1,0 +1,37 @@
+// Synthetic schema workloads for the scalability benches. Each generator is
+// deterministic in its parameters so benchmark runs are comparable.
+
+#ifndef TYDER_BENCH_WORKLOADS_H_
+#define TYDER_BENCH_WORKLOADS_H_
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder::bench {
+
+// A linear subtype chain T0 ≼ T1 ≼ … ≼ T_{depth-1}, one Int attribute and one
+// reader per type, plus a method chain m_0(T0) → m_1(T0) → … → m_{depth-1}
+// whose last link reads the attribute of T_{depth-1}. Exercises IsApplicable
+// call-graph depth and FactorState recursion depth.
+Result<Schema> BuildChainSchema(int depth);
+
+// One source type inheriting from `width` unrelated supertypes, each with an
+// attribute, a reader, and an independent method. Exercises breadth.
+Result<Schema> BuildWideSchema(int width);
+
+// `n` generic functions whose single methods call each other in a ring
+// (m_i calls m_{(i+1) % n}), all on one type with one projected attribute.
+// Exercises the MethodStack/dependency-list cycle machinery.
+Result<Schema> BuildCyclicSchema(int n);
+
+// A binary-tree hierarchy of the given depth (2^depth - 1 types), attributes
+// at the leaves. Exercises FactorState/Augment on diamonds and fan-out.
+Result<Schema> BuildTreeSchema(int depth);
+
+// Projection request helpers: first `keep` attributes of the source type.
+std::vector<AttrId> FirstAttributes(const Schema& schema, TypeId source,
+                                    size_t keep);
+
+}  // namespace tyder::bench
+
+#endif  // TYDER_BENCH_WORKLOADS_H_

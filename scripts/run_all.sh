@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds everything and reproduces the full evaluation:
+#   1. the test suite (unit + integration + property),
+#   2. every paper figure/example reproduction binary (exit non-zero on any
+#      deviation from the paper),
+#   3. the scalability/ablation benchmarks,
+#   4. the runnable examples.
+#
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "=== tests ==="
+ctest --test-dir "$BUILD" --output-on-failure
+
+echo "=== paper artifact reproductions ==="
+for b in "$BUILD"/bench/bench_fig* "$BUILD"/bench/bench_example*; do
+  echo "--- $b"
+  "$b"
+done
+
+echo "=== benchmarks ==="
+for b in "$BUILD"/bench/bench_*_scale "$BUILD"/bench/bench_dispatch \
+         "$BUILD"/bench/bench_views_over_views "$BUILD"/bench/bench_subtype_cache \
+         "$BUILD"/bench/bench_query; do
+  echo "--- $b"
+  "$b" --benchmark_min_time=0.02
+done
+
+echo "=== examples ==="
+for e in "$BUILD"/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "--- $e"
+  "$e"
+done
+
+echo "ALL GREEN"

@@ -1,0 +1,174 @@
+#include "catalog/catalog.h"
+
+#include "core/algebra.h"
+#include "core/revert.h"
+
+namespace tyder {
+
+Result<Catalog> Catalog::Create() {
+  Catalog catalog;
+  TYDER_ASSIGN_OR_RETURN(catalog.schema_, Schema::Create());
+  return catalog;
+}
+
+Result<const ViewDef*> Catalog::DefineProjectionView(
+    std::string_view name, std::string_view source_type,
+    const std::vector<std::string>& attribute_names,
+    const ProjectionOptions& options) {
+  if (FindView(name).ok()) {
+    return Status::AlreadyExists("view '" + std::string(name) +
+                                 "' already defined");
+  }
+  TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  TYDER_ASSIGN_OR_RETURN(
+      DerivationResult derivation,
+      DeriveProjectionByName(schema_, source_type, attribute_names, name,
+                             options));
+  ViewDef def;
+  def.name = std::string(name);
+  def.op = ViewOpKind::kProjection;
+  def.derived = derivation.derived;
+  def.source = source;
+  def.derivation = derivation;
+  for (const std::string& attr : attribute_names) {
+    TYDER_ASSIGN_OR_RETURN(AttrId a, schema_.types().FindAttribute(attr));
+    def.attributes.push_back(a);
+  }
+  views_.push_back(std::move(def));
+  return &views_.back();
+}
+
+Result<const ViewDef*> Catalog::DefineSelectionView(
+    std::string_view name, std::string_view source_type) {
+  if (FindView(name).ok()) {
+    return Status::AlreadyExists("view '" + std::string(name) +
+                                 "' already defined");
+  }
+  TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  TYDER_ASSIGN_OR_RETURN(TypeId derived,
+                         DeriveSelection(schema_, source, name));
+  ViewDef def;
+  def.name = std::string(name);
+  def.op = ViewOpKind::kSelection;
+  def.derived = derived;
+  def.source = source;
+  views_.push_back(std::move(def));
+  return &views_.back();
+}
+
+Result<const ViewDef*> Catalog::DefineGeneralizationView(
+    std::string_view name, std::string_view type_a, std::string_view type_b,
+    const ProjectionOptions& options) {
+  if (FindView(name).ok()) {
+    return Status::AlreadyExists("view '" + std::string(name) +
+                                 "' already defined");
+  }
+  TYDER_ASSIGN_OR_RETURN(TypeId a, schema_.types().FindType(type_a));
+  TYDER_ASSIGN_OR_RETURN(TypeId b, schema_.types().FindType(type_b));
+  TYDER_ASSIGN_OR_RETURN(DerivationResult derivation,
+                         DeriveGeneralization(schema_, a, b, name, options));
+  ViewDef def;
+  def.name = std::string(name);
+  def.op = ViewOpKind::kGeneralization;
+  def.derived = derivation.derived;
+  def.source = a;
+  def.source2 = b;
+  def.derivation = derivation;
+  views_.push_back(std::move(def));
+  return &views_.back();
+}
+
+Result<const ViewDef*> Catalog::DefineRenameView(
+    std::string_view name, std::string_view source_type,
+    const std::vector<AttributeRename>& renames,
+    const ProjectionOptions& options) {
+  if (FindView(name).ok()) {
+    return Status::AlreadyExists("view '" + std::string(name) +
+                                 "' already defined");
+  }
+  TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  TYDER_ASSIGN_OR_RETURN(
+      DerivationResult derivation,
+      DeriveRenameView(schema_, source, renames, name, options));
+  ViewDef def;
+  def.name = std::string(name);
+  def.op = ViewOpKind::kRename;
+  def.derived = derivation.derived;
+  def.source = source;
+  def.renames = renames;
+  def.derivation = derivation;
+  views_.push_back(std::move(def));
+  return &views_.back();
+}
+
+Result<const ViewDef*> Catalog::FindView(std::string_view name) const {
+  for (const ViewDef& def : views_) {
+    if (def.name == name) return &def;
+  }
+  return Status::NotFound("no view named '" + std::string(name) + "'");
+}
+
+Status Catalog::DropView(std::string_view name) {
+  auto it = views_.begin();
+  for (; it != views_.end(); ++it) {
+    if (it->name == name) break;
+  }
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + std::string(name) + "'");
+  }
+  switch (it->op) {
+    case ViewOpKind::kProjection:
+    case ViewOpKind::kGeneralization:
+      TYDER_RETURN_IF_ERROR(RevertDerivation(schema_, it->derivation));
+      break;
+    case ViewOpKind::kRename:
+      return Status::FailedPrecondition(
+          "rename view '" + std::string(name) +
+          "' cannot be dropped: its alias accessors are part of the schema");
+    case ViewOpKind::kSelection: {
+      // A selection view is a leaf subtype; detach it if nothing observes it.
+      TypeId view = it->derived;
+      for (TypeId t = 0; t < schema_.types().NumTypes(); ++t) {
+        if (t != view && schema_.types().type(t).HasDirectSupertype(view)) {
+          return Status::FailedPrecondition(
+              "selection view '" + std::string(name) + "' has subtypes");
+        }
+      }
+      for (MethodId m = 0; m < schema_.NumMethods(); ++m) {
+        for (TypeId t : schema_.method(m).sig.params) {
+          if (t == view) {
+            return Status::FailedPrecondition(
+                "selection view '" + std::string(name) +
+                "' is referenced by method '" +
+                schema_.method(m).label.str() + "'");
+          }
+        }
+      }
+      Type& node = schema_.types().mutable_type(view);
+      while (!node.supertypes().empty()) {
+        node.RemoveSupertype(node.supertypes().front());
+      }
+      node.set_detached(true);
+      break;
+    }
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+Result<CollapseReport> Catalog::Collapse() {
+  std::set<TypeId> keep;
+  for (const ViewDef& def : views_) keep.insert(def.derived);
+  return CollapseEmptySurrogates(schema_, keep);
+}
+
+size_t Catalog::LiveSurrogateCount() const {
+  size_t n = 0;
+  for (TypeId t = 0; t < schema_.types().NumTypes(); ++t) {
+    const Type& type = schema_.types().type(t);
+    if (type.kind() == TypeKind::kSurrogate && !type.detached()) ++n;
+  }
+  return n;
+}
+
+}  // namespace tyder

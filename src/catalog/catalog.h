@@ -1,0 +1,92 @@
+// Catalog: the top-level container a database would expose — a Schema plus
+// the registry of derived views over it (views are "simply added to the list
+// of existing relations", paper Section 1). Views may be defined over views;
+// the catalog tracks provenance, making the Section-7 views-over-views
+// surrogate-growth experiment and the collapse ablation possible.
+
+#ifndef TYDER_CATALOG_CATALOG_H_
+#define TYDER_CATALOG_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/algebra.h"
+#include "core/collapse.h"
+#include "core/projection.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+enum class ViewOpKind { kProjection, kSelection, kGeneralization, kRename };
+
+struct ViewDef {
+  std::string name;
+  ViewOpKind op = ViewOpKind::kProjection;
+  TypeId derived = kInvalidType;
+  TypeId source = kInvalidType;          // primary source
+  TypeId source2 = kInvalidType;         // generalization only
+  std::vector<AttrId> attributes;        // projection list (if any)
+  std::vector<AttributeRename> renames;  // rename views only
+  // Full derivation record for projection-family views; lets DropView revert.
+  DerivationResult derivation;
+};
+
+class Catalog {
+ public:
+  static Result<Catalog> Create();
+  // Wraps an already-built schema.
+  explicit Catalog(Schema schema) : schema_(std::move(schema)) {}
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  // Defines Π_attribute_names(source_type) as view `name` and records it.
+  Result<const ViewDef*> DefineProjectionView(
+      std::string_view name, std::string_view source_type,
+      const std::vector<std::string>& attribute_names,
+      const ProjectionOptions& options = {});
+
+  // Defines a selection view (type-level part; the predicate applies at
+  // materialization time).
+  Result<const ViewDef*> DefineSelectionView(std::string_view name,
+                                             std::string_view source_type);
+
+  // Defines the generalization of two types over their common attributes.
+  Result<const ViewDef*> DefineGeneralizationView(
+      std::string_view name, std::string_view type_a, std::string_view type_b,
+      const ProjectionOptions& options = {});
+
+  // Defines a rename view: full-state projection plus alias accessors.
+  Result<const ViewDef*> DefineRenameView(
+      std::string_view name, std::string_view source_type,
+      const std::vector<AttributeRename>& renames,
+      const ProjectionOptions& options = {});
+
+  const std::vector<ViewDef>& views() const { return views_; }
+  Result<const ViewDef*> FindView(std::string_view name) const;
+
+  // Drops a view, reverting its derivation (projection/generalization) or
+  // detaching its type (selection). Refused when anything still observes the
+  // view's types — including rename views, whose alias accessors cannot be
+  // removed from the schema.
+  Status DropView(std::string_view name);
+
+  // Collapses empty surrogates, keeping every registered view type.
+  Result<CollapseReport> Collapse();
+
+  // Count of live (non-detached) surrogate types — the metric of the
+  // views-over-views experiment.
+  size_t LiveSurrogateCount() const;
+
+ private:
+  Catalog() = default;
+
+  Schema schema_;
+  std::vector<ViewDef> views_;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_CATALOG_CATALOG_H_

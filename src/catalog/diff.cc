@@ -1,0 +1,84 @@
+#include "catalog/diff.h"
+
+#include <sstream>
+
+namespace tyder {
+
+namespace {
+
+std::string TypeListToString(const Schema& schema,
+                             const std::vector<TypeId>& types) {
+  std::string out = "[";
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.types().TypeName(types[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::vector<SchemaDiffEntry> DiffSchemas(const Schema& before,
+                                         const Schema& after) {
+  std::vector<SchemaDiffEntry> diff;
+
+  for (TypeId t = before.types().NumTypes(); t < after.types().NumTypes();
+       ++t) {
+    diff.push_back(
+        {DiffKind::kTypeAdded, "+ type " + after.types().TypeName(t)});
+  }
+  for (TypeId t = 0; t < before.types().NumTypes(); ++t) {
+    const auto& pre = before.types().type(t).supertypes();
+    const auto& post = after.types().type(t).supertypes();
+    if (pre != post) {
+      diff.push_back({DiffKind::kSupertypesChanged,
+                      "~ supertypes of " + before.types().TypeName(t) + ": " +
+                          TypeListToString(before, pre) + " => " +
+                          TypeListToString(after, post)});
+    }
+  }
+  for (AttrId a = 0; a < before.types().NumAttributes(); ++a) {
+    TypeId pre = before.types().attribute(a).owner;
+    TypeId post = after.types().attribute(a).owner;
+    if (pre != post) {
+      diff.push_back({DiffKind::kAttributeMoved,
+                      "~ attribute " +
+                          before.types().attribute(a).name.str() + ": " +
+                          before.types().TypeName(pre) + " => " +
+                          after.types().TypeName(post)});
+    }
+  }
+  for (GfId g = before.NumGenericFunctions(); g < after.NumGenericFunctions();
+       ++g) {
+    diff.push_back({DiffKind::kGenericFunctionAdded,
+                    "+ generic function " + after.gf(g).name.str()});
+  }
+  for (MethodId m = 0; m < before.NumMethods(); ++m) {
+    const Method& pre = before.method(m);
+    const Method& post = after.method(m);
+    if (!(pre.sig == post.sig)) {
+      std::string gf_name = before.gf(pre.gf).name.str();
+      diff.push_back(
+          {DiffKind::kMethodSignatureChanged,
+           "~ method " + pre.label.str() + ": " +
+               SignatureToString(before.types(), gf_name, pre.sig) + " => " +
+               SignatureToString(after.types(), gf_name, post.sig)});
+    }
+    if (pre.body != post.body) {
+      diff.push_back({DiffKind::kMethodBodyChanged,
+                      "~ body of " + pre.label.str()});
+    }
+  }
+  return diff;
+}
+
+std::string DiffToString(const std::vector<SchemaDiffEntry>& diff) {
+  std::ostringstream out;
+  for (const SchemaDiffEntry& entry : diff) {
+    out << entry.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tyder

@@ -1,0 +1,40 @@
+// Structural schema diffing. Because ids are stable under derivation (types
+// are only appended, attributes only re-homed, methods only rewritten), two
+// snapshots of the same schema can be compared id-by-id. Used by examples to
+// display what a derivation changed and by tests to assert that a derivation
+// touched nothing it should not have.
+
+#ifndef TYDER_CATALOG_DIFF_H_
+#define TYDER_CATALOG_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "methods/schema.h"
+
+namespace tyder {
+
+enum class DiffKind {
+  kTypeAdded,
+  kSupertypesChanged,
+  kAttributeMoved,
+  kMethodSignatureChanged,
+  kMethodBodyChanged,
+  kGenericFunctionAdded,
+};
+
+struct SchemaDiffEntry {
+  DiffKind kind;
+  std::string description;  // human-readable, deterministic
+};
+
+// Differences from `before` to `after`. `before` must be a prefix snapshot
+// (every id in `before` exists in `after`).
+std::vector<SchemaDiffEntry> DiffSchemas(const Schema& before,
+                                         const Schema& after);
+
+std::string DiffToString(const std::vector<SchemaDiffEntry>& diff);
+
+}  // namespace tyder
+
+#endif  // TYDER_CATALOG_DIFF_H_

@@ -1,0 +1,402 @@
+#include "catalog/export_tdl.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "mir/expr.h"
+
+namespace tyder {
+
+namespace {
+
+// Follows surrogate_source links to the original (non-surrogate) type.
+TypeId UnwindSurrogate(const TypeGraph& graph, TypeId t) {
+  while (graph.type(t).is_surrogate() &&
+         graph.type(t).surrogate_source() != kInvalidType) {
+    t = graph.type(t).surrogate_source();
+  }
+  return t;
+}
+
+// The pre-derivation signature/body of each method: the old_sig/old_body of
+// the *first* derivation that rewrote it, else the current one.
+struct BaseMethod {
+  Signature sig;
+  ExprPtr body;
+  bool ever_rewritten = false;
+};
+
+std::map<MethodId, BaseMethod> BaseMethods(const Schema& schema,
+                                           const Catalog* catalog) {
+  std::map<MethodId, BaseMethod> base;
+  for (MethodId m = 0; m < schema.NumMethods(); ++m) {
+    base[m] = BaseMethod{schema.method(m).sig, schema.method(m).body, false};
+  }
+  if (catalog != nullptr) {
+    // Views in definition order; keep the earliest old state per method.
+    for (const ViewDef& def : catalog->views()) {
+      for (const MethodRewrite& rw : def.derivation.rewrites) {
+        BaseMethod& entry = base[rw.method];
+        if (!entry.ever_rewritten) {
+          entry.sig = rw.old_sig;
+          entry.body = rw.old_body != nullptr ? rw.old_body
+                                              : schema.method(rw.method).body;
+          entry.ever_rewritten = true;
+        }
+      }
+    }
+  }
+  return base;
+}
+
+class TdlEmitter {
+ public:
+  TdlEmitter(const Schema& schema, const Catalog* catalog)
+      : schema_(schema), catalog_(catalog) {}
+
+  Result<std::string> Run() {
+    TYDER_RETURN_IF_ERROR(CheckExportable());
+    base_methods_ = BaseMethods(schema_, catalog_);
+    EmitTypes();
+    TYDER_RETURN_IF_ERROR(EmitAccessorsDirective());
+    EmitGenerics();
+    TYDER_RETURN_IF_ERROR(EmitMethods());
+    EmitViews();
+    return out_.str();
+  }
+
+ private:
+  bool IsBaseType(TypeId t) const {
+    const Type& type = schema_.types().type(t);
+    return type.kind() == TypeKind::kUser && !type.detached() &&
+           !type.is_surrogate();
+  }
+
+  Status CheckExportable() {
+    for (TypeId t = 0; t < schema_.types().NumTypes(); ++t) {
+      const Type& type = schema_.types().type(t);
+      if (!type.is_surrogate() || type.detached()) continue;
+      // Surrogates are fine only when a catalog view accounts for them: the
+      // view statements replay the derivation on load.
+      bool accounted = false;
+      if (catalog_ != nullptr) {
+        for (const ViewDef& def : catalog_->views()) {
+          if (def.derived == t) accounted = true;
+          for (TypeId s : def.derivation.surrogates.created) {
+            if (s == t) accounted = true;
+          }
+        }
+      }
+      if (!accounted) {
+        return Status::FailedPrecondition(
+            "schema contains surrogate '" + schema_.types().TypeName(t) +
+            "' not traceable to a catalog view; TDL cannot express it");
+      }
+    }
+    return Status::OK();
+  }
+
+  void EmitTypes() {
+    const TypeGraph& graph = schema_.types();
+    for (TypeId t = 0; t < graph.NumTypes(); ++t) {
+      if (!IsBaseType(t)) continue;
+      out_ << "type " << graph.TypeName(t);
+      bool first = true;
+      for (TypeId s : graph.type(t).supertypes()) {
+        if (!IsBaseType(s)) continue;  // skip surrogate links
+        out_ << (first ? " : " : ", ") << graph.TypeName(s);
+        first = false;
+      }
+      out_ << " {";
+      // Local attributes, including ones currently re-homed onto surrogates.
+      bool any = false;
+      for (AttrId a = 0; a < graph.NumAttributes(); ++a) {
+        const AttributeDef& attr = graph.attribute(a);
+        if (UnwindSurrogate(graph, attr.owner) != t) continue;
+        out_ << "\n  " << attr.name.view() << ": "
+             << graph.TypeName(attr.value_type) << ";";
+        any = true;
+      }
+      out_ << (any ? "\n}\n" : " }\n");
+    }
+  }
+
+  // True when `m` is a standard owner-homed accessor of its attribute under
+  // its base signature.
+  bool IsStandardAccessor(MethodId m) const {
+    const Method& method = schema_.method(m);
+    if (method.kind == MethodKind::kGeneral) return false;
+    const BaseMethod& base = base_methods_.at(m);
+    TypeId owner =
+        UnwindSurrogate(schema_.types(), schema_.types().attribute(method.attr).owner);
+    std::string attr_name = schema_.types().attribute(method.attr).name.str();
+    std::string gf_name = schema_.gf(method.gf).name.str();
+    std::string expect =
+        (method.kind == MethodKind::kReader ? "get_" : "set_") + attr_name;
+    return gf_name == expect && !base.sig.params.empty() &&
+           UnwindSurrogate(schema_.types(), base.sig.params[0]) == owner;
+  }
+
+  // View-created alias accessors: accessor methods never rewritten whose
+  // formal is a surrogate — they reappear when the view statement replays.
+  bool IsViewAlias(MethodId m) const {
+    const Method& method = schema_.method(m);
+    if (method.kind == MethodKind::kGeneral) return false;
+    return !base_methods_.at(m).ever_rewritten &&
+           !method.sig.params.empty() &&
+           schema_.types().type(method.sig.params[0]).is_surrogate();
+  }
+
+  Status EmitAccessorsDirective() {
+    bool any_accessor = false;
+    for (MethodId m = 0; m < schema_.NumMethods(); ++m) {
+      if (schema_.method(m).kind == MethodKind::kGeneral) continue;
+      if (IsViewAlias(m)) continue;
+      if (!IsStandardAccessor(m)) {
+        return Status::FailedPrecondition(
+            "accessor '" + schema_.method(m).label.str() +
+            "' is not the standard owner-homed form; TDL cannot express it");
+      }
+      any_accessor = true;
+    }
+    if (!any_accessor) return Status::OK();
+    // The directive regenerates reader+mutator for every attribute; require
+    // completeness so the reload matches.
+    for (AttrId a = 0; a < schema_.types().NumAttributes(); ++a) {
+      if (schema_.ReaderOf(a) == kInvalidMethod ||
+          schema_.MutatorOf(a) == kInvalidMethod) {
+        return Status::FailedPrecondition(
+            "attribute '" + schema_.types().attribute(a).name.str() +
+            "' lacks a standard reader/mutator pair; TDL's 'accessors;' "
+            "directive cannot reproduce a partial set");
+      }
+    }
+    out_ << "accessors;\n";
+    return Status::OK();
+  }
+
+  void EmitGenerics() {
+    // Explicit declarations for generic functions with no general methods to
+    // imply them (and which are not accessor functions).
+    for (GfId g = 0; g < schema_.NumGenericFunctions(); ++g) {
+      const GenericFunction& gf = schema_.gf(g);
+      bool has_general = false;
+      bool has_accessor = false;
+      for (MethodId m : gf.methods) {
+        (schema_.method(m).kind == MethodKind::kGeneral ? has_general
+                                                        : has_accessor) = true;
+      }
+      if (!has_general && !has_accessor) {
+        out_ << "generic " << gf.name.view() << "/" << gf.arity << ";\n";
+      }
+    }
+  }
+
+  Status EmitMethods() {
+    for (MethodId m = 0; m < schema_.NumMethods(); ++m) {
+      const Method& method = schema_.method(m);
+      if (method.kind != MethodKind::kGeneral) continue;
+      const BaseMethod& base = base_methods_.at(m);
+      std::string label = method.label.str();
+      std::string gf_name = schema_.gf(method.gf).name.str();
+      if (!IsIdentifier(label)) {
+        return Status::FailedPrecondition("method label '" + label +
+                                          "' is not a TDL identifier");
+      }
+      out_ << "method " << label;
+      if (label != gf_name) out_ << " for " << gf_name;
+      out_ << " (";
+      for (size_t i = 0; i < base.sig.params.size(); ++i) {
+        if (i > 0) out_ << ", ";
+        out_ << ParamName(method, i) << ": "
+             << schema_.types().TypeName(
+                    UnwindSurrogate(schema_.types(), base.sig.params[i]));
+      }
+      out_ << ")";
+      TypeId result = UnwindSurrogate(schema_.types(), base.sig.result);
+      if (result != schema_.builtins().void_type) {
+        out_ << " -> " << schema_.types().TypeName(result);
+      }
+      out_ << " ";
+      TYDER_RETURN_IF_ERROR(EmitBlock(method, base.body, 0));
+      out_ << "\n";
+    }
+    return Status::OK();
+  }
+
+  std::string ParamName(const Method& method, size_t i) const {
+    if (i < method.param_names.size()) return method.param_names[i].str();
+    return "p" + std::to_string(i);
+  }
+
+  Status EmitBlock(const Method& method, const ExprPtr& seq, int depth) {
+    out_ << "{";
+    for (const ExprPtr& stmt : seq->children) {
+      out_ << "\n" << std::string(2 * (depth + 1), ' ');
+      TYDER_RETURN_IF_ERROR(EmitStmt(method, stmt, depth + 1));
+    }
+    out_ << "\n" << std::string(2 * depth, ' ') << "}";
+    return Status::OK();
+  }
+
+  Status EmitStmt(const Method& method, const ExprPtr& node, int depth) {
+    const Expr& e = *node;
+    switch (e.kind) {
+      case ExprKind::kDecl:
+        out_ << e.var.view() << ": "
+             << schema_.types().TypeName(
+                    UnwindSurrogate(schema_.types(), e.decl_type));
+        if (!e.children.empty()) {
+          out_ << " = ";
+          TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        }
+        out_ << ";";
+        return Status::OK();
+      case ExprKind::kAssign:
+        out_ << e.var.view() << " = ";
+        TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        out_ << ";";
+        return Status::OK();
+      case ExprKind::kReturn:
+        out_ << "return";
+        if (!e.children.empty()) {
+          out_ << " ";
+          TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        }
+        out_ << ";";
+        return Status::OK();
+      case ExprKind::kIf:
+        out_ << "if (";
+        TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        out_ << ") ";
+        TYDER_RETURN_IF_ERROR(EmitBlock(method, e.children[1], depth));
+        if (e.children.size() > 2) {
+          out_ << " else ";
+          TYDER_RETURN_IF_ERROR(EmitBlock(method, e.children[2], depth));
+        }
+        return Status::OK();
+      case ExprKind::kExprStmt:
+        TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        out_ << ";";
+        return Status::OK();
+      default:
+        return Status::Internal("expression used as TDL statement");
+    }
+  }
+
+  Status EmitExpr(const Method& method, const ExprPtr& node) {
+    const Expr& e = *node;
+    switch (e.kind) {
+      case ExprKind::kParamRef:
+        out_ << ParamName(method, static_cast<size_t>(e.param_index));
+        return Status::OK();
+      case ExprKind::kVarRef:
+        out_ << e.var.view();
+        return Status::OK();
+      case ExprKind::kIntLit:
+        out_ << e.int_val;
+        return Status::OK();
+      case ExprKind::kFloatLit: {
+        std::ostringstream f;
+        f << e.float_val;
+        std::string text = f.str();
+        // TDL float literals need a decimal point.
+        if (text.find('.') == std::string::npos &&
+            text.find('e') == std::string::npos) {
+          text += ".0";
+        }
+        out_ << text;
+        return Status::OK();
+      }
+      case ExprKind::kBoolLit:
+        out_ << (e.bool_val ? "true" : "false");
+        return Status::OK();
+      case ExprKind::kStringLit: {
+        out_ << '"';
+        for (char c : e.str_val) {
+          if (c == '"' || c == '\\') out_ << '\\';
+          if (c == '\n') {
+            out_ << "\\n";
+            continue;
+          }
+          out_ << c;
+        }
+        out_ << '"';
+        return Status::OK();
+      }
+      case ExprKind::kCall: {
+        out_ << schema_.gf(e.callee).name.view() << "(";
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i > 0) out_ << ", ";
+          TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[i]));
+        }
+        out_ << ")";
+        return Status::OK();
+      }
+      case ExprKind::kBinOp: {
+        out_ << "(";
+        TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[0]));
+        out_ << " " << BinOpName(e.op) << " ";
+        TYDER_RETURN_IF_ERROR(EmitExpr(method, e.children[1]));
+        out_ << ")";
+        return Status::OK();
+      }
+      default:
+        return Status::Internal("statement used as TDL expression");
+    }
+  }
+
+  void EmitViews() {
+    if (catalog_ == nullptr) return;
+    const TypeGraph& graph = schema_.types();
+    for (const ViewDef& def : catalog_->views()) {
+      out_ << "view " << def.name << " = ";
+      switch (def.op) {
+        case ViewOpKind::kProjection: {
+          out_ << "project " << graph.TypeName(def.source) << " on (";
+          for (size_t i = 0; i < def.attributes.size(); ++i) {
+            if (i > 0) out_ << ", ";
+            out_ << graph.attribute(def.attributes[i]).name.view();
+          }
+          out_ << ")";
+          break;
+        }
+        case ViewOpKind::kSelection:
+          out_ << "select " << graph.TypeName(def.source);
+          break;
+        case ViewOpKind::kGeneralization:
+          out_ << "generalize " << graph.TypeName(def.source) << ", "
+               << graph.TypeName(def.source2);
+          break;
+        case ViewOpKind::kRename: {
+          out_ << "rename " << graph.TypeName(def.source) << " (";
+          for (size_t i = 0; i < def.renames.size(); ++i) {
+            if (i > 0) out_ << ", ";
+            out_ << def.renames[i].attribute << " as " << def.renames[i].alias;
+          }
+          out_ << ")";
+          break;
+        }
+      }
+      out_ << ";\n";
+    }
+  }
+
+  const Schema& schema_;
+  const Catalog* catalog_;
+  std::map<MethodId, BaseMethod> base_methods_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+Result<std::string> ExportTdl(const Schema& schema) {
+  return TdlEmitter(schema, nullptr).Run();
+}
+
+Result<std::string> ExportTdl(const Catalog& catalog) {
+  return TdlEmitter(catalog.schema(), &catalog).Run();
+}
+
+}  // namespace tyder

@@ -1,0 +1,39 @@
+// Schema (de)serialization: a deterministic, line-oriented text format that
+// round-trips everything — types (including surrogates and detached nodes),
+// precedence-ordered supertype edges, attributes, generic functions, methods,
+// and method bodies (as s-expressions). Ids are stable across a round trip,
+// so serialized schemas can be diffed structurally (catalog/diff.h).
+//
+//   tyder-schema v1
+//   type <name> builtin|user|surrogate [source=<type>] [detached]
+//   super <sub> <super>              # one line per edge, precedence order
+//   attr <name> <value-type> <owner>
+//   gf <name> <arity>
+//   method <label> <gf> general|reader|mutator (<T>...) -> <R>
+//          [attr=<name>] [params=<p>...]    (one line)
+//   body <label> <s-expression>
+
+#ifndef TYDER_CATALOG_SERIALIZE_H_
+#define TYDER_CATALOG_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+std::string SerializeSchema(const Schema& schema);
+
+// Parses text produced by SerializeSchema into a fresh schema (builtins are
+// re-installed, then user content replayed) and validates the result.
+Result<Schema> DeserializeSchema(std::string_view text);
+
+// Body tree <-> s-expression (exposed for tests).
+std::string SerializeBody(const Schema& schema, const ExprPtr& body);
+Result<ExprPtr> DeserializeBody(const Schema& schema, std::string_view text);
+
+}  // namespace tyder
+
+#endif  // TYDER_CATALOG_SERIALIZE_H_

@@ -1,0 +1,101 @@
+#include "common/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tyder {
+
+uint32_t Digraph::AddNode() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<uint32_t>(succ_.size() - 1);
+}
+
+void Digraph::AddEdge(uint32_t from, uint32_t to) {
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+bool Digraph::Reaches(uint32_t from, uint32_t to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(NumNodes(), false);
+  std::deque<uint32_t> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    for (uint32_t s : succ_[n]) {
+      if (s == to) return true;
+      if (!seen[s]) {
+        seen[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> Digraph::ReachableFrom(uint32_t start) const {
+  std::vector<bool> seen(NumNodes(), false);
+  std::vector<uint32_t> order;
+  std::deque<uint32_t> queue{start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    for (uint32_t s : succ_[n]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return order;
+}
+
+bool Digraph::HasCycle() const {
+  return TopologicalOrder().size() != NumNodes();
+}
+
+std::vector<uint32_t> Digraph::TopologicalOrder() const {
+  std::vector<uint32_t> indegree(NumNodes(), 0);
+  for (uint32_t n = 0; n < NumNodes(); ++n) {
+    for (uint32_t s : succ_[n]) ++indegree[s];
+  }
+  std::deque<uint32_t> ready;
+  for (uint32_t n = 0; n < NumNodes(); ++n) {
+    if (indegree[n] == 0) ready.push_back(n);
+  }
+  std::vector<uint32_t> order;
+  order.reserve(NumNodes());
+  while (!ready.empty()) {
+    uint32_t n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (uint32_t s : succ_[n]) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  return order;
+}
+
+std::vector<std::vector<bool>> Digraph::TransitiveClosure() const {
+  uint32_t n = NumNodes();
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  // Process in reverse topological order so each node's row is the union of
+  // its successors' completed rows.
+  std::vector<uint32_t> topo = TopologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    uint32_t v = *it;
+    closure[v][v] = true;
+    for (uint32_t s : succ_[v]) {
+      for (uint32_t w = 0; w < n; ++w) {
+        if (closure[s][w]) closure[v][w] = true;
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace tyder

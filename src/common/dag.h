@@ -1,0 +1,57 @@
+// Digraph: a small adjacency-list directed graph over dense uint32 node ids,
+// with the graph algorithms the rest of tyder needs: cycle detection,
+// reachability, topological order, and transitive closure. The type DAG
+// (objmodel) and the method call graph (mir) are both built on this.
+
+#ifndef TYDER_COMMON_DAG_H_
+#define TYDER_COMMON_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tyder {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(uint32_t num_nodes) : succ_(num_nodes), pred_(num_nodes) {}
+
+  // Adds a fresh node and returns its id.
+  uint32_t AddNode();
+
+  // Adds edge from -> to. Both ids must be < NumNodes(). Parallel edges are
+  // kept (callers that care dedupe themselves).
+  void AddEdge(uint32_t from, uint32_t to);
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(succ_.size()); }
+
+  const std::vector<uint32_t>& Successors(uint32_t n) const { return succ_[n]; }
+  const std::vector<uint32_t>& Predecessors(uint32_t n) const { return pred_[n]; }
+
+  // True iff there is a directed path from `from` to `to` (a node reaches
+  // itself trivially).
+  bool Reaches(uint32_t from, uint32_t to) const;
+
+  // All nodes reachable from `start` (including `start`), in BFS order.
+  std::vector<uint32_t> ReachableFrom(uint32_t start) const;
+
+  // True iff the graph contains a directed cycle.
+  bool HasCycle() const;
+
+  // Topological order (sources first). Empty when NumNodes()==0; when the
+  // graph has a cycle the order is partial (cyclic nodes are omitted) —
+  // callers should check HasCycle() first when that matters.
+  std::vector<uint32_t> TopologicalOrder() const;
+
+  // Bit-matrix transitive closure. closure[a][b] == true iff a reaches b.
+  // O(V^2/64 * E); fine for the schema sizes tyder handles.
+  std::vector<std::vector<bool>> TransitiveClosure() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> succ_;
+  std::vector<std::vector<uint32_t>> pred_;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_DAG_H_

@@ -1,0 +1,24 @@
+// Dense integer ids used across tyder. All are indices into the owning
+// Schema's tables; kInvalid* is the universal sentinel.
+
+#ifndef TYDER_COMMON_IDS_H_
+#define TYDER_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace tyder {
+
+using TypeId = uint32_t;    // index into TypeGraph::types_
+using AttrId = uint32_t;    // index into TypeGraph::attrs_
+using GfId = uint32_t;      // index into Schema's generic-function table
+using MethodId = uint32_t;  // index into Schema's method table
+
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+inline constexpr TypeId kInvalidType = kInvalidId;
+inline constexpr AttrId kInvalidAttr = kInvalidId;
+inline constexpr GfId kInvalidGf = kInvalidId;
+inline constexpr MethodId kInvalidMethod = kInvalidId;
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_IDS_H_

@@ -1,0 +1,70 @@
+// Result<T>: a Status or a value, in the style of arrow::Result. Used as the
+// return type of fallible operations that produce a value.
+
+#ifndef TYDER_COMMON_RESULT_H_
+#define TYDER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tyder {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a non-OK Status keeps call
+  // sites natural: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}         // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define TYDER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define TYDER_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  TYDER_ASSIGN_OR_RETURN_IMPL(TYDER_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define TYDER_CONCAT_(a, b) TYDER_CONCAT_IMPL_(a, b)
+#define TYDER_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_RESULT_H_

@@ -1,0 +1,108 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow/RocksDB. Every fallible operation in tyder returns a Status or a
+// Result<T> (see common/result.h). A Status is cheap to copy when OK (no
+// allocation) and carries a code plus message otherwise.
+
+#ifndef TYDER_COMMON_STATUS_H_
+#define TYDER_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tyder {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity absent from schema/catalog
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// schema in a state that forbids the operation
+  kTypeError,         // static type checking failure
+  kParseError,        // TDL front-end failure
+  kInternal,          // invariant violation inside tyder itself
+};
+
+// Human-readable name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // An OK status. Status() is also OK.
+  Status() = default;
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return rep_ ? rep_->message : *kEmpty;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context + ": "` prepended to the
+  // message; OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK Status to the caller of the enclosing function.
+#define TYDER_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::tyder::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+// Small string helpers shared across tyder.
+
+#ifndef TYDER_COMMON_STRING_UTIL_H_
+#define TYDER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tyder {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `s` on `sep`, trimming ASCII whitespace from each piece and dropping
+// empty pieces. "a, b ,c" -> {"a","b","c"}.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// True iff `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_STRING_UTIL_H_

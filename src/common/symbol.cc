@@ -1,0 +1,49 @@
+#include "common/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace tyder {
+
+namespace {
+
+struct Interner {
+  std::mutex mu;
+  // Deque gives pointer stability for the string storage.
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, uint32_t> index;
+
+  Interner() {
+    names.emplace_back("");  // id 0: the empty symbol
+    index.emplace(names.back(), 0);
+  }
+};
+
+Interner& GlobalInterner() {
+  // Leaked on purpose: interned names must outlive all Symbols, and symbols
+  // may be used during static destruction.
+  static Interner* const interner = new Interner();
+  return *interner;
+}
+
+}  // namespace
+
+Symbol Symbol::Intern(std::string_view name) {
+  Interner& in = GlobalInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  auto it = in.index.find(name);
+  if (it != in.index.end()) return Symbol(it->second);
+  in.names.emplace_back(name);
+  uint32_t id = static_cast<uint32_t>(in.names.size() - 1);
+  in.index.emplace(in.names.back(), id);
+  return Symbol(id);
+}
+
+std::string_view Symbol::view() const {
+  Interner& in = GlobalInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return in.names[id_];
+}
+
+}  // namespace tyder

@@ -1,0 +1,54 @@
+// Symbol: interned identifier. Names of types, attributes, generic functions
+// and methods are interned once and compared / hashed as 32-bit ids
+// thereafter. The interner is process-global and append-only.
+//
+// Thread-safety: interning takes a mutex; resolved Symbols are immutable and
+// freely shareable.
+
+#ifndef TYDER_COMMON_SYMBOL_H_
+#define TYDER_COMMON_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tyder {
+
+class Symbol {
+ public:
+  // The empty symbol; compares less than all interned symbols.
+  Symbol() : id_(0) {}
+
+  // Interns `name` (or finds the existing entry) and returns its symbol.
+  static Symbol Intern(std::string_view name);
+
+  // The interned text. The returned view lives for the program's duration.
+  std::string_view view() const;
+  std::string str() const { return std::string(view()); }
+
+  bool empty() const { return id_ == 0; }
+  uint32_t id() const { return id_; }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  // Orders by intern id: stable within a process run, not lexicographic.
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  explicit Symbol(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Symbol s) {
+  return os << s.view();
+}
+
+struct SymbolHash {
+  size_t operator()(Symbol s) const { return std::hash<uint32_t>()(s.id()); }
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_COMMON_SYMBOL_H_

@@ -1,0 +1,142 @@
+#include "core/augment.h"
+
+#include "mir/dataflow.h"
+
+namespace tyder {
+
+Result<std::set<TypeId>> ComputeAugmentSet(
+    const Schema& schema, TypeId source,
+    const std::vector<MethodId>& applicable_methods,
+    const SurrogateSet& surrogates) {
+  std::set<TypeId> x = surrogates.XSources();
+  TYDER_ASSIGN_OR_RETURN(std::set<TypeId> y,
+                         TypesAssignedFrom(schema, applicable_methods, x));
+  // Beyond the paper's Y: an applicable method can have a source-related
+  // formal S (source ≼ S) that carries no projected state, so FactorState
+  // made no surrogate for it. The derived type must still inherit the method
+  // through S̃ — add such formals so Augment creates state-less surrogates
+  // for them (the paper's example has no such formal; the general case does).
+  for (MethodId m : applicable_methods) {
+    for (TypeId formal : schema.method(m).sig.params) {
+      if (schema.types().IsSubtype(source, formal) &&
+          !surrogates.Has(formal)) {
+        y.insert(formal);
+      }
+    }
+  }
+  // Result types of methods returning a parameter-reached value participate
+  // in Y as well (Section 6.3: "The result type of the method is processed in
+  // the same way").
+  for (MethodId m : applicable_methods) {
+    const Method& method = schema.method(m);
+    if (method.body == nullptr) continue;
+    TYDER_ASSIGN_OR_RETURN(FlowInfo flow, AnalyzeFlow(schema, m));
+    for (int p : flow.return_reached_by) {
+      if (x.count(method.sig.params[p]) > 0) {
+        y.insert(method.sig.result);
+        break;
+      }
+    }
+  }
+  std::set<TypeId> z;
+  for (TypeId t : y) {
+    if (x.count(t) == 0) z.insert(t);
+  }
+  return z;
+}
+
+namespace {
+
+class Augmenter {
+ public:
+  Augmenter(Schema& schema, const std::set<TypeId>& z,
+            SurrogateSet* surrogates, std::vector<std::string>* trace)
+      : schema_(schema), z_(z), surrogates_(surrogates), trace_(trace) {}
+
+  Status Run(TypeId t) {
+    if (visited_.count(t) > 0) return Status::OK();
+    visited_.insert(t);
+    if (!GuardHolds(t)) return Status::OK();
+
+    TypeId t_surrogate = surrogates_->Of(t);
+    if (t_surrogate == kInvalidType) {
+      return Status::Internal("Augment visited '" +
+                              schema_.types().TypeName(t) +
+                              "' before its surrogate exists");
+    }
+    Trace("Augment(" + schema_.types().TypeName(t) + ")");
+
+    // Copy: the loop body mutates supertype lists of *other* types, but the
+    // surrogate prepend below edits s's list, and `t`'s own list stays fixed;
+    // copy anyway for safety.
+    std::vector<TypeId> supers = schema_.types().type(t).supertypes();
+    for (size_t i = 0; i < supers.size(); ++i) {
+      TypeId s = supers[i];
+      if (s == t_surrogate) continue;
+      if (!surrogates_->Has(s)) {
+        TYDER_RETURN_IF_ERROR(CreateStatelessSurrogate(s));
+      }
+      TypeId s_surrogate = surrogates_->Of(s);
+      if (!schema_.types().IsSubtype(t_surrogate, s_surrogate)) {
+        InsertSupertypeRanked(schema_, surrogates_, t_surrogate, s_surrogate,
+                              static_cast<int>(i));
+        Trace("make " + schema_.types().TypeName(s_surrogate) +
+              " a supertype of " + schema_.types().TypeName(t_surrogate) +
+              " with precedence " + std::to_string(i));
+      }
+      TYDER_RETURN_IF_ERROR(Run(s));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // The paper's guard is "T has a supertype that is a subtype of one of the
+  // types in Z". We additionally walk through supertypes that already carry a
+  // surrogate, so that fresh state-less surrogates get connected upward to
+  // the existing surrogate chains (needed when Z includes method formals that
+  // sit between factored types).
+  bool GuardHolds(TypeId t) const {
+    for (TypeId s : schema_.types().SupertypeClosure(t)) {
+      if (s == t) continue;
+      if (surrogates_->Has(s)) return true;
+      for (TypeId z : z_) {
+        if (schema_.types().IsSubtype(s, z)) return true;
+      }
+    }
+    return false;
+  }
+
+  Status CreateStatelessSurrogate(TypeId s) {
+    std::string name =
+        UniqueSurrogateName(schema_.types(), schema_.types().TypeName(s));
+    TYDER_ASSIGN_OR_RETURN(TypeId surrogate,
+                           schema_.types().DeclareSurrogate(name, s));
+    schema_.types().mutable_type(s).PrependSupertype(surrogate);
+    surrogates_->of.emplace(s, surrogate);
+    surrogates_->created.push_back(surrogate);
+    surrogates_->augment_created.insert(surrogate);
+    Trace("create " + name + " [stateless surrogate of " +
+          schema_.types().TypeName(s) + "]");
+    return Status::OK();
+  }
+
+  void Trace(std::string line) {
+    if (trace_ != nullptr) trace_->push_back(std::move(line));
+  }
+
+  Schema& schema_;
+  const std::set<TypeId>& z_;
+  SurrogateSet* surrogates_;
+  std::vector<std::string>* trace_;
+  std::set<TypeId> visited_;
+};
+
+}  // namespace
+
+Status Augment(Schema& schema, TypeId source, const std::set<TypeId>& z,
+               SurrogateSet* surrogates, std::vector<std::string>* trace) {
+  if (z.empty()) return Status::OK();
+  return Augmenter(schema, z, surrogates, trace).Run(source);
+}
+
+}  // namespace tyder

@@ -1,0 +1,46 @@
+// Augment (paper Sections 6.3–6.4): after FactorState, converting method
+// signatures to surrogate types can break assignments inside method bodies
+// (`g: G = c` type-checks only if the retyped c's surrogate is a subtype of
+// g's type). The fix is to retype the declarations of every local reached by
+// a converted parameter — which may require surrogates for types FactorState
+// never visited. Augment computes that set and extends the hierarchy with
+// *state-less* surrogates.
+
+#ifndef TYDER_CORE_AUGMENT_H_
+#define TYDER_CORE_AUGMENT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/factor_state.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+// The paper's sets:
+//   X = source types factored by FactorState (surrogates.XSources()),
+//   Y = types transitively assigned a value of a type in X by an applicable
+//       method (declared types of parameter-reached locals, plus result types
+//       of methods returning parameter-reached values), plus — beyond the
+//       paper — source-related method formals that carry no projected state
+//       (the derived type must inherit those methods through a state-less
+//       surrogate too),
+//   Z = Y − X.
+// Computed by definition-use flow analysis over the *original* bodies.
+Result<std::set<TypeId>> ComputeAugmentSet(
+    const Schema& schema, TypeId source,
+    const std::vector<MethodId>& applicable_methods,
+    const SurrogateSet& surrogates);
+
+// The paper's Augment(T, Z): walks the supertype structure above `source`,
+// creating state-less surrogates and mirroring precedence edges so that every
+// type in Z has a surrogate correctly positioned above the derived type.
+// New surrogates are recorded in `surrogates` (flagged augment_created).
+Status Augment(Schema& schema, TypeId source, const std::set<TypeId>& z,
+               SurrogateSet* surrogates, std::vector<std::string>* trace);
+
+}  // namespace tyder
+
+#endif  // TYDER_CORE_AUGMENT_H_

@@ -1,0 +1,73 @@
+// FactorState (paper Section 5.1): refactors the type hierarchy to
+// accommodate the derived type of a projection. Each type through which the
+// derived type inherits projected attributes is split into a *surrogate*
+// (carrying exactly the projected local attributes) and the modified source
+// type (which becomes a direct subtype of its surrogate at highest
+// precedence, making the split behaviorally transparent). The derived type
+// itself is the surrogate of the projection's source type.
+
+#ifndef TYDER_CORE_FACTOR_STATE_H_
+#define TYDER_CORE_FACTOR_STATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+// Surrogates created during one derivation, shared between FactorState (the
+// state-carrying surrogates, the paper's set X) and Augment (the state-less
+// ones). `edge_rank` remembers the original precedence rank carried by each
+// surrogate → surrogate inheritance edge so later insertions (surrogate
+// reuse, Augment) keep the source hierarchy's relative precedence order.
+struct SurrogateSet {
+  std::map<TypeId, TypeId> of;    // source type -> its surrogate
+  std::vector<TypeId> created;    // creation order
+  std::map<std::pair<TypeId, TypeId>, int> edge_rank;
+  // Surrogates created by Augment (state-less; the complement of the paper's
+  // set X). FactorMethods substitutes only X surrogates into signatures.
+  std::set<TypeId> augment_created;
+
+  // Source types with a FactorState surrogate — the paper's X.
+  std::set<TypeId> XSources() const {
+    std::set<TypeId> out;
+    for (const auto& [src, surr] : of) {
+      if (augment_created.count(surr) == 0) out.insert(src);
+    }
+    return out;
+  }
+
+  bool Has(TypeId source) const { return of.count(source) > 0; }
+  TypeId Of(TypeId source) const {
+    auto it = of.find(source);
+    return it == of.end() ? kInvalidType : it->second;
+  }
+};
+
+// Runs the recursive factorization for projection `projection` over `source`.
+// The top surrogate (the derived type) is named `view_name`; inner surrogates
+// are auto-named "~X" (uniquified). Appends per-step lines to `trace` when
+// non-null ("FactorState({e2,h2}, C, ~A, 1)", "move a2 to ~A", ...), matching
+// the paper's Example 2 narration.
+Result<TypeId> FactorState(Schema& schema, TypeId source,
+                           const std::set<AttrId>& projection,
+                           std::string_view view_name, SurrogateSet* surrogates,
+                           std::vector<std::string>* trace);
+
+// Inserts `super_surrogate` into `sub_surrogate`'s supertype list at the
+// position implied by original precedence `rank` (exposed for Augment).
+void InsertSupertypeRanked(Schema& schema, SurrogateSet* surrogates,
+                           TypeId sub_surrogate, TypeId super_surrogate,
+                           int rank);
+
+// "~Name", "~Name#2", ... — first variant not yet declared.
+std::string UniqueSurrogateName(const TypeGraph& graph, std::string_view base);
+
+}  // namespace tyder
+
+#endif  // TYDER_CORE_FACTOR_STATE_H_

@@ -1,0 +1,191 @@
+#include "core/is_applicable.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "methods/applicability.h"
+#include "mir/call_graph.h"
+
+namespace tyder {
+
+namespace {
+
+enum class Verdict { kApplicable, kNotApplicable };
+
+class Analyzer {
+ public:
+  Analyzer(const Schema& schema, TypeId source,
+           const std::set<AttrId>& projection, bool record_trace)
+      : schema_(schema),
+        source_(source),
+        projection_(projection),
+        record_trace_(record_trace) {}
+
+  Result<ApplicabilityResult> Run() {
+    std::vector<MethodId> candidates =
+        MethodsApplicableToType(schema_, source_);
+    // The optimistic scheme can evict a settled method back to unknown when a
+    // cycle partner fails; re-examine until a pass settles everything.
+    // NotApplicable grows monotonically and evictions require a new
+    // NotApplicable entry, so the number of passes is bounded by the number
+    // of methods.
+    bool unsettled = true;
+    while (unsettled) {
+      unsettled = false;
+      for (MethodId m : candidates) {
+        if (applicable_.count(m) > 0 || not_applicable_.count(m) > 0) continue;
+        TYDER_RETURN_IF_ERROR(Check(m).status());
+        unsettled = true;
+      }
+    }
+    ApplicabilityResult result;
+    for (MethodId m : candidates) {
+      if (applicable_.count(m) > 0) {
+        result.applicable.push_back(m);
+      } else {
+        result.not_applicable.push_back(m);
+      }
+    }
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  struct StackEntry {
+    MethodId method;
+    std::set<MethodId> dependency_list;
+  };
+
+  void Trace(const std::string& line) {
+    if (record_trace_) trace_.push_back(line);
+  }
+  std::string Label(MethodId m) const { return schema_.method(m).label.str(); }
+
+  // The paper's IsApplicable(m, T, projection-list).
+  Result<Verdict> Check(MethodId m) {
+    if (applicable_.count(m) > 0) return Verdict::kApplicable;
+    if (not_applicable_.count(m) > 0) return Verdict::kNotApplicable;
+
+    const Method& method = schema_.method(m);
+    if (method.kind != MethodKind::kGeneral) {
+      return CheckAccessor(m);
+    }
+
+    // Cycle: optimistically assume applicable and remember every method
+    // above m on the stack as contingent on m.
+    for (StackEntry& entry : stack_) {
+      if (entry.method != m) continue;
+      bool found = false;
+      for (const StackEntry& above : stack_) {
+        if (found) entry.dependency_list.insert(above.method);
+        if (above.method == m) found = true;
+      }
+      Trace("cycle: assume " + Label(m) + " applicable");
+      return Verdict::kApplicable;
+    }
+
+    stack_.push_back(StackEntry{m, {}});
+    Trace("check " + Label(m));
+
+    TYDER_ASSIGN_OR_RETURN(std::vector<RelevantCall> calls,
+                           ExtractRelevantCalls(schema_, m, source_));
+    for (const RelevantCall& call : calls) {
+      TYDER_ASSIGN_OR_RETURN(bool satisfied, CheckCall(call));
+      if (!satisfied) return Fail(m, call);
+    }
+
+    // Success: dependents that assumed m applicable were right; nothing to
+    // repair.
+    stack_.pop_back();
+    applicable_.insert(m);
+    Trace(Label(m) + " -> Applicable");
+    return Verdict::kApplicable;
+  }
+
+  Result<Verdict> CheckAccessor(MethodId m) {
+    const Method& method = schema_.method(m);
+    AttrId attr = method.attr;
+    if (projection_.count(attr) > 0) {
+      applicable_.insert(m);
+      Trace("accessor " + Label(m) + " reads " +
+            schema_.types().attribute(attr).name.str() +
+            " (projected) -> Applicable");
+      return Verdict::kApplicable;
+    }
+    not_applicable_.insert(m);
+    Trace("accessor " + Label(m) + " reads " +
+          schema_.types().attribute(attr).name.str() +
+          " (not projected) -> NotApplicable");
+    return Verdict::kNotApplicable;
+  }
+
+  // One generic-function call in the body: succeeds iff some candidate method
+  // is applicable. Candidate set per the paper's two cases: with exactly one
+  // source-related argument, substitute the source type T at that position;
+  // with several, keep the original static types (a method must survive all
+  // combinations of non-null T̃ substitutions, which the original-type
+  // applicability set over-approximates exactly as the paper prescribes).
+  Result<bool> CheckCall(const RelevantCall& call) {
+    std::vector<TypeId> probe = call.arg_static_types;
+    if (call.NumSourceRelated() == 1) {
+      for (size_t j = 0; j < probe.size(); ++j) {
+        if (call.arg_source_related[j]) probe[j] = source_;
+      }
+    }
+    std::vector<MethodId> candidates =
+        ApplicableMethods(schema_, call.gf, probe);
+    for (MethodId candidate : candidates) {
+      TYDER_ASSIGN_OR_RETURN(Verdict v, Check(candidate));
+      if (v == Verdict::kApplicable) return true;
+    }
+    Trace("no applicable method for call to " +
+          schema_.gf(call.gf).name.str());
+    return false;
+  }
+
+  // Failure path: evict dependents (their status reverts to unknown — they
+  // are *not* marked NotApplicable), mark m NotApplicable, pop the stack.
+  Verdict Fail(MethodId m, const RelevantCall& call) {
+    (void)call;
+    for (MethodId d : stack_.back().dependency_list) {
+      if (applicable_.erase(d) > 0) {
+        Trace("evict " + Label(d) + " (assumed " + Label(m) +
+              " applicable)");
+      }
+    }
+    stack_.pop_back();
+    not_applicable_.insert(m);
+    Trace(Label(m) + " -> NotApplicable");
+    return Verdict::kNotApplicable;
+  }
+
+  const Schema& schema_;
+  TypeId source_;
+  const std::set<AttrId>& projection_;
+  bool record_trace_;
+
+  std::vector<StackEntry> stack_;
+  std::set<MethodId> applicable_;
+  std::set<MethodId> not_applicable_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace
+
+Result<ApplicabilityResult> ComputeApplicableMethods(
+    const Schema& schema, TypeId source, const std::set<AttrId>& projection,
+    bool record_trace) {
+  if (source >= schema.types().NumTypes()) {
+    return Status::InvalidArgument("source type id out of range");
+  }
+  for (AttrId a : projection) {
+    if (a >= schema.types().NumAttributes() ||
+        !schema.types().AttributeAvailableAt(source, a)) {
+      return Status::InvalidArgument(
+          "projection attribute not available at source type");
+    }
+  }
+  return Analyzer(schema, source, projection, record_trace).Run();
+}
+
+}  // namespace tyder

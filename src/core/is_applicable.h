@@ -1,0 +1,52 @@
+// The IsApplicable algorithm (paper Section 4.1): given a source type T and a
+// projection list, determine which methods applicable to T remain applicable
+// to the derived type T̃ = Π_list T.
+//
+// A method survives unless it (transitively) accesses an attribute outside
+// the projection list, or calls a generic function for which no method
+// survives at the substituted argument types. The algorithm analyzes method
+// call graphs with three global structures:
+//   - MethodStack: the recursion stack; each entry carries a dependencyList
+//     of methods whose verdicts optimistically assumed this entry applicable;
+//   - Applicable: optimistically grown — when a cycle is met, the on-stack
+//     method is assumed applicable; if it later fails, its dependents are
+//     evicted back to unknown and re-examined;
+//   - NotApplicable: monotone (a method enters at most once), which bounds
+//     the driver's re-examination passes.
+
+#ifndef TYDER_CORE_IS_APPLICABLE_H_
+#define TYDER_CORE_IS_APPLICABLE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+struct ApplicabilityResult {
+  // Verdicts over every method applicable to the source type (paper Sec 4's
+  // input set), in method-id order.
+  std::vector<MethodId> applicable;
+  std::vector<MethodId> not_applicable;
+  // Human-readable algorithm trace (populated when requested); used by the
+  // Example 1 reproduction.
+  std::vector<std::string> trace;
+
+  bool IsApplicable(MethodId m) const {
+    return std::binary_search(applicable.begin(), applicable.end(), m);
+  }
+};
+
+// Runs the algorithm. `projection` is the set of projected attributes; every
+// attribute must be available at `source` (validated by the projection
+// driver, re-checked here).
+Result<ApplicabilityResult> ComputeApplicableMethods(
+    const Schema& schema, TypeId source, const std::set<AttrId>& projection,
+    bool record_trace = false);
+
+}  // namespace tyder
+
+#endif  // TYDER_CORE_IS_APPLICABLE_H_

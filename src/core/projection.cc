@@ -1,0 +1,121 @@
+#include "core/projection.h"
+
+#include "core/augment.h"
+#include "core/verify.h"
+
+namespace tyder {
+
+namespace {
+
+Status ValidateSpec(const Schema& schema, const ProjectionSpec& spec) {
+  const TypeGraph& graph = schema.types();
+  if (spec.source >= graph.NumTypes()) {
+    return Status::InvalidArgument("projection source type out of range");
+  }
+  if (graph.type(spec.source).kind() == TypeKind::kBuiltin) {
+    return Status::InvalidArgument("cannot project over builtin type '" +
+                                   graph.TypeName(spec.source) + "'");
+  }
+  if (graph.type(spec.source).detached()) {
+    return Status::FailedPrecondition("source type was collapsed");
+  }
+  if (spec.attributes.empty()) {
+    return Status::InvalidArgument("projection list must be non-empty");
+  }
+  std::set<AttrId> seen;
+  for (AttrId a : spec.attributes) {
+    if (a >= graph.NumAttributes()) {
+      return Status::InvalidArgument("projection attribute id out of range");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate projection attribute '" +
+                                     graph.attribute(a).name.str() + "'");
+    }
+    if (!graph.AttributeAvailableAt(spec.source, a)) {
+      return Status::InvalidArgument(
+          "attribute '" + graph.attribute(a).name.str() +
+          "' is not available at '" + graph.TypeName(spec.source) + "'");
+    }
+  }
+  if (spec.view_name.empty()) {
+    return Status::InvalidArgument("view name must be non-empty");
+  }
+  if (graph.FindType(spec.view_name).ok()) {
+    return Status::AlreadyExists("a type named '" + spec.view_name +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DerivationResult> DeriveProjection(Schema& schema,
+                                          const ProjectionSpec& spec,
+                                          const ProjectionOptions& options) {
+  TYDER_RETURN_IF_ERROR(ValidateSpec(schema, spec));
+  std::set<AttrId> projection(spec.attributes.begin(), spec.attributes.end());
+
+  // The verifier compares against this snapshot (cheap: bodies are shared).
+  Schema snapshot = schema;
+
+  DerivationResult result;
+  result.spec = spec;
+  std::vector<std::string>* trace =
+      options.record_trace ? &result.trace : nullptr;
+
+  // 1. Method applicability (Section 4.1) — on the unmodified schema.
+  TYDER_ASSIGN_OR_RETURN(
+      result.applicability,
+      ComputeApplicableMethods(schema, spec.source, projection,
+                               options.record_trace));
+  if (options.record_trace) {
+    result.trace = result.applicability.trace;
+  }
+
+  // 2. State factorization (Section 5.1).
+  TYDER_ASSIGN_OR_RETURN(
+      result.derived,
+      FactorState(schema, spec.source, projection, spec.view_name,
+                  &result.surrogates, trace));
+
+  // 3. Hierarchy augmentation (Sections 6.3–6.4) — Z from def-use analysis
+  //    of the original bodies.
+  TYDER_ASSIGN_OR_RETURN(
+      result.augment_z,
+      ComputeAugmentSet(schema, spec.source, result.applicability.applicable,
+                        result.surrogates));
+  TYDER_RETURN_IF_ERROR(Augment(schema, spec.source, result.augment_z,
+                                &result.surrogates, trace));
+
+  // 4. Method factorization (Section 6.1) with body retyping (Section 6.3).
+  TYDER_ASSIGN_OR_RETURN(
+      result.rewrites,
+      FactorMethods(schema, spec.source, result.applicability.applicable,
+                    result.surrogates, trace));
+
+  // 5. Behavior preservation.
+  if (options.verify) {
+    VerifyReport report = VerifyDerivation(snapshot, schema, result);
+    if (!report.ok()) {
+      return Status::Internal("derivation broke an invariant:\n" +
+                              report.ToString());
+    }
+  }
+  return result;
+}
+
+Result<DerivationResult> DeriveProjectionByName(
+    Schema& schema, std::string_view source_type,
+    const std::vector<std::string>& attribute_names, std::string_view view_name,
+    const ProjectionOptions& options) {
+  ProjectionSpec spec;
+  TYDER_ASSIGN_OR_RETURN(spec.source, schema.types().FindType(source_type));
+  for (const std::string& name : attribute_names) {
+    TYDER_ASSIGN_OR_RETURN(AttrId a, schema.types().FindAttribute(name));
+    spec.attributes.push_back(a);
+  }
+  spec.view_name = std::string(view_name);
+  return DeriveProjection(schema, spec, options);
+}
+
+}  // namespace tyder

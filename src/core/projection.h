@@ -1,0 +1,66 @@
+// The projection operation over types — tyder's primary public API.
+// DeriveProjection runs the paper's full pipeline:
+//
+//   1. IsApplicable (Section 4.1): infer which methods survive on T̃.
+//   2. FactorState (Section 5.1): refactor the hierarchy with surrogates;
+//      the top surrogate is the derived type.
+//   3. Augment set computation + Augment (Sections 6.3–6.4): state-less
+//      surrogates needed by method-body retyping.
+//   4. FactorMethods (Section 6.1): re-home applicable method signatures and
+//      retype bodies.
+//   5. (optional) verification that existing types kept exactly their state
+//      and behavior, and that the result type-checks.
+
+#ifndef TYDER_CORE_PROJECTION_H_
+#define TYDER_CORE_PROJECTION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/factor_methods.h"
+#include "core/factor_state.h"
+#include "core/is_applicable.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+struct ProjectionSpec {
+  TypeId source = kInvalidType;
+  std::vector<AttrId> attributes;  // the projection list
+  std::string view_name;           // name of the derived type
+};
+
+struct ProjectionOptions {
+  bool record_trace = false;
+  // Run the behavior-preservation verifier against a pre-derivation snapshot
+  // and fail the derivation on any violation.
+  bool verify = true;
+};
+
+struct DerivationResult {
+  TypeId derived = kInvalidType;
+  ProjectionSpec spec;  // the request that produced this derivation
+  ApplicabilityResult applicability;
+  SurrogateSet surrogates;
+  std::set<TypeId> augment_z;            // the paper's Z
+  std::vector<MethodRewrite> rewrites;
+  std::vector<std::string> trace;        // IsApplicable + FactorState +
+                                         // Augment + FactorMethods narration
+};
+
+// Derives Π_attributes(source) in place on `schema`.
+Result<DerivationResult> DeriveProjection(Schema& schema,
+                                          const ProjectionSpec& spec,
+                                          const ProjectionOptions& options = {});
+
+// Name-based convenience wrapper.
+Result<DerivationResult> DeriveProjectionByName(
+    Schema& schema, std::string_view source_type,
+    const std::vector<std::string>& attribute_names, std::string_view view_name,
+    const ProjectionOptions& options = {});
+
+}  // namespace tyder
+
+#endif  // TYDER_CORE_PROJECTION_H_

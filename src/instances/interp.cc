@@ -1,0 +1,267 @@
+#include "instances/interp.h"
+
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "methods/dispatch.h"
+
+namespace tyder {
+
+namespace {
+
+// Evaluation of one method activation.
+class Frame {
+ public:
+  Frame(const Schema& schema, ObjectStore* store, Interpreter* interp,
+        const ExprPtr& body, const std::vector<Value>& args)
+      : schema_(schema),
+        store_(store),
+        interp_(interp),
+        body_(body),
+        args_(args) {}
+
+  Result<Value> Run() {
+    // Statements may return; an off-the-end body yields Void.
+    TYDER_ASSIGN_OR_RETURN(std::optional<Value> returned, ExecStmt(body_));
+    return returned.has_value() ? *returned : Value::Void();
+  }
+
+ private:
+  // Executes a statement; a populated optional means "return was hit".
+  Result<std::optional<Value>> ExecStmt(const ExprPtr& node) {
+    const Expr& e = *node;
+    switch (e.kind) {
+      case ExprKind::kSeq: {
+        for (const ExprPtr& stmt : e.children) {
+          TYDER_ASSIGN_OR_RETURN(std::optional<Value> r, ExecStmt(stmt));
+          if (r.has_value()) return r;
+        }
+        return std::optional<Value>{};
+      }
+      case ExprKind::kDecl: {
+        Value init = Value::Void();
+        if (!e.children.empty()) {
+          TYDER_ASSIGN_OR_RETURN(init, Eval(e.children[0]));
+        }
+        locals_[e.var] = std::move(init);
+        return std::optional<Value>{};
+      }
+      case ExprKind::kAssign: {
+        TYDER_ASSIGN_OR_RETURN(Value v, Eval(e.children[0]));
+        locals_[e.var] = std::move(v);
+        return std::optional<Value>{};
+      }
+      case ExprKind::kReturn: {
+        if (e.children.empty()) return std::optional<Value>{Value::Void()};
+        TYDER_ASSIGN_OR_RETURN(Value v, Eval(e.children[0]));
+        return std::optional<Value>{std::move(v)};
+      }
+      case ExprKind::kIf: {
+        TYDER_ASSIGN_OR_RETURN(Value cond, Eval(e.children[0]));
+        if (!cond.is_bool()) {
+          return Status::Internal("if condition did not evaluate to Bool");
+        }
+        if (cond.AsBool()) return ExecStmt(e.children[1]);
+        if (e.children.size() > 2) return ExecStmt(e.children[2]);
+        return std::optional<Value>{};
+      }
+      case ExprKind::kExprStmt: {
+        TYDER_RETURN_IF_ERROR(Eval(e.children[0]).status());
+        return std::optional<Value>{};
+      }
+      default:
+        return Status::Internal("expression used as statement");
+    }
+  }
+
+  Result<Value> Eval(const ExprPtr& node) {
+    const Expr& e = *node;
+    switch (e.kind) {
+      case ExprKind::kParamRef:
+        if (e.param_index < 0 ||
+            e.param_index >= static_cast<int>(args_.size())) {
+          return Status::Internal("parameter index out of range at runtime");
+        }
+        return args_[e.param_index];
+      case ExprKind::kVarRef: {
+        auto it = locals_.find(e.var);
+        if (it == locals_.end()) {
+          return Status::Internal("local '" + e.var.str() +
+                                  "' read before declaration");
+        }
+        return it->second;
+      }
+      case ExprKind::kIntLit:
+        return Value::Int(e.int_val);
+      case ExprKind::kFloatLit:
+        return Value::Float(e.float_val);
+      case ExprKind::kBoolLit:
+        return Value::Bool(e.bool_val);
+      case ExprKind::kStringLit:
+        return Value::String(e.str_val);
+      case ExprKind::kCall: {
+        std::vector<Value> args;
+        args.reserve(e.children.size());
+        for (const ExprPtr& arg : e.children) {
+          TYDER_ASSIGN_OR_RETURN(Value v, Eval(arg));
+          args.push_back(std::move(v));
+        }
+        return interp_->Call(e.callee, args);
+      }
+      case ExprKind::kBinOp:
+        return EvalBinOp(e);
+      default:
+        return Status::Internal("statement used as expression");
+    }
+  }
+
+  Result<Value> EvalBinOp(const Expr& e) {
+    TYDER_ASSIGN_OR_RETURN(Value lhs, Eval(e.children[0]));
+    TYDER_ASSIGN_OR_RETURN(Value rhs, Eval(e.children[1]));
+    auto arith = [&](auto op) -> Result<Value> {
+      if (!lhs.is_numeric() || !rhs.is_numeric()) {
+        return Status::Internal("arithmetic on non-numeric values");
+      }
+      if (lhs.is_int() && rhs.is_int()) {
+        return Value::Int(op(lhs.AsInt(), rhs.AsInt()));
+      }
+      return Value::Float(op(lhs.AsDouble(), rhs.AsDouble()));
+    };
+    auto compare = [&](auto op) -> Result<Value> {
+      if (!lhs.is_numeric() || !rhs.is_numeric()) {
+        return Status::Internal("comparison on non-numeric values");
+      }
+      return Value::Bool(op(lhs.AsDouble(), rhs.AsDouble()));
+    };
+    switch (e.op) {
+      case BinOpKind::kAdd:
+        return arith([](auto a, auto b) { return a + b; });
+      case BinOpKind::kSub:
+        return arith([](auto a, auto b) { return a - b; });
+      case BinOpKind::kMul:
+        return arith([](auto a, auto b) { return a * b; });
+      case BinOpKind::kDiv: {
+        if (rhs.is_numeric() && rhs.AsDouble() == 0.0) {
+          return Status::InvalidArgument("division by zero");
+        }
+        return arith([](auto a, auto b) { return a / b; });
+      }
+      case BinOpKind::kLt:
+        return compare([](double a, double b) { return a < b; });
+      case BinOpKind::kLe:
+        return compare([](double a, double b) { return a <= b; });
+      case BinOpKind::kEq:
+        return Value::Bool(lhs == rhs);
+      case BinOpKind::kAnd:
+        if (!lhs.is_bool() || !rhs.is_bool()) {
+          return Status::Internal("and on non-Bool values");
+        }
+        return Value::Bool(lhs.AsBool() && rhs.AsBool());
+      case BinOpKind::kOr:
+        if (!lhs.is_bool() || !rhs.is_bool()) {
+          return Status::Internal("or on non-Bool values");
+        }
+        return Value::Bool(lhs.AsBool() || rhs.AsBool());
+    }
+    return Status::Internal("unhandled binary operator");
+  }
+
+  const Schema& schema_;
+  ObjectStore* store_;
+  Interpreter* interp_;
+  const ExprPtr& body_;
+  const std::vector<Value>& args_;
+  std::unordered_map<Symbol, Value, SymbolHash> locals_;
+};
+
+}  // namespace
+
+TypeId Interpreter::RuntimeTypeOf(const Value& v) const {
+  const BuiltinTypes& b = schema_.builtins();
+  if (v.is_int()) return b.int_type;
+  if (v.is_float()) return b.float_type;
+  if (v.is_bool()) return b.bool_type;
+  if (v.is_string()) return b.string_type;
+  if (v.is_object()) return store_->object(v.AsObject()).type;
+  return kInvalidType;
+}
+
+Result<Value> Interpreter::Call(GfId gf, const std::vector<Value>& args) {
+  if (gf >= schema_.NumGenericFunctions()) {
+    return Status::InvalidArgument("generic function id out of range");
+  }
+  std::vector<TypeId> arg_types;
+  arg_types.reserve(args.size());
+  for (const Value& v : args) {
+    TypeId t = RuntimeTypeOf(v);
+    if (t == kInvalidType) {
+      return Status::InvalidArgument("cannot dispatch on a void argument");
+    }
+    arg_types.push_back(t);
+  }
+  TYDER_ASSIGN_OR_RETURN(MethodId target, Dispatch(schema_, gf, arg_types));
+  return Invoke(target, args);
+}
+
+Result<Value> Interpreter::CallByName(std::string_view gf_name,
+                                      const std::vector<Value>& args) {
+  TYDER_ASSIGN_OR_RETURN(GfId gf, schema_.FindGenericFunction(gf_name));
+  return Call(gf, args);
+}
+
+Result<Value> Interpreter::Invoke(MethodId m, const std::vector<Value>& args) {
+  const Method& method = schema_.method(m);
+  if (args.size() != method.sig.params.size()) {
+    return Status::InvalidArgument("wrong argument count for method '" +
+                                   method.label.str() + "'");
+  }
+  switch (method.kind) {
+    case MethodKind::kReader: {
+      if (!args[0].is_object()) {
+        return Status::InvalidArgument("reader applied to a non-object");
+      }
+      return store_->GetSlot(args[0].AsObject(), method.attr);
+    }
+    case MethodKind::kMutator: {
+      if (!args[0].is_object()) {
+        return Status::InvalidArgument("mutator applied to a non-object");
+      }
+      TYDER_RETURN_IF_ERROR(
+          store_->SetSlot(args[0].AsObject(), method.attr, args[1]));
+      return Value::Void();
+    }
+    case MethodKind::kGeneral: {
+      if (method.body == nullptr) {
+        return Status::Internal("general method '" + method.label.str() +
+                                "' has no body");
+      }
+      if (depth_ >= kMaxDepth) {
+        return Status::FailedPrecondition("call depth limit exceeded in '" +
+                                          method.label.str() + "'");
+      }
+      ++depth_;
+      Result<Value> out =
+          Frame(schema_, store_, this, method.body, args).Run();
+      --depth_;
+      return out;
+    }
+  }
+  return Status::Internal("unhandled method kind");
+}
+
+Result<Value> Interpreter::EvalBody(const ExprPtr& body,
+                                    const std::vector<Value>& args) {
+  if (body == nullptr) {
+    return Status::InvalidArgument("cannot evaluate a null body");
+  }
+  if (depth_ >= kMaxDepth) {
+    return Status::FailedPrecondition("call depth limit exceeded");
+  }
+  ++depth_;
+  Result<Value> out = Frame(schema_, store_, this, body, args).Run();
+  --depth_;
+  return out;
+}
+
+}  // namespace tyder

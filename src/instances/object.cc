@@ -1,0 +1,3 @@
+#include "instances/object.h"
+
+// Object is a plain aggregate; behavior lives in store.cc and interp.cc.

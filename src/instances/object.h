@@ -1,0 +1,28 @@
+// Object instances. An object belongs to a type and carries one slot per
+// attribute of that type's cumulative state, keyed by AttrId. Because
+// FactorState *moves* attributes (ids are stable) and preserves cumulative
+// state, objects created before a derivation remain valid afterwards — the
+// mechanical counterpart of the paper's behavior-preservation claim.
+
+#ifndef TYDER_INSTANCES_OBJECT_H_
+#define TYDER_INSTANCES_OBJECT_H_
+
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "instances/value.h"
+
+namespace tyder {
+
+struct Object {
+  TypeId type = kInvalidType;
+  std::unordered_map<AttrId, Value> slots;
+  // Object-preserving views: a delegating instance holds no slots of its own
+  // and resolves every access against `base` (transitively). kInvalidObject
+  // for ordinary objects.
+  ObjectId base = kInvalidObject;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_INSTANCES_OBJECT_H_

@@ -1,0 +1,103 @@
+#include "instances/store.h"
+
+namespace tyder {
+
+Value DefaultValueFor(const Schema& schema, TypeId type) {
+  const BuiltinTypes& b = schema.builtins();
+  if (type == b.int_type || type == b.date_type) return Value::Int(0);
+  if (type == b.float_type) return Value::Float(0.0);
+  if (type == b.bool_type) return Value::Bool(false);
+  if (type == b.string_type) return Value::String("");
+  return Value::Void();
+}
+
+Result<ObjectId> ObjectStore::CreateObject(const Schema& schema, TypeId type) {
+  if (type >= schema.types().NumTypes()) {
+    return Status::InvalidArgument("type id out of range");
+  }
+  if (schema.types().type(type).detached()) {
+    return Status::FailedPrecondition("cannot instantiate a collapsed type");
+  }
+  Object obj;
+  obj.type = type;
+  for (AttrId a : schema.types().CumulativeAttributes(type)) {
+    obj.slots.emplace(a,
+                      DefaultValueFor(schema, schema.types().attribute(a).value_type));
+  }
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+Result<ObjectId> ObjectStore::CreateDelegatingObject(const Schema& schema,
+                                                     TypeId type,
+                                                     ObjectId base) {
+  if (type >= schema.types().NumTypes()) {
+    return Status::InvalidArgument("type id out of range");
+  }
+  if (base >= objects_.size()) {
+    return Status::InvalidArgument("base object id out of range");
+  }
+  // Every attribute of the view type must resolve on the base chain.
+  for (AttrId a : schema.types().CumulativeAttributes(type)) {
+    if (!GetSlot(base, a).ok()) {
+      return Status::FailedPrecondition(
+          "base object cannot answer attribute '" +
+          schema.types().attribute(a).name.str() + "' of the view type");
+    }
+  }
+  Object obj;
+  obj.type = type;
+  obj.base = base;
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+Result<Value> ObjectStore::GetSlot(ObjectId id, AttrId attr) const {
+  while (id < objects_.size()) {
+    auto it = objects_[id].slots.find(attr);
+    if (it != objects_[id].slots.end()) return it->second;
+    if (objects_[id].base == kInvalidObject) break;
+    id = objects_[id].base;
+  }
+  if (id >= objects_.size()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  return Status::NotFound("object has no slot for the requested attribute");
+}
+
+Status ObjectStore::SetSlot(ObjectId id, AttrId attr, Value value) {
+  while (id < objects_.size()) {
+    auto it = objects_[id].slots.find(attr);
+    if (it != objects_[id].slots.end()) {
+      it->second = std::move(value);
+      return Status::OK();
+    }
+    if (objects_[id].base == kInvalidObject) break;
+    id = objects_[id].base;
+  }
+  if (id >= objects_.size()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  return Status::NotFound("object has no slot for the requested attribute");
+}
+
+std::vector<ObjectId> ObjectStore::DirectExtent(TypeId type) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id = 0; id < objects_.size(); ++id) {
+    if (objects_[id].type == type) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ObjectStore::Extent(const Schema& schema,
+                                          TypeId type) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id = 0; id < objects_.size(); ++id) {
+    if (schema.types().IsSubtype(objects_[id].type, type)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tyder

@@ -1,0 +1,69 @@
+// ObjectStore: instances and per-type extents. The paper decouples types from
+// extents (Section 1, ref [3]); the store keeps an explicit extent per type —
+// the set of objects created with that type — and membership queries follow
+// subtype semantics (an instance of A is an instance of every supertype).
+
+#ifndef TYDER_INSTANCES_STORE_H_
+#define TYDER_INSTANCES_STORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "instances/object.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+class ObjectStore {
+ public:
+  // Creates an instance of `type` with every cumulative attribute initialized
+  // to a type-appropriate zero value.
+  Result<ObjectId> CreateObject(const Schema& schema, TypeId type);
+
+  // Creates an object-preserving view instance: an object of `type` with no
+  // slots of its own that resolves every attribute against `base`
+  // (transitively). Updates through the view are visible in the base and
+  // vice versa. Every cumulative attribute of `type` must be resolvable on
+  // the base chain.
+  Result<ObjectId> CreateDelegatingObject(const Schema& schema, TypeId type,
+                                          ObjectId base);
+
+  size_t NumObjects() const { return objects_.size(); }
+  const Object& object(ObjectId id) const { return objects_[id]; }
+
+  // Appends a fully formed object as-is (deserialization); the caller owns
+  // slot consistency. Returns the assigned id (always NumObjects()-1).
+  ObjectId RestoreObject(Object obj) {
+    objects_.push_back(std::move(obj));
+    return static_cast<ObjectId>(objects_.size() - 1);
+  }
+
+  // Inserts a slot directly on `id` (no base-chain walk, creates the slot if
+  // absent) — deserialization only; SetSlot is the behavioral write path.
+  Status RestoreSlot(ObjectId id, AttrId attr, Value value) {
+    if (id >= objects_.size()) {
+      return Status::InvalidArgument("object id out of range");
+    }
+    objects_[id].slots[attr] = std::move(value);
+    return Status::OK();
+  }
+
+  Result<Value> GetSlot(ObjectId id, AttrId attr) const;
+  Status SetSlot(ObjectId id, AttrId attr, Value value);
+
+  // Objects whose creation type is exactly `type`.
+  std::vector<ObjectId> DirectExtent(TypeId type) const;
+  // Objects whose creation type is `type` or a subtype (the paper's notion of
+  // instance-of under inclusion polymorphism).
+  std::vector<ObjectId> Extent(const Schema& schema, TypeId type) const;
+
+ private:
+  std::vector<Object> objects_;
+};
+
+// Zero value for a builtin value type; objects/unknowns default to Void.
+Value DefaultValueFor(const Schema& schema, TypeId type);
+
+}  // namespace tyder
+
+#endif  // TYDER_INSTANCES_STORE_H_

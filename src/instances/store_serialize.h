@@ -1,0 +1,33 @@
+// ObjectStore persistence: a line-oriented text format for instances,
+// companion to catalog/serialize.h's schema format. Object ids are stable
+// across a round trip (delegating views keep their base links), so saved
+// stores can be reloaded against a schema restored from the same snapshot.
+//
+//   tyder-store v1
+//   obj <Type> [base=<id>]          # objects in id order
+//   slot <obj-id> <attr-name> <value>
+//
+// Values: i:<int>  f:<float-hex>  b:0|1  s:"escaped"  o:<object-id>  v (void)
+
+#ifndef TYDER_INSTANCES_STORE_SERIALIZE_H_
+#define TYDER_INSTANCES_STORE_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "instances/store.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+std::string SerializeStore(const Schema& schema, const ObjectStore& store);
+
+// Rebuilds a store against `schema` (attribute names must resolve — use the
+// schema the store was saved with, or a serialize round trip of it).
+Result<ObjectStore> DeserializeStore(const Schema& schema,
+                                     std::string_view text);
+
+}  // namespace tyder
+
+#endif  // TYDER_INSTANCES_STORE_SERIALIZE_H_

@@ -1,0 +1,14 @@
+#include "instances/value.h"
+
+namespace tyder {
+
+std::string Value::ToString() const {
+  if (is_void()) return "void";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_float()) return std::to_string(AsFloat());
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_string()) return "\"" + AsString() + "\"";
+  return "#" + std::to_string(AsObject());
+}
+
+}  // namespace tyder

@@ -1,0 +1,94 @@
+#include "instances/view_materialize.h"
+
+namespace tyder {
+
+Result<std::vector<ObjectId>> MaterializeProjection(const Schema& schema,
+                                                    ObjectStore& store,
+                                                    TypeId derived) {
+  if (derived >= schema.types().NumTypes() ||
+      !schema.types().type(derived).is_surrogate()) {
+    return Status::InvalidArgument(
+        "materialization target must be a derived (surrogate) type");
+  }
+  TypeId source = schema.types().type(derived).surrogate_source();
+  if (source == kInvalidType) {
+    return Status::InvalidArgument("derived type has no recorded source");
+  }
+  std::vector<AttrId> view_attrs = schema.types().CumulativeAttributes(derived);
+  std::vector<ObjectId> out;
+  for (ObjectId src : store.Extent(schema, source)) {
+    TYDER_ASSIGN_OR_RETURN(ObjectId copy, store.CreateObject(schema, derived));
+    for (AttrId a : view_attrs) {
+      TYDER_ASSIGN_OR_RETURN(Value v, store.GetSlot(src, a));
+      TYDER_RETURN_IF_ERROR(store.SetSlot(copy, a, std::move(v)));
+    }
+    out.push_back(copy);
+  }
+  return out;
+}
+
+Status RefreshProjection(const Schema& schema, ObjectStore& store,
+                         TypeId derived, const std::vector<ObjectId>& sources,
+                         const std::vector<ObjectId>& views) {
+  if (sources.size() != views.size()) {
+    return Status::InvalidArgument("sources/views must be parallel vectors");
+  }
+  std::vector<AttrId> attrs = schema.types().CumulativeAttributes(derived);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (views[i] >= store.NumObjects() ||
+        store.object(views[i]).type != derived) {
+      return Status::InvalidArgument(
+          "view object does not belong to the derived type");
+    }
+    for (AttrId a : attrs) {
+      TYDER_ASSIGN_OR_RETURN(Value v, store.GetSlot(sources[i], a));
+      TYDER_RETURN_IF_ERROR(store.SetSlot(views[i], a, std::move(v)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ObjectId>> MaterializeProjectionPreserving(
+    const Schema& schema, ObjectStore& store, TypeId derived) {
+  if (derived >= schema.types().NumTypes() ||
+      !schema.types().type(derived).is_surrogate()) {
+    return Status::InvalidArgument(
+        "materialization target must be a derived (surrogate) type");
+  }
+  TypeId source = schema.types().type(derived).surrogate_source();
+  if (source == kInvalidType) {
+    return Status::InvalidArgument("derived type has no recorded source");
+  }
+  std::vector<ObjectId> out;
+  for (ObjectId src : store.Extent(schema, source)) {
+    TYDER_ASSIGN_OR_RETURN(ObjectId view,
+                           store.CreateDelegatingObject(schema, derived, src));
+    out.push_back(view);
+  }
+  return out;
+}
+
+Result<std::vector<ObjectId>> MaterializeSelection(
+    const Schema& schema, ObjectStore& store, TypeId view, TypeId source,
+    const std::function<Result<bool>(ObjectId)>& predicate) {
+  if (view >= schema.types().NumTypes() ||
+      !schema.types().type(view).HasDirectSupertype(source)) {
+    return Status::InvalidArgument(
+        "selection view must be a direct subtype of its source");
+  }
+  std::vector<AttrId> attrs = schema.types().CumulativeAttributes(source);
+  std::vector<ObjectId> out;
+  for (ObjectId src : store.Extent(schema, source)) {
+    TYDER_ASSIGN_OR_RETURN(bool keep, predicate(src));
+    if (!keep) continue;
+    TYDER_ASSIGN_OR_RETURN(ObjectId copy, store.CreateObject(schema, view));
+    for (AttrId a : attrs) {
+      TYDER_ASSIGN_OR_RETURN(Value v, store.GetSlot(src, a));
+      TYDER_RETURN_IF_ERROR(store.SetSlot(copy, a, std::move(v)));
+    }
+    out.push_back(copy);
+  }
+  return out;
+}
+
+}  // namespace tyder

@@ -1,0 +1,51 @@
+// View materialization — the paper's companion "type instantiation problem"
+// (Section 1): producing the instances of a derived type from instances of
+// its source types. tyder materializes with object-*generating* semantics:
+// each source instance yields a fresh instance of the view type carrying the
+// projected (or, for selections, all) slots.
+
+#ifndef TYDER_INSTANCES_VIEW_MATERIALIZE_H_
+#define TYDER_INSTANCES_VIEW_MATERIALIZE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "instances/interp.h"
+#include "instances/store.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+// Materializes the projection view `derived` from every instance of its
+// source type (the surrogate's source). Returns the new ObjectIds, parallel
+// to the source extent.
+Result<std::vector<ObjectId>> MaterializeProjection(const Schema& schema,
+                                                    ObjectStore& store,
+                                                    TypeId derived);
+
+// Object-*preserving* variant (updatable views, cf. Scholl/Laasch/Tresch,
+// the paper's ref [16]): each view instance delegates to its source object,
+// so reads see later source updates and writes through the view update the
+// source. The projected interface is still enforced by method applicability
+// (only accessors of projected attributes apply to the view type).
+Result<std::vector<ObjectId>> MaterializeProjectionPreserving(
+    const Schema& schema, ObjectStore& store, TypeId derived);
+
+// Materializes a selection view: instances of `source` satisfying `predicate`
+// are copied as instances of `view`. The predicate sees the source object.
+Result<std::vector<ObjectId>> MaterializeSelection(
+    const Schema& schema, ObjectStore& store, TypeId view, TypeId source,
+    const std::function<Result<bool>(ObjectId)>& predicate);
+
+// Re-synchronizes object-*generating* view instances with their sources
+// after source updates: `mapping[i]` is refreshed from `sources[i]`
+// (projected slots recopied). Pair with MaterializeProjection's parallel
+// return; object-preserving views never need refreshing.
+Status RefreshProjection(const Schema& schema, ObjectStore& store,
+                         TypeId derived, const std::vector<ObjectId>& sources,
+                         const std::vector<ObjectId>& views);
+
+}  // namespace tyder
+
+#endif  // TYDER_INSTANCES_VIEW_MATERIALIZE_H_

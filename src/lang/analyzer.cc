@@ -1,0 +1,292 @@
+#include "lang/analyzer.h"
+
+#include <unordered_map>
+
+#include "lang/parser.h"
+#include "methods/accessor_gen.h"
+#include "mir/builder.h"
+#include "mir/type_check.h"
+
+namespace tyder {
+
+namespace {
+
+std::string Where(int line, int col) {
+  return std::to_string(line) + ":" + std::to_string(col) + ": ";
+}
+
+// Lowers one method body; resolves identifiers against the parameter list
+// (everything else is a local variable reference).
+class BodyLowerer {
+ public:
+  BodyLowerer(const Schema& schema, const AstMethod& ast) : schema_(schema) {
+    for (size_t i = 0; i < ast.params.size(); ++i) {
+      params_.emplace(Symbol::Intern(ast.params[i].name),
+                      static_cast<int>(i));
+    }
+  }
+  BodyLowerer(const Schema& schema, const std::vector<std::string>& params)
+      : schema_(schema) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params_.emplace(Symbol::Intern(params[i]), static_cast<int>(i));
+    }
+  }
+
+  Result<ExprPtr> LowerSingle(const AstExpr& expr) { return LowerExpr(expr); }
+
+  Result<ExprPtr> LowerBlock(const std::vector<AstStmtPtr>& stmts) {
+    std::vector<ExprPtr> lowered;
+    lowered.reserve(stmts.size());
+    for (const AstStmtPtr& stmt : stmts) {
+      TYDER_ASSIGN_OR_RETURN(ExprPtr s, LowerStmt(*stmt));
+      lowered.push_back(std::move(s));
+    }
+    return mir::Seq(std::move(lowered));
+  }
+
+ private:
+  Result<ExprPtr> LowerStmt(const AstStmt& stmt) {
+    switch (stmt.kind) {
+      case AstStmtKind::kVarDecl: {
+        TYDER_ASSIGN_OR_RETURN(TypeId type,
+                               schema_.types().FindType(stmt.type_name));
+        ExprPtr init;
+        if (stmt.expr != nullptr) {
+          TYDER_ASSIGN_OR_RETURN(init, LowerExpr(*stmt.expr));
+        }
+        return mir::Decl(stmt.var, type, std::move(init));
+      }
+      case AstStmtKind::kAssign: {
+        TYDER_ASSIGN_OR_RETURN(ExprPtr rhs, LowerExpr(*stmt.expr));
+        return mir::Assign(stmt.var, std::move(rhs));
+      }
+      case AstStmtKind::kReturn: {
+        if (stmt.expr == nullptr) return mir::Return();
+        TYDER_ASSIGN_OR_RETURN(ExprPtr value, LowerExpr(*stmt.expr));
+        return mir::Return(std::move(value));
+      }
+      case AstStmtKind::kIf: {
+        TYDER_ASSIGN_OR_RETURN(ExprPtr cond, LowerExpr(*stmt.expr));
+        TYDER_ASSIGN_OR_RETURN(ExprPtr then_seq, LowerBlock(stmt.then_body));
+        ExprPtr else_seq;
+        if (!stmt.else_body.empty()) {
+          TYDER_ASSIGN_OR_RETURN(else_seq, LowerBlock(stmt.else_body));
+        }
+        return mir::If(std::move(cond), std::move(then_seq),
+                       std::move(else_seq));
+      }
+      case AstStmtKind::kExprStmt: {
+        TYDER_ASSIGN_OR_RETURN(ExprPtr e, LowerExpr(*stmt.expr));
+        return mir::ExprStmt(std::move(e));
+      }
+    }
+    return Status::Internal("unhandled statement kind");
+  }
+
+  Result<ExprPtr> LowerExpr(const AstExpr& expr) {
+    switch (expr.kind) {
+      case AstExprKind::kIdent: {
+        auto it = params_.find(Symbol::Intern(expr.text));
+        if (it != params_.end()) return mir::Param(it->second);
+        return mir::Var(expr.text);
+      }
+      case AstExprKind::kInt:
+        return mir::IntLit(expr.int_val);
+      case AstExprKind::kFloat:
+        return mir::FloatLit(expr.float_val);
+      case AstExprKind::kString:
+        return mir::StringLit(expr.str_val);
+      case AstExprKind::kBool:
+        return mir::BoolLit(expr.bool_val);
+      case AstExprKind::kCall: {
+        Result<GfId> gf = schema_.FindGenericFunction(expr.text);
+        if (!gf.ok()) {
+          return Status::ParseError(Where(expr.line, expr.col) +
+                                    "call to unknown generic function '" +
+                                    expr.text + "'");
+        }
+        std::vector<ExprPtr> args;
+        for (const AstExprPtr& arg : expr.children) {
+          TYDER_ASSIGN_OR_RETURN(ExprPtr a, LowerExpr(*arg));
+          args.push_back(std::move(a));
+        }
+        return mir::Call(*gf, std::move(args));
+      }
+      case AstExprKind::kBinOp: {
+        TYDER_ASSIGN_OR_RETURN(ExprPtr lhs, LowerExpr(*expr.children[0]));
+        TYDER_ASSIGN_OR_RETURN(ExprPtr rhs, LowerExpr(*expr.children[1]));
+        return mir::BinOp(expr.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  const Schema& schema_;
+  std::unordered_map<Symbol, int, SymbolHash> params_;
+};
+
+}  // namespace
+
+Result<Catalog> AnalyzeSchema(const AstSchema& ast) {
+  TYDER_ASSIGN_OR_RETURN(Catalog catalog, Catalog::Create());
+  Schema& schema = catalog.schema();
+
+  // Pass 1: declare all types so supertype/attribute references resolve
+  // regardless of declaration order.
+  for (const AstType& type : ast.types) {
+    Status declared =
+        schema.types().DeclareType(type.name, TypeKind::kUser).status();
+    if (!declared.ok()) {
+      return declared.WithContext(Where(type.line, type.col) + "type '" +
+                                  type.name + "'");
+    }
+  }
+
+  // Pass 2: supertype edges (in precedence order) and attributes.
+  for (const AstType& type : ast.types) {
+    TYDER_ASSIGN_OR_RETURN(TypeId id, schema.types().FindType(type.name));
+    for (const std::string& super : type.supers) {
+      Result<TypeId> super_id = schema.types().FindType(super);
+      if (!super_id.ok()) {
+        return Status::ParseError(Where(type.line, type.col) + "type '" +
+                                  type.name + "': unknown supertype '" +
+                                  super + "'");
+      }
+      TYDER_RETURN_IF_ERROR(schema.types().AddSupertype(id, *super_id));
+    }
+    for (const AstAttr& attr : type.attrs) {
+      Result<TypeId> value_type = schema.types().FindType(attr.type_name);
+      if (!value_type.ok()) {
+        return Status::ParseError(Where(attr.line, attr.col) +
+                                  "attribute '" + attr.name +
+                                  "': unknown type '" + attr.type_name + "'");
+      }
+      Status declared =
+          schema.types().DeclareAttribute(id, attr.name, *value_type).status();
+      if (!declared.ok()) {
+        return declared.WithContext(Where(attr.line, attr.col) +
+                                    "attribute '" + attr.name + "'");
+      }
+    }
+  }
+
+  // Pass 3: generic functions — explicit declarations, accessors, then the
+  // implicit generic function of every method (so bodies can call forward).
+  for (const AstGeneric& gen : ast.generics) {
+    Status declared =
+        schema.DeclareGenericFunction(gen.name, gen.arity).status();
+    if (!declared.ok()) {
+      return declared.WithContext(Where(gen.line, gen.col) + "generic '" +
+                                  gen.name + "'");
+    }
+  }
+  if (ast.accessors_directive) {
+    TYDER_RETURN_IF_ERROR(GenerateAllAccessors(schema));
+  }
+  for (const AstMethod& method : ast.methods) {
+    const std::string& gf_name = method.gf.empty() ? method.label : method.gf;
+    Status declared =
+        schema
+            .FindOrDeclareGenericFunction(gf_name,
+                                          static_cast<int>(method.params.size()))
+            .status();
+    if (!declared.ok()) {
+      return declared.WithContext(Where(method.line, method.col) +
+                                  "method '" + method.label + "'");
+    }
+  }
+
+  // Pass 4: methods with lowered bodies.
+  for (const AstMethod& ast_method : ast.methods) {
+    Method m;
+    m.label = Symbol::Intern(ast_method.label);
+    const std::string& gf_name =
+        ast_method.gf.empty() ? ast_method.label : ast_method.gf;
+    TYDER_ASSIGN_OR_RETURN(m.gf, schema.FindGenericFunction(gf_name));
+    m.kind = MethodKind::kGeneral;
+    for (const AstParam& param : ast_method.params) {
+      Result<TypeId> t = schema.types().FindType(param.type_name);
+      if (!t.ok()) {
+        return Status::ParseError(Where(ast_method.line, ast_method.col) +
+                                  "method '" + ast_method.label +
+                                  "': unknown parameter type '" +
+                                  param.type_name + "'");
+      }
+      m.sig.params.push_back(*t);
+      m.param_names.push_back(Symbol::Intern(param.name));
+    }
+    if (ast_method.result_type.empty()) {
+      m.sig.result = schema.builtins().void_type;
+    } else {
+      Result<TypeId> r = schema.types().FindType(ast_method.result_type);
+      if (!r.ok()) {
+        return Status::ParseError(Where(ast_method.line, ast_method.col) +
+                                  "method '" + ast_method.label +
+                                  "': unknown result type '" +
+                                  ast_method.result_type + "'");
+      }
+      m.sig.result = *r;
+    }
+    BodyLowerer lowerer(schema, ast_method);
+    TYDER_ASSIGN_OR_RETURN(m.body, lowerer.LowerBlock(ast_method.body));
+    Status added = schema.AddMethod(std::move(m)).status();
+    if (!added.ok()) {
+      return added.WithContext(Where(ast_method.line, ast_method.col) +
+                               "method '" + ast_method.label + "'");
+    }
+  }
+
+  // Pass 5: whole-schema static type check before any view runs.
+  TYDER_RETURN_IF_ERROR(TypeCheckSchema(schema));
+
+  // Pass 6: views, in declaration order (views may build on earlier views).
+  for (const AstView& view : ast.views) {
+    Status applied = Status::OK();
+    switch (view.op) {
+      case AstViewOp::kProject:
+        applied = catalog
+                      .DefineProjectionView(view.name, view.source, view.attrs)
+                      .status();
+        break;
+      case AstViewOp::kSelect:
+        applied = catalog.DefineSelectionView(view.name, view.source).status();
+        break;
+      case AstViewOp::kRename: {
+        std::vector<AttributeRename> renames;
+        for (const AstRename& r : view.renames) {
+          renames.push_back(AttributeRename{r.attribute, r.alias});
+        }
+        applied =
+            catalog.DefineRenameView(view.name, view.source, renames).status();
+        break;
+      }
+      case AstViewOp::kGeneralize:
+        applied = catalog
+                      .DefineGeneralizationView(view.name, view.source,
+                                                view.source2)
+                      .status();
+        break;
+    }
+    if (!applied.ok()) {
+      return applied.WithContext(Where(view.line, view.col) + "view '" +
+                                 view.name + "'");
+    }
+  }
+  return catalog;
+}
+
+Result<ExprPtr> LowerExpression(
+    const Schema& schema, const AstExprPtr& expr,
+    const std::vector<std::pair<std::string, TypeId>>& params) {
+  std::vector<std::string> names;
+  for (const auto& [name, type] : params) names.push_back(name);
+  BodyLowerer lowerer(schema, names);
+  return lowerer.LowerSingle(*expr);
+}
+
+Result<Catalog> LoadTdl(std::string_view source) {
+  TYDER_ASSIGN_OR_RETURN(AstSchema ast, ParseTdl(source));
+  return AnalyzeSchema(ast);
+}
+
+}  // namespace tyder

@@ -1,0 +1,33 @@
+// Semantic analysis: lowers a TDL AST into a Catalog (schema + views).
+// Passes: (1) declare types, (2) wire supertypes and attributes,
+// (3) declare explicit generics and the implicit one per method, plus
+// accessors when requested, (4) register methods and lower their bodies to
+// MIR, (5) statically type-check everything, (6) apply view definitions
+// (running the full derivation machinery for projections).
+
+#ifndef TYDER_LANG_ANALYZER_H_
+#define TYDER_LANG_ANALYZER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace tyder {
+
+Result<Catalog> AnalyzeSchema(const AstSchema& ast);
+
+// Lowers a parsed expression to MIR against `schema`, resolving identifiers
+// first against `params` (name -> parameter index in order) and otherwise as
+// local variables. Used by the query subsystem for TDL predicates.
+Result<ExprPtr> LowerExpression(
+    const Schema& schema, const AstExprPtr& expr,
+    const std::vector<std::pair<std::string, TypeId>>& params);
+
+// Parse + analyze in one step — the main entry point for loading TDL.
+Result<Catalog> LoadTdl(std::string_view source);
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_ANALYZER_H_

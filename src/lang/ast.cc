@@ -1,0 +1,4 @@
+#include "lang/ast.h"
+
+// AST nodes are plain aggregates; construction lives in the parser and
+// consumption in the analyzer.

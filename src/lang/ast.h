@@ -1,0 +1,116 @@
+// Abstract syntax of TDL. The parser produces these; lang/analyzer.h lowers
+// them into a Schema/Catalog.
+
+#ifndef TYDER_LANG_AST_H_
+#define TYDER_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mir/expr.h"  // BinOpKind
+
+namespace tyder {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+enum class AstExprKind {
+  kIdent,   // parameter or local reference
+  kInt,
+  kFloat,
+  kString,
+  kBool,
+  kCall,    // callee(args...)
+  kBinOp,
+};
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kIdent;
+  std::string text;     // ident name / callee
+  int64_t int_val = 0;
+  double float_val = 0;
+  bool bool_val = false;
+  std::string str_val;
+  BinOpKind op = BinOpKind::kAdd;
+  std::vector<AstExprPtr> children;  // call args / binop operands
+  int line = 0, col = 0;
+};
+
+struct AstStmt;
+using AstStmtPtr = std::shared_ptr<AstStmt>;
+
+enum class AstStmtKind { kVarDecl, kAssign, kExprStmt, kReturn, kIf };
+
+struct AstStmt {
+  AstStmtKind kind = AstStmtKind::kExprStmt;
+  std::string var;        // kVarDecl / kAssign
+  std::string type_name;  // kVarDecl
+  AstExprPtr expr;        // init / rhs / expr / return value / condition
+  std::vector<AstStmtPtr> then_body;  // kIf
+  std::vector<AstStmtPtr> else_body;  // kIf
+  int line = 0, col = 0;
+};
+
+struct AstAttr {
+  std::string name;
+  std::string type_name;
+  int line = 0, col = 0;
+};
+
+struct AstType {
+  std::string name;
+  std::vector<std::string> supers;  // precedence order
+  std::vector<AstAttr> attrs;
+  int line = 0, col = 0;
+};
+
+struct AstParam {
+  std::string name;
+  std::string type_name;
+};
+
+struct AstMethod {
+  std::string label;
+  std::string gf;  // empty: the generic function is named like the method
+  std::vector<AstParam> params;
+  std::string result_type;  // empty: Void
+  std::vector<AstStmtPtr> body;
+  int line = 0, col = 0;
+};
+
+struct AstGeneric {
+  std::string name;
+  int arity = 0;
+  int line = 0, col = 0;
+};
+
+enum class AstViewOp { kProject, kSelect, kRename, kGeneralize };
+
+struct AstRename {
+  std::string attribute;
+  std::string alias;
+};
+
+struct AstView {
+  std::string name;
+  AstViewOp op = AstViewOp::kProject;
+  std::string source;
+  std::string source2;             // kGeneralize only
+  std::vector<std::string> attrs;  // kProject only
+  std::vector<AstRename> renames;  // kRename only
+  int line = 0, col = 0;
+};
+
+struct AstSchema {
+  std::vector<AstType> types;
+  std::vector<AstGeneric> generics;
+  std::vector<AstMethod> methods;
+  std::vector<AstView> views;
+  bool accessors_directive = false;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_AST_H_

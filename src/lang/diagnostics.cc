@@ -1,0 +1,19 @@
+#include "lang/diagnostics.h"
+
+namespace tyder {
+
+std::string DiagnosticEngine::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += std::to_string(d.line) + ":" + std::to_string(d.col) + ": " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+Status DiagnosticEngine::ToStatus() const {
+  if (!has_errors()) return Status::OK();
+  return Status::ParseError(ToString());
+}
+
+}  // namespace tyder

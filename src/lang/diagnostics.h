@@ -1,0 +1,42 @@
+// Diagnostic collection for the TDL front end: errors carry source positions
+// and accumulate so a parse reports everything wrong, not just the first
+// problem.
+
+#ifndef TYDER_LANG_DIAGNOSTICS_H_
+#define TYDER_LANG_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tyder {
+
+struct Diagnostic {
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  void Error(int line, int col, std::string message) {
+    diags_.push_back(Diagnostic{line, col, std::move(message)});
+  }
+
+  bool has_errors() const { return !diags_.empty(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // "line:col: message" per diagnostic.
+  std::string ToString() const;
+
+  // OK, or a ParseError whose message is ToString().
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_DIAGNOSTICS_H_

@@ -1,0 +1,169 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace tyder {
+
+namespace {
+
+class Scanner {
+ public:
+  Scanner(std::string_view source, DiagnosticEngine& diags)
+      : src_(source), diags_(diags) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipTrivia();
+      Token tok = Next();
+      tokens.push_back(tok);
+      if (tok.kind == TokenKind::kEnd) return tokens;
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipTrivia() {
+    for (;;) {
+      if (AtEnd()) return;
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) {
+          diags_.Error(line_, col_, "unterminated block comment");
+          return;
+        }
+        Advance();
+        Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token Make(TokenKind kind, std::string text, int line, int col) {
+    return Token{kind, std::move(text), line, col};
+  }
+
+  Token Next() {
+    int line = line_, col = col_;
+    if (AtEnd()) return Make(TokenKind::kEnd, "", line, col);
+    char c = Advance();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text(1, c);
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        text += Advance();
+      }
+      // Look the keyword up before std::move(text) can hollow the string
+      // (argument evaluation order is unspecified).
+      TokenKind kind = KeywordOrIdent(text);
+      return Make(kind, std::move(text), line, col);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text(1, c);
+      bool is_float = false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text += Advance();
+      }
+      if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        is_float = true;
+        text += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text += Advance();
+        }
+      }
+      return Make(is_float ? TokenKind::kFloatLit : TokenKind::kIntLit,
+                  std::move(text), line, col);
+    }
+
+    switch (c) {
+      case '"': {
+        std::string text;
+        while (!AtEnd() && Peek() != '"') {
+          char d = Advance();
+          if (d == '\\' && !AtEnd()) {
+            char esc = Advance();
+            text += esc == 'n' ? '\n' : esc;
+          } else {
+            text += d;
+          }
+        }
+        if (AtEnd()) {
+          diags_.Error(line, col, "unterminated string literal");
+          return Make(TokenKind::kError, std::move(text), line, col);
+        }
+        Advance();  // closing quote
+        return Make(TokenKind::kStringLit, std::move(text), line, col);
+      }
+      case '{': return Make(TokenKind::kLBrace, "{", line, col);
+      case '}': return Make(TokenKind::kRBrace, "}", line, col);
+      case '(': return Make(TokenKind::kLParen, "(", line, col);
+      case ')': return Make(TokenKind::kRParen, ")", line, col);
+      case ':': return Make(TokenKind::kColon, ":", line, col);
+      case ';': return Make(TokenKind::kSemicolon, ";", line, col);
+      case ',': return Make(TokenKind::kComma, ",", line, col);
+      case '+': return Make(TokenKind::kPlus, "+", line, col);
+      case '*': return Make(TokenKind::kStar, "*", line, col);
+      case '/': return Make(TokenKind::kSlash, "/", line, col);
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kArrow, "->", line, col);
+        }
+        return Make(TokenKind::kMinus, "-", line, col);
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kEqEq, "==", line, col);
+        }
+        return Make(TokenKind::kAssign, "=", line, col);
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe, "<=", line, col);
+        }
+        return Make(TokenKind::kLt, "<", line, col);
+      default:
+        diags_.Error(line, col, std::string("unexpected character '") + c +
+                                    "'");
+        return Make(TokenKind::kError, std::string(1, c), line, col);
+    }
+  }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source, DiagnosticEngine& diags) {
+  return Scanner(source, diags).Run();
+}
+
+}  // namespace tyder

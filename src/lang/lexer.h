@@ -1,0 +1,21 @@
+// TDL lexer. Hand-written scanner producing the full token stream in one
+// pass; `//` line comments and `/* */` block comments are skipped.
+
+#ifndef TYDER_LANG_LEXER_H_
+#define TYDER_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/diagnostics.h"
+#include "lang/token.h"
+
+namespace tyder {
+
+// Tokenizes `source`. Always ends with a kEnd token; lexical errors are
+// reported to `diags` and surface as kError tokens.
+std::vector<Token> Lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_LEXER_H_

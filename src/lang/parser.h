@@ -1,0 +1,42 @@
+// Recursive-descent parser for TDL.
+//
+//   schema      := decl*
+//   decl        := typeDecl | genericDecl | methodDecl | viewDecl |
+//                  "accessors" ";"
+//   typeDecl    := "type" IDENT (":" IDENT ("," IDENT)*)? "{" attrDecl* "}"
+//   attrDecl    := IDENT ":" IDENT ";"
+//   genericDecl := "generic" IDENT "/" INT ";"
+//   methodDecl  := "method" IDENT ("for" IDENT)? "(" params? ")"
+//                  ("->" IDENT)? block
+//   viewDecl    := "view" IDENT "=" "project" IDENT "on" "(" idents ")" ";"
+//                | "view" IDENT "=" "select" IDENT ";"
+//   block       := "{" stmt* "}"
+//   stmt        := IDENT ":" IDENT ("=" expr)? ";"   (local declaration)
+//                | IDENT "=" expr ";"                 (assignment)
+//                | "return" expr? ";" | "if" "(" expr ")" block
+//                  ("else" block)? | expr ";"
+//   expr        := or-chain over and / == < <= / + - / * / with parentheses,
+//                  calls, identifiers and literals.
+
+#ifndef TYDER_LANG_PARSER_H_
+#define TYDER_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/diagnostics.h"
+
+namespace tyder {
+
+// Parses TDL source into an AST; all syntax errors are collected into the
+// returned status message.
+Result<AstSchema> ParseTdl(std::string_view source);
+
+// Parses a single TDL expression (query predicates, ad-hoc evaluation). The
+// whole input must be one expression.
+Result<AstExprPtr> ParseTdlExpression(std::string_view source);
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_PARSER_H_

@@ -1,0 +1,75 @@
+#include "lang/token.h"
+
+namespace tyder {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kType: return "'type'";
+    case TokenKind::kMethod: return "'method'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kGeneric: return "'generic'";
+    case TokenKind::kAccessors: return "'accessors'";
+    case TokenKind::kView: return "'view'";
+    case TokenKind::kProject: return "'project'";
+    case TokenKind::kSelect: return "'select'";
+    case TokenKind::kRename: return "'rename'";
+    case TokenKind::kGeneralize: return "'generalize'";
+    case TokenKind::kAs: return "'as'";
+    case TokenKind::kOn: return "'on'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kError: return "invalid token";
+  }
+  return "?";
+}
+
+TokenKind KeywordOrIdent(std::string_view text) {
+  struct Entry {
+    std::string_view word;
+    TokenKind kind;
+  };
+  static constexpr Entry kKeywords[] = {
+      {"type", TokenKind::kType},         {"method", TokenKind::kMethod},
+      {"for", TokenKind::kFor},           {"generic", TokenKind::kGeneric},
+      {"accessors", TokenKind::kAccessors}, {"view", TokenKind::kView},
+      {"project", TokenKind::kProject},   {"select", TokenKind::kSelect},
+      {"rename", TokenKind::kRename},     {"generalize", TokenKind::kGeneralize},
+      {"as", TokenKind::kAs},
+      {"on", TokenKind::kOn},             {"return", TokenKind::kReturn},
+      {"if", TokenKind::kIf},             {"else", TokenKind::kElse},
+      {"true", TokenKind::kTrue},         {"false", TokenKind::kFalse},
+      {"and", TokenKind::kAnd},           {"or", TokenKind::kOr},
+  };
+  for (const Entry& e : kKeywords) {
+    if (e.word == text) return e.kind;
+  }
+  return TokenKind::kIdent;
+}
+
+}  // namespace tyder

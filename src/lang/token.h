@@ -1,0 +1,75 @@
+// Tokens of TDL, tyder's schema definition language. TDL is the textual
+// front end for the paper's mathematical schema notation: type declarations
+// with precedence-ordered supertypes, generic functions, multi-methods with
+// bodies, and view definitions.
+
+#ifndef TYDER_LANG_TOKEN_H_
+#define TYDER_LANG_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace tyder {
+
+enum class TokenKind {
+  // literals / identifiers
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  // keywords
+  kType,
+  kMethod,
+  kFor,
+  kGeneric,
+  kAccessors,
+  kView,
+  kProject,
+  kSelect,
+  kRename,
+  kGeneralize,
+  kAs,
+  kOn,
+  kReturn,
+  kIf,
+  kElse,
+  kTrue,
+  kFalse,
+  kAnd,
+  kOr,
+  // punctuation
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kColon,
+  kSemicolon,
+  kComma,
+  kArrow,   // ->
+  kAssign,  // =
+  kEqEq,    // ==
+  kLt,
+  kLe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+// Keyword lookup; kIdent if `text` is not a keyword.
+TokenKind KeywordOrIdent(std::string_view text);
+
+}  // namespace tyder
+
+#endif  // TYDER_LANG_TOKEN_H_

@@ -1,0 +1,44 @@
+// Accessor generation. The paper assumes "there exist accessor methods
+// corresponding to each attribute: e.g. get_SSN, get_name" — these helpers
+// create them. An accessor for attribute `a` may be declared on any type at
+// which `a` is available (Example 1 declares get_h2 on B while h2 lives at H).
+
+#ifndef TYDER_METHODS_ACCESSOR_GEN_H_
+#define TYDER_METHODS_ACCESSOR_GEN_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+// Creates the generic function `get_<attr>` (if absent) and a reader method
+// with formal type `formal` (defaults to the attribute's owner). The method
+// label equals the generic-function name unless that label is taken, in which
+// case "_<FormalType>" is appended.
+Result<MethodId> GenerateReader(Schema& schema, AttrId attr,
+                                TypeId formal = kInvalidType);
+
+// Same for the mutator `set_<attr>`: (formal, value_type) -> Void.
+Result<MethodId> GenerateMutator(Schema& schema, AttrId attr,
+                                 TypeId formal = kInvalidType);
+
+// Alias accessors: a reader `get_<alias>` / mutator `set_<alias>` over the
+// *same* attribute, under a different public name (rename views, ρ).
+Result<MethodId> GenerateAliasReader(Schema& schema, AttrId attr,
+                                     std::string_view alias, TypeId formal);
+Result<MethodId> GenerateAliasMutator(Schema& schema, AttrId attr,
+                                      std::string_view alias, TypeId formal);
+
+// Readers (and optionally mutators) for every local attribute of `t`.
+Status GenerateAccessorsForType(Schema& schema, TypeId t,
+                                bool with_mutators = true);
+
+// Readers (and optionally mutators) for every attribute in the schema, each
+// on its owner type.
+Status GenerateAllAccessors(Schema& schema, bool with_mutators = true);
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_ACCESSOR_GEN_H_

@@ -1,0 +1,31 @@
+// Method applicability (paper Section 4):
+//   - m_k(T₁ᵏ…Tₙᵏ) is applicable to a *type* T iff some i has T ≼ Tᵢᵏ.
+//   - m_k is applicable to a *call* m(T¹…Tⁿ) iff ∀i Tⁱ ≼ Tᵢᵏ.
+// Subtype polymorphism means several methods can be applicable to one call;
+// methods/precedence.h orders them.
+
+#ifndef TYDER_METHODS_APPLICABILITY_H_
+#define TYDER_METHODS_APPLICABILITY_H_
+
+#include <vector>
+
+#include "methods/schema.h"
+
+namespace tyder {
+
+bool ApplicableToType(const Schema& schema, MethodId m, TypeId t);
+
+bool ApplicableToCall(const Schema& schema, MethodId m,
+                      const std::vector<TypeId>& arg_types);
+
+// Methods of `gf` applicable to the call, in registration order.
+std::vector<MethodId> ApplicableMethods(const Schema& schema, GfId gf,
+                                        const std::vector<TypeId>& arg_types);
+
+// Methods (across all generic functions) applicable to type `t` — the input
+// set of the IsApplicable algorithm (Section 4.1).
+std::vector<MethodId> MethodsApplicableToType(const Schema& schema, TypeId t);
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_APPLICABILITY_H_

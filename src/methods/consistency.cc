@@ -1,0 +1,104 @@
+#include "methods/consistency.h"
+
+#include <sstream>
+
+namespace tyder {
+
+namespace {
+
+// True iff some type is a subtype of both `a` and `b`, i.e. a run-time value
+// could appear at a position typed `a` in one method and `b` in another.
+bool SharesSubtype(const TypeGraph& graph, TypeId a, TypeId b) {
+  if (graph.IsSubtype(a, b) || graph.IsSubtype(b, a)) return true;
+  for (TypeId u = 0; u < graph.NumTypes(); ++u) {
+    if (graph.IsSubtype(u, a) && graph.IsSubtype(u, b)) return true;
+  }
+  return false;
+}
+
+// True iff the two methods can be applicable to a common call.
+bool ShareCalls(const TypeGraph& graph, const Signature& a,
+                const Signature& b) {
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    if (!SharesSubtype(graph, a.params[i], b.params[i])) return false;
+  }
+  return true;
+}
+
+// a pointwise-≼ b.
+bool Dominates(const TypeGraph& graph, const Signature& a,
+               const Signature& b) {
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    if (!graph.IsSubtype(a.params[i], b.params[i])) return false;
+  }
+  return true;
+}
+
+std::string PairLabel(const Schema& schema, MethodId a, MethodId b) {
+  return schema.method(a).label.str() + " / " + schema.method(b).label.str();
+}
+
+}  // namespace
+
+std::vector<ConsistencyIssue> CheckMethodConsistency(const Schema& schema) {
+  std::vector<ConsistencyIssue> issues;
+  const TypeGraph& graph = schema.types();
+  for (GfId g = 0; g < schema.NumGenericFunctions(); ++g) {
+    const std::vector<MethodId>& methods = schema.gf(g).methods;
+    for (size_t i = 0; i < methods.size(); ++i) {
+      for (size_t j = i + 1; j < methods.size(); ++j) {
+        MethodId m1 = methods[i];
+        MethodId m2 = methods[j];
+        const Signature& s1 = schema.method(m1).sig;
+        const Signature& s2 = schema.method(m2).sig;
+        if (!ShareCalls(graph, s1, s2)) continue;
+        bool d12 = Dominates(graph, s1, s2);
+        bool d21 = Dominates(graph, s2, s1);
+        if (d12 && d21) {
+          issues.push_back(
+              {ConsistencyIssueKind::kAmbiguity, g, m1, m2,
+               "methods " + PairLabel(schema, m1, m2) +
+                   " have identical formal types; dispatch is resolved only "
+                   "by registration order"});
+        } else if (!d12 && !d21) {
+          issues.push_back(
+              {ConsistencyIssueKind::kAmbiguity, g, m1, m2,
+               "methods " + PairLabel(schema, m1, m2) +
+                   " cross without domination; the dispatched method flips "
+                   "with the argument types"});
+        }
+        // Covariance: whichever direction(s) of overriding exist, the more
+        // specific method's result must refine the less specific one's.
+        if (d12 && !d21 && !graph.IsSubtype(s1.result, s2.result)) {
+          issues.push_back(
+              {ConsistencyIssueKind::kResultCovariance, g, m1, m2,
+               "method " + schema.method(m1).label.str() +
+                   " overrides " + schema.method(m2).label.str() +
+                   " but its result type does not refine the overridden "
+                   "result"});
+        }
+        if (d21 && !d12 && !graph.IsSubtype(s2.result, s1.result)) {
+          issues.push_back(
+              {ConsistencyIssueKind::kResultCovariance, g, m2, m1,
+               "method " + schema.method(m2).label.str() +
+                   " overrides " + schema.method(m1).label.str() +
+                   " but its result type does not refine the overridden "
+                   "result"});
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+std::string ConsistencyReport(const Schema& schema,
+                              const std::vector<ConsistencyIssue>& issues) {
+  std::ostringstream out;
+  for (const ConsistencyIssue& issue : issues) {
+    out << schema.gf(issue.gf).name.view() << ": " << issue.description
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tyder

@@ -1,0 +1,55 @@
+// Static consistency checking of multi-methods, after Agrawal, DeMichiel &
+// Lindsay, "Static Type Checking of Multi-Methods" (OOPSLA '91) — the
+// paper's ref [2], which it leans on for "it must be determined that the
+// methods selected are indeed type-correct and mutually consistent".
+//
+// Two families of findings over each generic function:
+//
+//   - kAmbiguity: two methods are applicable to some common call and neither
+//     is uniquely more specific under the precedence mechanism at every
+//     argument tuple that reaches both — for tyder's left-to-right CPL
+//     ordering this reduces to methods with identical formal tuples (ties
+//     broken only by registration order, which ref [2] treats as a
+//     user-acknowledged hazard) and to formal tuples that cross without
+//     dominating (m1 = (A,B), m2 = (B,A) style), where the winner flips with
+//     the argument types.
+//
+//   - kResultCovariance: if m1 can override m2 (m1's formals pointwise ≼
+//     m2's and they share calls), the static result type the checker assigns
+//     is m2-based for some call sites but m1 executes — sound only if
+//     result(m1) ≼ result(m2).
+
+#ifndef TYDER_METHODS_CONSISTENCY_H_
+#define TYDER_METHODS_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "methods/schema.h"
+
+namespace tyder {
+
+enum class ConsistencyIssueKind {
+  kAmbiguity,
+  kResultCovariance,
+};
+
+struct ConsistencyIssue {
+  ConsistencyIssueKind kind;
+  GfId gf = kInvalidGf;
+  MethodId first = kInvalidMethod;
+  MethodId second = kInvalidMethod;
+  std::string description;
+};
+
+// All findings across the schema, deterministic order (by gf, then method
+// pair). An empty result means every generic function is unambiguous under
+// the precedence ordering and result-covariant.
+std::vector<ConsistencyIssue> CheckMethodConsistency(const Schema& schema);
+
+std::string ConsistencyReport(const Schema& schema,
+                              const std::vector<ConsistencyIssue>& issues);
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_CONSISTENCY_H_

@@ -1,0 +1,27 @@
+#include "methods/dispatch.h"
+
+#include "methods/precedence.h"
+
+namespace tyder {
+
+Result<MethodId> Dispatch(const Schema& schema, GfId gf,
+                          const std::vector<TypeId>& arg_types) {
+  if (static_cast<int>(arg_types.size()) != schema.gf(gf).arity) {
+    return Status::InvalidArgument("call to '" + schema.gf(gf).name.str() +
+                                   "' with wrong argument count");
+  }
+  return MostSpecificApplicable(schema, gf, arg_types);
+}
+
+Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
+                                const std::vector<TypeId>& arg_types) {
+  TYDER_ASSIGN_OR_RETURN(GfId gf, schema.FindGenericFunction(gf_name));
+  return Dispatch(schema, gf, arg_types);
+}
+
+std::vector<MethodId> DispatchOrder(const Schema& schema, GfId gf,
+                                    const std::vector<TypeId>& arg_types) {
+  return SortBySpecificity(schema, gf, arg_types);
+}
+
+}  // namespace tyder

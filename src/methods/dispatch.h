@@ -1,0 +1,32 @@
+// Run-time method selection: given a generic-function call with actual
+// argument types, pick the most specific applicable method (multi-method
+// dispatch, paper Section 2). Thin wrapper over methods/precedence.h that
+// also exposes the full dispatch order, which the interpreter and the
+// behavior-preservation verifier both use.
+
+#ifndef TYDER_METHODS_DISPATCH_H_
+#define TYDER_METHODS_DISPATCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "methods/schema.h"
+
+namespace tyder {
+
+// The method a call m(arg_types...) dispatches to.
+Result<MethodId> Dispatch(const Schema& schema, GfId gf,
+                          const std::vector<TypeId>& arg_types);
+
+// Convenience: dispatch by generic-function name.
+Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
+                                const std::vector<TypeId>& arg_types);
+
+// Full dispatch order (most specific first) — what call-next-method would
+// walk in a CLOS-style system.
+std::vector<MethodId> DispatchOrder(const Schema& schema, GfId gf,
+                                    const std::vector<TypeId>& arg_types);
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_DISPATCH_H_

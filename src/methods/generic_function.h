@@ -1,0 +1,24 @@
+// GenericFunction: a named operation with fixed arity and a set of methods
+// that implement it for particular argument types (paper Section 2). Run-time
+// dispatch picks the most specific applicable method for the actual argument
+// types (multi-method dispatch, as in CommonLoops/CLOS).
+
+#ifndef TYDER_METHODS_GENERIC_FUNCTION_H_
+#define TYDER_METHODS_GENERIC_FUNCTION_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/symbol.h"
+
+namespace tyder {
+
+struct GenericFunction {
+  Symbol name;
+  int arity = 0;
+  std::vector<MethodId> methods;  // in registration order
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_GENERIC_FUNCTION_H_

@@ -1,0 +1,14 @@
+#include "methods/method.h"
+
+namespace tyder {
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kGeneral: return "general";
+    case MethodKind::kReader: return "reader";
+    case MethodKind::kMutator: return "mutator";
+  }
+  return "?";
+}
+
+}  // namespace tyder

@@ -1,0 +1,60 @@
+#include "methods/precedence.h"
+
+#include <algorithm>
+#include <list>
+
+#include "methods/applicability.h"
+#include "objmodel/linearize.h"
+
+namespace tyder {
+
+namespace {
+
+// Rank of `formal` in the CPL of `actual`; CPL size if absent (least
+// specific). `actual ≼ formal` guarantees presence for applicable methods.
+size_t CplRank(const TypeGraph& graph, TypeId actual, TypeId formal) {
+  std::vector<TypeId> cpl = ClassPrecedenceList(graph, actual);
+  auto it = std::find(cpl.begin(), cpl.end(), formal);
+  return static_cast<size_t>(it - cpl.begin());
+}
+
+}  // namespace
+
+bool MoreSpecific(const Schema& schema, MethodId a, MethodId b,
+                  const std::vector<TypeId>& arg_types) {
+  const Signature& sa = schema.method(a).sig;
+  const Signature& sb = schema.method(b).sig;
+  for (size_t i = 0; i < arg_types.size(); ++i) {
+    if (sa.params[i] == sb.params[i]) continue;
+    return CplRank(schema.types(), arg_types[i], sa.params[i]) <
+           CplRank(schema.types(), arg_types[i], sb.params[i]);
+  }
+  return false;
+}
+
+std::vector<MethodId> SortBySpecificity(const Schema& schema, GfId gf,
+                                        const std::vector<TypeId>& arg_types) {
+  std::vector<MethodId> methods = ApplicableMethods(schema, gf, arg_types);
+  std::stable_sort(methods.begin(), methods.end(),
+                   [&](MethodId a, MethodId b) {
+                     return MoreSpecific(schema, a, b, arg_types);
+                   });
+  return methods;
+}
+
+Result<MethodId> MostSpecificApplicable(const Schema& schema, GfId gf,
+                                        const std::vector<TypeId>& arg_types) {
+  std::vector<MethodId> sorted = SortBySpecificity(schema, gf, arg_types);
+  if (sorted.empty()) {
+    std::string args;
+    for (size_t i = 0; i < arg_types.size(); ++i) {
+      if (i > 0) args += ", ";
+      args += schema.types().TypeName(arg_types[i]);
+    }
+    return Status::NotFound("no applicable method for " +
+                            schema.gf(gf).name.str() + "(" + args + ")");
+  }
+  return sorted.front();
+}
+
+}  // namespace tyder

@@ -1,0 +1,178 @@
+#include "methods/schema.h"
+
+namespace tyder {
+
+Result<Schema> Schema::Create() {
+  Schema schema;
+  TYDER_ASSIGN_OR_RETURN(schema.builtins_, InstallBuiltins(schema.types_));
+  return schema;
+}
+
+Result<GfId> Schema::DeclareGenericFunction(std::string_view name, int arity) {
+  if (arity <= 0) {
+    return Status::InvalidArgument("generic function '" + std::string(name) +
+                                   "' must have positive arity");
+  }
+  Symbol sym = Symbol::Intern(name);
+  if (gf_index_.count(sym) > 0) {
+    return Status::AlreadyExists("generic function '" + std::string(name) +
+                                 "' already declared");
+  }
+  GfId id = static_cast<GfId>(gfs_.size());
+  gfs_.push_back(GenericFunction{sym, arity, {}});
+  gf_index_.emplace(sym, id);
+  return id;
+}
+
+Result<GfId> Schema::FindOrDeclareGenericFunction(std::string_view name,
+                                                  int arity) {
+  Symbol sym = Symbol::Intern(name);
+  auto it = gf_index_.find(sym);
+  if (it == gf_index_.end()) return DeclareGenericFunction(name, arity);
+  if (gfs_[it->second].arity != arity) {
+    return Status::InvalidArgument(
+        "generic function '" + std::string(name) + "' has arity " +
+        std::to_string(gfs_[it->second].arity) + ", not " +
+        std::to_string(arity));
+  }
+  return it->second;
+}
+
+Result<GfId> Schema::FindGenericFunction(std::string_view name) const {
+  auto it = gf_index_.find(Symbol::Intern(name));
+  if (it == gf_index_.end()) {
+    return Status::NotFound("no generic function named '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<MethodId> Schema::AddMethod(Method m) {
+  if (m.gf >= gfs_.size()) {
+    return Status::InvalidArgument("method references unknown generic function");
+  }
+  GenericFunction& gf = gfs_[m.gf];
+  if (static_cast<int>(m.sig.params.size()) != gf.arity) {
+    return Status::InvalidArgument(
+        "method '" + m.label.str() + "' has " +
+        std::to_string(m.sig.params.size()) + " formals but '" +
+        gf.name.str() + "' has arity " + std::to_string(gf.arity));
+  }
+  if (m.label.empty() || method_index_.count(m.label) > 0) {
+    return Status::AlreadyExists("method label '" + m.label.str() +
+                                 "' missing or already in use");
+  }
+  for (TypeId t : m.sig.params) {
+    if (t >= types_.NumTypes()) {
+      return Status::InvalidArgument("method '" + m.label.str() +
+                                     "' references out-of-range formal type");
+    }
+  }
+  if (!m.param_names.empty() &&
+      m.param_names.size() != m.sig.params.size()) {
+    return Status::InvalidArgument("method '" + m.label.str() +
+                                   "' parameter-name count mismatch");
+  }
+  // Methods with identical formals are permitted (the paper's u1(A)/u2(A));
+  // dispatch breaks the tie by registration order, the model's method
+  // precedence mechanism.
+  if (m.kind == MethodKind::kReader || m.kind == MethodKind::kMutator) {
+    if (m.attr == kInvalidAttr || m.attr >= types_.NumAttributes()) {
+      return Status::InvalidArgument("accessor '" + m.label.str() +
+                                     "' has no attribute");
+    }
+    const AttributeDef& attr = types_.attribute(m.attr);
+    size_t want_arity = m.kind == MethodKind::kReader ? 1 : 2;
+    if (m.sig.params.size() != want_arity) {
+      return Status::InvalidArgument("accessor '" + m.label.str() +
+                                     "' has wrong arity");
+    }
+    if (!types_.AttributeAvailableAt(m.sig.params[0], m.attr)) {
+      return Status::InvalidArgument(
+          "accessor '" + m.label.str() + "': attribute '" + attr.name.str() +
+          "' is not available at '" + types_.TypeName(m.sig.params[0]) + "'");
+    }
+    if (m.kind == MethodKind::kReader && m.sig.result != attr.value_type) {
+      return Status::InvalidArgument("reader '" + m.label.str() +
+                                     "' result type must match attribute");
+    }
+    if (m.kind == MethodKind::kMutator &&
+        (m.sig.params[1] != attr.value_type ||
+         m.sig.result != builtins_.void_type)) {
+      return Status::InvalidArgument("mutator '" + m.label.str() +
+                                     "' must be (T, V) -> Void");
+    }
+    if (m.body != nullptr) {
+      return Status::InvalidArgument("accessor '" + m.label.str() +
+                                     "' must not have a body");
+    }
+  }
+  MethodId id = static_cast<MethodId>(methods_.size());
+  if (m.kind == MethodKind::kReader) readers_.emplace(m.attr, id);
+  if (m.kind == MethodKind::kMutator) mutators_.emplace(m.attr, id);
+  gf.methods.push_back(id);
+  method_index_.emplace(m.label, id);
+  methods_.push_back(std::move(m));
+  return id;
+}
+
+Result<MethodId> Schema::FindMethod(std::string_view label) const {
+  auto it = method_index_.find(Symbol::Intern(label));
+  if (it == method_index_.end()) {
+    return Status::NotFound("no method labeled '" + std::string(label) + "'");
+  }
+  return it->second;
+}
+
+MethodId Schema::ReaderOf(AttrId attr) const {
+  auto it = readers_.find(attr);
+  return it == readers_.end() ? kInvalidMethod : it->second;
+}
+
+MethodId Schema::MutatorOf(AttrId attr) const {
+  auto it = mutators_.find(attr);
+  return it == mutators_.end() ? kInvalidMethod : it->second;
+}
+
+std::vector<MethodId> Schema::AllMethods() const {
+  std::vector<MethodId> out;
+  out.reserve(methods_.size());
+  for (MethodId id = 0; id < methods_.size(); ++id) out.push_back(id);
+  return out;
+}
+
+Status Schema::Validate() const {
+  TYDER_RETURN_IF_ERROR(types_.Validate());
+  for (GfId g = 0; g < gfs_.size(); ++g) {
+    for (MethodId m : gfs_[g].methods) {
+      if (m >= methods_.size() || methods_[m].gf != g) {
+        return Status::Internal("generic function '" + gfs_[g].name.str() +
+                                "' lists a method it does not own");
+      }
+    }
+  }
+  for (MethodId id = 0; id < methods_.size(); ++id) {
+    const Method& m = methods_[id];
+    if (m.gf >= gfs_.size()) {
+      return Status::Internal("method '" + m.label.str() + "' has bad gf id");
+    }
+    if (static_cast<int>(m.sig.params.size()) != gfs_[m.gf].arity) {
+      return Status::Internal("method '" + m.label.str() +
+                              "' arity drifted from its generic function");
+    }
+    if (m.kind != MethodKind::kGeneral) {
+      if (m.attr >= types_.NumAttributes()) {
+        return Status::Internal("accessor '" + m.label.str() +
+                                "' has bad attribute id");
+      }
+      if (!types_.AttributeAvailableAt(m.sig.params[0], m.attr)) {
+        return Status::Internal(
+            "accessor '" + m.label.str() +
+            "': attribute no longer available at its formal type");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tyder

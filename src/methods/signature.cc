@@ -1,0 +1,21 @@
+#include "methods/signature.h"
+
+namespace tyder {
+
+std::string SignatureToString(const TypeGraph& graph, std::string_view name,
+                              const Signature& sig) {
+  std::string out(name);
+  out += "(";
+  for (size_t i = 0; i < sig.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += graph.TypeName(sig.params[i]);
+  }
+  out += ")";
+  if (sig.result != kInvalidType) {
+    out += " -> ";
+    out += graph.TypeName(sig.result);
+  }
+  return out;
+}
+
+}  // namespace tyder

@@ -1,0 +1,31 @@
+// Method signatures: formal parameter types and result type. The paper
+// writes a method of an n-ary generic function m as m_k(T₁ᵏ, …, Tₙᵏ).
+
+#ifndef TYDER_METHODS_SIGNATURE_H_
+#define TYDER_METHODS_SIGNATURE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "objmodel/type_graph.h"
+
+namespace tyder {
+
+struct Signature {
+  std::vector<TypeId> params;
+  TypeId result = kInvalidType;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.params == b.params && a.result == b.result;
+  }
+};
+
+// "name(T1, T2) -> R"
+std::string SignatureToString(const TypeGraph& graph, std::string_view name,
+                              const Signature& sig);
+
+}  // namespace tyder
+
+#endif  // TYDER_METHODS_SIGNATURE_H_

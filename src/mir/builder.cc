@@ -1,0 +1,103 @@
+#include "mir/builder.h"
+
+namespace tyder::mir {
+
+namespace {
+std::shared_ptr<Expr> Node(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr Param(int index) {
+  auto e = Node(ExprKind::kParamRef);
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr Var(std::string_view name) {
+  auto e = Node(ExprKind::kVarRef);
+  e->var = Symbol::Intern(name);
+  return e;
+}
+
+ExprPtr IntLit(int64_t v) {
+  auto e = Node(ExprKind::kIntLit);
+  e->int_val = v;
+  return e;
+}
+
+ExprPtr FloatLit(double v) {
+  auto e = Node(ExprKind::kFloatLit);
+  e->float_val = v;
+  return e;
+}
+
+ExprPtr BoolLit(bool v) {
+  auto e = Node(ExprKind::kBoolLit);
+  e->bool_val = v;
+  return e;
+}
+
+ExprPtr StringLit(std::string v) {
+  auto e = Node(ExprKind::kStringLit);
+  e->str_val = std::move(v);
+  return e;
+}
+
+ExprPtr Call(GfId callee, std::vector<ExprPtr> args) {
+  auto e = Node(ExprKind::kCall);
+  e->callee = callee;
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr BinOp(BinOpKind op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = Node(ExprKind::kBinOp);
+  e->op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Seq(std::vector<ExprPtr> stmts) {
+  auto e = Node(ExprKind::kSeq);
+  e->children = std::move(stmts);
+  return e;
+}
+
+ExprPtr Decl(std::string_view name, TypeId type, ExprPtr init) {
+  auto e = Node(ExprKind::kDecl);
+  e->var = Symbol::Intern(name);
+  e->decl_type = type;
+  if (init != nullptr) e->children.push_back(std::move(init));
+  return e;
+}
+
+ExprPtr Assign(std::string_view name, ExprPtr value) {
+  auto e = Node(ExprKind::kAssign);
+  e->var = Symbol::Intern(name);
+  e->children.push_back(std::move(value));
+  return e;
+}
+
+ExprPtr Return(ExprPtr value) {
+  auto e = Node(ExprKind::kReturn);
+  if (value != nullptr) e->children.push_back(std::move(value));
+  return e;
+}
+
+ExprPtr If(ExprPtr cond, ExprPtr then_seq, ExprPtr else_seq) {
+  auto e = Node(ExprKind::kIf);
+  e->children = {std::move(cond), std::move(then_seq)};
+  if (else_seq != nullptr) e->children.push_back(std::move(else_seq));
+  return e;
+}
+
+ExprPtr ExprStmt(ExprPtr expr) {
+  auto e = Node(ExprKind::kExprStmt);
+  e->children.push_back(std::move(expr));
+  return e;
+}
+
+}  // namespace tyder::mir

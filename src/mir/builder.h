@@ -1,0 +1,35 @@
+// Fluent constructors for MIR trees. Method bodies in tests, examples, and
+// the TDL analyzer are all assembled through these helpers.
+
+#ifndef TYDER_MIR_BUILDER_H_
+#define TYDER_MIR_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mir/expr.h"
+
+namespace tyder::mir {
+
+ExprPtr Param(int index);
+ExprPtr Var(std::string_view name);
+ExprPtr IntLit(int64_t v);
+ExprPtr FloatLit(double v);
+ExprPtr BoolLit(bool v);
+ExprPtr StringLit(std::string v);
+ExprPtr Call(GfId callee, std::vector<ExprPtr> args);
+ExprPtr BinOp(BinOpKind op, ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr Seq(std::vector<ExprPtr> stmts);
+// var : type;  /  var : type = init;
+ExprPtr Decl(std::string_view name, TypeId type, ExprPtr init = nullptr);
+ExprPtr Assign(std::string_view name, ExprPtr value);
+ExprPtr Return(ExprPtr value = nullptr);
+ExprPtr If(ExprPtr cond, ExprPtr then_seq, ExprPtr else_seq = nullptr);
+ExprPtr ExprStmt(ExprPtr expr);
+
+}  // namespace tyder::mir
+
+#endif  // TYDER_MIR_BUILDER_H_

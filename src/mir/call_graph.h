@@ -1,0 +1,48 @@
+// Extraction of the generic-function calls IsApplicable must check
+// (paper Section 4.1): for a method m_k under test against source type T,
+// the calls in m_k's body "that are relevant to the arguments of m_k" — i.e.
+// calls with at least one argument that (a) receives, by def-use flow, the
+// value of a formal of m_k whose type is T or a supertype of T, and (b) has
+// static type T or a supertype of T (so an instance of the derived type T̃
+// could appear there at run time).
+
+#ifndef TYDER_MIR_CALL_GRAPH_H_
+#define TYDER_MIR_CALL_GRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "methods/schema.h"
+#include "mir/expr.h"
+
+namespace tyder {
+
+struct RelevantCall {
+  GfId gf = kInvalidGf;
+  // Static type of each actual argument, under the original schema.
+  std::vector<TypeId> arg_static_types;
+  // arg_source_related[j]: argument j satisfies (a) and (b) above — the
+  // positions where T̃ may stand in for T. IsApplicable's single- vs
+  // multiple-argument substitution cases (Section 4) key off how many are set.
+  std::vector<bool> arg_source_related;
+
+  size_t NumSourceRelated() const {
+    size_t n = 0;
+    for (bool b : arg_source_related) n += b ? 1 : 0;
+    return n;
+  }
+};
+
+// All relevant calls in m's body with respect to source type `source`, in
+// body order (the order IsApplicable checks them). Accessors return empty.
+Result<std::vector<RelevantCall>> ExtractRelevantCalls(const Schema& schema,
+                                                       MethodId m,
+                                                       TypeId source);
+
+// The static call graph edge set: for each general method, the generic
+// functions its body calls (used by scalability benches and diagnostics).
+std::vector<GfId> CalledGenericFunctions(const Method& m);
+
+}  // namespace tyder
+
+#endif  // TYDER_MIR_CALL_GRAPH_H_

@@ -1,0 +1,93 @@
+#include "mir/dataflow.h"
+
+namespace tyder {
+
+namespace {
+
+// One pass over the body, merging reaching-params facts; returns whether any
+// fact changed. Repeated to fixpoint to handle use-before-def chains in the
+// flow-insensitive model.
+bool Propagate(const ExprPtr& body, FlowInfo* info) {
+  bool changed = false;
+  auto merge = [&changed](std::set<int>& into, const std::set<int>& from) {
+    for (int i : from) {
+      if (into.insert(i).second) changed = true;
+    }
+  };
+  VisitPreorder(body, [&](const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kDecl:
+        if (!e.children.empty()) {
+          merge(info->var_reached_by[e.var],
+                ReachingParams(*info, *e.children[0]));
+        }
+        break;
+      case ExprKind::kAssign:
+        merge(info->var_reached_by[e.var],
+              ReachingParams(*info, *e.children[0]));
+        break;
+      case ExprKind::kReturn:
+        if (!e.children.empty()) {
+          merge(info->return_reached_by, ReachingParams(*info, *e.children[0]));
+        }
+        break;
+      default:
+        break;
+    }
+  });
+  return changed;
+}
+
+}  // namespace
+
+std::set<int> ReachingParams(const FlowInfo& info, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kParamRef:
+      return {e.param_index};
+    case ExprKind::kVarRef: {
+      auto it = info.var_reached_by.find(e.var);
+      return it == info.var_reached_by.end() ? std::set<int>{} : it->second;
+    }
+    default:
+      // Calls and arithmetic produce fresh values; literals carry nothing.
+      return {};
+  }
+}
+
+Result<FlowInfo> AnalyzeFlow(const Schema& schema, MethodId m) {
+  FlowInfo info;
+  const Method& method = schema.method(m);
+  if (method.body == nullptr) return info;
+  VisitPreorder(method.body, [&info](const Expr& e) {
+    if (e.kind == ExprKind::kDecl) {
+      info.var_types[e.var] = e.decl_type;
+      info.var_reached_by.emplace(e.var, std::set<int>{});
+    }
+  });
+  while (Propagate(method.body, &info)) {
+  }
+  return info;
+}
+
+Result<std::set<TypeId>> TypesAssignedFrom(const Schema& schema,
+                                           const std::vector<MethodId>& methods,
+                                           const std::set<TypeId>& x_types) {
+  std::set<TypeId> y;
+  for (MethodId m : methods) {
+    const Method& method = schema.method(m);
+    if (method.body == nullptr) continue;
+    TYDER_ASSIGN_OR_RETURN(FlowInfo info, AnalyzeFlow(schema, m));
+    for (const auto& [var, reached_by] : info.var_reached_by) {
+      for (int param : reached_by) {
+        TypeId formal = method.sig.params[param];
+        if (x_types.count(formal) > 0) {
+          y.insert(info.var_types.at(var));
+          break;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace tyder

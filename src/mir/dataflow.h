@@ -1,0 +1,55 @@
+// Definition-use flow analysis over method bodies (paper Sections 4.1, 6.3,
+// 6.4). Flow-insensitive and conservative: a local is "reached by" a formal
+// parameter if any chain of declarations-with-init / assignments can carry
+// the parameter's value into it. Call results and arithmetic do not carry
+// reachability (a call returns a fresh value, not the parameter object).
+//
+// This one analysis backs three consumers:
+//   - call_graph.h: which call arguments correspond to formals of the method
+//     (IsApplicable's "relevant" generic-function calls);
+//   - FactorMethods: which local declarations must be retyped to surrogate
+//     types (Section 6.3's reachability set);
+//   - Augment: the set Y of types transitively assigned values of types in X
+//     (Section 6.4).
+
+#ifndef TYDER_MIR_DATAFLOW_H_
+#define TYDER_MIR_DATAFLOW_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "methods/schema.h"
+#include "mir/expr.h"
+
+namespace tyder {
+
+struct FlowInfo {
+  // For each local variable: the set of formal-parameter indices whose value
+  // can reach it.
+  std::unordered_map<Symbol, std::set<int>, SymbolHash> var_reached_by;
+  // For each local variable: its declared type.
+  std::unordered_map<Symbol, TypeId, SymbolHash> var_types;
+  // Formal indices whose value can reach a returned expression.
+  std::set<int> return_reached_by;
+};
+
+// Runs the fixpoint analysis on `m`'s body (empty FlowInfo for accessors).
+Result<FlowInfo> AnalyzeFlow(const Schema& schema, MethodId m);
+
+// Formal indices that can reach the value of `e` within a body already
+// analyzed into `info` (ParamRef -> itself, VarRef -> var_reached_by, all
+// else empty).
+std::set<int> ReachingParams(const FlowInfo& info, const Expr& e);
+
+// Section 6.4's set Y: declared types of locals (plus result types) that are
+// transitively assigned a value of one of the types in `x_types`, across all
+// of `methods`. A local participates when it is reached by a formal whose
+// type is in `x_types`.
+Result<std::set<TypeId>> TypesAssignedFrom(const Schema& schema,
+                                           const std::vector<MethodId>& methods,
+                                           const std::set<TypeId>& x_types);
+
+}  // namespace tyder
+
+#endif  // TYDER_MIR_DATAFLOW_H_

@@ -1,0 +1,61 @@
+#include "mir/expr.h"
+
+namespace tyder {
+
+bool IsStatement(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kSeq:
+    case ExprKind::kDecl:
+    case ExprKind::kAssign:
+    case ExprKind::kReturn:
+    case ExprKind::kIf:
+    case ExprKind::kExprStmt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr RewriteBottomUp(const ExprPtr& root,
+                        const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  if (root == nullptr) return root;
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(root->children.size());
+  for (const ExprPtr& child : root->children) {
+    ExprPtr rewritten = RewriteBottomUp(child, fn);
+    changed = changed || rewritten != child;
+    new_children.push_back(std::move(rewritten));
+  }
+  ExprPtr node = root;
+  if (changed) {
+    auto copy = std::make_shared<Expr>(*root);
+    copy->children = std::move(new_children);
+    node = std::move(copy);
+  }
+  return fn(node);
+}
+
+void VisitPreorder(const ExprPtr& root,
+                   const std::function<void(const Expr&)>& fn) {
+  if (root == nullptr) return;
+  fn(*root);
+  for (const ExprPtr& child : root->children) VisitPreorder(child, fn);
+}
+
+const char* BinOpName(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd: return "+";
+    case BinOpKind::kSub: return "-";
+    case BinOpKind::kMul: return "*";
+    case BinOpKind::kDiv: return "/";
+    case BinOpKind::kLt: return "<";
+    case BinOpKind::kLe: return "<=";
+    case BinOpKind::kEq: return "==";
+    case BinOpKind::kAnd: return "and";
+    case BinOpKind::kOr: return "or";
+  }
+  return "?";
+}
+
+}  // namespace tyder

@@ -1,0 +1,88 @@
+// MIR: the method intermediate representation. General method bodies are
+// immutable expression trees over a small statement/expression language rich
+// enough for everything the paper needs: generic-function calls (including
+// accessor calls — accessors are ordinary generic functions), local variable
+// declarations and assignments (Section 6.3's retyping problem), returns,
+// conditionals, and arithmetic so that methods like `income` actually compute.
+//
+// Trees are immutable and shared via shared_ptr<const Expr>; rewriting (e.g.
+// FactorMethods' retyping of local declarations) produces new trees.
+
+#ifndef TYDER_MIR_EXPR_H_
+#define TYDER_MIR_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/symbol.h"
+
+namespace tyder {
+
+enum class ExprKind {
+  // Expressions
+  kParamRef,   // formal parameter, by index
+  kVarRef,     // local variable, by name
+  kIntLit,
+  kFloatLit,
+  kBoolLit,
+  kStringLit,
+  kCall,       // generic function call: children = arguments
+  kBinOp,      // children = {lhs, rhs}
+  // Statements (evaluate to Void unless noted)
+  kSeq,        // children = statements, in order
+  kDecl,       // declare local `var : decl_type`; children = {init} or {}
+  kAssign,     // children = {value}; assigns to `var`
+  kReturn,     // children = {value} or {} for bare return
+  kIf,         // children = {cond, then_seq} or {cond, then_seq, else_seq}
+  kExprStmt,   // children = {expr}; evaluate and discard
+};
+
+enum class BinOpKind { kAdd, kSub, kMul, kDiv, kLt, kLe, kEq, kAnd, kOr };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kParamRef
+  int param_index = -1;
+  // kVarRef / kDecl / kAssign
+  Symbol var;
+  // kDecl: declared static type of the local
+  TypeId decl_type = kInvalidType;
+  // literals
+  int64_t int_val = 0;
+  double float_val = 0.0;
+  bool bool_val = false;
+  std::string str_val;
+  // kCall
+  GfId callee = kInvalidGf;
+  // kBinOp
+  BinOpKind op = BinOpKind::kAdd;
+
+  std::vector<ExprPtr> children;
+};
+
+// True for the statement kinds (kSeq..kExprStmt).
+bool IsStatement(ExprKind kind);
+
+// Structural deep-rewrite: applies `fn` bottom-up; `fn` receives a node whose
+// children have already been rewritten and returns either the node unchanged
+// or a replacement. Used by FactorMethods to retype declarations.
+ExprPtr RewriteBottomUp(const ExprPtr& root,
+                        const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+// Preorder visit of every node.
+void VisitPreorder(const ExprPtr& root,
+                   const std::function<void(const Expr&)>& fn);
+
+const char* BinOpName(BinOpKind op);
+
+}  // namespace tyder
+
+#endif  // TYDER_MIR_EXPR_H_

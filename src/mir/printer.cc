@@ -1,0 +1,146 @@
+#include "mir/printer.h"
+
+#include <sstream>
+
+namespace tyder {
+
+namespace {
+
+void Render(const Schema& schema, const Method& method, const ExprPtr& node,
+            std::ostringstream& out) {
+  const Expr& e = *node;
+  switch (e.kind) {
+    case ExprKind::kParamRef: {
+      if (e.param_index >= 0 &&
+          e.param_index < static_cast<int>(method.param_names.size())) {
+        out << method.param_names[e.param_index].view();
+      } else {
+        out << "$" << e.param_index;
+      }
+      return;
+    }
+    case ExprKind::kVarRef:
+      out << e.var.view();
+      return;
+    case ExprKind::kIntLit:
+      out << e.int_val;
+      return;
+    case ExprKind::kFloatLit:
+      out << e.float_val;
+      return;
+    case ExprKind::kBoolLit:
+      out << (e.bool_val ? "true" : "false");
+      return;
+    case ExprKind::kStringLit:
+      out << '"' << e.str_val << '"';
+      return;
+    case ExprKind::kCall: {
+      out << schema.gf(e.callee).name.view() << "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out << ", ";
+        Render(schema, method, e.children[i], out);
+      }
+      out << ")";
+      return;
+    }
+    case ExprKind::kBinOp: {
+      out << "(";
+      Render(schema, method, e.children[0], out);
+      out << " " << BinOpName(e.op) << " ";
+      Render(schema, method, e.children[1], out);
+      out << ")";
+      return;
+    }
+    case ExprKind::kSeq: {
+      out << "{ ";
+      for (const ExprPtr& stmt : e.children) {
+        Render(schema, method, stmt, out);
+        out << " ";
+      }
+      out << "}";
+      return;
+    }
+    case ExprKind::kDecl: {
+      out << e.var.view() << ": " << schema.types().TypeName(e.decl_type);
+      if (!e.children.empty()) {
+        out << " = ";
+        Render(schema, method, e.children[0], out);
+      }
+      out << ";";
+      return;
+    }
+    case ExprKind::kAssign: {
+      out << e.var.view() << " = ";
+      Render(schema, method, e.children[0], out);
+      out << ";";
+      return;
+    }
+    case ExprKind::kReturn: {
+      out << "return";
+      if (!e.children.empty()) {
+        out << " ";
+        Render(schema, method, e.children[0], out);
+      }
+      out << ";";
+      return;
+    }
+    case ExprKind::kIf: {
+      out << "if (";
+      Render(schema, method, e.children[0], out);
+      out << ") ";
+      Render(schema, method, e.children[1], out);
+      if (e.children.size() > 2) {
+        out << " else ";
+        Render(schema, method, e.children[2], out);
+      }
+      return;
+    }
+    case ExprKind::kExprStmt: {
+      Render(schema, method, e.children[0], out);
+      out << ";";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Schema& schema, const Method& method,
+                      const ExprPtr& expr) {
+  std::ostringstream out;
+  Render(schema, method, expr, out);
+  return out.str();
+}
+
+std::string PrintMethod(const Schema& schema, MethodId m) {
+  const Method& method = schema.method(m);
+  std::ostringstream out;
+  out << method.label.view() << ": ";
+  std::string gf_name = schema.gf(method.gf).name.str();
+  out << SignatureToString(schema.types(), gf_name, method.sig);
+  switch (method.kind) {
+    case MethodKind::kReader:
+      out << " [reader of "
+          << schema.types().attribute(method.attr).name.view() << "]";
+      break;
+    case MethodKind::kMutator:
+      out << " [mutator of "
+          << schema.types().attribute(method.attr).name.view() << "]";
+      break;
+    case MethodKind::kGeneral:
+      out << " = " << PrintExpr(schema, method, method.body);
+      break;
+  }
+  return out.str();
+}
+
+std::string PrintAllMethods(const Schema& schema) {
+  std::string out;
+  for (MethodId m = 0; m < schema.NumMethods(); ++m) {
+    out += PrintMethod(schema, m);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tyder

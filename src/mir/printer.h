@@ -1,0 +1,27 @@
+// Textual rendering of method bodies and whole methods, in the paper's style:
+//   v1(a: A, c: C) -> Void = { u(a); w(c); }
+
+#ifndef TYDER_MIR_PRINTER_H_
+#define TYDER_MIR_PRINTER_H_
+
+#include <string>
+
+#include "methods/schema.h"
+#include "mir/expr.h"
+
+namespace tyder {
+
+// Renders one expression/statement (no trailing newline for expressions).
+std::string PrintExpr(const Schema& schema, const Method& method,
+                      const ExprPtr& expr);
+
+// "label(gf): sig = { body }" for general methods; accessors render as
+// "label(gf): sig [reader of attr]" etc.
+std::string PrintMethod(const Schema& schema, MethodId m);
+
+// Every method in the schema, one per line.
+std::string PrintAllMethods(const Schema& schema);
+
+}  // namespace tyder
+
+#endif  // TYDER_MIR_PRINTER_H_

@@ -1,0 +1,284 @@
+#include "mir/type_check.h"
+
+#include "methods/precedence.h"
+
+namespace tyder {
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Schema& schema, const Signature& sig,
+          const std::vector<Symbol>& param_names, const ExprPtr& body)
+      : schema_(schema), sig_(sig), param_names_(param_names), body_(body) {}
+
+  Result<TypeAnnotations> Run() {
+    if (body_ == nullptr) return TypeAnnotations{};
+    TYDER_RETURN_IF_ERROR(CollectDecls(body_));
+    TYDER_RETURN_IF_ERROR(Check(body_));
+    return std::move(annotations_);
+  }
+
+ private:
+  // Locals are scoped to the whole body and may not shadow parameters or be
+  // declared twice (keeps the reachability analysis of Section 6.3 simple,
+  // matching the paper's flat method bodies).
+  Status CollectDecls(const ExprPtr& node) {
+    Status status = Status::OK();
+    VisitPreorder(node, [this, &status](const Expr& e) {
+      if (!status.ok() || e.kind != ExprKind::kDecl) return;
+      if (locals_.count(e.var) > 0) {
+        status = Status::TypeError("local '" + e.var.str() +
+                                   "' declared more than once");
+        return;
+      }
+      for (Symbol p : param_names_) {
+        if (p == e.var) {
+          status = Status::TypeError("local '" + e.var.str() +
+                                     "' shadows a parameter");
+          return;
+        }
+      }
+      if (e.decl_type >= schema_.types().NumTypes()) {
+        status = Status::TypeError("local '" + e.var.str() +
+                                   "' has an unknown declared type");
+        return;
+      }
+      locals_.emplace(e.var, e.decl_type);
+    });
+    return status;
+  }
+
+  Status Check(const ExprPtr& node) {
+    TYDER_ASSIGN_OR_RETURN(TypeId t, TypeOf(node));
+    annotations_[node.get()] = t;
+    return Status::OK();
+  }
+
+  Result<TypeId> TypeOf(const ExprPtr& node) {
+    const Expr& e = *node;
+    const BuiltinTypes& b = schema_.builtins();
+    switch (e.kind) {
+      case ExprKind::kParamRef: {
+        if (e.param_index < 0 ||
+            e.param_index >= static_cast<int>(sig_.params.size())) {
+          return Status::TypeError("parameter index out of range");
+        }
+        return sig_.params[e.param_index];
+      }
+      case ExprKind::kVarRef: {
+        auto it = locals_.find(e.var);
+        if (it == locals_.end()) {
+          return Status::TypeError("use of undeclared local '" + e.var.str() +
+                                   "'");
+        }
+        return it->second;
+      }
+      case ExprKind::kIntLit:
+        return b.int_type;
+      case ExprKind::kFloatLit:
+        return b.float_type;
+      case ExprKind::kBoolLit:
+        return b.bool_type;
+      case ExprKind::kStringLit:
+        return b.string_type;
+      case ExprKind::kCall:
+        return TypeOfCall(node);
+      case ExprKind::kBinOp:
+        return TypeOfBinOp(node);
+      case ExprKind::kSeq: {
+        for (const ExprPtr& stmt : e.children) {
+          TYDER_RETURN_IF_ERROR(Check(stmt));
+        }
+        return b.void_type;
+      }
+      case ExprKind::kDecl: {
+        if (!e.children.empty()) {
+          TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+          TypeId init = annotations_[e.children[0].get()];
+          if (!schema_.types().IsSubtype(init, e.decl_type)) {
+            return Status::TypeError(
+                "initializer of '" + e.var.str() + "' has type '" +
+                schema_.types().TypeName(init) + "', not a subtype of '" +
+                schema_.types().TypeName(e.decl_type) + "'");
+          }
+        }
+        return b.void_type;
+      }
+      case ExprKind::kAssign: {
+        auto it = locals_.find(e.var);
+        if (it == locals_.end()) {
+          return Status::TypeError("assignment to undeclared local '" +
+                                   e.var.str() + "'");
+        }
+        TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+        TypeId rhs = annotations_[e.children[0].get()];
+        if (!schema_.types().IsSubtype(rhs, it->second)) {
+          return Status::TypeError(
+              "cannot assign '" + schema_.types().TypeName(rhs) + "' to '" +
+              e.var.str() + ": " + schema_.types().TypeName(it->second) + "'");
+        }
+        return b.void_type;
+      }
+      case ExprKind::kReturn: {
+        if (e.children.empty()) {
+          if (sig_.result != b.void_type) {
+            return Status::TypeError("bare return in non-Void method");
+          }
+          return b.void_type;
+        }
+        TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+        TypeId val = annotations_[e.children[0].get()];
+        if (!schema_.types().IsSubtype(val, sig_.result)) {
+          return Status::TypeError(
+              "return value of type '" + schema_.types().TypeName(val) +
+              "' is not a subtype of declared result '" +
+              schema_.types().TypeName(sig_.result) + "'");
+        }
+        return b.void_type;
+      }
+      case ExprKind::kIf: {
+        TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+        if (annotations_[e.children[0].get()] != b.bool_type) {
+          return Status::TypeError("if condition must be Bool");
+        }
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          TYDER_RETURN_IF_ERROR(Check(e.children[i]));
+        }
+        return b.void_type;
+      }
+      case ExprKind::kExprStmt: {
+        TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+        return b.void_type;
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Result<TypeId> TypeOfCall(const ExprPtr& node) {
+    const Expr& e = *node;
+    if (e.callee >= schema_.NumGenericFunctions()) {
+      return Status::TypeError("call to unknown generic function");
+    }
+    const GenericFunction& gf = schema_.gf(e.callee);
+    if (static_cast<int>(e.children.size()) != gf.arity) {
+      return Status::TypeError("call to '" + gf.name.str() +
+                               "' with wrong argument count");
+    }
+    std::vector<TypeId> arg_types;
+    for (const ExprPtr& arg : e.children) {
+      TYDER_RETURN_IF_ERROR(Check(arg));
+      arg_types.push_back(annotations_[arg.get()]);
+    }
+    Result<MethodId> target =
+        MostSpecificApplicable(schema_, e.callee, arg_types);
+    if (target.ok()) return schema_.method(*target).sig.result;
+    // No statically applicable method. Multi-method systems still allow the
+    // call when a method could apply at run time (the paper's w2(C) = {u(c)}
+    // where u's methods take subtypes of C): accept any method where, at
+    // every position, the formal and the static argument type share a common
+    // subtype — a run-time value could then satisfy both. (Sharing through a
+    // common subtype, not mere pairwise ≼-relatedness, matters after
+    // FactorMethods lifts formals to surrogates: formal ~F and static type T
+    // relate only through their common subtype F.)
+    for (MethodId m : schema_.gf(e.callee).methods) {
+      const Signature& sig = schema_.method(m).sig;
+      bool plausible = true;
+      for (size_t i = 0; i < arg_types.size(); ++i) {
+        if (!ShareSubtype(arg_types[i], sig.params[i])) {
+          plausible = false;
+          break;
+        }
+      }
+      if (plausible) return sig.result;
+    }
+    return Status::TypeError(target.status().message());
+  }
+
+  // True iff some type is a subtype of both `a` and `b` (always true when
+  // they are ≼-related in either direction).
+  bool ShareSubtype(TypeId a, TypeId b) const {
+    if (schema_.types().IsSubtype(a, b) || schema_.types().IsSubtype(b, a)) {
+      return true;
+    }
+    for (TypeId u = 0; u < schema_.types().NumTypes(); ++u) {
+      if (schema_.types().IsSubtype(u, a) && schema_.types().IsSubtype(u, b)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<TypeId> TypeOfBinOp(const ExprPtr& node) {
+    const Expr& e = *node;
+    const BuiltinTypes& b = schema_.builtins();
+    TYDER_RETURN_IF_ERROR(Check(e.children[0]));
+    TYDER_RETURN_IF_ERROR(Check(e.children[1]));
+    TypeId lhs = annotations_[e.children[0].get()];
+    TypeId rhs = annotations_[e.children[1].get()];
+    // Date participates in arithmetic as an integer day/year number.
+    auto numeric = [&](TypeId t) {
+      return t == b.int_type || t == b.float_type || t == b.date_type;
+    };
+    switch (e.op) {
+      case BinOpKind::kAdd:
+      case BinOpKind::kSub:
+      case BinOpKind::kMul:
+      case BinOpKind::kDiv:
+        if (!numeric(lhs) || !numeric(rhs)) {
+          return Status::TypeError("arithmetic requires Int/Float operands");
+        }
+        return (lhs == b.float_type || rhs == b.float_type) ? b.float_type
+                                                            : b.int_type;
+      case BinOpKind::kLt:
+      case BinOpKind::kLe:
+        if (!numeric(lhs) || !numeric(rhs)) {
+          return Status::TypeError("comparison requires Int/Float operands");
+        }
+        return b.bool_type;
+      case BinOpKind::kEq:
+        return b.bool_type;
+      case BinOpKind::kAnd:
+      case BinOpKind::kOr:
+        if (lhs != b.bool_type || rhs != b.bool_type) {
+          return Status::TypeError("and/or require Bool operands");
+        }
+        return b.bool_type;
+    }
+    return Status::Internal("unhandled binary operator");
+  }
+
+  const Schema& schema_;
+  const Signature& sig_;
+  const std::vector<Symbol>& param_names_;
+  const ExprPtr& body_;
+  std::unordered_map<Symbol, TypeId, SymbolHash> locals_;
+  TypeAnnotations annotations_;
+};
+
+}  // namespace
+
+Result<TypeAnnotations> TypeCheckMethod(const Schema& schema, MethodId m) {
+  const Method& method = schema.method(m);
+  return Checker(schema, method.sig, method.param_names, method.body).Run();
+}
+
+Result<TypeAnnotations> TypeCheckBody(const Schema& schema,
+                                      const Signature& sig,
+                                      const std::vector<Symbol>& param_names,
+                                      const ExprPtr& body) {
+  return Checker(schema, sig, param_names, body).Run();
+}
+
+Status TypeCheckSchema(const Schema& schema) {
+  for (MethodId m = 0; m < schema.NumMethods(); ++m) {
+    Result<TypeAnnotations> result = TypeCheckMethod(schema, m);
+    if (!result.ok()) {
+      return result.status().WithContext("method '" +
+                                         schema.method(m).label.str() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tyder

@@ -1,0 +1,42 @@
+// Static typing of method bodies. Computes the static type of every MIR node
+// and enforces the model's typing rules:
+//   - locals are declared once, before use;
+//   - assignment/initialization requires rhs ≼ declared type (this is exactly
+//     the `g ← c` rule whose preservation forces Section 6.3's retyping);
+//   - generic-function calls must have a statically applicable method; the
+//     call's static type is the result type of the most specific one;
+//   - `return e` requires static(e) ≼ declared result type;
+//   - `if` conditions are Bool; arithmetic is over Int/Float, comparisons
+//     yield Bool.
+
+#ifndef TYDER_MIR_TYPE_CHECK_H_
+#define TYDER_MIR_TYPE_CHECK_H_
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "methods/schema.h"
+#include "mir/expr.h"
+
+namespace tyder {
+
+// Static type of each node (statements are Void).
+using TypeAnnotations = std::unordered_map<const Expr*, TypeId>;
+
+// Checks one general method; accessors trivially pass (empty annotations).
+Result<TypeAnnotations> TypeCheckMethod(const Schema& schema, MethodId m);
+
+// Checks a free-standing body (e.g. a query predicate) against the given
+// signature and parameter names — the same rules as a method body.
+Result<TypeAnnotations> TypeCheckBody(const Schema& schema,
+                                      const Signature& sig,
+                                      const std::vector<Symbol>& param_names,
+                                      const ExprPtr& body);
+
+// Checks every method in the schema; first failure wins, with the method
+// label prepended for context.
+Status TypeCheckSchema(const Schema& schema);
+
+}  // namespace tyder
+
+#endif  // TYDER_MIR_TYPE_CHECK_H_

@@ -1,0 +1,13 @@
+#include "objmodel/attribute.h"
+
+namespace tyder {
+
+std::string AttributeToString(const AttributeDef& attr,
+                              std::string_view value_type_name) {
+  std::string out = attr.name.str();
+  out += ": ";
+  out += value_type_name;
+  return out;
+}
+
+}  // namespace tyder

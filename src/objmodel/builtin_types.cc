@@ -1,0 +1,30 @@
+#include "objmodel/builtin_types.h"
+
+namespace tyder {
+
+Result<BuiltinTypes> InstallBuiltins(TypeGraph& graph) {
+  if (graph.NumTypes() != 0) {
+    return Status::FailedPrecondition(
+        "builtins must be installed into an empty type graph");
+  }
+  BuiltinTypes b;
+  TYDER_ASSIGN_OR_RETURN(b.object, graph.DeclareType("Object", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.void_type, graph.DeclareType("Void", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.int_type, graph.DeclareType("Int", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.float_type, graph.DeclareType("Float", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.bool_type, graph.DeclareType("Bool", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.string_type, graph.DeclareType("String", TypeKind::kBuiltin));
+  TYDER_ASSIGN_OR_RETURN(b.date_type, graph.DeclareType("Date", TypeKind::kBuiltin));
+  for (TypeId t : {b.int_type, b.float_type, b.bool_type, b.string_type,
+                   b.date_type}) {
+    TYDER_RETURN_IF_ERROR(graph.AddSupertype(t, b.object));
+  }
+  return b;
+}
+
+bool IsValueType(const BuiltinTypes& b, TypeId t) {
+  return t == b.int_type || t == b.float_type || t == b.bool_type ||
+         t == b.string_type || t == b.date_type;
+}
+
+}  // namespace tyder

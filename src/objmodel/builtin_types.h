@@ -1,0 +1,33 @@
+// Builtin types installed into every schema: the optional root `Object` and
+// the value types used by attributes and literals. User hierarchies are not
+// auto-rooted — the paper's figures have root-less forests and we reproduce
+// them exactly; `Object` is available for schemas that want a root.
+
+#ifndef TYDER_OBJMODEL_BUILTIN_TYPES_H_
+#define TYDER_OBJMODEL_BUILTIN_TYPES_H_
+
+#include "common/result.h"
+#include "objmodel/type_graph.h"
+
+namespace tyder {
+
+struct BuiltinTypes {
+  TypeId object = kInvalidType;
+  TypeId void_type = kInvalidType;  // result type of mutators / statements
+  TypeId int_type = kInvalidType;
+  TypeId float_type = kInvalidType;
+  TypeId bool_type = kInvalidType;
+  TypeId string_type = kInvalidType;
+  TypeId date_type = kInvalidType;
+};
+
+// Declares the builtin types in `graph` (value types are subtypes of Object).
+// Must be called on an empty graph, before user types.
+Result<BuiltinTypes> InstallBuiltins(TypeGraph& graph);
+
+// True iff `t` is one of the builtin value types (not Object / Void).
+bool IsValueType(const BuiltinTypes& b, TypeId t);
+
+}  // namespace tyder
+
+#endif  // TYDER_OBJMODEL_BUILTIN_TYPES_H_

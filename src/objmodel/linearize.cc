@@ -1,0 +1,72 @@
+#include "objmodel/linearize.h"
+
+#include <algorithm>
+
+namespace tyder {
+
+namespace {
+
+// C3 merge: repeatedly take the head of some input list that appears in no
+// other list's tail. Returns false if the merge gets stuck (inconsistent
+// local precedence orders).
+bool C3Merge(std::vector<std::vector<TypeId>> inputs,
+             std::vector<TypeId>* out) {
+  auto in_a_tail = [&inputs](TypeId t) {
+    for (const auto& list : inputs) {
+      for (size_t i = 1; i < list.size(); ++i) {
+        if (list[i] == t) return true;
+      }
+    }
+    return false;
+  };
+  for (;;) {
+    // Drop exhausted lists.
+    inputs.erase(std::remove_if(inputs.begin(), inputs.end(),
+                                [](const auto& l) { return l.empty(); }),
+                 inputs.end());
+    if (inputs.empty()) return true;
+    bool progressed = false;
+    for (const auto& list : inputs) {
+      TypeId head = list.front();
+      if (in_a_tail(head)) continue;
+      out->push_back(head);
+      for (auto& l : inputs) {
+        auto it = std::find(l.begin(), l.end(), head);
+        if (it != l.end()) l.erase(it);
+      }
+      progressed = true;
+      break;
+    }
+    if (!progressed) return false;
+  }
+}
+
+bool C3Linearize(const TypeGraph& graph, TypeId t, std::vector<TypeId>* out) {
+  out->push_back(t);
+  const std::vector<TypeId>& supers = graph.type(t).supertypes();
+  if (supers.empty()) return true;
+  std::vector<std::vector<TypeId>> inputs;
+  for (TypeId s : supers) {
+    std::vector<TypeId> sub;
+    if (!C3Linearize(graph, s, &sub)) return false;
+    inputs.push_back(std::move(sub));
+  }
+  inputs.emplace_back(supers);  // preserve local precedence order
+  return C3Merge(std::move(inputs), out);
+}
+
+}  // namespace
+
+std::vector<TypeId> ClassPrecedenceList(const TypeGraph& graph, TypeId t) {
+  std::vector<TypeId> cpl;
+  if (C3Linearize(graph, t, &cpl)) return cpl;
+  // Fallback for hierarchies C3 rejects: precedence-respecting BFS.
+  return graph.SupertypeClosure(t);
+}
+
+bool HasC3Linearization(const TypeGraph& graph, TypeId t) {
+  std::vector<TypeId> cpl;
+  return C3Linearize(graph, t, &cpl);
+}
+
+}  // namespace tyder

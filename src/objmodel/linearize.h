@@ -1,0 +1,26 @@
+// Class precedence lists: a total order on each type's supertype closure,
+// derived from the local precedence order on direct supertypes via C3
+// linearization (the CLOS-family algorithm). When C3's merge fails — legal
+// in this model, since the paper only requires *some* deterministic ordering
+// mechanism — the precedence-respecting BFS order of the closure is used
+// instead. Method specificity (methods/precedence.h) builds on this.
+
+#ifndef TYDER_OBJMODEL_LINEARIZE_H_
+#define TYDER_OBJMODEL_LINEARIZE_H_
+
+#include <vector>
+
+#include "objmodel/type_graph.h"
+
+namespace tyder {
+
+// The class precedence list of `t`: t first, then every proper supertype,
+// each exactly once, in precedence order.
+std::vector<TypeId> ClassPrecedenceList(const TypeGraph& graph, TypeId t);
+
+// True iff C3's merge succeeds for `t` (no BFS fallback needed).
+bool HasC3Linearization(const TypeGraph& graph, TypeId t);
+
+}  // namespace tyder
+
+#endif  // TYDER_OBJMODEL_LINEARIZE_H_

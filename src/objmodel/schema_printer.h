@@ -1,0 +1,35 @@
+// Deterministic text and Graphviz renderings of a type hierarchy. The text
+// form is what the figure-reproduction benches print and what golden tests
+// compare against.
+
+#ifndef TYDER_OBJMODEL_SCHEMA_PRINTER_H_
+#define TYDER_OBJMODEL_SCHEMA_PRINTER_H_
+
+#include <string>
+
+#include "objmodel/type_graph.h"
+
+namespace tyder {
+
+struct PrintOptions {
+  bool include_builtins = false;  // Object/Int/... rows are usually noise
+  bool show_cumulative = false;   // also list inherited attributes
+};
+
+// One line per type, declaration order:
+//   Name [surrogate of X] { local_attr: T, ... } <- Super0(0), Super1(1), ...
+// The integer after each supertype is its precedence (0 = highest), matching
+// the edge annotations in the paper's figures.
+std::string PrintHierarchy(const TypeGraph& graph, const PrintOptions& opts = {});
+
+// Single type in the same format.
+std::string PrintType(const TypeGraph& graph, TypeId t,
+                      const PrintOptions& opts = {});
+
+// Graphviz digraph with subtype -> supertype arrows labeled by precedence;
+// surrogates drawn dashed.
+std::string ToDot(const TypeGraph& graph, const PrintOptions& opts = {});
+
+}  // namespace tyder
+
+#endif  // TYDER_OBJMODEL_SCHEMA_PRINTER_H_

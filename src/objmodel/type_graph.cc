@@ -1,0 +1,248 @@
+#include "objmodel/type_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace tyder {
+
+Result<TypeId> TypeGraph::DeclareType(std::string_view name, TypeKind kind) {
+  if (name.empty()) {
+    return Status::InvalidArgument("type name must be non-empty");
+  }
+  Symbol sym = Symbol::Intern(name);
+  if (type_index_.count(sym) > 0) {
+    return Status::AlreadyExists("type '" + std::string(name) +
+                                 "' already declared");
+  }
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.emplace_back(sym, kind);
+  type_index_.emplace(sym, id);
+  ++version_;  // new node: cached rows have the wrong width
+  return id;
+}
+
+Result<TypeId> TypeGraph::DeclareSurrogate(std::string_view name,
+                                           TypeId source) {
+  if (source >= types_.size()) {
+    return Status::InvalidArgument("surrogate source out of range");
+  }
+  TYDER_ASSIGN_OR_RETURN(TypeId id, DeclareType(name, TypeKind::kSurrogate));
+  types_[id].set_surrogate_source(source);
+  return id;
+}
+
+Status TypeGraph::AddSupertype(TypeId sub, TypeId super) {
+  if (sub >= types_.size() || super >= types_.size()) {
+    return Status::InvalidArgument("type id out of range");
+  }
+  if (sub == super) {
+    return Status::InvalidArgument("type '" + TypeName(sub) +
+                                   "' cannot be its own supertype");
+  }
+  if (types_[sub].HasDirectSupertype(super)) {
+    return Status::AlreadyExists("'" + TypeName(super) +
+                                 "' is already a direct supertype of '" +
+                                 TypeName(sub) + "'");
+  }
+  // super ≼ sub would close a cycle.
+  if (IsSubtype(super, sub)) {
+    return Status::FailedPrecondition(
+        "adding supertype '" + TypeName(super) + "' to '" + TypeName(sub) +
+        "' would create a cycle");
+  }
+  types_[sub].AppendSupertype(super);
+  ++version_;
+  return Status::OK();
+}
+
+Result<AttrId> TypeGraph::DeclareAttribute(TypeId owner, std::string_view name,
+                                           TypeId value_type) {
+  if (owner >= types_.size() || value_type >= types_.size()) {
+    return Status::InvalidArgument("type id out of range");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  Symbol sym = Symbol::Intern(name);
+  if (attr_index_.count(sym) > 0) {
+    return Status::AlreadyExists("attribute '" + std::string(name) +
+                                 "' already declared (attribute names are "
+                                 "globally unique)");
+  }
+  AttrId id = static_cast<AttrId>(attrs_.size());
+  attrs_.push_back(AttributeDef{sym, value_type, owner});
+  attr_index_.emplace(sym, id);
+  types_[owner].AddLocalAttribute(id);
+  return id;
+}
+
+Status TypeGraph::MoveAttribute(AttrId a, TypeId new_owner) {
+  if (a >= attrs_.size() || new_owner >= types_.size()) {
+    return Status::InvalidArgument("id out of range");
+  }
+  TypeId old_owner = attrs_[a].owner;
+  if (old_owner == new_owner) return Status::OK();
+  if (!types_[old_owner].RemoveLocalAttribute(a)) {
+    return Status::Internal("attribute '" + attrs_[a].name.str() +
+                            "' missing from owner's local list");
+  }
+  attrs_[a].owner = new_owner;
+  types_[new_owner].AddLocalAttribute(a);
+  return Status::OK();
+}
+
+Result<TypeId> TypeGraph::FindType(std::string_view name) const {
+  auto it = type_index_.find(Symbol::Intern(name));
+  if (it == type_index_.end()) {
+    return Status::NotFound("no type named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<AttrId> TypeGraph::FindAttribute(std::string_view name) const {
+  auto it = attr_index_.find(Symbol::Intern(name));
+  if (it == attr_index_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::vector<bool>& TypeGraph::ReachRow(TypeId t) const {
+  if (cache_version_ != version_) {
+    reach_cache_.clear();
+    cache_version_ = version_;
+  }
+  auto it = reach_cache_.find(t);
+  if (it != reach_cache_.end()) return it->second;
+  std::vector<bool> row(types_.size(), false);
+  std::deque<TypeId> queue{t};
+  row[t] = true;
+  while (!queue.empty()) {
+    TypeId cur = queue.front();
+    queue.pop_front();
+    for (TypeId s : types_[cur].supertypes()) {
+      if (!row[s]) {
+        row[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return reach_cache_.emplace(t, std::move(row)).first->second;
+}
+
+bool TypeGraph::IsSubtype(TypeId a, TypeId b) const {
+  if (a == b) return true;
+  if (cache_enabled_) return ReachRow(a)[b];
+  std::vector<bool> seen(types_.size(), false);
+  std::deque<TypeId> queue{a};
+  seen[a] = true;
+  while (!queue.empty()) {
+    TypeId t = queue.front();
+    queue.pop_front();
+    for (TypeId s : types_[t].supertypes()) {
+      if (s == b) return true;
+      if (!seen[s]) {
+        seen[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<TypeId> TypeGraph::SupertypeClosure(TypeId t) const {
+  std::vector<bool> seen(types_.size(), false);
+  std::vector<TypeId> order;
+  std::deque<TypeId> queue{t};
+  seen[t] = true;
+  while (!queue.empty()) {
+    TypeId cur = queue.front();
+    queue.pop_front();
+    order.push_back(cur);
+    for (TypeId s : types_[cur].supertypes()) {
+      if (!seen[s]) {
+        seen[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<TypeId> TypeGraph::SubtypeClosure(TypeId t) const {
+  // Supertype edges are stored sub -> super; walk all types and test.
+  // (Schemas are small enough that the O(V·E) cost is irrelevant; callers
+  // needing bulk subtype queries use Digraph::TransitiveClosure.)
+  std::vector<TypeId> out;
+  for (TypeId cand = 0; cand < types_.size(); ++cand) {
+    if (IsSubtype(cand, t)) out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<AttrId> TypeGraph::CumulativeAttributes(TypeId t) const {
+  std::vector<AttrId> out;
+  for (TypeId s : SupertypeClosure(t)) {
+    for (AttrId a : types_[s].local_attributes()) {
+      // Diamond paths visit each type once (closure is deduplicated), and an
+      // attribute has exactly one owner, so no further dedup is needed.
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+bool TypeGraph::AttributeAvailableAt(TypeId t, AttrId a) const {
+  return IsSubtype(t, attrs_[a].owner);
+}
+
+Status TypeGraph::Validate() const {
+  // Edge indices in range and acyclic.
+  for (TypeId t = 0; t < types_.size(); ++t) {
+    for (TypeId s : types_[t].supertypes()) {
+      if (s >= types_.size()) {
+        return Status::Internal("supertype id out of range for '" +
+                                TypeName(t) + "'");
+      }
+      if (IsSubtype(s, t)) {
+        return Status::Internal("cycle through '" + TypeName(t) + "' and '" +
+                                TypeName(s) + "'");
+      }
+    }
+    // Duplicate direct supertypes are ill-formed (precedence is a strict
+    // order over direct supertypes).
+    std::vector<TypeId> supers = types_[t].supertypes();
+    std::sort(supers.begin(), supers.end());
+    if (std::adjacent_find(supers.begin(), supers.end()) != supers.end()) {
+      return Status::Internal("duplicate direct supertype on '" +
+                              TypeName(t) + "'");
+    }
+  }
+  // Attribute ownership consistent with local lists.
+  for (AttrId a = 0; a < attrs_.size(); ++a) {
+    const AttributeDef& def = attrs_[a];
+    if (def.owner >= types_.size() || def.value_type >= types_.size()) {
+      return Status::Internal("attribute '" + def.name.str() +
+                              "' references out-of-range type");
+    }
+    const auto& local = types_[def.owner].local_attributes();
+    if (std::find(local.begin(), local.end(), a) == local.end()) {
+      return Status::Internal("attribute '" + def.name.str() +
+                              "' not listed by its owner '" +
+                              TypeName(def.owner) + "'");
+    }
+  }
+  for (TypeId t = 0; t < types_.size(); ++t) {
+    for (AttrId a : types_[t].local_attributes()) {
+      if (a >= attrs_.size() || attrs_[a].owner != t) {
+        return Status::Internal("type '" + TypeName(t) +
+                                "' lists an attribute it does not own");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tyder

@@ -1,0 +1,124 @@
+// TypeGraph: the type hierarchy of a schema — a rooted DAG of Type nodes with
+// ordered (precedence-carrying) supertype edges, plus the global attribute
+// registry. Implements the subtype relation ≼, cumulative-state queries with
+// once-only diamond inheritance, and the structural validation rules of the
+// paper's model (Section 2).
+
+#ifndef TYDER_OBJMODEL_TYPE_GRAPH_H_
+#define TYDER_OBJMODEL_TYPE_GRAPH_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/symbol.h"
+#include "objmodel/attribute.h"
+#include "objmodel/type.h"
+
+namespace tyder {
+
+class TypeGraph {
+ public:
+  TypeGraph() = default;
+
+  // --- construction -------------------------------------------------------
+
+  // Declares a new type with no supertypes and no attributes. Fails with
+  // AlreadyExists on a duplicate name.
+  Result<TypeId> DeclareType(std::string_view name, TypeKind kind);
+
+  // Declares a surrogate type spun off from `source` (Sections 5–6).
+  Result<TypeId> DeclareSurrogate(std::string_view name, TypeId source);
+
+  // Appends `super` as the lowest-precedence direct supertype of `sub`.
+  // Rejects self edges, duplicates, and edges that would create a cycle.
+  Status AddSupertype(TypeId sub, TypeId super);
+
+  // Declares attribute `name` of type `value_type`, locally owned by `owner`.
+  // Attribute names are globally unique (paper Section 2.1 simplification).
+  Result<AttrId> DeclareAttribute(TypeId owner, std::string_view name,
+                                  TypeId value_type);
+
+  // Re-homes attribute `a` so that `new_owner` defines it locally (used by
+  // FactorState when moving state to a surrogate).
+  Status MoveAttribute(AttrId a, TypeId new_owner);
+
+  // --- lookup --------------------------------------------------------------
+
+  size_t NumTypes() const { return types_.size(); }
+  size_t NumAttributes() const { return attrs_.size(); }
+
+  const Type& type(TypeId t) const { return types_[t]; }
+  // Handing out a mutable node may change the edge structure, so this
+  // conservatively invalidates the subtype cache.
+  Type& mutable_type(TypeId t) {
+    ++version_;
+    return types_[t];
+  }
+
+  const AttributeDef& attribute(AttrId a) const { return attrs_[a]; }
+
+  Result<TypeId> FindType(std::string_view name) const;
+  Result<AttrId> FindAttribute(std::string_view name) const;
+  std::string TypeName(TypeId t) const { return types_[t].name().str(); }
+
+  // --- relations -----------------------------------------------------------
+
+  // a ≼ b: reflexive-transitive subtype relation. Memoized per subtype row;
+  // the cache is invalidated whenever the graph (possibly) mutates. Not
+  // thread-safe.
+  bool IsSubtype(TypeId a, TypeId b) const;
+
+  // Disables/enables the reachability cache (ablation benches; default on).
+  void set_subtype_cache_enabled(bool enabled) {
+    cache_enabled_ = enabled;
+    reach_cache_.clear();
+  }
+  bool IsProperSubtype(TypeId a, TypeId b) const {
+    return a != b && IsSubtype(a, b);
+  }
+
+  // All supertypes of `t` including `t` itself, in precedence-respecting BFS
+  // order from `t` (deterministic; t first).
+  std::vector<TypeId> SupertypeClosure(TypeId t) const;
+
+  // All subtypes of `t` including `t` itself.
+  std::vector<TypeId> SubtypeClosure(TypeId t) const;
+
+  // Cumulative attributes of `t`: local attributes of every type in the
+  // supertype closure, deduplicated (diamonds contribute once), in closure
+  // order then declaration order. This is the "state" of `t`.
+  std::vector<AttrId> CumulativeAttributes(TypeId t) const;
+
+  // True iff attribute `a` is part of the cumulative state of `t` ("available
+  // at" in the paper's FactorState).
+  bool AttributeAvailableAt(TypeId t, AttrId a) const;
+
+  // --- validation ----------------------------------------------------------
+
+  // Checks global invariants: acyclicity, edge/owner index consistency, and
+  // that each type's local attribute list matches attribute ownership.
+  Status Validate() const;
+
+ private:
+  // Upward reachability row for `t` (supertype closure as a bitset).
+  const std::vector<bool>& ReachRow(TypeId t) const;
+
+  std::vector<Type> types_;
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<Symbol, TypeId, SymbolHash> type_index_;
+  std::unordered_map<Symbol, AttrId, SymbolHash> attr_index_;
+
+  // Subtype-query memoization. `version_` counts (possible) mutations;
+  // a stale cache is discarded wholesale on the next query.
+  uint64_t version_ = 0;
+  bool cache_enabled_ = true;
+  mutable uint64_t cache_version_ = 0;
+  mutable std::unordered_map<TypeId, std::vector<bool>> reach_cache_;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_OBJMODEL_TYPE_GRAPH_H_

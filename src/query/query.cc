@@ -1,0 +1,121 @@
+#include "query/query.h"
+
+#include "instances/interp.h"
+#include "lang/analyzer.h"
+#include "lang/parser.h"
+#include "mir/builder.h"
+#include "mir/type_check.h"
+
+namespace tyder {
+
+Query::Query(const Schema& schema, std::string_view type_name)
+    : schema_(schema) {
+  Result<TypeId> from = schema.types().FindType(type_name);
+  if (!from.ok()) {
+    deferred_ = from.status();
+    return;
+  }
+  from_ = *from;
+}
+
+Query& Query::Where(ExprPtr predicate) {
+  if (!deferred_.ok()) return *this;
+  if (predicate == nullptr) {
+    deferred_ = Status::InvalidArgument("null predicate");
+    return *this;
+  }
+  // Type-check as `(self: From) -> Bool { return <expr>; }`.
+  Signature sig{{from_}, schema_.builtins().bool_type};
+  std::vector<Symbol> params = {Symbol::Intern("self")};
+  ExprPtr body = mir::Seq({mir::Return(predicate)});
+  Result<TypeAnnotations> checked =
+      TypeCheckBody(schema_, sig, params, body);
+  if (!checked.ok()) {
+    deferred_ = checked.status().WithContext("query predicate");
+    return *this;
+  }
+  predicates_.push_back(std::move(body));
+  return *this;
+}
+
+Query& Query::WhereTdl(std::string_view expr) {
+  if (!deferred_.ok()) return *this;
+  Result<AstExprPtr> parsed = ParseTdlExpression(expr);
+  if (!parsed.ok()) {
+    deferred_ = parsed.status().WithContext("query predicate");
+    return *this;
+  }
+  Result<ExprPtr> lowered =
+      LowerExpression(schema_, *parsed, {{"self", from_}});
+  if (!lowered.ok()) {
+    deferred_ = lowered.status().WithContext("query predicate");
+    return *this;
+  }
+  return Where(*lowered);
+}
+
+Query& Query::Column(std::string_view gf_name) {
+  if (!deferred_.ok()) return *this;
+  Result<GfId> gf = schema_.FindGenericFunction(gf_name);
+  if (!gf.ok()) {
+    deferred_ = gf.status().WithContext("query column");
+    return *this;
+  }
+  if (schema_.gf(*gf).arity != 1) {
+    deferred_ = Status::InvalidArgument("query column '" +
+                                        std::string(gf_name) +
+                                        "' must be a unary generic function");
+    return *this;
+  }
+  // The column must be answerable by every candidate: check that the call is
+  // at least dynamically plausible for the extent type, by type-checking
+  // `gf(self)` as an expression statement.
+  Signature sig{{from_}, schema_.builtins().void_type};
+  std::vector<Symbol> params = {Symbol::Intern("self")};
+  ExprPtr body = mir::Seq({mir::ExprStmt(mir::Call(*gf, {mir::Param(0)}))});
+  Result<TypeAnnotations> checked =
+      TypeCheckBody(schema_, sig, params, body);
+  if (!checked.ok()) {
+    deferred_ = checked.status().WithContext("query column '" +
+                                             std::string(gf_name) + "'");
+    return *this;
+  }
+  columns_.push_back(*gf);
+  column_names_.emplace_back(gf_name);
+  return *this;
+}
+
+Result<QueryResult> Query::Execute(ObjectStore& store) const {
+  TYDER_RETURN_IF_ERROR(deferred_);
+  QueryResult result;
+  result.columns = column_names_;
+  Interpreter interp(schema_, &store);
+  for (ObjectId candidate : store.Extent(schema_, from_)) {
+    bool keep = true;
+    for (const ExprPtr& predicate : predicates_) {
+      TYDER_ASSIGN_OR_RETURN(
+          Value verdict,
+          interp.EvalBody(predicate, {Value::Object(candidate)}));
+      if (!verdict.is_bool()) {
+        return Status::Internal("query predicate did not yield Bool");
+      }
+      if (!verdict.AsBool()) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    result.objects.push_back(candidate);
+    std::vector<Value> row;
+    row.reserve(columns_.size());
+    for (GfId column : columns_) {
+      TYDER_ASSIGN_OR_RETURN(Value v,
+                             interp.Call(column, {Value::Object(candidate)}));
+      row.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace tyder

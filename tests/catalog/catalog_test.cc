@@ -1,0 +1,107 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildPersonEmployee();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    catalog_ = std::make_unique<Catalog>(std::move(fx->schema));
+  }
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(CatalogTest, DefineProjectionViewRecordsProvenance) {
+  auto view = catalog_->DefineProjectionView(
+      "EmployeeView", "Employee", {"SSN", "date_of_birth", "pay_rate"});
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ((*view)->name, "EmployeeView");
+  EXPECT_EQ((*view)->op, ViewOpKind::kProjection);
+  EXPECT_EQ((*view)->attributes.size(), 3u);
+  auto found = catalog_->FindView("EmployeeView");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->derived, (*view)->derived);
+}
+
+TEST_F(CatalogTest, DuplicateViewNameRejected) {
+  ASSERT_TRUE(
+      catalog_->DefineProjectionView("V", "Employee", {"SSN"}).ok());
+  EXPECT_EQ(catalog_->DefineProjectionView("V", "Employee", {"name"})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_->DefineSelectionView("V", "Employee").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, SelectionViewRecorded) {
+  auto view = catalog_->DefineSelectionView("Staff", "Employee");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ((*view)->op, ViewOpKind::kSelection);
+  EXPECT_TRUE(catalog_->schema().types().FindType("Staff").ok());
+}
+
+TEST_F(CatalogTest, GeneralizationViewRecorded) {
+  auto view =
+      catalog_->DefineGeneralizationView("Common", "Employee", "Person");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ((*view)->op, ViewOpKind::kGeneralization);
+  EXPECT_NE((*view)->source2, kInvalidType);
+}
+
+TEST_F(CatalogTest, ViewsOverViews) {
+  ASSERT_TRUE(catalog_
+                  ->DefineProjectionView(
+                      "V1", "Employee", {"SSN", "date_of_birth", "pay_rate"})
+                  .ok());
+  auto v2 = catalog_->DefineProjectionView("V2", "V1", {"SSN", "pay_rate"});
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  auto v3 = catalog_->DefineProjectionView("V3", "V2", {"SSN"});
+  ASSERT_TRUE(v3.ok()) << v3.status();
+  EXPECT_EQ(catalog_->views().size(), 3u);
+  std::set<std::string> attrs;
+  for (AttrId a :
+       catalog_->schema().types().CumulativeAttributes((*v3)->derived)) {
+    attrs.insert(catalog_->schema().types().attribute(a).name.str());
+  }
+  EXPECT_EQ(attrs, (std::set<std::string>{"SSN"}));
+}
+
+TEST_F(CatalogTest, CollapseKeepsViewTypes) {
+  ASSERT_TRUE(catalog_
+                  ->DefineProjectionView(
+                      "V1", "Employee", {"SSN", "date_of_birth", "pay_rate"})
+                  .ok());
+  ASSERT_TRUE(
+      catalog_->DefineProjectionView("V2", "V1", {"SSN", "pay_rate"}).ok());
+  size_t before = catalog_->LiveSurrogateCount();
+  auto report = catalog_->Collapse();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_LE(catalog_->LiveSurrogateCount(), before);
+  // View types survive.
+  for (const ViewDef& def : catalog_->views()) {
+    EXPECT_FALSE(catalog_->schema().types().type(def.derived).detached())
+        << def.name;
+  }
+}
+
+TEST_F(CatalogTest, UnknownSourceTypeReported) {
+  EXPECT_FALSE(catalog_->DefineProjectionView("V", "Ghost", {"SSN"}).ok());
+  EXPECT_FALSE(catalog_->DefineSelectionView("V", "Ghost").ok());
+}
+
+TEST_F(CatalogTest, CreateMakesEmptyCatalog) {
+  auto fresh = Catalog::Create();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->views().empty());
+  EXPECT_TRUE(fresh->schema().types().FindType("Object").ok());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,86 @@
+#include "catalog/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+TEST(DiffTest, IdenticalSchemasProduceEmptyDiff) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  Schema snapshot = fx->schema;
+  EXPECT_TRUE(DiffSchemas(snapshot, fx->schema).empty());
+}
+
+TEST(DiffTest, DerivationDiffListsExactlyTheExpectedChanges) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema before = fx->schema;
+  auto result = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::vector<SchemaDiffEntry> diff = DiffSchemas(before, fx->schema);
+  std::map<DiffKind, int> counts;
+  for (const SchemaDiffEntry& e : diff) ++counts[e.kind];
+
+  // Two new types (EmployeeView, ~Person); Person and Employee re-wired;
+  // SSN, date_of_birth, pay_rate moved; applicable method signatures
+  // rewritten (age, promote + 3 readers + 3 mutators = 8); no body changes.
+  EXPECT_EQ(counts[DiffKind::kTypeAdded], 2);
+  EXPECT_EQ(counts[DiffKind::kSupertypesChanged], 2);
+  EXPECT_EQ(counts[DiffKind::kAttributeMoved], 3);
+  EXPECT_EQ(counts[DiffKind::kMethodSignatureChanged], 8);
+  EXPECT_EQ(counts[DiffKind::kMethodBodyChanged], 0);
+  EXPECT_EQ(counts[DiffKind::kGenericFunctionAdded], 0);
+}
+
+TEST(DiffTest, DescriptionsAreHumanReadable) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema before = fx->schema;
+  ASSERT_TRUE(DeriveProjectionByName(fx->schema, "Employee",
+                                     {"SSN", "date_of_birth", "pay_rate"},
+                                     "EmployeeView")
+                  .ok());
+  std::string text = DiffToString(DiffSchemas(before, fx->schema));
+  EXPECT_NE(text.find("+ type EmployeeView"), std::string::npos);
+  EXPECT_NE(text.find("+ type ~Person"), std::string::npos);
+  EXPECT_NE(text.find("~ attribute SSN: Person => ~Person"),
+            std::string::npos);
+  EXPECT_NE(text.find("~ supertypes of Employee"), std::string::npos);
+}
+
+TEST(DiffTest, BodyChangeDetected) {
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  ASSERT_TRUE(fx.ok());
+  Schema before = fx->schema;
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+  std::vector<SchemaDiffEntry> diff = DiffSchemas(before, fx->schema);
+  int body_changes = 0;
+  for (const SchemaDiffEntry& e : diff) {
+    if (e.kind == DiffKind::kMethodBodyChanged) ++body_changes;
+  }
+  EXPECT_EQ(body_changes, 2);  // z1 and z2 locals retyped
+}
+
+TEST(DiffTest, GenericFunctionAdditionDetected) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema before = fx->schema;
+  ASSERT_TRUE(fx->schema.DeclareGenericFunction("fresh", 1).ok());
+  std::vector<SchemaDiffEntry> diff = DiffSchemas(before, fx->schema);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].kind, DiffKind::kGenericFunctionAdded);
+}
+
+}  // namespace
+}  // namespace tyder

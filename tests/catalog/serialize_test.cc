@@ -1,0 +1,109 @@
+#include "catalog/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "instances/interp.h"
+#include "mir/builder.h"
+#include "mir/printer.h"
+#include "mir/type_check.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+TEST(SerializeTest, RoundTripPlainSchema) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  std::string text = SerializeSchema(fx->schema);
+  auto restored = DeserializeSchema(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // Stable re-serialization: the round trip is a fixed point.
+  EXPECT_EQ(SerializeSchema(*restored), text);
+  EXPECT_TRUE(TypeCheckSchema(*restored).ok());
+}
+
+TEST(SerializeTest, RoundTripFactoredSchema) {
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+
+  std::string text = SerializeSchema(fx->schema);
+  auto restored = DeserializeSchema(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeSchema(*restored), text);
+
+  // Structure is preserved: surrogates, moved attributes, rewritten sigs.
+  auto proj = restored->types().FindType("ProjA");
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(restored->types().type(*proj).is_surrogate());
+  auto v1 = restored->FindMethod("v1");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_NE(PrintMethod(*restored, *v1).find("v(ProjA, ~C)"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, RestoredSchemaExecutesIdentically) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  auto restored = DeserializeSchema(SerializeSchema(fx->schema));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ObjectStore store;
+  auto employee = restored->types().FindType("Employee");
+  ASSERT_TRUE(employee.ok());
+  auto obj = store.CreateObject(*restored, *employee);
+  ASSERT_TRUE(obj.ok());
+  auto dob = restored->types().FindAttribute("date_of_birth");
+  ASSERT_TRUE(dob.ok());
+  ASSERT_TRUE(store.SetSlot(*obj, *dob, Value::Int(1990)).ok());
+  Interpreter interp(*restored, &store);
+  auto age = interp.CallByName("age", {Value::Object(*obj)});
+  ASSERT_TRUE(age.ok()) << age.status();
+  EXPECT_EQ(*age, Value::Int(36));
+}
+
+TEST(SerializeTest, BodyRoundTripCoversEveryNodeKind) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema& s = fx->schema;
+  auto u = s.DeclareGenericFunction("u_probe", 1);
+  ASSERT_TRUE(u.ok());
+  ExprPtr body = mir::Seq(
+      {mir::Decl("v0", fx->person, mir::Param(0)),
+       mir::Assign("v0", mir::Param(0)),
+       mir::ExprStmt(mir::Call(
+           *u, {mir::Param(0)})),
+       mir::If(mir::BinOp(BinOpKind::kAnd, mir::BoolLit(true),
+                          mir::BinOp(BinOpKind::kLe, mir::IntLit(1),
+                                     mir::FloatLit(2.5))),
+               mir::Seq({mir::Return()}),
+               mir::Seq({mir::ExprStmt(mir::StringLit("a \"quoted\" str"))})),
+       mir::Return()});
+  std::string text = SerializeBody(s, body);
+  auto restored = DeserializeBody(s, text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeBody(s, *restored), text);
+}
+
+TEST(SerializeTest, MissingHeaderRejected) {
+  EXPECT_FALSE(DeserializeSchema("type A user\n").ok());
+}
+
+TEST(SerializeTest, UnknownDirectiveRejected) {
+  EXPECT_FALSE(DeserializeSchema("tyder-schema v1\nbogus line\n").ok());
+}
+
+TEST(SerializeTest, MalformedBodyRejected) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  EXPECT_FALSE(DeserializeBody(fx->schema, "(unknown_tag)").ok());
+  EXPECT_FALSE(DeserializeBody(fx->schema, "(seq").ok());
+  EXPECT_FALSE(DeserializeBody(fx->schema, "(call no_such_gf)").ok());
+}
+
+}  // namespace
+}  // namespace tyder

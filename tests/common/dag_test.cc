@@ -1,0 +1,97 @@
+#include "common/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tyder {
+namespace {
+
+Digraph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g;
+  EXPECT_EQ(g.AddNode(), 0u);
+  EXPECT_EQ(g.AddNode(), 1u);
+  EXPECT_EQ(g.NumNodes(), 2u);
+}
+
+TEST(DigraphTest, ReachesSelf) {
+  Digraph g(2);
+  EXPECT_TRUE(g.Reaches(0, 0));
+  EXPECT_FALSE(g.Reaches(0, 1));
+}
+
+TEST(DigraphTest, ReachesTransitively) {
+  Digraph g = Diamond();
+  EXPECT_TRUE(g.Reaches(0, 3));
+  EXPECT_TRUE(g.Reaches(1, 3));
+  EXPECT_FALSE(g.Reaches(3, 0));
+  EXPECT_FALSE(g.Reaches(1, 2));
+}
+
+TEST(DigraphTest, ReachableFromIncludesStart) {
+  Digraph g = Diamond();
+  std::vector<uint32_t> r = g.ReachableFrom(0);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.front(), 0u);
+}
+
+TEST(DigraphTest, AcyclicHasNoCycle) {
+  EXPECT_FALSE(Diamond().HasCycle());
+}
+
+TEST(DigraphTest, DetectsCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, TopologicalOrderRespectsEdges) {
+  Digraph g = Diamond();
+  std::vector<uint32_t> topo = g.TopologicalOrder();
+  ASSERT_EQ(topo.size(), 4u);
+  auto pos = [&](uint32_t n) {
+    return std::find(topo.begin(), topo.end(), n) - topo.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(DigraphTest, TransitiveClosureMatchesReaches) {
+  Digraph g = Diamond();
+  auto closure = g.TransitiveClosure();
+  for (uint32_t a = 0; a < g.NumNodes(); ++a) {
+    for (uint32_t b = 0; b < g.NumNodes(); ++b) {
+      EXPECT_EQ(closure[a][b], g.Reaches(a, b)) << a << " -> " << b;
+    }
+  }
+}
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(g.TopologicalOrder().empty());
+}
+
+}  // namespace
+}  // namespace tyder

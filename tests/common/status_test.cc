@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace tyder {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no type named 'Foo'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no type named 'Foo'");
+  EXPECT_EQ(s.ToString(), "NotFound: no type named 'Foo'");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::TypeError("bad");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kTypeError);
+  EXPECT_EQ(copy.message(), "bad");
+  EXPECT_EQ(s.message(), "bad");  // source unchanged
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status s = Status::Internal("boom");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "boom");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("missing").WithContext("loading schema");
+  EXPECT_EQ(s.message(), "loading schema: missing");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status {
+    TYDER_RETURN_IF_ERROR(Status::InvalidArgument("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("nope");
+    return 5;
+  };
+  auto chain = [&](bool fail) -> Result<int> {
+    TYDER_ASSIGN_OR_RETURN(int v, make(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*chain(false), 6);
+  EXPECT_FALSE(chain(true).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 3);
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,47 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tyder {
+namespace {
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(TrimTest, RemovesWhitespaceBothSides) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\tx y\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no_trim"), "no_trim");
+}
+
+TEST(SplitAndTrimTest, SplitsAndDropsEmpties) {
+  EXPECT_EQ(SplitAndTrim("a, b ,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitAndTrim("", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitAndTrim("  ", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitAndTrim("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(IsIdentifierTest, AcceptsValidIdentifiers) {
+  EXPECT_TRUE(IsIdentifier("x"));
+  EXPECT_TRUE(IsIdentifier("_private"));
+  EXPECT_TRUE(IsIdentifier("Employee2"));
+  EXPECT_TRUE(IsIdentifier("snake_case_name"));
+}
+
+TEST(IsIdentifierTest, RejectsInvalid) {
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("2abc"));
+  EXPECT_FALSE(IsIdentifier("has space"));
+  EXPECT_FALSE(IsIdentifier("~Person"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+}  // namespace
+}  // namespace tyder

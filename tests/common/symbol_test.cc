@@ -1,0 +1,50 @@
+#include "common/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace tyder {
+namespace {
+
+TEST(SymbolTest, InternIsIdempotent) {
+  Symbol a = Symbol::Intern("hello");
+  Symbol b = Symbol::Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(SymbolTest, DistinctNamesDistinctSymbols) {
+  EXPECT_NE(Symbol::Intern("alpha"), Symbol::Intern("beta"));
+}
+
+TEST(SymbolTest, ViewReturnsInternedText) {
+  Symbol s = Symbol::Intern("date_of_birth");
+  EXPECT_EQ(s.view(), "date_of_birth");
+  EXPECT_EQ(s.str(), "date_of_birth");
+}
+
+TEST(SymbolTest, DefaultIsEmpty) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.view(), "");
+  EXPECT_EQ(Symbol::Intern(""), s);
+}
+
+TEST(SymbolTest, UsableInHashContainers) {
+  std::unordered_set<Symbol, SymbolHash> set;
+  set.insert(Symbol::Intern("x"));
+  set.insert(Symbol::Intern("x"));
+  set.insert(Symbol::Intern("y"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Symbol::Intern("x")) > 0);
+}
+
+TEST(SymbolTest, OrderingIsStableWithinRun) {
+  Symbol first = Symbol::Intern("zzz_order_first");
+  Symbol second = Symbol::Intern("zzz_order_second");
+  EXPECT_LT(first, second);  // intern order, not lexicographic
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,128 @@
+#include "core/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/is_applicable.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class AugmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+    // Run the pipeline up to (but not including) Augment.
+    auto verdicts =
+        ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection());
+    ASSERT_TRUE(verdicts.ok()) << verdicts.status();
+    applicable_ = verdicts->applicable;
+    auto derived = FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                               &surrogates_, nullptr);
+    ASSERT_TRUE(derived.ok()) << derived.status();
+    derived_ = *derived;
+  }
+
+  std::string Name(TypeId t) { return fx_.schema.types().TypeName(t); }
+  std::vector<std::string> SuperNames(TypeId t) {
+    std::vector<std::string> out;
+    for (TypeId s : fx_.schema.types().type(t).supertypes()) {
+      out.push_back(Name(s));
+    }
+    return out;
+  }
+
+  testing::Example1Fixture fx_;
+  SurrogateSet surrogates_;
+  std::vector<MethodId> applicable_;
+  TypeId derived_ = kInvalidType;
+};
+
+TEST_F(AugmentTest, ComputeAugmentSetIsPaperZ) {
+  auto z = ComputeAugmentSet(fx_.schema, fx_.a, applicable_, surrogates_);
+  ASSERT_TRUE(z.ok()) << z.status();
+  EXPECT_EQ(*z, (std::set<TypeId>{fx_.d, fx_.g}));
+}
+
+TEST_F(AugmentTest, Figure5StructureAfterAugment) {
+  auto z = ComputeAugmentSet(fx_.schema, fx_.a, applicable_, surrogates_);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(Augment(fx_.schema, fx_.a, *z, &surrogates_, nullptr).ok());
+
+  // Stateless surrogates ~G and ~D created and flagged.
+  TypeId g_s = surrogates_.Of(fx_.g);
+  TypeId d_s = surrogates_.Of(fx_.d);
+  ASSERT_NE(g_s, kInvalidType);
+  ASSERT_NE(d_s, kInvalidType);
+  EXPECT_TRUE(surrogates_.augment_created.count(g_s) > 0);
+  EXPECT_TRUE(surrogates_.augment_created.count(d_s) > 0);
+  EXPECT_TRUE(fx_.schema.types().type(g_s).local_attributes().empty());
+  EXPECT_TRUE(fx_.schema.types().type(d_s).local_attributes().empty());
+
+  // Sources got their surrogate at highest precedence.
+  EXPECT_EQ(SuperNames(fx_.g), (std::vector<std::string>{"~G"}));
+  EXPECT_EQ(SuperNames(fx_.d), (std::vector<std::string>{"~D"}));
+
+  // Figure 5: ~E gains ~G before ~H (G had precedence 1, H precedence 2);
+  // ~B gains ~D before ~E.
+  EXPECT_EQ(SuperNames(surrogates_.Of(fx_.e)),
+            (std::vector<std::string>{"~G", "~H"}));
+  EXPECT_EQ(SuperNames(surrogates_.Of(fx_.b)),
+            (std::vector<std::string>{"~D", "~E"}));
+  // ~C and ~F untouched.
+  EXPECT_EQ(SuperNames(surrogates_.Of(fx_.c)),
+            (std::vector<std::string>{"~F", "~E"}));
+  EXPECT_EQ(SuperNames(surrogates_.Of(fx_.f)),
+            (std::vector<std::string>{"~H"}));
+
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+TEST_F(AugmentTest, XSourcesExcludesAugmentSurrogates) {
+  auto z = ComputeAugmentSet(fx_.schema, fx_.a, applicable_, surrogates_);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(Augment(fx_.schema, fx_.a, *z, &surrogates_, nullptr).ok());
+  std::set<TypeId> x = surrogates_.XSources();
+  EXPECT_EQ(x, (std::set<TypeId>{fx_.a, fx_.b, fx_.c, fx_.e, fx_.f, fx_.h}));
+}
+
+TEST_F(AugmentTest, EmptyZIsNoop) {
+  size_t before = fx_.schema.types().NumTypes();
+  ASSERT_TRUE(Augment(fx_.schema, fx_.a, {}, &surrogates_, nullptr).ok());
+  EXPECT_EQ(fx_.schema.types().NumTypes(), before);
+}
+
+TEST_F(AugmentTest, SubtypePathToAugmentSurrogateExists) {
+  // After Augment, the retyped z1 body (gv: ~G = pc: ~C) must type-check,
+  // which needs ~C ≼ ~G.
+  auto z = ComputeAugmentSet(fx_.schema, fx_.a, applicable_, surrogates_);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(Augment(fx_.schema, fx_.a, *z, &surrogates_, nullptr).ok());
+  EXPECT_TRUE(fx_.schema.types().IsSubtype(surrogates_.Of(fx_.c),
+                                           surrogates_.Of(fx_.g)));
+  EXPECT_TRUE(fx_.schema.types().IsSubtype(surrogates_.Of(fx_.b),
+                                           surrogates_.Of(fx_.d)));
+  EXPECT_TRUE(fx_.schema.types().IsSubtype(derived_, surrogates_.Of(fx_.g)));
+}
+
+TEST_F(AugmentTest, NoZWithoutAssignments) {
+  // Without the z methods, no applicable method assigns a parameter into a
+  // local, so Z is empty.
+  auto fx = testing::BuildExample1(/*with_z_methods=*/false);
+  ASSERT_TRUE(fx.ok());
+  auto verdicts =
+      ComputeApplicableMethods(fx->schema, fx->a, fx->Projection());
+  ASSERT_TRUE(verdicts.ok());
+  SurrogateSet surrogates;
+  ASSERT_TRUE(FactorState(fx->schema, fx->a, fx->Projection(), "ProjA",
+                          &surrogates, nullptr)
+                  .ok());
+  auto z = ComputeAugmentSet(fx->schema, fx->a, verdicts->applicable, surrogates);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(z->empty());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,117 @@
+#include "core/collapse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "core/verify.h"
+#include "methods/precedence.h"
+#include "mir/type_check.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class CollapseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+    ProjectionSpec spec;
+    spec.source = fx_.a;
+    spec.attributes = {fx_.a2, fx_.e2, fx_.h2};
+    spec.view_name = "ProjA";
+    auto result = DeriveProjection(fx_.schema, spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    result_ = std::move(result).value();
+  }
+
+  TypeId Surr(TypeId source) { return result_.surrogates.Of(source); }
+
+  testing::Example1Fixture fx_;
+  DerivationResult result_;
+};
+
+TEST_F(CollapseTest, OnlyUnreferencedEmptySurrogatesAreCollapsible) {
+  std::set<TypeId> keep = {result_.derived};
+  // ~F: empty state, never mentioned by a signature — collapsible.
+  EXPECT_TRUE(IsCollapsible(fx_.schema, Surr(fx_.f), keep));
+  // ~C: empty state but v1/w2 signatures mention it — not collapsible.
+  EXPECT_FALSE(IsCollapsible(fx_.schema, Surr(fx_.c), keep));
+  // ~H carries h2 — not collapsible.
+  EXPECT_FALSE(IsCollapsible(fx_.schema, Surr(fx_.h), keep));
+  // ~B: u3/get_h2 signatures mention it — not collapsible.
+  EXPECT_FALSE(IsCollapsible(fx_.schema, Surr(fx_.b), keep));
+  // The derived view is protected even though projection kept it referenced.
+  EXPECT_FALSE(IsCollapsible(fx_.schema, result_.derived, keep));
+  // Original user types are never collapsible.
+  EXPECT_FALSE(IsCollapsible(fx_.schema, fx_.f, keep));
+}
+
+TEST_F(CollapseTest, CollapseSplicesEdgesAtSamePosition) {
+  std::set<TypeId> keep = {result_.derived};
+  auto report = CollapseEmptySurrogates(fx_.schema, keep);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Exactly ~F collapses in this schema.
+  ASSERT_EQ(report->collapsed.size(), 1u);
+  EXPECT_EQ(report->collapsed[0], Surr(fx_.f));
+  EXPECT_TRUE(fx_.schema.types().type(Surr(fx_.f)).detached());
+  // F, which had [~F, H], now has ~F's supers spliced in: [~H, H].
+  std::vector<std::string> f_supers;
+  for (TypeId s : fx_.schema.types().type(fx_.f).supertypes()) {
+    f_supers.push_back(fx_.schema.types().TypeName(s));
+  }
+  EXPECT_EQ(f_supers, (std::vector<std::string>{"~H", "H"}));
+  // ~C, which had [~F, ~E], now has [~H, ~E].
+  std::vector<std::string> c_supers;
+  for (TypeId s : fx_.schema.types().type(Surr(fx_.c)).supertypes()) {
+    c_supers.push_back(fx_.schema.types().TypeName(s));
+  }
+  EXPECT_EQ(c_supers, (std::vector<std::string>{"~H", "~E"}));
+}
+
+TEST_F(CollapseTest, CollapsePreservesStateAndTyping) {
+  Schema before = fx_.schema;
+  std::set<TypeId> keep = {result_.derived};
+  ASSERT_TRUE(CollapseEmptySurrogates(fx_.schema, keep).ok());
+  // Cumulative state of every non-detached type is unchanged. (Compared as
+  // sets: splicing can permute the closure traversal order.)
+  for (TypeId t = 0; t < before.types().NumTypes(); ++t) {
+    if (fx_.schema.types().type(t).detached()) continue;
+    std::vector<AttrId> pre_list = before.types().CumulativeAttributes(t);
+    std::vector<AttrId> post_list = fx_.schema.types().CumulativeAttributes(t);
+    EXPECT_EQ(std::set<AttrId>(pre_list.begin(), pre_list.end()),
+              std::set<AttrId>(post_list.begin(), post_list.end()))
+        << before.types().TypeName(t);
+    EXPECT_EQ(pre_list.size(), post_list.size());
+  }
+  EXPECT_TRUE(TypeCheckSchema(fx_.schema).ok());
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+// Dispatch target as an int, -1 when no method applies.
+int DispatchProbe(const Schema& s, GfId g, TypeId t) {
+  auto m = MostSpecificApplicable(s, g, {t});
+  return m.ok() ? static_cast<int>(*m) : -1;
+}
+
+TEST_F(CollapseTest, CollapsePreservesDispatchOverLiveTypes) {
+  Schema before = fx_.schema;
+  std::set<TypeId> keep = {result_.derived};
+  ASSERT_TRUE(CollapseEmptySurrogates(fx_.schema, keep).ok());
+  // Dispatch over every live (non-detached) type must be unchanged. (The
+  // whole-schema checker would also probe the collapsed node itself, whose
+  // subtype relations legitimately changed, so restrict manually.)
+  for (GfId g = 0; g < before.NumGenericFunctions(); ++g) {
+    if (before.gf(g).arity != 1) continue;
+    for (TypeId t = 0; t < before.types().NumTypes(); ++t) {
+      if (fx_.schema.types().type(t).detached()) continue;
+      EXPECT_EQ(DispatchProbe(before, g, t), DispatchProbe(fx_.schema, g, t))
+          << before.gf(g).name.view() << "(" << before.types().TypeName(t)
+          << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,117 @@
+#include "core/factor_methods.h"
+
+#include <gtest/gtest.h>
+
+#include "core/augment.h"
+#include "core/is_applicable.h"
+#include "mir/printer.h"
+#include "mir/type_check.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class FactorMethodsTest : public ::testing::Test {
+ protected:
+  // Runs the pipeline through Augment on the with-z fixture.
+  void SetUp() override {
+    auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+    auto verdicts =
+        ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection());
+    ASSERT_TRUE(verdicts.ok());
+    applicable_ = verdicts->applicable;
+    auto derived = FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                               &surrogates_, nullptr);
+    ASSERT_TRUE(derived.ok());
+    derived_ = *derived;
+    auto z = ComputeAugmentSet(fx_.schema, fx_.a, applicable_, surrogates_);
+    ASSERT_TRUE(z.ok());
+    ASSERT_TRUE(Augment(fx_.schema, fx_.a, *z, &surrogates_, nullptr).ok());
+  }
+
+  std::string Sig(MethodId m) {
+    const Method& method = fx_.schema.method(m);
+    return SignatureToString(fx_.schema.types(),
+                             fx_.schema.gf(method.gf).name.view(), method.sig);
+  }
+
+  testing::Example1Fixture fx_;
+  SurrogateSet surrogates_;
+  std::vector<MethodId> applicable_;
+  TypeId derived_ = kInvalidType;
+};
+
+TEST_F(FactorMethodsTest, Example3Signatures) {
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok()) << rewrites.status();
+  // The paper's Example 3: v1(Ã, C̃), u3(B̃), w2(C̃), get_h2(B̃).
+  EXPECT_EQ(Sig(fx_.v1), "v(ProjA, ~C) -> Void");
+  EXPECT_EQ(Sig(fx_.u3), "u(~B) -> Void");
+  EXPECT_EQ(Sig(fx_.w2), "w(~C) -> Void");
+  EXPECT_EQ(Sig(fx_.get_h2), "get_h2(~B) -> Int");
+}
+
+TEST_F(FactorMethodsTest, NotApplicableMethodsUntouched) {
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok());
+  EXPECT_EQ(Sig(fx_.u1), "u(A) -> Void");
+  EXPECT_EQ(Sig(fx_.v2), "v(B, C) -> Void");
+  EXPECT_EQ(Sig(fx_.x1), "x(A, B) -> Void");
+  EXPECT_EQ(Sig(fx_.get_a1), "get_a1(A) -> Int");
+}
+
+TEST_F(FactorMethodsTest, BodyLocalsRetypedToSurrogates) {
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok());
+  // z1's local gv: G becomes gv: ~G; result type becomes ~G (Section 6.3).
+  EXPECT_EQ(PrintMethod(fx_.schema, fx_.z1),
+            "z1: z(~C) -> ~G = { gv: ~G; gv = pc; u(pc); return gv; }");
+  // z2's local dv: D becomes dv: ~D.
+  EXPECT_EQ(PrintMethod(fx_.schema, fx_.z2),
+            "z2: zz(~B) -> Void = { dv: ~D; dv = pb; get_h2(pb); }");
+}
+
+TEST_F(FactorMethodsTest, RewrittenSchemaTypeChecks) {
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok());
+  Status typed = TypeCheckSchema(fx_.schema);
+  EXPECT_TRUE(typed.ok()) << typed;
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+TEST_F(FactorMethodsTest, RewriteRecordsOldAndNewSignatures) {
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok());
+  bool found_v1 = false;
+  for (const MethodRewrite& rw : *rewrites) {
+    if (rw.method != fx_.v1) continue;
+    found_v1 = true;
+    EXPECT_EQ(rw.old_sig.params, (std::vector<TypeId>{fx_.a, fx_.c}));
+    EXPECT_EQ(rw.new_sig.params,
+              (std::vector<TypeId>{derived_, surrogates_.Of(fx_.c)}));
+    EXPECT_FALSE(rw.body_changed);  // v1's body has no local declarations
+  }
+  EXPECT_TRUE(found_v1);
+}
+
+TEST_F(FactorMethodsTest, BodiesWithoutTaintedLocalsShared) {
+  ExprPtr before = fx_.schema.method(fx_.v1).body;
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, nullptr);
+  ASSERT_TRUE(rewrites.ok());
+  EXPECT_EQ(fx_.schema.method(fx_.v1).body, before);  // structurally shared
+}
+
+TEST_F(FactorMethodsTest, TraceReportsSignatureChanges) {
+  std::vector<std::string> trace;
+  auto rewrites = FactorMethods(fx_.schema, fx_.a, applicable_, surrogates_, &trace);
+  ASSERT_TRUE(rewrites.ok());
+  std::string joined;
+  for (const std::string& line : trace) joined += line + "\n";
+  EXPECT_NE(joined.find("v1: v(A, C) -> Void  =>  v(ProjA, ~C) -> Void"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,198 @@
+#include "core/factor_state.h"
+
+#include <gtest/gtest.h>
+
+#include "objmodel/schema_printer.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class FactorStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+
+  std::string Name(TypeId t) { return fx_.schema.types().TypeName(t); }
+  std::vector<std::string> SuperNames(TypeId t) {
+    std::vector<std::string> out;
+    for (TypeId s : fx_.schema.types().type(t).supertypes()) {
+      out.push_back(Name(s));
+    }
+    return out;
+  }
+  std::vector<std::string> LocalAttrNames(TypeId t) {
+    std::vector<std::string> out;
+    for (AttrId a : fx_.schema.types().type(t).local_attributes()) {
+      out.push_back(fx_.schema.types().attribute(a).name.str());
+    }
+    return out;
+  }
+
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(FactorStateTest, Figure4SurrogateStructure) {
+  SurrogateSet surrogates;
+  auto derived = FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                             &surrogates, nullptr);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+
+  // Surrogates created for exactly X = {A, C, F, H, E, B}, in the paper's
+  // Example 2 order.
+  std::vector<std::string> created;
+  for (TypeId t : surrogates.created) created.push_back(Name(t));
+  EXPECT_EQ(created, (std::vector<std::string>{"ProjA", "~C", "~F", "~H",
+                                               "~E", "~B"}));
+
+  // Attribute movement: a2 -> ProjA, e2 -> ~E, h2 -> ~H; nothing else moves.
+  EXPECT_EQ(LocalAttrNames(*derived), (std::vector<std::string>{"a2"}));
+  EXPECT_EQ(LocalAttrNames(surrogates.Of(fx_.e)),
+            (std::vector<std::string>{"e2"}));
+  EXPECT_EQ(LocalAttrNames(surrogates.Of(fx_.h)),
+            (std::vector<std::string>{"h2"}));
+  EXPECT_EQ(LocalAttrNames(surrogates.Of(fx_.c)), (std::vector<std::string>{}));
+  EXPECT_EQ(LocalAttrNames(surrogates.Of(fx_.f)), (std::vector<std::string>{}));
+  EXPECT_EQ(LocalAttrNames(surrogates.Of(fx_.b)), (std::vector<std::string>{}));
+  EXPECT_EQ(LocalAttrNames(fx_.a), (std::vector<std::string>{"a1"}));
+  EXPECT_EQ(LocalAttrNames(fx_.e), (std::vector<std::string>{"e1"}));
+  EXPECT_EQ(LocalAttrNames(fx_.h), (std::vector<std::string>{"h1"}));
+
+  // Figure 4 edges. Each source type gets its surrogate at highest
+  // precedence; surrogate-to-surrogate edges mirror the original precedence.
+  EXPECT_EQ(SuperNames(fx_.a), (std::vector<std::string>{"ProjA", "C", "B"}));
+  EXPECT_EQ(SuperNames(fx_.c), (std::vector<std::string>{"~C", "F", "E"}));
+  EXPECT_EQ(SuperNames(fx_.f), (std::vector<std::string>{"~F", "H"}));
+  EXPECT_EQ(SuperNames(fx_.h), (std::vector<std::string>{"~H"}));
+  EXPECT_EQ(SuperNames(fx_.e), (std::vector<std::string>{"~E", "G", "H"}));
+  EXPECT_EQ(SuperNames(fx_.b), (std::vector<std::string>{"~B", "D", "E"}));
+  EXPECT_EQ(SuperNames(*derived), (std::vector<std::string>{"~C", "~B"}));
+  EXPECT_EQ(SuperNames(surrogates.Of(fx_.c)),
+            (std::vector<std::string>{"~F", "~E"}));
+  EXPECT_EQ(SuperNames(surrogates.Of(fx_.f)), (std::vector<std::string>{"~H"}));
+  EXPECT_EQ(SuperNames(surrogates.Of(fx_.e)), (std::vector<std::string>{"~H"}));
+  EXPECT_EQ(SuperNames(surrogates.Of(fx_.b)), (std::vector<std::string>{"~E"}));
+  // Untouched types.
+  EXPECT_EQ(SuperNames(fx_.d), (std::vector<std::string>{}));
+  EXPECT_EQ(SuperNames(fx_.g), (std::vector<std::string>{}));
+
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+TEST_F(FactorStateTest, Example2TraceMatchesPaperCallSequence) {
+  SurrogateSet surrogates;
+  std::vector<std::string> trace;
+  auto derived = FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                             &surrogates, &trace);
+  ASSERT_TRUE(derived.ok());
+  // The paper's Example 2 recursive call sequence.
+  std::vector<std::string> calls;
+  for (const std::string& line : trace) {
+    if (line.rfind("FactorState(", 0) == 0) calls.push_back(line);
+  }
+  EXPECT_EQ(calls,
+            (std::vector<std::string>{
+                "FactorState({a2,e2,h2}, A, -, 0)",
+                "FactorState({e2,h2}, C, ProjA, 1)",
+                "FactorState({h2}, F, ~C, 1)",
+                "FactorState({h2}, H, ~F, 1)",
+                "FactorState({e2,h2}, E, ~C, 2)",
+                "FactorState({h2}, H, ~E, 2)",
+                "FactorState({e2,h2}, B, ProjA, 2)",
+                "FactorState({e2,h2}, E, ~B, 2)",
+            }));
+}
+
+TEST_F(FactorStateTest, DerivedTypeStateIsExactlyProjection) {
+  SurrogateSet surrogates;
+  auto derived = FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                             &surrogates, nullptr);
+  ASSERT_TRUE(derived.ok());
+  std::set<std::string> names;
+  for (AttrId a : fx_.schema.types().CumulativeAttributes(*derived)) {
+    names.insert(fx_.schema.types().attribute(a).name.str());
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"a2", "e2", "h2"}));
+}
+
+TEST_F(FactorStateTest, CumulativeStateOfOriginalsUnchanged) {
+  std::map<TypeId, std::set<std::string>> before;
+  for (TypeId t = 0; t < fx_.schema.types().NumTypes(); ++t) {
+    std::set<std::string> names;
+    for (AttrId a : fx_.schema.types().CumulativeAttributes(t)) {
+      names.insert(fx_.schema.types().attribute(a).name.str());
+    }
+    before[t] = std::move(names);
+  }
+  SurrogateSet surrogates;
+  ASSERT_TRUE(FactorState(fx_.schema, fx_.a, fx_.Projection(), "ProjA",
+                          &surrogates, nullptr)
+                  .ok());
+  for (const auto& [t, names] : before) {
+    std::set<std::string> after;
+    for (AttrId a : fx_.schema.types().CumulativeAttributes(t)) {
+      after.insert(fx_.schema.types().attribute(a).name.str());
+    }
+    EXPECT_EQ(after, names) << Name(t);
+  }
+}
+
+TEST_F(FactorStateTest, ProjectionOfLocalAttributeOnly) {
+  // Π_{a1} A: only A itself is factored; no supertype holds a1.
+  SurrogateSet surrogates;
+  auto derived =
+      FactorState(fx_.schema, fx_.a, {fx_.a1}, "OnlyA1", &surrogates, nullptr);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(surrogates.created.size(), 1u);
+  EXPECT_TRUE(SuperNames(*derived).empty());
+  EXPECT_EQ(LocalAttrNames(*derived), (std::vector<std::string>{"a1"}));
+}
+
+TEST_F(FactorStateTest, SurrogateReuseOnDiamond) {
+  // h2 reaches A through both F and E: ~H is created once and shared.
+  SurrogateSet surrogates;
+  ASSERT_TRUE(FactorState(fx_.schema, fx_.a, {fx_.h2}, "OnlyH2", &surrogates,
+                          nullptr)
+                  .ok());
+  int h_surrogates = 0;
+  for (TypeId t : surrogates.created) {
+    if (fx_.schema.types().type(t).surrogate_source() == fx_.h) {
+      ++h_surrogates;
+    }
+  }
+  EXPECT_EQ(h_surrogates, 1);
+}
+
+TEST_F(FactorStateTest, EmptyProjectionRejected) {
+  SurrogateSet surrogates;
+  EXPECT_FALSE(
+      FactorState(fx_.schema, fx_.a, {}, "Bad", &surrogates, nullptr).ok());
+}
+
+TEST_F(FactorStateTest, UnavailableAttributeRejected) {
+  SurrogateSet surrogates;
+  EXPECT_FALSE(
+      FactorState(fx_.schema, fx_.h, {fx_.a1}, "Bad", &surrogates, nullptr)
+          .ok());
+}
+
+TEST_F(FactorStateTest, SecondDerivationGetsFreshUniquelyNamedSurrogates) {
+  SurrogateSet first;
+  ASSERT_TRUE(FactorState(fx_.schema, fx_.a, {fx_.h2}, "V1", &first, nullptr)
+                  .ok());
+  SurrogateSet second;
+  auto v2 = FactorState(fx_.schema, fx_.a, {fx_.e2}, "V2", &second, nullptr);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  // Names never collide; every created surrogate is distinct from the first
+  // derivation's.
+  for (TypeId t : second.created) {
+    for (TypeId u : first.created) EXPECT_NE(t, u);
+  }
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+}  // namespace
+}  // namespace tyder

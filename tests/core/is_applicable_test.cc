@@ -1,0 +1,184 @@
+#include "core/is_applicable.h"
+
+#include <gtest/gtest.h>
+
+#include "methods/accessor_gen.h"
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class IsApplicableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+
+  std::set<std::string> Labels(const std::vector<MethodId>& methods) {
+    std::set<std::string> out;
+    for (MethodId m : methods) out.insert(fx_.schema.method(m).label.str());
+    return out;
+  }
+
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(IsApplicableTest, PaperExample1Verdicts) {
+  // Π_{a2,e2,h2} A (Section 4.2): applicable are u3, v1, w2 and get_h2;
+  // everything else is not.
+  auto result =
+      ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Labels(result->applicable),
+            (std::set<std::string>{"u3", "v1", "w2", "get_h2"}));
+  EXPECT_EQ(Labels(result->not_applicable),
+            (std::set<std::string>{"u1", "u2", "v2", "w1", "x1", "y1",
+                                   "get_a1", "get_b1", "get_g1"}));
+}
+
+TEST_F(IsApplicableTest, VerdictsPartitionTheInputSet) {
+  auto result =
+      ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->applicable.size() + result->not_applicable.size(), 13u);
+  EXPECT_TRUE(result->IsApplicable(fx_.u3));
+  EXPECT_FALSE(result->IsApplicable(fx_.x1));
+}
+
+TEST_F(IsApplicableTest, AccessorVerdictFollowsProjectionList) {
+  // Projecting only a1: get_a1, u1 and w1 survive; h2/e2-dependent fail.
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.a, {fx_.a1});
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> applicable = Labels(result->applicable);
+  EXPECT_TRUE(applicable.count("get_a1") > 0);
+  EXPECT_TRUE(applicable.count("u1") > 0);
+  EXPECT_TRUE(applicable.count("w1") > 0);
+  EXPECT_EQ(applicable.count("u3"), 0u);
+  EXPECT_EQ(applicable.count("get_h2"), 0u);
+}
+
+TEST_F(IsApplicableTest, FullProjectionKeepsEverythingExceptCycleVictims) {
+  // Projecting ALL attributes of A: every accessor survives, so all methods
+  // survive — including the mutually recursive x1/y1, whose cycle resolves
+  // optimistically and then succeeds.
+  std::set<AttrId> all;
+  for (AttrId a : fx_.schema.types().CumulativeAttributes(fx_.a)) {
+    all.insert(a);
+  }
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.a, all);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->not_applicable.empty())
+      << "unexpected: " << Labels(result->not_applicable).size();
+  EXPECT_TRUE(result->IsApplicable(fx_.x1));
+  EXPECT_TRUE(result->IsApplicable(fx_.y1));
+}
+
+TEST_F(IsApplicableTest, CycleFailurePropagatesThroughDependencyList) {
+  // With the paper's projection, x1 fails on v(B, A) (v2 needs b1); y1's
+  // optimistic verdict must be revoked and re-derived as not applicable.
+  auto result =
+      ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->IsApplicable(fx_.x1));
+  EXPECT_FALSE(result->IsApplicable(fx_.y1));
+}
+
+TEST_F(IsApplicableTest, TraceRecordsKeyEvents) {
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection(),
+                                         /*record_trace=*/true);
+  ASSERT_TRUE(result.ok());
+  std::string joined;
+  for (const std::string& line : result->trace) joined += line + "\n";
+  EXPECT_NE(joined.find("accessor get_a1 reads a1 (not projected) -> "
+                        "NotApplicable"),
+            std::string::npos);
+  EXPECT_NE(joined.find("accessor get_h2 reads h2 (projected) -> Applicable"),
+            std::string::npos);
+  EXPECT_NE(joined.find("cycle: assume x1 applicable"), std::string::npos);
+  EXPECT_NE(joined.find("evict y1"), std::string::npos);
+}
+
+TEST_F(IsApplicableTest, TraceEmptyWhenDisabled) {
+  auto result =
+      ComputeApplicableMethods(fx_.schema, fx_.a, fx_.Projection(), false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->trace.empty());
+}
+
+TEST_F(IsApplicableTest, ProjectionOverIntermediateType) {
+  // Π_{c1} C: methods applicable to C are v1, v2, w2, get_g1. get_g1 reads
+  // g1 ∉ {c1} → fails; w2 calls u(C→C substituted) → u's methods all
+  // eventually need a1/g1/h2, none projected → w2 fails; v1/v2 likewise.
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.c, {fx_.c1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applicable.empty());
+  EXPECT_EQ(result->not_applicable.size(), 4u);
+}
+
+TEST_F(IsApplicableTest, ProjectionOfH2OverC) {
+  // Π_{h2} C: w2(C) = {u(c)} → candidates for u(C) substituted: u(C): only
+  // methods applicable to u(C)... none statically (u's formals are A and B,
+  // both below C) — wait: substitution replaces the related argument with the
+  // *source* C, so candidates = ApplicableMethods(u, {C}) = ∅ → w2 fails.
+  // get_g1 reads g1 → fails. v1/v2 contain u/w calls over A/C — v1's u(a)
+  // probe u(C): ∅ → fails; v2's get_b1 fails.
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.c, {fx_.h2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applicable.empty());
+}
+
+TEST_F(IsApplicableTest, RejectsAttributeNotAvailableAtSource) {
+  // d1 is not available at C.
+  auto result = ComputeApplicableMethods(fx_.schema, fx_.c, {fx_.d1});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IsApplicableTest, SourceTypeOutOfRangeRejected) {
+  auto result = ComputeApplicableMethods(fx_.schema, 10000, {fx_.a1});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IsApplicableTest, MutatorCallsInBodiesFollowProjection) {
+  // A general method that *writes* an attribute survives iff the attribute
+  // is projected, exactly like reads.
+  Schema& s = fx_.schema;
+  auto set_a2 = GenerateMutator(s, fx_.a2, fx_.a);
+  auto set_a1 = GenerateMutator(s, fx_.a1, fx_.a);
+  ASSERT_TRUE(set_a2.ok() && set_a1.ok());
+  auto add_writer = [&](const char* label, MethodId mutator) -> MethodId {
+    Method m;
+    m.label = Symbol::Intern(label);
+    auto gf = s.DeclareGenericFunction(std::string(label) + "_gf", 1);
+    EXPECT_TRUE(gf.ok());
+    m.gf = *gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig = Signature{{fx_.a}, s.builtins().void_type};
+    m.body = mir::Seq({mir::ExprStmt(mir::Call(
+        s.method(mutator).gf, {mir::Param(0), mir::IntLit(7)}))});
+    auto id = s.AddMethod(std::move(m));
+    EXPECT_TRUE(id.ok());
+    return *id;
+  };
+  MethodId writes_projected = add_writer("writes_a2", *set_a2);
+  MethodId writes_dropped = add_writer("writes_a1", *set_a1);
+  auto result = ComputeApplicableMethods(s, fx_.a, fx_.Projection());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->IsApplicable(writes_projected));
+  EXPECT_FALSE(result->IsApplicable(writes_dropped));
+}
+
+TEST_F(IsApplicableTest, ZMethodsAreApplicableUnderPaperProjection) {
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  ASSERT_TRUE(fx.ok());
+  auto result =
+      ComputeApplicableMethods(fx->schema, fx->a, fx->Projection());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->IsApplicable(fx->z1));
+  EXPECT_TRUE(result->IsApplicable(fx->z2));
+}
+
+}  // namespace
+}  // namespace tyder

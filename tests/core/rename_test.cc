@@ -1,0 +1,112 @@
+#include "core/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "instances/interp.h"
+#include "instances/view_materialize.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class RenameViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildPersonEmployee();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+  testing::PersonEmployeeFixture fx_;
+};
+
+TEST_F(RenameViewTest, ViewKeepsFullStateAndAddsAliases) {
+  auto result = DeriveRenameView(
+      fx_.schema, fx_.employee,
+      {{"SSN", "taxpayer_id"}, {"pay_rate", "hourly_wage"}}, "HrView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Full state on the view.
+  EXPECT_EQ(fx_.schema.types().CumulativeAttributes(result->derived).size(),
+            5u);
+  // Alias generic functions exist; the original accessors survive.
+  EXPECT_TRUE(fx_.schema.FindGenericFunction("get_taxpayer_id").ok());
+  EXPECT_TRUE(fx_.schema.FindGenericFunction("set_hourly_wage").ok());
+  EXPECT_TRUE(fx_.schema.FindGenericFunction("get_SSN").ok());
+}
+
+TEST_F(RenameViewTest, AliasReadsAndWritesTheSameSlot) {
+  auto result = DeriveRenameView(fx_.schema, fx_.employee,
+                                 {{"pay_rate", "hourly_wage"}}, "HrView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ObjectStore store;
+  auto view_obj = store.CreateObject(fx_.schema, result->derived);
+  ASSERT_TRUE(view_obj.ok());
+  Interpreter interp(fx_.schema, &store);
+  // Write through the alias, read through the original.
+  ASSERT_TRUE(interp
+                  .CallByName("set_hourly_wage",
+                              {Value::Object(*view_obj), Value::Float(99)})
+                  .ok());
+  auto through_original =
+      interp.CallByName("get_pay_rate", {Value::Object(*view_obj)});
+  ASSERT_TRUE(through_original.ok()) << through_original.status();
+  EXPECT_EQ(*through_original, Value::Float(99));
+  auto through_alias =
+      interp.CallByName("get_hourly_wage", {Value::Object(*view_obj)});
+  ASSERT_TRUE(through_alias.ok());
+  EXPECT_EQ(*through_alias, Value::Float(99));
+}
+
+TEST_F(RenameViewTest, AliasAccessorsScopedToTheView) {
+  auto result = DeriveRenameView(fx_.schema, fx_.employee,
+                                 {{"pay_rate", "hourly_wage"}}, "HrView");
+  ASSERT_TRUE(result.ok());
+  // The alias formal is the view type; a plain Employee object still
+  // dispatches (Employee ≼ HrView after factoring)...
+  ObjectStore store;
+  auto emp = store.CreateObject(fx_.schema, fx_.employee);
+  ASSERT_TRUE(emp.ok());
+  Interpreter interp(fx_.schema, &store);
+  EXPECT_TRUE(
+      interp.CallByName("get_hourly_wage", {Value::Object(*emp)}).ok());
+  // ...but a bare Person does not (pay_rate is below Person).
+  auto person = store.CreateObject(fx_.schema, fx_.person);
+  ASSERT_TRUE(person.ok());
+  EXPECT_FALSE(
+      interp.CallByName("get_hourly_wage", {Value::Object(*person)}).ok());
+}
+
+TEST_F(RenameViewTest, ValidationErrors) {
+  // Unknown attribute.
+  EXPECT_FALSE(
+      DeriveRenameView(fx_.schema, fx_.employee, {{"ghost", "g"}}, "V").ok());
+  // Alias collides with an existing attribute name.
+  EXPECT_FALSE(
+      DeriveRenameView(fx_.schema, fx_.employee, {{"SSN", "name"}}, "V").ok());
+  // Duplicate alias.
+  EXPECT_FALSE(DeriveRenameView(fx_.schema, fx_.employee,
+                                {{"SSN", "x"}, {"pay_rate", "x"}}, "V")
+                   .ok());
+  // Empty rename list.
+  EXPECT_FALSE(DeriveRenameView(fx_.schema, fx_.employee, {}, "V").ok());
+  // Attribute not available at source.
+  EXPECT_FALSE(
+      DeriveRenameView(fx_.schema, fx_.person, {{"pay_rate", "w"}}, "V").ok());
+}
+
+TEST_F(RenameViewTest, BehaviorOfExistingTypesPreserved) {
+  ObjectStore store;
+  auto emp = store.CreateObject(fx_.schema, fx_.employee);
+  ASSERT_TRUE(emp.ok());
+  ASSERT_TRUE(store.SetSlot(*emp, fx_.pay_rate, Value::Float(10)).ok());
+  ASSERT_TRUE(store.SetSlot(*emp, fx_.hrs_worked, Value::Float(5)).ok());
+  Interpreter before(fx_.schema, &store);
+  Value income = *before.CallByName("income", {Value::Object(*emp)});
+  auto result = DeriveRenameView(fx_.schema, fx_.employee,
+                                 {{"pay_rate", "hourly_wage"}}, "HrView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  Interpreter after(fx_.schema, &store);
+  EXPECT_EQ(*after.CallByName("income", {Value::Object(*emp)}), income);
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,203 @@
+#include "instances/view_materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "core/projection.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class MaterializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildPersonEmployee();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+    for (int i = 0; i < 3; ++i) {
+      auto obj = store_.CreateObject(fx_.schema, fx_.employee);
+      ASSERT_TRUE(obj.ok());
+      ASSERT_TRUE(store_
+                      .SetSlot(*obj, fx_.pay_rate,
+                               Value::Float(40.0 + 10.0 * i))
+                      .ok());
+      ASSERT_TRUE(store_.SetSlot(*obj, fx_.ssn,
+                                 Value::String("E" + std::to_string(i)))
+                      .ok());
+      employees_.push_back(*obj);
+    }
+  }
+
+  testing::PersonEmployeeFixture fx_;
+  ObjectStore store_;
+  std::vector<ObjectId> employees_;
+};
+
+TEST_F(MaterializeTest, ProjectionViewCopiesProjectedSlots) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto views = MaterializeProjection(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok()) << views.status();
+  ASSERT_EQ(views->size(), 3u);
+  for (size_t i = 0; i < views->size(); ++i) {
+    const Object& view = store_.object((*views)[i]);
+    EXPECT_EQ(view.type, result->derived);
+    EXPECT_EQ(view.slots.size(), 3u);  // only projected state
+    EXPECT_EQ(*store_.GetSlot((*views)[i], fx_.ssn),
+              Value::String("E" + std::to_string(i)));
+    EXPECT_EQ(*store_.GetSlot((*views)[i], fx_.pay_rate),
+              Value::Float(40.0 + 10.0 * i));
+    EXPECT_FALSE(store_.GetSlot((*views)[i], fx_.hrs_worked).ok());
+  }
+}
+
+TEST_F(MaterializeTest, ViewInstancesAnswerApplicableMethods) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok());
+  auto views = MaterializeProjection(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok());
+  Interpreter interp(fx_.schema, &store_);
+  // age applies to the view instance (dob defaulted to 0 here).
+  auto age = interp.CallByName("age", {Value::Object(views->front())});
+  ASSERT_TRUE(age.ok()) << age.status();
+  EXPECT_EQ(*age, Value::Int(2026));
+  // income does not (hrs_worked was projected away).
+  EXPECT_FALSE(
+      interp.CallByName("income", {Value::Object(views->front())}).ok());
+}
+
+TEST_F(MaterializeTest, PreservingViewsShareStateWithSources) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto views =
+      MaterializeProjectionPreserving(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok()) << views.status();
+  ASSERT_EQ(views->size(), 3u);
+  ObjectId view = views->front();
+  ObjectId source = employees_.front();
+  // Read through the view sees the source's current value.
+  EXPECT_EQ(*store_.GetSlot(view, fx_.pay_rate), Value::Float(40.0));
+  // Update the source: the view sees it (no staleness).
+  ASSERT_TRUE(store_.SetSlot(source, fx_.pay_rate, Value::Float(77)).ok());
+  EXPECT_EQ(*store_.GetSlot(view, fx_.pay_rate), Value::Float(77));
+  // Update *through* the view: the source sees it (updatable view).
+  Interpreter interp(fx_.schema, &store_);
+  ASSERT_TRUE(interp
+                  .CallByName("set_pay_rate",
+                              {Value::Object(view), Value::Float(88)})
+                  .ok());
+  EXPECT_EQ(*store_.GetSlot(source, fx_.pay_rate), Value::Float(88));
+}
+
+TEST_F(MaterializeTest, PreservingViewInterfaceStillRestricted) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok());
+  auto views =
+      MaterializeProjectionPreserving(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok());
+  Interpreter interp(fx_.schema, &store_);
+  // Even though the base object physically has hrs_worked, the view type's
+  // method set does not expose it: income does not dispatch on the view.
+  EXPECT_FALSE(
+      interp.CallByName("income", {Value::Object(views->front())}).ok());
+  EXPECT_FALSE(
+      interp.CallByName("get_hrs_worked", {Value::Object(views->front())})
+          .ok());
+  // age still works, reading through the delegation chain.
+  EXPECT_TRUE(
+      interp.CallByName("age", {Value::Object(views->front())}).ok());
+}
+
+TEST_F(MaterializeTest, DelegatingObjectRequiresResolvableState) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok());
+  // A Person instance cannot back an EmployeeView (no pay_rate slot).
+  auto person = store_.CreateObject(fx_.schema, fx_.person);
+  ASSERT_TRUE(person.ok());
+  EXPECT_FALSE(
+      store_.CreateDelegatingObject(fx_.schema, result->derived, *person)
+          .ok());
+}
+
+TEST_F(MaterializeTest, RefreshResyncsGeneratedViews) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok());
+  auto sources = store_.Extent(fx_.schema,
+                               fx_.schema.types()
+                                   .type(result->derived)
+                                   .surrogate_source());
+  auto views = MaterializeProjection(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok());
+  // Source changes are invisible to the copies...
+  ASSERT_TRUE(store_.SetSlot(employees_[0], fx_.pay_rate, Value::Float(99))
+                  .ok());
+  EXPECT_EQ(*store_.GetSlot(views->front(), fx_.pay_rate), Value::Float(40));
+  // ...until refreshed.
+  ASSERT_TRUE(RefreshProjection(fx_.schema, store_, result->derived, sources,
+                                *views)
+                  .ok());
+  EXPECT_EQ(*store_.GetSlot(views->front(), fx_.pay_rate), Value::Float(99));
+}
+
+TEST_F(MaterializeTest, RefreshValidatesShapes) {
+  auto result = DeriveProjectionByName(
+      fx_.schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok());
+  auto views = MaterializeProjection(fx_.schema, store_, result->derived);
+  ASSERT_TRUE(views.ok());
+  // Mismatched lengths.
+  EXPECT_FALSE(RefreshProjection(fx_.schema, store_, result->derived,
+                                 {employees_[0]}, *views)
+                   .ok());
+  // A non-view object in the views list.
+  EXPECT_FALSE(RefreshProjection(fx_.schema, store_, result->derived,
+                                 {employees_[0]}, {employees_[1]})
+                   .ok());
+}
+
+TEST_F(MaterializeTest, MaterializeRejectsNonDerivedTarget) {
+  EXPECT_FALSE(MaterializeProjection(fx_.schema, store_, fx_.person).ok());
+}
+
+TEST_F(MaterializeTest, SelectionViewFiltersByPredicate) {
+  auto view = DeriveSelection(fx_.schema, fx_.employee, "WellPaid");
+  ASSERT_TRUE(view.ok()) << view.status();
+  auto selected = MaterializeSelection(
+      fx_.schema, store_, *view, fx_.employee, [&](ObjectId id) -> Result<bool> {
+        TYDER_ASSIGN_OR_RETURN(Value pay, store_.GetSlot(id, fx_.pay_rate));
+        return pay.AsFloat() >= 50.0;
+      });
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  EXPECT_EQ(selected->size(), 2u);  // pay 50 and 60
+  for (ObjectId id : *selected) {
+    EXPECT_EQ(store_.object(id).type, *view);
+    // Full state carried over.
+    EXPECT_TRUE(store_.GetSlot(id, fx_.hrs_worked).ok());
+  }
+}
+
+TEST_F(MaterializeTest, SelectionRequiresDirectSubtypeView) {
+  EXPECT_FALSE(MaterializeSelection(fx_.schema, store_, fx_.person,
+                                    fx_.employee,
+                                    [](ObjectId) -> Result<bool> {
+                                      return true;
+                                    })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,123 @@
+// The paper's guarantee, observed at instance level: after a derivation,
+// every pre-existing object answers every generic-function call exactly as
+// before — same dispatch, same values, same errors.
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "core/verify.h"
+#include "instances/interp.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+TEST(BehaviorPreservation, AllCallsOnAllObjectsIdentical) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ObjectStore store;
+  std::vector<ObjectId> objects;
+  for (TypeId t : {fx->person, fx->employee}) {
+    auto obj = store.CreateObject(fx->schema, t);
+    ASSERT_TRUE(obj.ok());
+    objects.push_back(*obj);
+  }
+  ASSERT_TRUE(
+      store.SetSlot(objects[1], fx->date_of_birth, Value::Int(1970)).ok());
+  ASSERT_TRUE(store.SetSlot(objects[1], fx->pay_rate, Value::Float(20)).ok());
+  ASSERT_TRUE(store.SetSlot(objects[1], fx->hrs_worked, Value::Float(35)).ok());
+
+  // Record results for every unary generic function on every object.
+  auto run_all = [&](const Schema& schema) {
+    std::vector<std::pair<bool, Value>> results;
+    Interpreter interp(schema, &store);
+    for (GfId g = 0; g < schema.NumGenericFunctions(); ++g) {
+      if (schema.gf(g).arity != 1) continue;
+      for (ObjectId obj : objects) {
+        auto r = interp.Call(g, {Value::Object(obj)});
+        results.emplace_back(r.ok(), r.ok() ? *r : Value::Void());
+      }
+    }
+    return results;
+  };
+
+  auto before = run_all(fx->schema);
+  auto result = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto after = run_all(fx->schema);
+  EXPECT_EQ(before, after);
+}
+
+TEST(BehaviorPreservation, MutatorsStillTargetTheSameSlots) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  ObjectStore store;
+  auto obj = store.CreateObject(fx->schema, fx->employee);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(DeriveProjectionByName(fx->schema, "Employee",
+                                     {"SSN", "date_of_birth", "pay_rate"},
+                                     "EmployeeView")
+                  .ok());
+  Interpreter interp(fx->schema, &store);
+  // set_SSN was re-homed to ~Person but must still write the same slot of
+  // the same pre-existing object.
+  ASSERT_TRUE(interp
+                  .CallByName("set_SSN",
+                              {Value::Object(*obj), Value::String("123")})
+                  .ok());
+  EXPECT_EQ(*store.GetSlot(*obj, fx->ssn), Value::String("123"));
+  auto read = interp.CallByName("get_SSN", {Value::Object(*obj)});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Value::String("123"));
+}
+
+TEST(BehaviorPreservation, RepeatedDerivationsKeepPreserving) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  ObjectStore store;
+  auto obj = store.CreateObject(fx->schema, fx->employee);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(store.SetSlot(*obj, fx->pay_rate, Value::Float(10)).ok());
+  ASSERT_TRUE(store.SetSlot(*obj, fx->hrs_worked, Value::Float(10)).ok());
+
+  Interpreter interp0(fx->schema, &store);
+  Value income = *interp0.CallByName("income", {Value::Object(*obj)});
+
+  // Chain three derivations, checking after each.
+  ASSERT_TRUE(DeriveProjectionByName(fx->schema, "Employee",
+                                     {"SSN", "date_of_birth", "pay_rate"}, "V1")
+                  .ok());
+  ASSERT_TRUE(DeriveProjectionByName(fx->schema, "V1", {"SSN", "pay_rate"},
+                                     "V2")
+                  .ok());
+  ASSERT_TRUE(DeriveProjectionByName(fx->schema, "Person", {"name"}, "V3")
+                  .ok());
+  Interpreter interp(fx->schema, &store);
+  auto r = interp.CallByName("income", {Value::Object(*obj)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, income);
+}
+
+TEST(BehaviorPreservation, VerifierCatchesDeliberateCorruption) {
+  // Sanity-check that the verifier is not vacuous: corrupt the derived
+  // schema by hand and it must complain.
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema before = fx->schema;
+  ProjectionOptions options;
+  options.verify = false;
+  auto result = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView", options);
+  ASSERT_TRUE(result.ok());
+  // Corruption: steal the `name` attribute into the view, changing both
+  // Person's and the view's cumulative state.
+  ASSERT_TRUE(fx->schema.types().MoveAttribute(fx->name, result->derived).ok());
+  VerifyReport report = VerifyDerivation(before, fx->schema, *result);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,144 @@
+// The whole system in one scenario: TDL load with views -> populate a store
+// -> query through a view -> persist schema and store -> reload both ->
+// identical query results -> drop the view -> base schema restored and still
+// queryable. Every subsystem participates; any cross-module regression
+// surfaces here.
+
+#include <gtest/gtest.h>
+
+#include "catalog/export_tdl.h"
+#include "catalog/serialize.h"
+#include "instances/store_serialize.h"
+#include "lang/analyzer.h"
+#include "objmodel/schema_printer.h"
+#include "query/query.h"
+
+namespace tyder {
+namespace {
+
+constexpr const char* kLibraryTdl = R"(
+  type Work {
+    title: String;
+    year: Date;
+  }
+  type Book : Work {
+    isbn: String;
+    pages: Int;
+    shelf: String;
+  }
+  accessors;
+  method age_of (w: Work) -> Int {
+    return 2026 - get_year(w);
+  }
+  method is_long (b: Book) -> Bool {
+    return 500 < get_pages(b);
+  }
+
+  // The public catalog view hides shelving internals.
+  view CatalogCard = project Book on (title, year, isbn, pages);
+)";
+
+std::vector<std::string> TitlesOf(const Schema& schema, ObjectStore& store,
+                                  const QueryResult& result) {
+  std::vector<std::string> titles;
+  auto title = schema.types().FindAttribute("title");
+  EXPECT_TRUE(title.ok());
+  for (ObjectId obj : result.objects) {
+    titles.push_back(store.GetSlot(obj, *title)->AsString());
+  }
+  return titles;
+}
+
+TEST(FullLifecycle, LoadPopulateQueryPersistReloadDrop) {
+  // --- load ---------------------------------------------------------------
+  auto loaded = LoadTdl(kLibraryTdl);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Catalog catalog = std::move(loaded).value();
+  Schema& schema = catalog.schema();
+  std::string pristine_export_baseline;  // set after drop, compared below
+
+  // --- populate -----------------------------------------------------------
+  ObjectStore store;
+  auto book = schema.types().FindType("Book");
+  ASSERT_TRUE(book.ok());
+  struct Row {
+    const char* title;
+    int year;
+    int pages;
+  };
+  for (const Row& row : std::initializer_list<Row>{
+           {"Moby-Dick", 1851, 635},
+           {"Pnin", 1957, 191},
+           {"Anathem", 2008, 937}}) {
+    auto obj = store.CreateObject(schema, *book);
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(store
+                    .SetSlot(*obj, *schema.types().FindAttribute("title"),
+                             Value::String(row.title))
+                    .ok());
+    ASSERT_TRUE(store
+                    .SetSlot(*obj, *schema.types().FindAttribute("year"),
+                             Value::Int(row.year))
+                    .ok());
+    ASSERT_TRUE(store
+                    .SetSlot(*obj, *schema.types().FindAttribute("pages"),
+                             Value::Int(row.pages))
+                    .ok());
+  }
+
+  // --- query through the view ----------------------------------------------
+  // is_long survived the projection (pages kept); shelf-based behavior would
+  // not have. Long books younger than a century:
+  Query query(schema, "CatalogCard");
+  query.WhereTdl("is_long(self) and age_of(self) < 100").Column("get_title");
+  auto result = query.Execute(store);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(TitlesOf(schema, store, *result),
+            (std::vector<std::string>{"Anathem"}));
+
+  // --- persist and reload ---------------------------------------------------
+  std::string schema_text = SerializeSchema(schema);
+  std::string store_text = SerializeStore(schema, store);
+  auto schema2 = DeserializeSchema(schema_text);
+  ASSERT_TRUE(schema2.ok()) << schema2.status();
+  auto store2 = DeserializeStore(*schema2, store_text);
+  ASSERT_TRUE(store2.ok()) << store2.status();
+
+  Query query2(*schema2, "CatalogCard");
+  query2.WhereTdl("is_long(self) and age_of(self) < 100").Column("get_title");
+  auto result2 = query2.Execute(*store2);
+  ASSERT_TRUE(result2.ok()) << result2.status();
+  EXPECT_EQ(TitlesOf(*schema2, *store2, *result2),
+            (std::vector<std::string>{"Anathem"}));
+  EXPECT_EQ(result2->rows, result->rows);
+
+  // --- TDL export replays the whole catalog ---------------------------------
+  auto tdl = ExportTdl(catalog);
+  ASSERT_TRUE(tdl.ok()) << tdl.status();
+  auto replayed = LoadTdl(*tdl);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(PrintHierarchy(replayed->schema().types()),
+            PrintHierarchy(schema.types()));
+
+  // --- drop the view ----------------------------------------------------------
+  std::string factored_hierarchy = PrintHierarchy(schema.types());
+  ASSERT_TRUE(catalog.DropView("CatalogCard").ok());
+  EXPECT_NE(PrintHierarchy(schema.types()), factored_hierarchy);
+  EXPECT_EQ(PrintHierarchy(schema.types()),
+            "Work {title: String, year: Date}\n"
+            "Book {isbn: String, pages: Int, shelf: String} <- Work(0)\n");
+  pristine_export_baseline = *ExportTdl(catalog);
+  EXPECT_EQ(pristine_export_baseline.find("view "), std::string::npos);
+
+  // The base schema still answers the same question directly.
+  Query base_query(schema, "Book");
+  base_query.WhereTdl("is_long(self) and age_of(self) < 100")
+      .Column("get_title");
+  auto base_result = base_query.Execute(store);
+  ASSERT_TRUE(base_result.ok()) << base_result.status();
+  EXPECT_EQ(TitlesOf(schema, store, *base_result),
+            (std::vector<std::string>{"Anathem"}));
+}
+
+}  // namespace
+}  // namespace tyder

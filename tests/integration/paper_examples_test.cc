@@ -1,0 +1,179 @@
+// End-to-end reproduction of every figure and worked example in the paper,
+// as golden tests over the full derivation pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "mir/printer.h"
+#include "objmodel/schema_printer.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+// --- Figures 1 and 2: the Person/Employee example (Section 3.1) -----------
+
+TEST(PaperFigures, Figure1OriginalHierarchy) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  EXPECT_EQ(PrintHierarchy(fx->schema.types()),
+            "Person {SSN: String, name: String, date_of_birth: Date}\n"
+            "Employee {pay_rate: Float, hrs_worked: Float} <- Person(0)\n");
+}
+
+TEST(PaperFigures, Figure2RefactoredHierarchy) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  auto result = DeriveProjectionByName(
+      fx->schema, "Employee", {"SSN", "date_of_birth", "pay_rate"},
+      "EmployeeView");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(
+      PrintHierarchy(fx->schema.types()),
+      "Person {name: String} <- ~Person(0)\n"
+      "Employee {hrs_worked: Float} <- EmployeeView(0), Person(1)\n"
+      "EmployeeView [surrogate of Employee] {pay_rate: Float} <- ~Person(0)\n"
+      "~Person [surrogate of Person] {SSN: String, date_of_birth: Date}\n");
+  // Method verdicts stated in Section 3.1.
+  EXPECT_FALSE(result->applicability.IsApplicable(fx->income));
+  EXPECT_TRUE(result->applicability.IsApplicable(fx->age));
+  EXPECT_TRUE(result->applicability.IsApplicable(fx->promote));
+}
+
+// --- Figure 3 + Example 1 (Section 4.2) ------------------------------------
+
+TEST(PaperFigures, Figure3OriginalHierarchy) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  EXPECT_EQ(PrintHierarchy(fx->schema.types()),
+            "H {h1: Int, h2: Int}\n"
+            "G {g1: Int}\n"
+            "D {d1: Int}\n"
+            "E {e1: Int, e2: Int} <- G(0), H(1)\n"
+            "F {f1: Int} <- H(0)\n"
+            "C {c1: Int} <- F(0), E(1)\n"
+            "B {b1: Int} <- D(0), E(1)\n"
+            "A {a1: Int, a2: Int} <- C(0), B(1)\n");
+}
+
+TEST(PaperExamples, Example1MethodApplicability) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<std::string> applicable, not_applicable;
+  for (MethodId m : result->applicability.applicable) {
+    applicable.insert(fx->schema.method(m).label.str());
+  }
+  for (MethodId m : result->applicability.not_applicable) {
+    not_applicable.insert(fx->schema.method(m).label.str());
+  }
+  EXPECT_EQ(applicable,
+            (std::set<std::string>{"u3", "v1", "w2", "get_h2"}));
+  EXPECT_EQ(not_applicable,
+            (std::set<std::string>{"u1", "u2", "v2", "w1", "x1", "y1",
+                                   "get_a1", "get_b1", "get_g1"}));
+}
+
+// --- Figure 4 + Example 2 (Section 5.2) ------------------------------------
+
+TEST(PaperFigures, Figure4FactoredHierarchy) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(PrintHierarchy(fx->schema.types()),
+            "H {h1: Int} <- ~H(0)\n"
+            "G {g1: Int}\n"
+            "D {d1: Int}\n"
+            "E {e1: Int} <- ~E(0), G(1), H(2)\n"
+            "F {f1: Int} <- ~F(0), H(1)\n"
+            "C {c1: Int} <- ~C(0), F(1), E(2)\n"
+            "B {b1: Int} <- ~B(0), D(1), E(2)\n"
+            "A {a1: Int} <- ProjA(0), C(1), B(2)\n"
+            "ProjA [surrogate of A] {a2: Int} <- ~C(0), ~B(1)\n"
+            "~C [surrogate of C] {} <- ~F(0), ~E(1)\n"
+            "~F [surrogate of F] {} <- ~H(0)\n"
+            "~H [surrogate of H] {h2: Int}\n"
+            "~E [surrogate of E] {e2: Int} <- ~H(0)\n"
+            "~B [surrogate of B] {} <- ~E(0)\n");
+}
+
+// --- Example 3 (Section 6.2) ------------------------------------------------
+
+TEST(PaperExamples, Example3FactoredSignatures) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto sig = [&](MethodId m) {
+    const Method& method = fx->schema.method(m);
+    return SignatureToString(fx->schema.types(),
+                             fx->schema.gf(method.gf).name.view(), method.sig);
+  };
+  // "v1(Ã, C̃), u3(B̃), w2(C̃), get_h2(B̃)".
+  EXPECT_EQ(sig(fx->v1), "v(ProjA, ~C) -> Void");
+  EXPECT_EQ(sig(fx->u3), "u(~B) -> Void");
+  EXPECT_EQ(sig(fx->w2), "w(~C) -> Void");
+  EXPECT_EQ(sig(fx->get_h2), "get_h2(~B) -> Int");
+}
+
+// --- Figure 5 + Example 4 (Sections 6.3–6.5) -------------------------------
+
+TEST(PaperFigures, Figure5AugmentedHierarchy) {
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Z = {D, G} (Example 4).
+  EXPECT_EQ(result->augment_z, (std::set<TypeId>{fx->d, fx->g}));
+  EXPECT_EQ(PrintHierarchy(fx->schema.types()),
+            "H {h1: Int} <- ~H(0)\n"
+            "G {g1: Int} <- ~G(0)\n"
+            "D {d1: Int} <- ~D(0)\n"
+            "E {e1: Int} <- ~E(0), G(1), H(2)\n"
+            "F {f1: Int} <- ~F(0), H(1)\n"
+            "C {c1: Int} <- ~C(0), F(1), E(2)\n"
+            "B {b1: Int} <- ~B(0), D(1), E(2)\n"
+            "A {a1: Int} <- ProjA(0), C(1), B(2)\n"
+            "ProjA [surrogate of A] {a2: Int} <- ~C(0), ~B(1)\n"
+            "~C [surrogate of C] {} <- ~F(0), ~E(1)\n"
+            "~F [surrogate of F] {} <- ~H(0)\n"
+            "~H [surrogate of H] {h2: Int}\n"
+            "~E [surrogate of E] {e2: Int} <- ~G(0), ~H(1)\n"
+            "~B [surrogate of B] {} <- ~D(0), ~E(1)\n"
+            "~G [surrogate of G] {}\n"
+            "~D [surrogate of D] {}\n");
+}
+
+TEST(PaperExamples, Example4RetypedBody) {
+  auto fx = testing::BuildExample1(true);
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  auto result = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(PrintMethod(fx->schema, fx->z1),
+            "z1: z(~C) -> ~G = { gv: ~G; gv = pc; u(pc); return gv; }");
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,106 @@
+// Full-stack test: TDL source -> schema -> views -> serialization round trip
+// -> execution, reproducing the paper's Example 1 hierarchy from text.
+
+#include <gtest/gtest.h>
+
+#include "catalog/serialize.h"
+#include "core/is_applicable.h"
+#include "instances/interp.h"
+#include "lang/analyzer.h"
+#include "objmodel/schema_printer.h"
+
+namespace tyder {
+namespace {
+
+constexpr const char* kExample1Tdl = R"(
+  // Figure 3 of Agrawal & DeMichiel 1994, in TDL.
+  type H { h1: Int; h2: Int; }
+  type G { g1: Int; }
+  type D { d1: Int; }
+  type E : G, H { e1: Int; e2: Int; }
+  type F : H { f1: Int; }
+  type C : F, E { c1: Int; }
+  type B : D, E { b1: Int; }
+  type A : C, B { a1: Int; a2: Int; }
+
+  generic u/1;
+  generic v/2;
+  generic w/1;
+  generic x/2;
+  generic y/2;
+  accessors;
+
+  method u1 for u (arg: A) { get_a1(arg); }
+  method u2 for u (arg: A) { get_g1(arg); }
+  method u3 for u (arg: B) { get_h2(arg); }
+  method v1 for v (pa: A, pc: C) { u(pa); w(pc); }
+  method v2 for v (pb: B, pc: C) { get_b1(pb); u(pc); }
+  method w1 for w (arg: A) { get_a1(arg); }
+  method w2 for w (arg: C) { u(arg); }
+  method x1 for x (pa: A, pb: B) { y(pa, pb); v(pb, pa); }
+  method y1 for y (pa: A, pb: B) { x(pa, pb); }
+
+  view ProjA = project A on (a2, e2, h2);
+)";
+
+TEST(TdlEndToEnd, Example1FromTextMatchesPaper) {
+  auto catalog = LoadTdl(kExample1Tdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  const Schema& s = catalog->schema();
+
+  // The derivation ran as part of the view declaration; check the factored
+  // hierarchy's key facts.
+  auto proj = s.types().FindType("ProjA");
+  ASSERT_TRUE(proj.ok());
+  std::set<std::string> attrs;
+  for (AttrId a : s.types().CumulativeAttributes(*proj)) {
+    attrs.insert(s.types().attribute(a).name.str());
+  }
+  EXPECT_EQ(attrs, (std::set<std::string>{"a2", "e2", "h2"}));
+
+  auto v1 = s.FindMethod("v1");
+  auto u3 = s.FindMethod("u3");
+  ASSERT_TRUE(v1.ok() && u3.ok());
+  EXPECT_EQ(s.types().TypeName(s.method(*v1).sig.params[0]), "ProjA");
+  EXPECT_EQ(s.types().TypeName(s.method(*u3).sig.params[0]), "~B");
+}
+
+TEST(TdlEndToEnd, SerializationRoundTripAfterTdlLoadAndDerivation) {
+  auto catalog = LoadTdl(kExample1Tdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  std::string text = SerializeSchema(catalog->schema());
+  auto restored = DeserializeSchema(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeSchema(*restored), text);
+  EXPECT_EQ(PrintHierarchy(restored->types()),
+            PrintHierarchy(catalog->schema().types()));
+}
+
+TEST(TdlEndToEnd, ViewInstancesRunInheritedBehavior) {
+  auto catalog = LoadTdl(R"(
+    type Person { ssn: String; dob: Date; nickname: String; }
+    accessors;
+    method age (p: Person) -> Int { return 2026 - get_dob(p); }
+    view PersonView = project Person on (ssn, dob);
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  Schema& s = catalog->schema();
+  ObjectStore store;
+  auto view_type = s.types().FindType("PersonView");
+  ASSERT_TRUE(view_type.ok());
+  auto obj = store.CreateObject(s, *view_type);
+  ASSERT_TRUE(obj.ok());
+  auto dob = s.types().FindAttribute("dob");
+  ASSERT_TRUE(dob.ok());
+  ASSERT_TRUE(store.SetSlot(*obj, *dob, Value::Int(2001)).ok());
+  Interpreter interp(s, &store);
+  // age survives the projection and runs on a *view* instance directly.
+  auto age = interp.CallByName("age", {Value::Object(*obj)});
+  ASSERT_TRUE(age.ok()) << age.status();
+  EXPECT_EQ(*age, Value::Int(25));
+  // get_nickname must not apply to the view instance.
+  EXPECT_FALSE(interp.CallByName("get_nickname", {Value::Object(*obj)}).ok());
+}
+
+}  // namespace
+}  // namespace tyder

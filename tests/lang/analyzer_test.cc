@@ -1,0 +1,205 @@
+#include "lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "instances/interp.h"
+#include "mir/printer.h"
+
+namespace tyder {
+namespace {
+
+constexpr const char* kPersonTdl = R"(
+  type Person {
+    SSN: String;
+    name: String;
+    date_of_birth: Date;
+  }
+  type Employee : Person {
+    pay_rate: Float;
+    hrs_worked: Float;
+  }
+  accessors;
+  method age (p: Person) -> Int {
+    return 2026 - get_date_of_birth(p);
+  }
+  method income (e: Employee) -> Float {
+    return get_pay_rate(e) * get_hrs_worked(e);
+  }
+)";
+
+TEST(AnalyzerTest, BuildsTypesAndAttributes) {
+  auto catalog = LoadTdl(kPersonTdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  const Schema& s = catalog->schema();
+  auto employee = s.types().FindType("Employee");
+  ASSERT_TRUE(employee.ok());
+  EXPECT_EQ(s.types().CumulativeAttributes(*employee).size(), 5u);
+  auto person = s.types().FindType("Person");
+  ASSERT_TRUE(person.ok());
+  EXPECT_TRUE(s.types().IsProperSubtype(*employee, *person));
+}
+
+TEST(AnalyzerTest, AccessorsDirectiveGeneratesReadersAndMutators) {
+  auto catalog = LoadTdl(kPersonTdl);
+  ASSERT_TRUE(catalog.ok());
+  const Schema& s = catalog->schema();
+  EXPECT_TRUE(s.FindGenericFunction("get_SSN").ok());
+  EXPECT_TRUE(s.FindGenericFunction("set_SSN").ok());
+  EXPECT_TRUE(s.FindGenericFunction("get_pay_rate").ok());
+}
+
+TEST(AnalyzerTest, MethodBodiesLowerAndRun) {
+  auto catalog = LoadTdl(kPersonTdl);
+  ASSERT_TRUE(catalog.ok());
+  Schema& s = catalog->schema();
+  ObjectStore store;
+  auto employee = s.types().FindType("Employee");
+  ASSERT_TRUE(employee.ok());
+  auto obj = store.CreateObject(s, *employee);
+  ASSERT_TRUE(obj.ok());
+  auto dob = s.types().FindAttribute("date_of_birth");
+  ASSERT_TRUE(dob.ok());
+  ASSERT_TRUE(store.SetSlot(*obj, *dob, Value::Int(1980)).ok());
+  Interpreter interp(s, &store);
+  auto age = interp.CallByName("age", {Value::Object(*obj)});
+  ASSERT_TRUE(age.ok()) << age.status();
+  EXPECT_EQ(*age, Value::Int(46));
+}
+
+TEST(AnalyzerTest, SupertypePrecedenceFollowsDeclarationOrder) {
+  auto catalog = LoadTdl(R"(
+    type F { f1: Int; }
+    type E { e1: Int; }
+    type C : F, E { c1: Int; }
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  const Schema& s = catalog->schema();
+  auto c = s.types().FindType("C");
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(s.types().type(*c).supertypes().size(), 2u);
+  EXPECT_EQ(s.types().TypeName(s.types().type(*c).supertypes()[0]), "F");
+  EXPECT_EQ(s.types().TypeName(s.types().type(*c).supertypes()[1]), "E");
+}
+
+TEST(AnalyzerTest, MethodForSharedGenericFunction) {
+  auto catalog = LoadTdl(R"(
+    type A { a1: Int; }
+    type B { b1: Int; }
+    accessors;
+    method u1 for u (x: A) { get_a1(x); }
+    method u2 for u (x: B) { get_b1(x); }
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  auto u = catalog->schema().FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(catalog->schema().gf(*u).methods.size(), 2u);
+}
+
+TEST(AnalyzerTest, ViewDeclarationRunsDerivation) {
+  std::string tdl = std::string(kPersonTdl) +
+                    "view EmployeeView = project Employee on "
+                    "(SSN, date_of_birth, pay_rate);";
+  auto catalog = LoadTdl(tdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  auto view = catalog->FindView("EmployeeView");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->op, ViewOpKind::kProjection);
+  const Schema& s = catalog->schema();
+  EXPECT_TRUE(s.types().FindType("EmployeeView").ok());
+  EXPECT_TRUE(s.types().FindType("~Person").ok());
+  // income must have been left behind; age rewritten to the surrogate.
+  auto age = s.FindMethod("age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_NE(PrintMethod(s, *age).find("~Person"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SelectionViewDeclaration) {
+  std::string tdl = std::string(kPersonTdl) + "view Staff = select Employee;";
+  auto catalog = LoadTdl(tdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  auto staff = catalog->schema().types().FindType("Staff");
+  ASSERT_TRUE(staff.ok());
+  auto employee = catalog->schema().types().FindType("Employee");
+  ASSERT_TRUE(employee.ok());
+  EXPECT_TRUE(catalog->schema().types().IsProperSubtype(*staff, *employee));
+}
+
+TEST(AnalyzerTest, RenameViewFromTdl) {
+  std::string tdl = std::string(kPersonTdl) +
+                    "view HrView = rename Employee (pay_rate as hourly_wage);";
+  auto catalog = LoadTdl(tdl);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  EXPECT_TRUE(catalog->schema().FindGenericFunction("get_hourly_wage").ok());
+  auto view = catalog->FindView("HrView");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->op, ViewOpKind::kRename);
+  ASSERT_EQ((*view)->renames.size(), 1u);
+  EXPECT_EQ((*view)->renames[0].alias, "hourly_wage");
+}
+
+TEST(AnalyzerTest, GeneralizeViewFromTdl) {
+  auto catalog = LoadTdl(R"(
+    type Shared { s1: Int; }
+    type Doctor : Shared { pager: Int; }
+    type Nurse : Shared { shift: Int; }
+    accessors;
+    view Common = generalize Doctor, Nurse;
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  auto view = catalog->FindView("Common");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->op, ViewOpKind::kGeneralization);
+  auto common = catalog->schema().types().FindType("Common");
+  ASSERT_TRUE(common.ok());
+  // Common attributes of Doctor and Nurse = {s1}.
+  EXPECT_EQ(catalog->schema().types().CumulativeAttributes(*common).size(),
+            1u);
+}
+
+TEST(AnalyzerTest, UnknownSupertypeReported) {
+  auto catalog = LoadTdl("type A : Ghost { }");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("Ghost"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownAttributeTypeReported) {
+  auto catalog = LoadTdl("type A { x: Ghost; }");
+  EXPECT_FALSE(catalog.ok());
+}
+
+TEST(AnalyzerTest, UnknownGenericFunctionInBodyReported) {
+  auto catalog = LoadTdl(R"(
+    type A { a1: Int; }
+    method m (x: A) { ghost(x); }
+  )");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(AnalyzerTest, IllTypedBodyReported) {
+  auto catalog = LoadTdl(R"(
+    type A { a1: Int; }
+    accessors;
+    method m (x: A) -> Int { return get_a1(x) and true; }
+  )");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_EQ(catalog.status().code(), StatusCode::kTypeError);
+}
+
+TEST(AnalyzerTest, DuplicateTypeReported) {
+  auto catalog = LoadTdl("type A { } type A { }");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_EQ(catalog.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AnalyzerTest, ForwardTypeReferencesResolve) {
+  // Employee references Person declared later.
+  auto catalog = LoadTdl(R"(
+    type Employee : Person { pay: Float; }
+    type Person { ssn: String; }
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,111 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tyder {
+namespace {
+
+std::vector<Token> LexOk(std::string_view src) {
+  DiagnosticEngine diags;
+  std::vector<Token> tokens = Lex(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.ToString();
+  return tokens;
+}
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = LexOk("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto tokens = LexOk("type Person method foo generic view");
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{TokenKind::kType, TokenKind::kIdent,
+                                    TokenKind::kMethod, TokenKind::kIdent,
+                                    TokenKind::kGeneric, TokenKind::kView,
+                                    TokenKind::kEnd}));
+  EXPECT_EQ(tokens[1].text, "Person");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = LexOk("42 3.14 0");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLit);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIntLit);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = LexOk(R"("hello" "a\"b" "line\n")");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "line\n");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = LexOk("-> - = == < <= + * / : ; , ( ) { }");
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kArrow, TokenKind::kMinus, TokenKind::kAssign,
+                TokenKind::kEqEq, TokenKind::kLt, TokenKind::kLe,
+                TokenKind::kPlus, TokenKind::kStar, TokenKind::kSlash,
+                TokenKind::kColon, TokenKind::kSemicolon, TokenKind::kComma,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+                TokenKind::kRBrace, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = LexOk("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = LexOk("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].col, 3);
+}
+
+TEST(LexerTest, UnterminatedStringReported) {
+  DiagnosticEngine diags;
+  Lex("\"oops", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  Lex("/* never closed", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReported) {
+  DiagnosticEngine diags;
+  std::vector<Token> tokens = Lex("a @ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(tokens[1].kind, TokenKind::kError);
+}
+
+TEST(LexerTest, BooleanAndLogicalKeywords) {
+  auto tokens = LexOk("true false and or if else return");
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{TokenKind::kTrue, TokenKind::kFalse,
+                                    TokenKind::kAnd, TokenKind::kOr,
+                                    TokenKind::kIf, TokenKind::kElse,
+                                    TokenKind::kReturn, TokenKind::kEnd}));
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,199 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tyder {
+namespace {
+
+TEST(ParserTest, TypeWithAttributesAndSupers) {
+  auto ast = ParseTdl(R"(
+    type Employee : Person, Insured {
+      pay_rate: Float;
+      hrs_worked: Float;
+    }
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  ASSERT_EQ(ast->types.size(), 1u);
+  const AstType& t = ast->types[0];
+  EXPECT_EQ(t.name, "Employee");
+  EXPECT_EQ(t.supers, (std::vector<std::string>{"Person", "Insured"}));
+  ASSERT_EQ(t.attrs.size(), 2u);
+  EXPECT_EQ(t.attrs[0].name, "pay_rate");
+  EXPECT_EQ(t.attrs[0].type_name, "Float");
+}
+
+TEST(ParserTest, TypeWithoutSupersOrAttrs) {
+  auto ast = ParseTdl("type Empty { }");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_TRUE(ast->types[0].supers.empty());
+  EXPECT_TRUE(ast->types[0].attrs.empty());
+}
+
+TEST(ParserTest, GenericDeclaration) {
+  auto ast = ParseTdl("generic u/1; generic v/2;");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  ASSERT_EQ(ast->generics.size(), 2u);
+  EXPECT_EQ(ast->generics[0].name, "u");
+  EXPECT_EQ(ast->generics[0].arity, 1);
+  EXPECT_EQ(ast->generics[1].arity, 2);
+}
+
+TEST(ParserTest, MethodWithForAndResult) {
+  auto ast = ParseTdl(R"(
+    method v1 for v (a: A, c: C) -> Int {
+      return 1;
+    }
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  ASSERT_EQ(ast->methods.size(), 1u);
+  const AstMethod& m = ast->methods[0];
+  EXPECT_EQ(m.label, "v1");
+  EXPECT_EQ(m.gf, "v");
+  ASSERT_EQ(m.params.size(), 2u);
+  EXPECT_EQ(m.params[0].name, "a");
+  EXPECT_EQ(m.params[1].type_name, "C");
+  EXPECT_EQ(m.result_type, "Int");
+  ASSERT_EQ(m.body.size(), 1u);
+  EXPECT_EQ(m.body[0]->kind, AstStmtKind::kReturn);
+}
+
+TEST(ParserTest, MethodWithoutForUsesOwnName) {
+  auto ast = ParseTdl("method age (p: Person) -> Int { return 0; }");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->methods[0].label, "age");
+  EXPECT_TRUE(ast->methods[0].gf.empty());
+}
+
+TEST(ParserTest, StatementForms) {
+  auto ast = ParseTdl(R"(
+    method m (a: A) {
+      g: G;
+      h: H = a;
+      g = a;
+      u(a);
+      if (1 < 2) { return; } else { v(a, a); }
+      return;
+    }
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  const auto& body = ast->methods[0].body;
+  ASSERT_EQ(body.size(), 6u);
+  EXPECT_EQ(body[0]->kind, AstStmtKind::kVarDecl);
+  EXPECT_EQ(body[0]->var, "g");
+  EXPECT_EQ(body[0]->expr, nullptr);
+  EXPECT_EQ(body[1]->kind, AstStmtKind::kVarDecl);
+  EXPECT_NE(body[1]->expr, nullptr);
+  EXPECT_EQ(body[2]->kind, AstStmtKind::kAssign);
+  EXPECT_EQ(body[3]->kind, AstStmtKind::kExprStmt);
+  EXPECT_EQ(body[4]->kind, AstStmtKind::kIf);
+  EXPECT_EQ(body[4]->then_body.size(), 1u);
+  EXPECT_EQ(body[4]->else_body.size(), 1u);
+  EXPECT_EQ(body[5]->kind, AstStmtKind::kReturn);
+  EXPECT_EQ(body[5]->expr, nullptr);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto ast = ParseTdl("method m (a: A) -> Int { return 1 + 2 * 3 < 4 and true; }");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  const AstExprPtr& e = ast->methods[0].body[0]->expr;
+  // ((1 + (2*3)) < 4) and true
+  ASSERT_EQ(e->kind, AstExprKind::kBinOp);
+  EXPECT_EQ(e->op, BinOpKind::kAnd);
+  const AstExprPtr& cmp = e->children[0];
+  EXPECT_EQ(cmp->op, BinOpKind::kLt);
+  const AstExprPtr& add = cmp->children[0];
+  EXPECT_EQ(add->op, BinOpKind::kAdd);
+  EXPECT_EQ(add->children[1]->op, BinOpKind::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto ast = ParseTdl("method m (a: A) -> Int { return (1 + 2) * 3; }");
+  ASSERT_TRUE(ast.ok());
+  const AstExprPtr& e = ast->methods[0].body[0]->expr;
+  EXPECT_EQ(e->op, BinOpKind::kMul);
+  EXPECT_EQ(e->children[0]->op, BinOpKind::kAdd);
+}
+
+TEST(ParserTest, NestedCalls) {
+  auto ast = ParseTdl("method m (a: A) { u(v(a, get_x(a))); }");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  const AstExprPtr& call = ast->methods[0].body[0]->expr;
+  ASSERT_EQ(call->kind, AstExprKind::kCall);
+  EXPECT_EQ(call->text, "u");
+  ASSERT_EQ(call->children.size(), 1u);
+  EXPECT_EQ(call->children[0]->text, "v");
+  EXPECT_EQ(call->children[0]->children[1]->text, "get_x");
+}
+
+TEST(ParserTest, ProjectionViewDeclaration) {
+  auto ast = ParseTdl(
+      "view EmployeeView = project Employee on (SSN, date_of_birth);");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  ASSERT_EQ(ast->views.size(), 1u);
+  EXPECT_EQ(ast->views[0].op, AstViewOp::kProject);
+  EXPECT_EQ(ast->views[0].source, "Employee");
+  EXPECT_EQ(ast->views[0].attrs,
+            (std::vector<std::string>{"SSN", "date_of_birth"}));
+}
+
+TEST(ParserTest, SelectionViewDeclaration) {
+  auto ast = ParseTdl("view WellPaid = select Employee;");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->views[0].op, AstViewOp::kSelect);
+  EXPECT_EQ(ast->views[0].source, "Employee");
+}
+
+TEST(ParserTest, RenameViewDeclaration) {
+  auto ast = ParseTdl("view V = rename Employee (SSN as tax_id, pay as wage);");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  ASSERT_EQ(ast->views.size(), 1u);
+  const AstView& v = ast->views[0];
+  EXPECT_EQ(v.op, AstViewOp::kRename);
+  EXPECT_EQ(v.source, "Employee");
+  ASSERT_EQ(v.renames.size(), 2u);
+  EXPECT_EQ(v.renames[0].attribute, "SSN");
+  EXPECT_EQ(v.renames[0].alias, "tax_id");
+  EXPECT_EQ(v.renames[1].attribute, "pay");
+  EXPECT_EQ(v.renames[1].alias, "wage");
+}
+
+TEST(ParserTest, GeneralizeViewDeclaration) {
+  auto ast = ParseTdl("view Common = generalize Doctor, Nurse;");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  const AstView& v = ast->views[0];
+  EXPECT_EQ(v.op, AstViewOp::kGeneralize);
+  EXPECT_EQ(v.source, "Doctor");
+  EXPECT_EQ(v.source2, "Nurse");
+}
+
+TEST(ParserTest, MalformedRenameReported) {
+  auto ast = ParseTdl("view V = rename T (a b);");
+  EXPECT_FALSE(ast.ok());
+}
+
+TEST(ParserTest, AccessorsDirective) {
+  auto ast = ParseTdl("type T { x: Int; } accessors;");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->accessors_directive);
+}
+
+TEST(ParserTest, SyntaxErrorsCollected) {
+  auto ast = ParseTdl("type { }");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, MultipleErrorsReportedTogether) {
+  auto ast = ParseTdl("type A type B");
+  ASSERT_FALSE(ast.ok());
+  // Both missing braces are reported.
+  EXPECT_NE(ast.status().message().find("expected"), std::string::npos);
+}
+
+TEST(ParserTest, UnknownTopLevelTokenRecovered) {
+  auto ast = ParseTdl("; type A { }");
+  ASSERT_FALSE(ast.ok());  // the stray ';' is an error, but A is still parsed
+}
+
+}  // namespace
+}  // namespace tyder

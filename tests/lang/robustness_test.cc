@@ -1,0 +1,102 @@
+// Robustness of the TDL front end: arbitrary inputs must produce a Status,
+// never a crash, hang, or acceptance of garbage.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "lang/analyzer.h"
+#include "lang/parser.h"
+
+namespace tyder {
+namespace {
+
+TEST(RobustnessTest, RandomPrintableGarbageNeverCrashes) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> len(0, 200);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) input += static_cast<char>(ch(rng));
+    auto result = LoadTdl(input);  // must return, whatever the verdict
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, RandomTokenSoupNeverCrashes) {
+  // Valid tokens in random order — exercises parser recovery paths rather
+  // than the lexer.
+  const char* kTokens[] = {"type",  "method", "view",   "{",     "}",  "(",
+                           ")",     ";",      ",",      ":",     "->", "=",
+                           "Ident", "42",     "3.14",   "\"s\"", "if", "else",
+                           "return", "accessors", "project", "on", "as",
+                           "rename", "generalize", "select", "+", "*", "<"};
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<size_t> pick(0, std::size(kTokens) - 1);
+  std::uniform_int_distribution<int> len(1, 60);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      input += kTokens[pick(rng)];
+      input += ' ';
+    }
+    auto result = LoadTdl(input);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, PathologicalNesting) {
+  // Deep parenthesization parses (recursive descent) without blowing up at
+  // this depth.
+  std::string deep = "method m (a: Int) -> Int { return ";
+  for (int i = 0; i < 200; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += ")";
+  deep += "; }";
+  auto ast = ParseTdl(deep);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+}
+
+TEST(RobustnessTest, TruncatedInputsReportErrors) {
+  const char* kPrefixes[] = {
+      "type",
+      "type A",
+      "type A :",
+      "type A : B {",
+      "type A { x",
+      "type A { x:",
+      "method m",
+      "method m (",
+      "method m (a: A) {",
+      "method m (a: A) { return",
+      "view V",
+      "view V =",
+      "view V = project",
+      "view V = project T on (",
+      "view V = rename T (a as",
+      "view V = generalize A,",
+      "generic f/",
+      "\"unterminated",
+      "/* unterminated",
+  };
+  for (const char* prefix : kPrefixes) {
+    auto result = LoadTdl(prefix);
+    EXPECT_FALSE(result.ok()) << "accepted: " << prefix;
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedIfChainsParse) {
+  std::string body;
+  for (int i = 0; i < 100; ++i) body += "if (true) { ";
+  body += "return 1;";
+  for (int i = 0; i < 100; ++i) body += " }";
+  std::string src = "method m (a: Int) -> Int { " + body + " return 0; }";
+  auto ast = ParseTdl(src);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,105 @@
+#include "methods/accessor_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace tyder {
+namespace {
+
+class AccessorGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = Schema::Create();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::move(s).value();
+    auto person = schema_.types().DeclareType("Person", TypeKind::kUser);
+    auto employee = schema_.types().DeclareType("Employee", TypeKind::kUser);
+    ASSERT_TRUE(person.ok());
+    ASSERT_TRUE(employee.ok());
+    person_ = *person;
+    employee_ = *employee;
+    ASSERT_TRUE(schema_.types().AddSupertype(employee_, person_).ok());
+    auto ssn = schema_.types().DeclareAttribute(person_, "ssn",
+                                                schema_.builtins().string_type);
+    ASSERT_TRUE(ssn.ok());
+    ssn_ = *ssn;
+  }
+
+  Schema schema_;
+  TypeId person_ = kInvalidType, employee_ = kInvalidType;
+  AttrId ssn_ = kInvalidAttr;
+};
+
+TEST_F(AccessorGenTest, ReaderShape) {
+  auto reader = GenerateReader(schema_, ssn_);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const Method& m = schema_.method(*reader);
+  EXPECT_EQ(m.kind, MethodKind::kReader);
+  EXPECT_EQ(m.label.view(), "get_ssn");
+  EXPECT_EQ(m.sig.params, (std::vector<TypeId>{person_}));
+  EXPECT_EQ(m.sig.result, schema_.builtins().string_type);
+  EXPECT_EQ(m.attr, ssn_);
+  EXPECT_EQ(schema_.ReaderOf(ssn_), *reader);
+}
+
+TEST_F(AccessorGenTest, MutatorShape) {
+  auto mutator = GenerateMutator(schema_, ssn_);
+  ASSERT_TRUE(mutator.ok()) << mutator.status();
+  const Method& m = schema_.method(*mutator);
+  EXPECT_EQ(m.kind, MethodKind::kMutator);
+  EXPECT_EQ(m.label.view(), "set_ssn");
+  EXPECT_EQ(m.sig.params,
+            (std::vector<TypeId>{person_, schema_.builtins().string_type}));
+  EXPECT_EQ(m.sig.result, schema_.builtins().void_type);
+  EXPECT_EQ(schema_.MutatorOf(ssn_), *mutator);
+}
+
+TEST_F(AccessorGenTest, ReaderOnSubtypeFormal) {
+  // The paper declares get_h2 on B while h2 lives at H; same pattern here.
+  auto reader = GenerateReader(schema_, ssn_, employee_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(schema_.method(*reader).sig.params,
+            (std::vector<TypeId>{employee_}));
+}
+
+TEST_F(AccessorGenTest, SecondReaderGetsDisambiguatedLabel) {
+  ASSERT_TRUE(GenerateReader(schema_, ssn_).ok());
+  auto second = GenerateReader(schema_, ssn_, employee_);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(schema_.method(*second).label.view(), "get_ssn_Employee");
+  // Both methods live on the same generic function.
+  EXPECT_EQ(schema_.method(*second).gf, schema_.method(*second).gf);
+  auto gf = schema_.FindGenericFunction("get_ssn");
+  ASSERT_TRUE(gf.ok());
+  EXPECT_EQ(schema_.gf(*gf).methods.size(), 2u);
+}
+
+TEST_F(AccessorGenTest, ReaderOnTypeLackingAttributeFails) {
+  auto unrelated = schema_.types().DeclareType("Unrelated", TypeKind::kUser);
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_FALSE(GenerateReader(schema_, ssn_, *unrelated).ok());
+}
+
+TEST_F(AccessorGenTest, GenerateAllAccessorsCoversEveryAttribute) {
+  auto pay = schema_.types().DeclareAttribute(employee_, "pay",
+                                              schema_.builtins().float_type);
+  ASSERT_TRUE(pay.ok());
+  ASSERT_TRUE(GenerateAllAccessors(schema_).ok());
+  EXPECT_NE(schema_.ReaderOf(ssn_), kInvalidMethod);
+  EXPECT_NE(schema_.ReaderOf(*pay), kInvalidMethod);
+  EXPECT_NE(schema_.MutatorOf(ssn_), kInvalidMethod);
+  EXPECT_NE(schema_.MutatorOf(*pay), kInvalidMethod);
+  EXPECT_TRUE(schema_.Validate().ok());
+}
+
+TEST_F(AccessorGenTest, GenerateForTypeOnlyLocalAttrs) {
+  auto pay = schema_.types().DeclareAttribute(employee_, "pay",
+                                              schema_.builtins().float_type);
+  ASSERT_TRUE(pay.ok());
+  ASSERT_TRUE(GenerateAccessorsForType(schema_, employee_, false).ok());
+  EXPECT_NE(schema_.ReaderOf(*pay), kInvalidMethod);
+  EXPECT_EQ(schema_.ReaderOf(ssn_), kInvalidMethod);   // not local to Employee
+  EXPECT_EQ(schema_.MutatorOf(*pay), kInvalidMethod);  // mutators disabled
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,82 @@
+#include "methods/applicability.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class ApplicabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(ApplicabilityTest, ApplicableToTypeViaAnyFormal) {
+  // u3(B) is applicable to A because A ≼ B.
+  EXPECT_TRUE(ApplicableToType(fx_.schema, fx_.u3, fx_.a));
+  // u1(A) is not applicable to B (B is a supertype of A).
+  EXPECT_FALSE(ApplicableToType(fx_.schema, fx_.u1, fx_.b));
+  // v2(B, C): applicable to C via the second formal.
+  EXPECT_TRUE(ApplicableToType(fx_.schema, fx_.v2, fx_.c));
+}
+
+TEST_F(ApplicabilityTest, AllPaperMethodsApplicableToA) {
+  // "First, we note that all the methods given are applicable to the source
+  // type A." (Section 4.2)
+  for (MethodId m :
+       {fx_.u1, fx_.u2, fx_.u3, fx_.v1, fx_.v2, fx_.w1, fx_.w2, fx_.x1, fx_.y1,
+        fx_.get_a1, fx_.get_b1, fx_.get_h2, fx_.get_g1}) {
+    EXPECT_TRUE(ApplicableToType(fx_.schema, m, fx_.a))
+        << fx_.schema.method(m).label.view();
+  }
+}
+
+TEST_F(ApplicabilityTest, ApplicableToCallRequiresAllPositions) {
+  // v1(A, C): applicable to v(A, A) since A ≼ A and A ≼ C.
+  EXPECT_TRUE(ApplicableToCall(fx_.schema, fx_.v1, {fx_.a, fx_.a}));
+  // v1(A, C) is not applicable to v(B, A): B is not ≼ A.
+  EXPECT_FALSE(ApplicableToCall(fx_.schema, fx_.v1, {fx_.b, fx_.a}));
+  // v2(B, C) is applicable to v(B, A).
+  EXPECT_TRUE(ApplicableToCall(fx_.schema, fx_.v2, {fx_.b, fx_.a}));
+}
+
+TEST_F(ApplicabilityTest, WrongArityNeverApplicable) {
+  EXPECT_FALSE(ApplicableToCall(fx_.schema, fx_.v1, {fx_.a}));
+  EXPECT_FALSE(ApplicableToCall(fx_.schema, fx_.u1, {fx_.a, fx_.a}));
+}
+
+TEST_F(ApplicabilityTest, ApplicableMethodsForCall) {
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  // u(A): all of u1(A), u2(A), u3(B) apply (A ≼ A, A ≼ B).
+  EXPECT_EQ(ApplicableMethods(fx_.schema, *u, {fx_.a}).size(), 3u);
+  // u(C): no method applies statically (C is above A, unrelated to B).
+  EXPECT_TRUE(ApplicableMethods(fx_.schema, *u, {fx_.c}).empty());
+  // u(B): only u3(B).
+  EXPECT_EQ(ApplicableMethods(fx_.schema, *u, {fx_.b}),
+            (std::vector<MethodId>{fx_.u3}));
+}
+
+TEST_F(ApplicabilityTest, MethodsApplicableToUnrelatedTypeIsAccessorOnly) {
+  // D relates to no method formal except nothing — D is only a supertype of B
+  // and A; methods with formals B or A are NOT applicable to D.
+  std::vector<MethodId> ms = MethodsApplicableToType(fx_.schema, fx_.d);
+  EXPECT_TRUE(ms.empty());
+}
+
+TEST_F(ApplicabilityTest, MethodsApplicableToIntermediateType) {
+  // For C: methods with a formal ⪰ C: v1 (2nd formal C), v2 (2nd formal C),
+  // w2(C), get_g1(C). u3(B)? C is not ≼ B. u1(A)? C not ≼ A.
+  std::vector<MethodId> ms = MethodsApplicableToType(fx_.schema, fx_.c);
+  std::set<MethodId> got(ms.begin(), ms.end());
+  EXPECT_EQ(got, (std::set<MethodId>{fx_.v1, fx_.v2, fx_.w2, fx_.get_g1}));
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,166 @@
+#include "methods/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = Schema::Create();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::move(s).value();
+    auto b = schema_.types().DeclareType("B", TypeKind::kUser);
+    auto a = schema_.types().DeclareType("A", TypeKind::kUser);
+    ASSERT_TRUE(a.ok() && b.ok());
+    a_ = *a;
+    b_ = *b;
+    ASSERT_TRUE(schema_.types().AddSupertype(a_, b_).ok());  // A ≼ B
+  }
+
+  Result<MethodId> Add(std::string_view label, GfId gf,
+                       std::vector<TypeId> params, TypeId result) {
+    Method m;
+    m.label = Symbol::Intern(label);
+    m.gf = gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig.params = std::move(params);
+    m.sig.result = result;
+    m.body = mir::Seq({});
+    return schema_.AddMethod(std::move(m));
+  }
+
+  Schema schema_;
+  TypeId a_ = kInvalidType, b_ = kInvalidType;
+};
+
+TEST_F(ConsistencyTest, CleanSchemaHasNoIssues) {
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f_a", *gf, {a_}, schema_.builtins().void_type).ok());
+  ASSERT_TRUE(Add("f_b", *gf, {b_}, schema_.builtins().void_type).ok());
+  EXPECT_TRUE(CheckMethodConsistency(schema_).empty());
+}
+
+TEST_F(ConsistencyTest, IdenticalFormalsReported) {
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f1", *gf, {a_}, schema_.builtins().void_type).ok());
+  ASSERT_TRUE(Add("f2", *gf, {a_}, schema_.builtins().void_type).ok());
+  auto issues = CheckMethodConsistency(schema_);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConsistencyIssueKind::kAmbiguity);
+  EXPECT_NE(issues[0].description.find("identical formal types"),
+            std::string::npos);
+}
+
+TEST_F(ConsistencyTest, PaperExample1DuplicateFormalsAreFlagged) {
+  // u1(A) and u2(A) — the paper's own duplicate pair — rely on the
+  // precedence mechanism; the consistency lint surfaces exactly that.
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  auto issues = CheckMethodConsistency(fx->schema);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].first, fx->u1);
+  EXPECT_EQ(issues[0].second, fx->u2);
+}
+
+TEST_F(ConsistencyTest, CrossingFormalsReported) {
+  // f1(A, B) and f2(B, A): at a call with two A arguments both apply and the
+  // winner flips with which position you look at first.
+  auto gf = schema_.DeclareGenericFunction("f", 2);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f1", *gf, {a_, b_}, schema_.builtins().void_type).ok());
+  ASSERT_TRUE(Add("f2", *gf, {b_, a_}, schema_.builtins().void_type).ok());
+  auto issues = CheckMethodConsistency(schema_);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConsistencyIssueKind::kAmbiguity);
+  EXPECT_NE(issues[0].description.find("cross"), std::string::npos);
+}
+
+TEST_F(ConsistencyTest, UnrelatedFormalsNeverShareCalls) {
+  auto island = schema_.types().DeclareType("Island", TypeKind::kUser);
+  ASSERT_TRUE(island.ok());
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f1", *gf, {a_}, schema_.builtins().void_type).ok());
+  ASSERT_TRUE(Add("f2", *gf, {*island}, schema_.builtins().void_type).ok());
+  EXPECT_TRUE(CheckMethodConsistency(schema_).empty());
+}
+
+TEST_F(ConsistencyTest, CovariantResultAccepted) {
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  // Overriding method returns the subtype: fine.
+  ASSERT_TRUE(Add("f_b", *gf, {b_}, b_).ok());
+  ASSERT_TRUE(Add("f_a", *gf, {a_}, a_).ok());
+  EXPECT_TRUE(CheckMethodConsistency(schema_).empty());
+}
+
+TEST_F(ConsistencyTest, NonCovariantResultReported) {
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  // The more specific method widens the result: unsound for static typing.
+  ASSERT_TRUE(Add("f_b", *gf, {b_}, a_).ok());
+  ASSERT_TRUE(Add("f_a", *gf, {a_}, b_).ok());
+  auto issues = CheckMethodConsistency(schema_);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConsistencyIssueKind::kResultCovariance);
+  EXPECT_EQ(schema_.method(issues[0].first).label.view(), "f_a");
+}
+
+TEST_F(ConsistencyTest, UnrelatedResultsReported) {
+  auto island = schema_.types().DeclareType("Island", TypeKind::kUser);
+  ASSERT_TRUE(island.ok());
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f_b", *gf, {b_}, b_).ok());
+  ASSERT_TRUE(Add("f_a", *gf, {a_}, *island).ok());
+  auto issues = CheckMethodConsistency(schema_);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConsistencyIssueKind::kResultCovariance);
+}
+
+TEST_F(ConsistencyTest, ReportRendersOneLinePerIssue) {
+  auto gf = schema_.DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(Add("f1", *gf, {a_}, schema_.builtins().void_type).ok());
+  ASSERT_TRUE(Add("f2", *gf, {a_}, schema_.builtins().void_type).ok());
+  auto issues = CheckMethodConsistency(schema_);
+  std::string report = ConsistencyReport(schema_, issues);
+  EXPECT_NE(report.find("f: methods f1 / f2"), std::string::npos);
+}
+
+TEST_F(ConsistencyTest, DerivationCanIntroduceCrossingPairs) {
+  // Before factoring, the paper's schema has exactly one finding (the
+  // u1/u2 duplicate). Factoring lifts v1(A, C) to v1(ProjA, ~C); since
+  // ProjA and B are ≼-unrelated (the surrogate hierarchy is parallel to the
+  // original one), v1 no longer pointwise-dominates v2(B, C): the pair
+  // becomes a *crossing* finding. Run-time dispatch is still preserved —
+  // CPLs order ProjA before B for actual A arguments — so this is a static
+  // analysis regression inherent to the paper's scheme, worth surfacing.
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  auto before = CheckMethodConsistency(fx->schema);
+  ASSERT_EQ(before.size(), 1u);
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+  auto after = CheckMethodConsistency(fx->schema);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].first, fx->u1);  // the original duplicate survives
+  EXPECT_EQ(after[0].second, fx->u2);
+  EXPECT_EQ(after[1].first, fx->v1);  // the new crossing pair
+  EXPECT_EQ(after[1].second, fx->v2);
+  EXPECT_NE(after[1].description.find("cross"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tyder

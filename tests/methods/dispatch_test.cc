@@ -1,0 +1,76 @@
+#include "methods/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+TEST(DispatchTest, InheritedMethodDispatchesForSubtype) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  // age is defined on Person; an Employee argument selects it.
+  auto m = DispatchByName(fx->schema, "age", {fx->employee});
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, fx->age);
+  auto on_person = DispatchByName(fx->schema, "age", {fx->person});
+  ASSERT_TRUE(on_person.ok());
+  EXPECT_EQ(*on_person, fx->age);
+}
+
+TEST(DispatchTest, MethodOnSubtypeNotApplicableToSupertype) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  EXPECT_FALSE(DispatchByName(fx->schema, "income", {fx->person}).ok());
+  EXPECT_TRUE(DispatchByName(fx->schema, "income", {fx->employee}).ok());
+}
+
+TEST(DispatchTest, WrongArgumentCountRejected) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  EXPECT_EQ(
+      DispatchByName(fx->schema, "age", {fx->person, fx->person}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(DispatchTest, UnknownGenericFunction) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  EXPECT_EQ(DispatchByName(fx->schema, "no_such", {fx->person}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DispatchTest, MultiMethodUsesAllArguments) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  // v(A, C) -> v1; v(B, C) -> v2; v(B, A) -> v2 (A ≼ C).
+  auto v_ac = DispatchByName(fx->schema, "v", {fx->a, fx->c});
+  ASSERT_TRUE(v_ac.ok());
+  EXPECT_EQ(*v_ac, fx->v1);
+  auto v_bc = DispatchByName(fx->schema, "v", {fx->b, fx->c});
+  ASSERT_TRUE(v_bc.ok());
+  EXPECT_EQ(*v_bc, fx->v2);
+  auto v_ba = DispatchByName(fx->schema, "v", {fx->b, fx->a});
+  ASSERT_TRUE(v_ba.ok());
+  EXPECT_EQ(*v_ba, fx->v2);
+  // v(A, A): both v1 (A≼A, A≼C) and v2 (A≼B, A≼C) apply; v1 wins on the
+  // first argument (A before B in CPL(A)).
+  auto v_aa = DispatchByName(fx->schema, "v", {fx->a, fx->a});
+  ASSERT_TRUE(v_aa.ok());
+  EXPECT_EQ(*v_aa, fx->v1);
+}
+
+TEST(DispatchTest, DispatchOrderMostSpecificFirst) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok());
+  auto u = fx->schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  std::vector<MethodId> order = DispatchOrder(fx->schema, *u, {fx->a});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.front(), fx->u1);
+  EXPECT_EQ(order.back(), fx->u3);
+}
+
+}  // namespace
+}  // namespace tyder

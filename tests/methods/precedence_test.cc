@@ -1,0 +1,105 @@
+#include "methods/precedence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class PrecedenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+  std::vector<std::string> CplNames(TypeId t) {
+    std::vector<std::string> names;
+    for (TypeId s : ClassPrecedenceList(fx_.schema.types(), t)) {
+      names.push_back(fx_.schema.types().TypeName(s));
+    }
+    return names;
+  }
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(PrecedenceTest, CplStartsWithSelf) {
+  EXPECT_EQ(CplNames(fx_.h), (std::vector<std::string>{"H"}));
+  EXPECT_EQ(CplNames(fx_.f), (std::vector<std::string>{"F", "H"}));
+}
+
+TEST_F(PrecedenceTest, CplRespectsLocalPrecedenceOrder) {
+  // E: G before H (local precedence).
+  EXPECT_EQ(CplNames(fx_.e), (std::vector<std::string>{"E", "G", "H"}));
+  // C: F before E (local precedence), then E's tail.
+  EXPECT_EQ(CplNames(fx_.c),
+            (std::vector<std::string>{"C", "F", "E", "G", "H"}));
+}
+
+TEST_F(PrecedenceTest, CplOfAIsC3Linearization) {
+  EXPECT_EQ(CplNames(fx_.a), (std::vector<std::string>{"A", "C", "F", "B",
+                                                       "D", "E", "G", "H"}));
+}
+
+TEST_F(PrecedenceTest, CplContainsEachSupertypeOnce) {
+  std::vector<TypeId> cpl = ClassPrecedenceList(fx_.schema.types(), fx_.a);
+  std::vector<TypeId> sorted = cpl;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  // Exactly the supertype closure.
+  EXPECT_EQ(cpl.size(), fx_.schema.types().SupertypeClosure(fx_.a).size());
+}
+
+TEST_F(PrecedenceTest, MoreSpecificPrefersTighterFormal) {
+  // For the call u(A): u1(A) is more specific than u3(B).
+  EXPECT_TRUE(MoreSpecific(fx_.schema, fx_.u1, fx_.u3, {fx_.a}));
+  EXPECT_FALSE(MoreSpecific(fx_.schema, fx_.u3, fx_.u1, {fx_.a}));
+}
+
+TEST_F(PrecedenceTest, MoreSpecificIsIrreflexiveOnTies) {
+  // u1 and u2 have identical formals (A): neither is more specific.
+  EXPECT_FALSE(MoreSpecific(fx_.schema, fx_.u1, fx_.u2, {fx_.a}));
+  EXPECT_FALSE(MoreSpecific(fx_.schema, fx_.u2, fx_.u1, {fx_.a}));
+}
+
+TEST_F(PrecedenceTest, LeftmostArgumentDominates) {
+  // For x(A, B): compare v1-style signatures by first differing position.
+  // v1(A, C) vs v2(B, C) on call v(A, A): first formals A vs B — A wins.
+  EXPECT_TRUE(MoreSpecific(fx_.schema, fx_.v1, fx_.v2, {fx_.a, fx_.a}));
+}
+
+TEST_F(PrecedenceTest, SortBySpecificityOrdersAllApplicable) {
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  std::vector<MethodId> order = SortBySpecificity(fx_.schema, *u, {fx_.a});
+  ASSERT_EQ(order.size(), 3u);
+  // u1 and u2 (formal A) precede u3 (formal B); u1 before u2 by stability.
+  EXPECT_EQ(order[0], fx_.u1);
+  EXPECT_EQ(order[1], fx_.u2);
+  EXPECT_EQ(order[2], fx_.u3);
+}
+
+TEST_F(PrecedenceTest, MostSpecificApplicableSelectsWinner) {
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  auto winner = MostSpecificApplicable(fx_.schema, *u, {fx_.a});
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(*winner, fx_.u1);
+  // u(B): only u3.
+  auto only = MostSpecificApplicable(fx_.schema, *u, {fx_.b});
+  ASSERT_TRUE(only.ok());
+  EXPECT_EQ(*only, fx_.u3);
+}
+
+TEST_F(PrecedenceTest, MostSpecificApplicableFailsWhenNoneApply) {
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(MostSpecificApplicable(fx_.schema, *u, {fx_.c}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,158 @@
+#include "methods/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "methods/accessor_gen.h"
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = Schema::Create();
+    ASSERT_TRUE(s.ok()) << s.status();
+    schema_ = std::move(s).value();
+    auto a = schema_.types().DeclareType("A", TypeKind::kUser);
+    ASSERT_TRUE(a.ok());
+    a_ = *a;
+  }
+
+  Method MakeGeneral(std::string_view label, GfId gf,
+                     std::vector<TypeId> params) {
+    Method m;
+    m.label = Symbol::Intern(label);
+    m.gf = gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig.params = std::move(params);
+    m.sig.result = schema_.builtins().void_type;
+    m.body = mir::Seq({});
+    return m;
+  }
+
+  Schema schema_;
+  TypeId a_ = kInvalidType;
+};
+
+TEST_F(SchemaTest, DeclareGenericFunction) {
+  auto gf = schema_.DeclareGenericFunction("m", 2);
+  ASSERT_TRUE(gf.ok());
+  EXPECT_EQ(schema_.gf(*gf).arity, 2);
+  EXPECT_EQ(schema_.gf(*gf).name.view(), "m");
+}
+
+TEST_F(SchemaTest, DuplicateGenericFunctionRejected) {
+  ASSERT_TRUE(schema_.DeclareGenericFunction("m", 1).ok());
+  EXPECT_EQ(schema_.DeclareGenericFunction("m", 1).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaTest, NonPositiveArityRejected) {
+  EXPECT_FALSE(schema_.DeclareGenericFunction("m", 0).ok());
+  EXPECT_FALSE(schema_.DeclareGenericFunction("m", -1).ok());
+}
+
+TEST_F(SchemaTest, FindOrDeclareChecksArity) {
+  ASSERT_TRUE(schema_.DeclareGenericFunction("m", 1).ok());
+  EXPECT_TRUE(schema_.FindOrDeclareGenericFunction("m", 1).ok());
+  EXPECT_FALSE(schema_.FindOrDeclareGenericFunction("m", 2).ok());
+  EXPECT_TRUE(schema_.FindOrDeclareGenericFunction("fresh", 3).ok());
+}
+
+TEST_F(SchemaTest, AddMethodChecksArity) {
+  auto gf = schema_.DeclareGenericFunction("m", 2);
+  ASSERT_TRUE(gf.ok());
+  Method m = MakeGeneral("m1", *gf, {a_});  // only one formal for arity 2
+  EXPECT_FALSE(schema_.AddMethod(std::move(m)).ok());
+}
+
+TEST_F(SchemaTest, DuplicateLabelRejected) {
+  auto gf = schema_.DeclareGenericFunction("m", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(schema_.AddMethod(MakeGeneral("m1", *gf, {a_})).ok());
+  auto b = schema_.types().DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(schema_.AddMethod(MakeGeneral("m1", *gf, {*b})).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaTest, DuplicateSignatureAllowedWithRegistrationPrecedence) {
+  // The paper's Example 1 has u1(A) and u2(A): same formals, disambiguated
+  // by the method precedence mechanism (registration order here).
+  auto gf = schema_.DeclareGenericFunction("m", 1);
+  ASSERT_TRUE(gf.ok());
+  ASSERT_TRUE(schema_.AddMethod(MakeGeneral("m1", *gf, {a_})).ok());
+  EXPECT_TRUE(schema_.AddMethod(MakeGeneral("m2", *gf, {a_})).ok());
+  EXPECT_EQ(schema_.gf(*gf).methods.size(), 2u);
+}
+
+TEST_F(SchemaTest, ReaderShapeValidated) {
+  auto x = schema_.types().DeclareAttribute(a_, "x", schema_.builtins().int_type);
+  ASSERT_TRUE(x.ok());
+  auto gf = schema_.DeclareGenericFunction("get_x", 1);
+  ASSERT_TRUE(gf.ok());
+  Method m;
+  m.label = Symbol::Intern("get_x");
+  m.gf = *gf;
+  m.kind = MethodKind::kReader;
+  m.attr = *x;
+  m.sig = Signature{{a_}, schema_.builtins().float_type};  // wrong result
+  EXPECT_FALSE(schema_.AddMethod(std::move(m)).ok());
+}
+
+TEST_F(SchemaTest, ReaderOnTypeWithoutAttributeRejected) {
+  auto b = schema_.types().DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(b.ok());
+  auto x = schema_.types().DeclareAttribute(a_, "x", schema_.builtins().int_type);
+  ASSERT_TRUE(x.ok());
+  auto gf = schema_.DeclareGenericFunction("get_x", 1);
+  ASSERT_TRUE(gf.ok());
+  Method m;
+  m.label = Symbol::Intern("get_x");
+  m.gf = *gf;
+  m.kind = MethodKind::kReader;
+  m.attr = *x;
+  m.sig = Signature{{*b}, schema_.builtins().int_type};  // B has no x
+  EXPECT_FALSE(schema_.AddMethod(std::move(m)).ok());
+}
+
+TEST_F(SchemaTest, ReaderAndMutatorRegistries) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  EXPECT_NE(fx->schema.ReaderOf(fx->ssn), kInvalidMethod);
+  EXPECT_NE(fx->schema.MutatorOf(fx->ssn), kInvalidMethod);
+  EXPECT_EQ(fx->schema.method(fx->schema.ReaderOf(fx->ssn)).kind,
+            MethodKind::kReader);
+}
+
+TEST_F(SchemaTest, FindMethodByLabel) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  auto m = fx->schema.FindMethod("age");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, fx->age);
+  EXPECT_FALSE(fx->schema.FindMethod("nonexistent").ok());
+}
+
+TEST_F(SchemaTest, SchemaCopyIsIndependentSnapshot) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  Schema snapshot = fx->schema;
+  size_t pre = snapshot.types().NumTypes();
+  ASSERT_TRUE(fx->schema.types().DeclareType("New", TypeKind::kUser).ok());
+  EXPECT_EQ(snapshot.types().NumTypes(), pre);
+  EXPECT_EQ(fx->schema.types().NumTypes(), pre + 1);
+}
+
+TEST_F(SchemaTest, ValidateDetectsGfArityDrift) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  // Forcing a bad signature through the mutator should be caught.
+  fx->schema.SetMethodSignature(fx->age, Signature{{}, kInvalidType});
+  EXPECT_FALSE(fx->schema.Validate().ok());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,113 @@
+#include "mir/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class CallGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(CallGraphTest, SingleRelevantCallWithOneRelatedArg) {
+  // w2(C) = {u(c)} — one call, the sole argument is source-related for A.
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.w2, fx_.a);
+  ASSERT_TRUE(calls.ok()) << calls.status();
+  ASSERT_EQ(calls->size(), 1u);
+  const RelevantCall& call = (*calls)[0];
+  EXPECT_EQ(fx_.schema.gf(call.gf).name.view(), "u");
+  EXPECT_EQ(call.arg_static_types, (std::vector<TypeId>{fx_.c}));
+  EXPECT_EQ(call.arg_source_related, (std::vector<bool>{true}));
+  EXPECT_EQ(call.NumSourceRelated(), 1u);
+}
+
+TEST_F(CallGraphTest, CallsAppearInBodyOrder) {
+  // v1(A, C) = {u(a); w(c)}.
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.v1, fx_.a);
+  ASSERT_TRUE(calls.ok());
+  ASSERT_EQ(calls->size(), 2u);
+  EXPECT_EQ(fx_.schema.gf((*calls)[0].gf).name.view(), "u");
+  EXPECT_EQ(fx_.schema.gf((*calls)[1].gf).name.view(), "w");
+}
+
+TEST_F(CallGraphTest, MultipleRelatedArgsDetected) {
+  // x1(A, B) = {y(a, b); v(b, a)}: both args of both calls relate to A.
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.x1, fx_.a);
+  ASSERT_TRUE(calls.ok());
+  ASSERT_EQ(calls->size(), 2u);
+  EXPECT_EQ((*calls)[0].NumSourceRelated(), 2u);
+  EXPECT_EQ((*calls)[1].NumSourceRelated(), 2u);
+  // v(b, a): static types are (B, A).
+  EXPECT_EQ((*calls)[1].arg_static_types, (std::vector<TypeId>{fx_.b, fx_.a}));
+}
+
+TEST_F(CallGraphTest, UnrelatedSourceYieldsNoRelevantCalls) {
+  // For source H, w2's u(c) argument types don't relate (H is not ≼ C).
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.w2, fx_.h);
+  ASSERT_TRUE(calls.ok());
+  EXPECT_TRUE(calls->empty());
+}
+
+TEST_F(CallGraphTest, AccessorsHaveNoCalls) {
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.get_a1, fx_.a);
+  ASSERT_TRUE(calls.ok());
+  EXPECT_TRUE(calls->empty());
+}
+
+TEST_F(CallGraphTest, AccessorCallsInsideBodiesAreRelevantCalls) {
+  // u3(B) = {get_h2(b)}: the accessor call itself is a relevant generic
+  // function call for source A.
+  auto calls = ExtractRelevantCalls(fx_.schema, fx_.u3, fx_.a);
+  ASSERT_TRUE(calls.ok());
+  ASSERT_EQ(calls->size(), 1u);
+  EXPECT_EQ(fx_.schema.gf((*calls)[0].gf).name.view(), "get_h2");
+}
+
+TEST_F(CallGraphTest, CalledGenericFunctionsDeduplicated) {
+  std::vector<GfId> gfs = CalledGenericFunctions(fx_.schema.method(fx_.x1));
+  EXPECT_EQ(gfs.size(), 2u);  // y and v
+}
+
+TEST_F(CallGraphTest, SourceRelationRequiresParameterFlowNotJustType) {
+  // Build a probe where an argument has a related static type but the value
+  // comes from a call result, not a parameter: the arg must not be
+  // source-related.
+  Schema& s = fx_.schema;
+  auto w = s.FindGenericFunction("w");
+  ASSERT_TRUE(w.ok());
+  // probe(a: A) = { w(a); } but with the argument routed through an accessor
+  // result typed Int — instead use a local declared C assigned from param:
+  // the local *is* parameter-reached, so it IS related; contrast with a
+  // literal argument in a second probe below.
+  auto u = s.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  (void)u;
+  auto gf = s.DeclareGenericFunction("probe_gf", 1);
+  ASSERT_TRUE(gf.ok());
+  Method m;
+  m.label = Symbol::Intern("probe_unrelated_arg");
+  m.gf = *gf;
+  m.kind = MethodKind::kGeneral;
+  m.sig = Signature{{fx_.a}, s.builtins().void_type};
+  // Body: w2-style call where the argument is a fresh local NOT initialized
+  // from the parameter — no flow, so not source-related.
+  m.body = mir::Seq({mir::Decl("loose", fx_.c),
+                     mir::ExprStmt(mir::Call(*w, {mir::Var("loose")}))});
+  auto id = s.AddMethod(std::move(m));
+  ASSERT_TRUE(id.ok()) << id.status();
+  auto calls = ExtractRelevantCalls(s, *id, fx_.a);
+  ASSERT_TRUE(calls.ok()) << calls.status();
+  EXPECT_TRUE(calls->empty());
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,135 @@
+#include "mir/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+
+  Result<MethodId> AddProbe(std::vector<TypeId> params, ExprPtr body,
+                            TypeId result = kInvalidType) {
+    Schema& s = fx_.schema;
+    static int counter = 0;
+    std::string name = "df_probe" + std::to_string(counter++);
+    TYDER_ASSIGN_OR_RETURN(
+        GfId gf,
+        s.DeclareGenericFunction(name, static_cast<int>(params.size())));
+    Method m;
+    m.label = Symbol::Intern(name);
+    m.gf = gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig.params = std::move(params);
+    m.sig.result = result == kInvalidType ? s.builtins().void_type : result;
+    m.body = std::move(body);
+    return s.AddMethod(std::move(m));
+  }
+
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(DataflowTest, DirectInitializationReachesLocal) {
+  auto flow = AnalyzeFlow(fx_.schema, fx_.z1);
+  ASSERT_TRUE(flow.ok());
+  Symbol gv = Symbol::Intern("gv");
+  ASSERT_TRUE(flow->var_reached_by.count(gv) > 0);
+  EXPECT_EQ(flow->var_reached_by.at(gv), (std::set<int>{0}));
+  EXPECT_EQ(flow->var_types.at(gv), fx_.g);
+}
+
+TEST_F(DataflowTest, ReturnReachedByParameter) {
+  // z1 returns gv, which carries parameter 0.
+  auto flow = AnalyzeFlow(fx_.schema, fx_.z1);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow->return_reached_by, (std::set<int>{0}));
+}
+
+TEST_F(DataflowTest, TransitiveChainThroughLocals) {
+  // v1: G = p0; v2: E = v1; v3: H = v2 — all reached by parameter 0.
+  auto m = AddProbe(
+      {fx_.c},
+      mir::Seq({mir::Decl("v1", fx_.g, mir::Param(0)),
+                mir::Decl("v2", fx_.g),
+                mir::Assign("v2", mir::Var("v1")),
+                mir::Decl("v3", fx_.g),
+                mir::Assign("v3", mir::Var("v2"))}));
+  ASSERT_TRUE(m.ok()) << m.status();
+  auto flow = AnalyzeFlow(fx_.schema, *m);
+  ASSERT_TRUE(flow.ok());
+  for (const char* name : {"v1", "v2", "v3"}) {
+    EXPECT_EQ(flow->var_reached_by.at(Symbol::Intern(name)),
+              (std::set<int>{0}))
+        << name;
+  }
+}
+
+TEST_F(DataflowTest, UseBeforeDefChainStillConverges) {
+  // Flow-insensitive: w = x; x = p0 still taints w.
+  auto m = AddProbe({fx_.c},
+                    mir::Seq({mir::Decl("w", fx_.g), mir::Decl("x", fx_.g),
+                              mir::Assign("w", mir::Var("x")),
+                              mir::Assign("x", mir::Param(0))}));
+  ASSERT_TRUE(m.ok());
+  auto flow = AnalyzeFlow(fx_.schema, *m);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow->var_reached_by.at(Symbol::Intern("w")), (std::set<int>{0}));
+}
+
+TEST_F(DataflowTest, CallResultsDoNotCarryReachability) {
+  GfId get_g1 = fx_.schema.method(fx_.get_g1).gf;
+  auto m = AddProbe(
+      {fx_.c},
+      mir::Seq({mir::Decl("n", fx_.schema.builtins().int_type,
+                          mir::Call(get_g1, {mir::Param(0)}))}));
+  ASSERT_TRUE(m.ok());
+  auto flow = AnalyzeFlow(fx_.schema, *m);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_TRUE(flow->var_reached_by.at(Symbol::Intern("n")).empty());
+}
+
+TEST_F(DataflowTest, AccessorsHaveEmptyFlow) {
+  auto flow = AnalyzeFlow(fx_.schema, fx_.get_a1);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_TRUE(flow->var_reached_by.empty());
+  EXPECT_TRUE(flow->return_reached_by.empty());
+}
+
+TEST_F(DataflowTest, TypesAssignedFromProducesPaperY) {
+  // With X = {A, B, C, E, F, H} (the FactorState set for Π_{a2,e2,h2}A),
+  // the z methods put G (z1) and D (z2) into Y.
+  std::set<TypeId> x = {fx_.a, fx_.b, fx_.c, fx_.e, fx_.f, fx_.h};
+  auto y = TypesAssignedFrom(fx_.schema, {fx_.z1, fx_.z2}, x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, (std::set<TypeId>{fx_.g, fx_.d}));
+}
+
+TEST_F(DataflowTest, TypesAssignedFromIgnoresUnrelatedParams) {
+  // A method whose parameter types are outside X contributes nothing.
+  std::set<TypeId> x = {fx_.h};
+  auto y = TypesAssignedFrom(fx_.schema, {fx_.z1, fx_.z2}, x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->empty());
+}
+
+TEST_F(DataflowTest, MultipleParametersTrackedSeparately) {
+  auto m = AddProbe({fx_.a, fx_.b},
+                    mir::Seq({mir::Decl("pa", fx_.c, mir::Param(0)),
+                              mir::Decl("pb", fx_.e, mir::Param(1))}));
+  ASSERT_TRUE(m.ok());
+  auto flow = AnalyzeFlow(fx_.schema, *m);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow->var_reached_by.at(Symbol::Intern("pa")), (std::set<int>{0}));
+  EXPECT_EQ(flow->var_reached_by.at(Symbol::Intern("pb")), (std::set<int>{1}));
+}
+
+}  // namespace
+}  // namespace tyder

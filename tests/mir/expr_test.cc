@@ -1,0 +1,75 @@
+#include "mir/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "mir/builder.h"
+
+namespace tyder {
+namespace {
+
+TEST(ExprTest, BuildersProduceExpectedKinds) {
+  EXPECT_EQ(mir::Param(0)->kind, ExprKind::kParamRef);
+  EXPECT_EQ(mir::Var("x")->kind, ExprKind::kVarRef);
+  EXPECT_EQ(mir::IntLit(1)->kind, ExprKind::kIntLit);
+  EXPECT_EQ(mir::FloatLit(1.5)->kind, ExprKind::kFloatLit);
+  EXPECT_EQ(mir::BoolLit(true)->kind, ExprKind::kBoolLit);
+  EXPECT_EQ(mir::StringLit("s")->kind, ExprKind::kStringLit);
+  EXPECT_EQ(mir::Call(0, {})->kind, ExprKind::kCall);
+  EXPECT_EQ(mir::BinOp(BinOpKind::kAdd, mir::IntLit(1), mir::IntLit(2))->kind,
+            ExprKind::kBinOp);
+  EXPECT_EQ(mir::Seq({})->kind, ExprKind::kSeq);
+  EXPECT_EQ(mir::Decl("v", 0)->kind, ExprKind::kDecl);
+  EXPECT_EQ(mir::Assign("v", mir::IntLit(1))->kind, ExprKind::kAssign);
+  EXPECT_EQ(mir::Return()->kind, ExprKind::kReturn);
+  EXPECT_EQ(mir::If(mir::BoolLit(true), mir::Seq({}))->kind, ExprKind::kIf);
+  EXPECT_EQ(mir::ExprStmt(mir::IntLit(1))->kind, ExprKind::kExprStmt);
+}
+
+TEST(ExprTest, IsStatementClassification) {
+  EXPECT_TRUE(IsStatement(ExprKind::kSeq));
+  EXPECT_TRUE(IsStatement(ExprKind::kDecl));
+  EXPECT_TRUE(IsStatement(ExprKind::kReturn));
+  EXPECT_FALSE(IsStatement(ExprKind::kCall));
+  EXPECT_FALSE(IsStatement(ExprKind::kParamRef));
+}
+
+TEST(ExprTest, VisitPreorderVisitsEveryNode) {
+  ExprPtr tree = mir::Seq({mir::ExprStmt(mir::Call(
+      3, {mir::Param(0), mir::BinOp(BinOpKind::kAdd, mir::IntLit(1),
+                                    mir::IntLit(2))}))});
+  int count = 0;
+  VisitPreorder(tree, [&count](const Expr&) { ++count; });
+  EXPECT_EQ(count, 7);  // seq, stmt, call, param, binop, two int literals
+}
+
+TEST(ExprTest, RewriteBottomUpIdentityReturnsSameNodes) {
+  ExprPtr tree = mir::Seq({mir::Decl("g", 7, mir::Param(0))});
+  ExprPtr same = RewriteBottomUp(tree, [](const ExprPtr& n) { return n; });
+  EXPECT_EQ(same, tree);  // shared, not copied
+}
+
+TEST(ExprTest, RewriteBottomUpReplacesTargetAndPreservesRest) {
+  ExprPtr tree =
+      mir::Seq({mir::Decl("g", 7, mir::Param(0)), mir::Return(mir::Var("g"))});
+  ExprPtr rewritten = RewriteBottomUp(tree, [](const ExprPtr& n) -> ExprPtr {
+    if (n->kind != ExprKind::kDecl) return n;
+    auto copy = std::make_shared<Expr>(*n);
+    copy->decl_type = 42;
+    return copy;
+  });
+  ASSERT_NE(rewritten, tree);
+  EXPECT_EQ(rewritten->children[0]->decl_type, 42u);
+  // Untouched subtree is shared with the original.
+  EXPECT_EQ(rewritten->children[1], tree->children[1]);
+  // Original unchanged (immutability).
+  EXPECT_EQ(tree->children[0]->decl_type, 7u);
+}
+
+TEST(ExprTest, BinOpNames) {
+  EXPECT_STREQ(BinOpName(BinOpKind::kAdd), "+");
+  EXPECT_STREQ(BinOpName(BinOpKind::kLe), "<=");
+  EXPECT_STREQ(BinOpName(BinOpKind::kAnd), "and");
+}
+
+}  // namespace
+}  // namespace tyder

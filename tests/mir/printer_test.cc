@@ -1,0 +1,61 @@
+#include "mir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class MirPrinterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(MirPrinterTest, GeneralMethodRendersSignatureAndBody) {
+  std::string text = PrintMethod(fx_.schema, fx_.v1);
+  EXPECT_EQ(text, "v1: v(A, C) -> Void = { u(pa); w(pc); }");
+}
+
+TEST_F(MirPrinterTest, AccessorRendersAttributeTag) {
+  std::string text = PrintMethod(fx_.schema, fx_.get_h2);
+  EXPECT_EQ(text, "get_h2: get_h2(B) -> Int [reader of h2]");
+}
+
+TEST_F(MirPrinterTest, DeclarationAssignmentAndReturnRender) {
+  std::string text = PrintMethod(fx_.schema, fx_.z1);
+  EXPECT_EQ(text,
+            "z1: z(C) -> G = { gv: G; gv = pc; u(pc); return gv; }");
+}
+
+TEST_F(MirPrinterTest, PrintAllMethodsOnePerLine) {
+  std::string all = PrintAllMethods(fx_.schema);
+  EXPECT_NE(all.find("v1: v(A, C)"), std::string::npos);
+  EXPECT_NE(all.find("y1: y(A, B)"), std::string::npos);
+  // One line per method.
+  size_t lines = std::count(all.begin(), all.end(), '\n');
+  EXPECT_EQ(lines, fx_.schema.NumMethods());
+}
+
+TEST_F(MirPrinterTest, LiteralsAndOperatorsRender) {
+  const Method& method = fx_.schema.method(fx_.z1);
+  ExprPtr expr = mir::Seq({});
+  (void)expr;
+  EXPECT_EQ(PrintExpr(fx_.schema, method,
+                      mir::BinOp(BinOpKind::kLe, mir::IntLit(3),
+                                 mir::FloatLit(4.5))),
+            "(3 <= 4.5)");
+  EXPECT_EQ(PrintExpr(fx_.schema, method, mir::StringLit("hi")), "\"hi\"");
+  EXPECT_EQ(PrintExpr(fx_.schema, method, mir::BoolLit(false)), "false");
+}
+
+}  // namespace
+}  // namespace tyder

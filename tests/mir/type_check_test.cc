@@ -1,0 +1,189 @@
+#include "mir/type_check.h"
+
+#include <gtest/gtest.h>
+
+#include "mir/builder.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+class TypeCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    fx_ = std::move(fx).value();
+  }
+
+  // Registers a throwaway method with the given body and type-checks it.
+  Result<TypeAnnotations> CheckBody(std::vector<TypeId> params, ExprPtr body,
+                                    TypeId result = kInvalidType) {
+    Schema& s = fx_.schema;
+    static int counter = 0;
+    std::string name = "tc_probe" + std::to_string(counter++);
+    auto gf = s.DeclareGenericFunction(name, static_cast<int>(params.size()));
+    if (!gf.ok()) return gf.status();
+    Method m;
+    m.label = Symbol::Intern(name);
+    m.gf = *gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig.params = std::move(params);
+    m.sig.result = result == kInvalidType ? s.builtins().void_type : result;
+    m.body = std::move(body);
+    auto id = s.AddMethod(std::move(m));
+    if (!id.ok()) return id.status();
+    return TypeCheckMethod(s, *id);
+  }
+
+  testing::Example1Fixture fx_;
+};
+
+TEST_F(TypeCheckTest, WholeFixtureTypeChecks) {
+  EXPECT_TRUE(TypeCheckSchema(fx_.schema).ok());
+}
+
+TEST_F(TypeCheckTest, UpcastAssignmentAllowed) {
+  // g: G = c where C ≼ G (the paper's z1 pattern).
+  auto r = CheckBody({fx_.c},
+                     mir::Seq({mir::Decl("g", fx_.g, mir::Param(0))}));
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(TypeCheckTest, DowncastAssignmentRejected) {
+  // a: A = c where C is a supertype of A: ill-typed.
+  auto r = CheckBody({fx_.c},
+                     mir::Seq({mir::Decl("a", fx_.a, mir::Param(0))}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypeCheckTest, AssignToUndeclaredLocalRejected) {
+  auto r = CheckBody({fx_.c}, mir::Seq({mir::Assign("ghost", mir::Param(0))}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, UseOfUndeclaredLocalRejected) {
+  auto r = CheckBody({fx_.c}, mir::Seq({mir::Return(mir::Var("ghost"))}),
+                     fx_.c);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, DoubleDeclarationRejected) {
+  auto r = CheckBody(
+      {fx_.c}, mir::Seq({mir::Decl("g", fx_.g), mir::Decl("g", fx_.e)}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, ReturnSubtypeAllowed) {
+  auto r = CheckBody({fx_.a}, mir::Seq({mir::Return(mir::Param(0))}), fx_.c);
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(TypeCheckTest, ReturnSupertypeRejected) {
+  auto r = CheckBody({fx_.c}, mir::Seq({mir::Return(mir::Param(0))}), fx_.a);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, BareReturnOnlyInVoidMethods) {
+  EXPECT_TRUE(CheckBody({fx_.a}, mir::Seq({mir::Return()})).ok());
+  EXPECT_FALSE(CheckBody({fx_.a}, mir::Seq({mir::Return()}), fx_.a).ok());
+}
+
+TEST_F(TypeCheckTest, CallStaticTypeIsDispatchedResult) {
+  // get_a1(a) has static type Int.
+  GfId get_a1 = fx_.schema.method(fx_.get_a1).gf;
+  auto r = CheckBody(
+      {fx_.a},
+      mir::Seq({mir::Decl("n", fx_.schema.builtins().int_type,
+                          mir::Call(get_a1, {mir::Param(0)}))}));
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(TypeCheckTest, DynamicallyPlausibleCallAccepted) {
+  // u(c): no statically applicable method (u's formals are subtypes of C)
+  // but u1(A) is plausible at run time — accepted, per multi-method rules.
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  auto r = CheckBody({fx_.c},
+                     mir::Seq({mir::ExprStmt(mir::Call(*u, {mir::Param(0)}))}));
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(TypeCheckTest, ImplausibleCallRejected) {
+  // u(island): a fresh type unrelated to u's formals (A and B, every Fig. 3
+  // type relates to those through the hierarchy) — no method could ever
+  // apply, statically or dynamically.
+  auto island = fx_.schema.types().DeclareType("Island", TypeKind::kUser);
+  ASSERT_TRUE(island.ok());
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  auto r = CheckBody({*island},
+                     mir::Seq({mir::ExprStmt(mir::Call(*u, {mir::Param(0)}))}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypeCheckTest, WrongCallArityRejected) {
+  auto u = fx_.schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  auto r = CheckBody(
+      {fx_.a}, mir::Seq({mir::ExprStmt(
+                   mir::Call(*u, {mir::Param(0), mir::Param(0)}))}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, ArithmeticTyping) {
+  TypeId int_t = fx_.schema.builtins().int_type;
+  auto ok = CheckBody(
+      {fx_.a}, mir::Seq({mir::Decl("n", int_t,
+                                   mir::BinOp(BinOpKind::kAdd, mir::IntLit(1),
+                                              mir::IntLit(2)))}));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+  // Int + Float widens to Float; storing in Int is a type error.
+  auto widen = CheckBody(
+      {fx_.a}, mir::Seq({mir::Decl("n", int_t,
+                                   mir::BinOp(BinOpKind::kAdd, mir::IntLit(1),
+                                              mir::FloatLit(2.5)))}));
+  EXPECT_FALSE(widen.ok());
+}
+
+TEST_F(TypeCheckTest, ArithmeticOnObjectsRejected) {
+  auto r = CheckBody(
+      {fx_.a}, mir::Seq({mir::ExprStmt(mir::BinOp(
+                   BinOpKind::kAdd, mir::Param(0), mir::IntLit(1)))}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TypeCheckTest, IfConditionMustBeBool) {
+  auto bad = CheckBody(
+      {fx_.a}, mir::Seq({mir::If(mir::IntLit(1), mir::Seq({}))}));
+  EXPECT_FALSE(bad.ok());
+  auto good = CheckBody(
+      {fx_.a}, mir::Seq({mir::If(mir::BoolLit(true), mir::Seq({}),
+                                 mir::Seq({}))}));
+  EXPECT_TRUE(good.ok()) << good.status();
+}
+
+TEST_F(TypeCheckTest, ComparisonYieldsBool) {
+  TypeId bool_t = fx_.schema.builtins().bool_type;
+  auto r = CheckBody(
+      {fx_.a}, mir::Seq({mir::Decl("b", bool_t,
+                                   mir::BinOp(BinOpKind::kLt, mir::IntLit(1),
+                                              mir::IntLit(2)))}));
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(TypeCheckTest, AnnotationsCoverStatementsAsVoid) {
+  auto r = CheckBody({fx_.a}, mir::Seq({mir::Return()}));
+  ASSERT_TRUE(r.ok());
+  // Every annotated statement is Void.
+  for (const auto& [node, type] : *r) {
+    if (IsStatement(node->kind)) {
+      EXPECT_EQ(type, fx_.schema.builtins().void_type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,70 @@
+#include "objmodel/schema_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+TEST(SchemaPrinterTest, PrintsPersonEmployeeHierarchy) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  std::string text = PrintHierarchy(fx->schema.types());
+  EXPECT_EQ(text,
+            "Person {SSN: String, name: String, date_of_birth: Date}\n"
+            "Employee {pay_rate: Float, hrs_worked: Float} <- Person(0)\n");
+}
+
+TEST(SchemaPrinterTest, BuiltinsHiddenByDefault) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  std::string text = PrintHierarchy(fx->schema.types());
+  EXPECT_EQ(text.find("Object"), std::string::npos);
+  PrintOptions opts;
+  opts.include_builtins = true;
+  std::string with = PrintHierarchy(fx->schema.types(), opts);
+  EXPECT_NE(with.find("Object"), std::string::npos);
+}
+
+TEST(SchemaPrinterTest, CumulativeOptionListsInheritedAttrs) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  PrintOptions opts;
+  opts.show_cumulative = true;
+  std::string line = PrintType(fx->schema.types(), fx->employee, opts);
+  EXPECT_NE(line.find("SSN"), std::string::npos);
+  EXPECT_NE(line.find("pay_rate"), std::string::npos);
+}
+
+TEST(SchemaPrinterTest, DotOutputHasEdgesAndShapes) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  std::string dot = ToDot(fx->schema.types());
+  EXPECT_NE(dot.find("digraph types"), std::string::npos);
+  EXPECT_NE(dot.find("\"Employee\" -> \"Person\" [label=\"0\"]"),
+            std::string::npos);
+}
+
+TEST(SchemaPrinterTest, SurrogateMarkedInTextAndDashedInDot) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok());
+  auto s = fx->schema.types().DeclareSurrogate("~Person", fx->person);
+  ASSERT_TRUE(s.ok());
+  fx->schema.types().mutable_type(fx->person).PrependSupertype(*s);
+  EXPECT_NE(PrintHierarchy(fx->schema.types()).find("[surrogate of Person]"),
+            std::string::npos);
+  EXPECT_NE(ToDot(fx->schema.types()).find("style=dashed"), std::string::npos);
+}
+
+TEST(SchemaPrinterTest, PrecedenceAnnotationsFollowListOrder) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  std::string line = PrintType(fx->schema.types(), fx->a);
+  // A's direct supertypes: C at precedence 0, B at precedence 1 (original
+  // hierarchy, before any surrogate).
+  EXPECT_EQ(line, "A {a1: Int, a2: Int} <- C(0), B(1)");
+}
+
+}  // namespace
+}  // namespace tyder

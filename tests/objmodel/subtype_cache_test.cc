@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "objmodel/type_graph.h"
+#include "testing/random_schema.h"
+
+namespace tyder {
+namespace {
+
+TEST(SubtypeCacheTest, CachedMatchesUncachedOnRandomSchemas) {
+  for (uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    options.num_types = 20;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok());
+    TypeGraph& g = schema->types();
+    size_t n = g.NumTypes();
+    std::vector<std::vector<bool>> cached(n, std::vector<bool>(n));
+    for (TypeId a = 0; a < n; ++a) {
+      for (TypeId b = 0; b < n; ++b) cached[a][b] = g.IsSubtype(a, b);
+    }
+    g.set_subtype_cache_enabled(false);
+    for (TypeId a = 0; a < n; ++a) {
+      for (TypeId b = 0; b < n; ++b) {
+        EXPECT_EQ(g.IsSubtype(a, b), cached[a][b]) << a << " vs " << b;
+      }
+    }
+    g.set_subtype_cache_enabled(true);
+  }
+}
+
+TEST(SubtypeCacheTest, AddSupertypeInvalidates) {
+  TypeGraph g;
+  auto a = g.DeclareType("A", TypeKind::kUser);
+  auto b = g.DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(g.IsSubtype(*a, *b));  // warms the cache
+  ASSERT_TRUE(g.AddSupertype(*a, *b).ok());
+  EXPECT_TRUE(g.IsSubtype(*a, *b));
+}
+
+TEST(SubtypeCacheTest, MutableAccessInvalidates) {
+  TypeGraph g;
+  auto a = g.DeclareType("A", TypeKind::kUser);
+  auto b = g.DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(g.IsSubtype(*a, *b));  // warms the cache
+  // Edge added behind TypeGraph's back through the mutable handle (this is
+  // what FactorState's PrependSupertype does).
+  g.mutable_type(*a).PrependSupertype(*b);
+  EXPECT_TRUE(g.IsSubtype(*a, *b));
+}
+
+TEST(SubtypeCacheTest, NewTypeInvalidates) {
+  TypeGraph g;
+  auto a = g.DeclareType("A", TypeKind::kUser);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(g.IsSubtype(*a, *a));  // warms a row of width 1
+  auto b = g.DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(b.ok());
+  // The row for A must have been re-sized; querying B is in range.
+  EXPECT_FALSE(g.IsSubtype(*a, *b));
+  EXPECT_TRUE(g.IsSubtype(*b, *b));
+}
+
+TEST(SubtypeCacheTest, CopiedGraphHasIndependentCache) {
+  TypeGraph g;
+  auto a = g.DeclareType("A", TypeKind::kUser);
+  auto b = g.DeclareType("B", TypeKind::kUser);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(g.IsSubtype(*a, *b));
+  TypeGraph copy = g;
+  ASSERT_TRUE(copy.AddSupertype(*a, *b).ok());
+  EXPECT_TRUE(copy.IsSubtype(*a, *b));
+  EXPECT_FALSE(g.IsSubtype(*a, *b));  // original unaffected
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,226 @@
+#include "testing/random_schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "methods/accessor_gen.h"
+#include "mir/builder.h"
+#include "mir/type_check.h"
+
+namespace tyder::testing {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const RandomSchemaOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  Result<Schema> Run() {
+    TYDER_ASSIGN_OR_RETURN(schema_, Schema::Create());
+    TYDER_RETURN_IF_ERROR(MakeTypes());
+    TYDER_RETURN_IF_ERROR(MakeAttributes());
+    TYDER_RETURN_IF_ERROR(GenerateAllAccessors(schema_, options_.with_mutators));
+    TYDER_RETURN_IF_ERROR(MakeMethods());
+    TYDER_RETURN_IF_ERROR(schema_.Validate());
+    TYDER_RETURN_IF_ERROR(TypeCheckSchema(schema_));
+    return std::move(schema_);
+  }
+
+ private:
+  int Rand(int max_exclusive) {
+    return std::uniform_int_distribution<int>(0, max_exclusive - 1)(rng_);
+  }
+
+  Status MakeTypes() {
+    for (int i = 0; i < options_.num_types; ++i) {
+      TYDER_ASSIGN_OR_RETURN(TypeId id,
+                             schema_.types().DeclareType(
+                                 "T" + std::to_string(i), TypeKind::kUser));
+      user_types_.push_back(id);
+      if (i == 0) continue;
+      // Supertypes drawn from earlier types: acyclic by construction.
+      int num_supers = Rand(std::min(options_.max_supers, i) + 1);
+      std::set<TypeId> chosen;
+      for (int k = 0; k < num_supers; ++k) {
+        chosen.insert(user_types_[Rand(i)]);
+      }
+      for (TypeId super : chosen) {
+        TYDER_RETURN_IF_ERROR(schema_.types().AddSupertype(id, super));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status MakeAttributes() {
+    for (size_t i = 0; i < user_types_.size(); ++i) {
+      for (int j = 0; j < options_.attrs_per_type; ++j) {
+        std::string name = "t" + std::to_string(i) + "_a" + std::to_string(j);
+        TYDER_RETURN_IF_ERROR(schema_.types()
+                                  .DeclareAttribute(user_types_[i], name,
+                                                    schema_.builtins().int_type)
+                                  .status());
+      }
+    }
+    return Status::OK();
+  }
+
+  // Picks a parameter (index) of the method under construction whose type is
+  // related to `formal` (either direction); -1 if none.
+  int RelatedParam(const std::vector<TypeId>& params, TypeId formal) {
+    std::vector<int> candidates;
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (schema_.types().IsSubtype(params[i], formal) ||
+          schema_.types().IsSubtype(formal, params[i])) {
+        candidates.push_back(static_cast<int>(i));
+      }
+    }
+    if (candidates.empty()) return -1;
+    return candidates[Rand(static_cast<int>(candidates.size()))];
+  }
+
+  Status MakeMethods() {
+    // Pre-declare the generic functions so arities are fixed.
+    std::vector<GfId> gfs;
+    for (int i = 0; i < options_.num_general_methods; ++i) {
+      TYDER_ASSIGN_OR_RETURN(
+          GfId gf, schema_.DeclareGenericFunction("m" + std::to_string(i),
+                                                  1 + Rand(2)));
+      gfs.push_back(gf);
+    }
+    for (int i = 0; i < options_.num_general_methods; ++i) {
+      GfId gf = gfs[static_cast<size_t>(i)];
+      Method m;
+      m.label = Symbol::Intern("m" + std::to_string(i) + "_impl");
+      m.gf = gf;
+      m.kind = MethodKind::kGeneral;
+      for (int p = 0; p < schema_.gf(gf).arity; ++p) {
+        m.sig.params.push_back(
+            user_types_[Rand(static_cast<int>(user_types_.size()))]);
+        m.param_names.push_back(Symbol::Intern("p" + std::to_string(p)));
+      }
+      m.sig.result = schema_.builtins().void_type;
+      m.body = MakeBody(m.sig.params, added_methods_);
+      TYDER_ASSIGN_OR_RETURN(MethodId added, schema_.AddMethod(std::move(m)));
+      added_methods_.push_back(added);
+    }
+    return Status::OK();
+  }
+
+  ExprPtr MakeBody(const std::vector<TypeId>& params,
+                   const std::vector<MethodId>& callable) {
+    std::vector<ExprPtr> stmts;
+    int num_stmts = 1 + Rand(options_.max_stmts_per_body);
+    int num_locals = 0;
+    int variants = options_.with_mutators ? 5 : 4;
+    for (int s = 0; s < num_stmts; ++s) {
+      switch (Rand(variants)) {
+        case 0: {  // accessor call on a random parameter
+          int p = Rand(static_cast<int>(params.size()));
+          std::vector<AttrId> attrs =
+              schema_.types().CumulativeAttributes(params[p]);
+          if (attrs.empty()) break;
+          AttrId attr = attrs[Rand(static_cast<int>(attrs.size()))];
+          MethodId reader = schema_.ReaderOf(attr);
+          if (reader == kInvalidMethod) break;
+          stmts.push_back(mir::ExprStmt(
+              mir::Call(schema_.method(reader).gf, {mir::Param(p)})));
+          break;
+        }
+        case 1: {  // call an already-defined general method, related args
+          if (callable.empty()) break;
+          MethodId target = callable[Rand(static_cast<int>(callable.size()))];
+          const Method& tm = schema_.method(target);
+          std::vector<ExprPtr> args;
+          bool feasible = true;
+          for (TypeId formal : tm.sig.params) {
+            int p = RelatedParam(params, formal);
+            if (p < 0) {
+              feasible = false;
+              break;
+            }
+            args.push_back(mir::Param(p));
+          }
+          if (feasible) {
+            stmts.push_back(mir::ExprStmt(mir::Call(tm.gf, std::move(args))));
+          }
+          break;
+        }
+        case 2: {  // local declaration initialized from a parameter, at a
+                   // random supertype — exercises retyping and Augment
+          int p = Rand(static_cast<int>(params.size()));
+          std::vector<TypeId> supers =
+              schema_.types().SupertypeClosure(params[p]);
+          TypeId decl_type = supers[Rand(static_cast<int>(supers.size()))];
+          std::string var = "v" + std::to_string(num_locals++);
+          stmts.push_back(mir::Decl(var, decl_type, mir::Param(p)));
+          break;
+        }
+        case 3: {  // branch on a reader comparison — control-flow coverage
+          int p = Rand(static_cast<int>(params.size()));
+          std::vector<AttrId> attrs =
+              schema_.types().CumulativeAttributes(params[p]);
+          if (attrs.empty()) break;
+          AttrId attr = attrs[Rand(static_cast<int>(attrs.size()))];
+          MethodId reader = schema_.ReaderOf(attr);
+          if (reader == kInvalidMethod) break;
+          ExprPtr cond = mir::BinOp(
+              BinOpKind::kLt,
+              mir::Call(schema_.method(reader).gf, {mir::Param(p)}),
+              mir::IntLit(Rand(100)));
+          stmts.push_back(mir::If(std::move(cond),
+                                  mir::Seq({mir::Return()}), mir::Seq({})));
+          break;
+        }
+        case 4: {  // mutator call — writes are method behavior too
+          int p = Rand(static_cast<int>(params.size()));
+          std::vector<AttrId> attrs =
+              schema_.types().CumulativeAttributes(params[p]);
+          if (attrs.empty()) break;
+          AttrId attr = attrs[Rand(static_cast<int>(attrs.size()))];
+          MethodId mutator = schema_.MutatorOf(attr);
+          if (mutator == kInvalidMethod) break;
+          stmts.push_back(mir::ExprStmt(
+              mir::Call(schema_.method(mutator).gf,
+                        {mir::Param(p), mir::IntLit(Rand(1000))})));
+          break;
+        }
+      }
+    }
+    return mir::Seq(std::move(stmts));
+  }
+
+  RandomSchemaOptions options_;
+  std::mt19937 rng_;
+  Schema schema_;
+  std::vector<TypeId> user_types_;
+  std::vector<MethodId> added_methods_;
+};
+
+}  // namespace
+
+Result<Schema> GenerateRandomSchema(const RandomSchemaOptions& options) {
+  return Generator(options).Run();
+}
+
+bool PickRandomProjection(const Schema& schema, uint32_t seed, TypeId* source,
+                          std::vector<AttrId>* attributes) {
+  std::mt19937 rng(seed);
+  std::vector<TypeId> candidates;
+  for (TypeId t = 0; t < schema.types().NumTypes(); ++t) {
+    if (schema.types().type(t).kind() != TypeKind::kUser) continue;
+    if (schema.types().CumulativeAttributes(t).empty()) continue;
+    candidates.push_back(t);
+  }
+  if (candidates.empty()) return false;
+  *source = candidates[std::uniform_int_distribution<size_t>(
+      0, candidates.size() - 1)(rng)];
+  std::vector<AttrId> attrs = schema.types().CumulativeAttributes(*source);
+  std::shuffle(attrs.begin(), attrs.end(), rng);
+  size_t keep = 1 + std::uniform_int_distribution<size_t>(
+                        0, attrs.size() - 1)(rng);
+  attributes->assign(attrs.begin(), attrs.begin() + static_cast<long>(keep));
+  return true;
+}
+
+}  // namespace tyder::testing

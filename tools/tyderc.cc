@@ -1,0 +1,131 @@
+// tyderc — the tyder command-line driver. Loads a TDL schema (with its view
+// definitions) and inspects or transforms it:
+//
+//   tyderc <schema.tdl>                      validate + summary
+//   tyderc <schema.tdl> --print              type hierarchy
+//   tyderc <schema.tdl> --methods            all method signatures/bodies
+//   tyderc <schema.tdl> --dot                Graphviz of the hierarchy
+//   tyderc <schema.tdl> --lint               multi-method consistency report
+//   tyderc <schema.tdl> --project T a,b,c V  derive Π_{a,b,c}(T) as view V
+//   tyderc <schema.tdl> --collapse           collapse empty surrogates
+//   tyderc <schema.tdl> --serialize          dump the (post-ops) schema
+//   tyderc <schema.tdl> --export             re-emit the schema as TDL
+//   tyderc <schema.tdl> --stats              hierarchy metrics
+//
+// Flags compose left to right; transforms apply before later inspections.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/export_tdl.h"
+#include "catalog/serialize.h"
+#include "common/string_util.h"
+#include "core/collapse.h"
+#include "core/projection.h"
+#include "lang/analyzer.h"
+#include "methods/consistency.h"
+#include "mir/printer.h"
+#include "objmodel/hierarchy_analysis.h"
+#include "objmodel/schema_printer.h"
+
+namespace tyder {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "tyderc: " << status << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: tyderc <schema.tdl> [--print] [--methods] [--dot] "
+               "[--lint] [--project <Type> <a,b,c> <ViewName>] [--collapse] "
+               "[--serialize] [--export] [--stats]\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "tyderc: cannot open '" << argv[1] << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Result<Catalog> catalog = LoadTdl(buffer.str());
+  if (!catalog.ok()) return Fail(catalog.status());
+  Schema& schema = catalog->schema();
+
+  if (argc == 2) {
+    std::cout << "OK: " << schema.types().NumTypes() << " types, "
+              << schema.types().NumAttributes() << " attributes, "
+              << schema.NumGenericFunctions() << " generic functions, "
+              << schema.NumMethods() << " methods, "
+              << catalog->views().size() << " views\n";
+    return 0;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--print") {
+      std::cout << PrintHierarchy(schema.types());
+    } else if (flag == "--methods") {
+      std::cout << PrintAllMethods(schema);
+    } else if (flag == "--dot") {
+      std::cout << ToDot(schema.types());
+    } else if (flag == "--stats") {
+      std::cout << HierarchyStatsToString(AnalyzeHierarchy(schema.types()));
+      std::vector<TypeId> non_c3 = TypesWithoutC3Order(schema.types());
+      if (!non_c3.empty()) {
+        std::cout << "types without a C3 order:";
+        for (TypeId t : non_c3) {
+          std::cout << " " << schema.types().TypeName(t);
+        }
+        std::cout << "\n";
+      }
+    } else if (flag == "--lint") {
+      std::vector<ConsistencyIssue> issues = CheckMethodConsistency(schema);
+      if (issues.empty()) {
+        std::cout << "lint: no multi-method consistency issues\n";
+      } else {
+        std::cout << ConsistencyReport(schema, issues);
+      }
+    } else if (flag == "--project") {
+      if (i + 3 >= argc) return Usage();
+      std::string source = argv[++i];
+      std::vector<std::string> attrs = SplitAndTrim(argv[++i], ',');
+      std::string view = argv[++i];
+      Result<DerivationResult> result =
+          DeriveProjectionByName(schema, source, attrs, view);
+      if (!result.ok()) return Fail(result.status());
+      std::cout << "derived " << view << "; applicable methods:";
+      for (MethodId m : result->applicability.applicable) {
+        std::cout << " " << schema.method(m).label.view();
+      }
+      std::cout << "\n";
+    } else if (flag == "--collapse") {
+      Result<CollapseReport> report = catalog->Collapse();
+      if (!report.ok()) return Fail(report.status());
+      std::cout << "collapsed " << report->collapsed.size()
+                << " empty surrogates\n";
+    } else if (flag == "--serialize") {
+      std::cout << SerializeSchema(schema);
+    } else if (flag == "--export") {
+      Result<std::string> tdl = ExportTdl(*catalog);
+      if (!tdl.ok()) return Fail(tdl.status());
+      std::cout << *tdl;
+    } else {
+      return Usage();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tyder
+
+int main(int argc, char** argv) { return tyder::Run(argc, argv); }
