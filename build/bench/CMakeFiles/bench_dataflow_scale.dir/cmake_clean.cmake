@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataflow_scale.dir/bench_dataflow_scale.cc.o"
+  "CMakeFiles/bench_dataflow_scale.dir/bench_dataflow_scale.cc.o.d"
+  "bench_dataflow_scale"
+  "bench_dataflow_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

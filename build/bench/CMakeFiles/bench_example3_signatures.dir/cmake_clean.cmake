@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example3_signatures.dir/bench_example3_signatures.cc.o"
+  "CMakeFiles/bench_example3_signatures.dir/bench_example3_signatures.cc.o.d"
+  "bench_example3_signatures"
+  "bench_example3_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example3_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

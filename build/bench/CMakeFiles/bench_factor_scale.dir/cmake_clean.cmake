@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_factor_scale.dir/bench_factor_scale.cc.o"
+  "CMakeFiles/bench_factor_scale.dir/bench_factor_scale.cc.o.d"
+  "bench_factor_scale"
+  "bench_factor_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_factor_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

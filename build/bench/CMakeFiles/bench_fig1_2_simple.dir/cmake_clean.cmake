@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_simple.dir/bench_fig1_2_simple.cc.o"
+  "CMakeFiles/bench_fig1_2_simple.dir/bench_fig1_2_simple.cc.o.d"
+  "bench_fig1_2_simple"
+  "bench_fig1_2_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

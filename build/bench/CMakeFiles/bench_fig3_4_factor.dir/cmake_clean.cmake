@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_factor.dir/bench_fig3_4_factor.cc.o"
+  "CMakeFiles/bench_fig3_4_factor.dir/bench_fig3_4_factor.cc.o.d"
+  "bench_fig3_4_factor"
+  "bench_fig3_4_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_augment.dir/bench_fig5_augment.cc.o"
+  "CMakeFiles/bench_fig5_augment.dir/bench_fig5_augment.cc.o.d"
+  "bench_fig5_augment"
+  "bench_fig5_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

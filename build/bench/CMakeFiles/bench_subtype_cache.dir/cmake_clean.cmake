@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subtype_cache.dir/bench_subtype_cache.cc.o"
+  "CMakeFiles/bench_subtype_cache.dir/bench_subtype_cache.cc.o.d"
+  "bench_subtype_cache"
+  "bench_subtype_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subtype_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tyder_bench_workloads.dir/workloads.cc.o"
+  "CMakeFiles/tyder_bench_workloads.dir/workloads.cc.o.d"
+  "libtyder_bench_workloads.a"
+  "libtyder_bench_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tyder_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

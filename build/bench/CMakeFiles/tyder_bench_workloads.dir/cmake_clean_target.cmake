@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtyder_bench_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_integration.dir/federated_integration.cpp.o"
+  "CMakeFiles/federated_integration.dir/federated_integration.cpp.o.d"
+  "federated_integration"
+  "federated_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_views.dir/payroll_views.cpp.o"
+  "CMakeFiles/payroll_views.dir/payroll_views.cpp.o.d"
+  "payroll_views"
+  "payroll_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

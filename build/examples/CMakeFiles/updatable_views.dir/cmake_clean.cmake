@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updatable_views.dir/updatable_views.cpp.o"
+  "CMakeFiles/updatable_views.dir/updatable_views.cpp.o.d"
+  "updatable_views"
+  "updatable_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updatable_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

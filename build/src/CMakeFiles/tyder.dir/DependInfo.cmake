@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/tyder.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/tyder.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/diff.cc" "src/CMakeFiles/tyder.dir/catalog/diff.cc.o" "gcc" "src/CMakeFiles/tyder.dir/catalog/diff.cc.o.d"
+  "/root/repo/src/catalog/export_tdl.cc" "src/CMakeFiles/tyder.dir/catalog/export_tdl.cc.o" "gcc" "src/CMakeFiles/tyder.dir/catalog/export_tdl.cc.o.d"
+  "/root/repo/src/catalog/serialize.cc" "src/CMakeFiles/tyder.dir/catalog/serialize.cc.o" "gcc" "src/CMakeFiles/tyder.dir/catalog/serialize.cc.o.d"
+  "/root/repo/src/common/dag.cc" "src/CMakeFiles/tyder.dir/common/dag.cc.o" "gcc" "src/CMakeFiles/tyder.dir/common/dag.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tyder.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tyder.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/tyder.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/tyder.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/symbol.cc" "src/CMakeFiles/tyder.dir/common/symbol.cc.o" "gcc" "src/CMakeFiles/tyder.dir/common/symbol.cc.o.d"
+  "/root/repo/src/core/algebra.cc" "src/CMakeFiles/tyder.dir/core/algebra.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/algebra.cc.o.d"
+  "/root/repo/src/core/augment.cc" "src/CMakeFiles/tyder.dir/core/augment.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/augment.cc.o.d"
+  "/root/repo/src/core/collapse.cc" "src/CMakeFiles/tyder.dir/core/collapse.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/collapse.cc.o.d"
+  "/root/repo/src/core/factor_methods.cc" "src/CMakeFiles/tyder.dir/core/factor_methods.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/factor_methods.cc.o.d"
+  "/root/repo/src/core/factor_state.cc" "src/CMakeFiles/tyder.dir/core/factor_state.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/factor_state.cc.o.d"
+  "/root/repo/src/core/is_applicable.cc" "src/CMakeFiles/tyder.dir/core/is_applicable.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/is_applicable.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/CMakeFiles/tyder.dir/core/projection.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/projection.cc.o.d"
+  "/root/repo/src/core/revert.cc" "src/CMakeFiles/tyder.dir/core/revert.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/revert.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/tyder.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/tyder.dir/core/verify.cc.o.d"
+  "/root/repo/src/instances/interp.cc" "src/CMakeFiles/tyder.dir/instances/interp.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/interp.cc.o.d"
+  "/root/repo/src/instances/object.cc" "src/CMakeFiles/tyder.dir/instances/object.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/object.cc.o.d"
+  "/root/repo/src/instances/store.cc" "src/CMakeFiles/tyder.dir/instances/store.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/store.cc.o.d"
+  "/root/repo/src/instances/store_serialize.cc" "src/CMakeFiles/tyder.dir/instances/store_serialize.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/store_serialize.cc.o.d"
+  "/root/repo/src/instances/value.cc" "src/CMakeFiles/tyder.dir/instances/value.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/value.cc.o.d"
+  "/root/repo/src/instances/view_materialize.cc" "src/CMakeFiles/tyder.dir/instances/view_materialize.cc.o" "gcc" "src/CMakeFiles/tyder.dir/instances/view_materialize.cc.o.d"
+  "/root/repo/src/lang/analyzer.cc" "src/CMakeFiles/tyder.dir/lang/analyzer.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/tyder.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/diagnostics.cc" "src/CMakeFiles/tyder.dir/lang/diagnostics.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/diagnostics.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/tyder.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/tyder.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/token.cc" "src/CMakeFiles/tyder.dir/lang/token.cc.o" "gcc" "src/CMakeFiles/tyder.dir/lang/token.cc.o.d"
+  "/root/repo/src/methods/accessor_gen.cc" "src/CMakeFiles/tyder.dir/methods/accessor_gen.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/accessor_gen.cc.o.d"
+  "/root/repo/src/methods/applicability.cc" "src/CMakeFiles/tyder.dir/methods/applicability.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/applicability.cc.o.d"
+  "/root/repo/src/methods/consistency.cc" "src/CMakeFiles/tyder.dir/methods/consistency.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/consistency.cc.o.d"
+  "/root/repo/src/methods/dispatch.cc" "src/CMakeFiles/tyder.dir/methods/dispatch.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/dispatch.cc.o.d"
+  "/root/repo/src/methods/method.cc" "src/CMakeFiles/tyder.dir/methods/method.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/method.cc.o.d"
+  "/root/repo/src/methods/precedence.cc" "src/CMakeFiles/tyder.dir/methods/precedence.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/precedence.cc.o.d"
+  "/root/repo/src/methods/schema.cc" "src/CMakeFiles/tyder.dir/methods/schema.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/schema.cc.o.d"
+  "/root/repo/src/methods/signature.cc" "src/CMakeFiles/tyder.dir/methods/signature.cc.o" "gcc" "src/CMakeFiles/tyder.dir/methods/signature.cc.o.d"
+  "/root/repo/src/mir/builder.cc" "src/CMakeFiles/tyder.dir/mir/builder.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/builder.cc.o.d"
+  "/root/repo/src/mir/call_graph.cc" "src/CMakeFiles/tyder.dir/mir/call_graph.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/call_graph.cc.o.d"
+  "/root/repo/src/mir/dataflow.cc" "src/CMakeFiles/tyder.dir/mir/dataflow.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/dataflow.cc.o.d"
+  "/root/repo/src/mir/expr.cc" "src/CMakeFiles/tyder.dir/mir/expr.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/expr.cc.o.d"
+  "/root/repo/src/mir/printer.cc" "src/CMakeFiles/tyder.dir/mir/printer.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/printer.cc.o.d"
+  "/root/repo/src/mir/type_check.cc" "src/CMakeFiles/tyder.dir/mir/type_check.cc.o" "gcc" "src/CMakeFiles/tyder.dir/mir/type_check.cc.o.d"
+  "/root/repo/src/objmodel/attribute.cc" "src/CMakeFiles/tyder.dir/objmodel/attribute.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/attribute.cc.o.d"
+  "/root/repo/src/objmodel/builtin_types.cc" "src/CMakeFiles/tyder.dir/objmodel/builtin_types.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/builtin_types.cc.o.d"
+  "/root/repo/src/objmodel/hierarchy_analysis.cc" "src/CMakeFiles/tyder.dir/objmodel/hierarchy_analysis.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/hierarchy_analysis.cc.o.d"
+  "/root/repo/src/objmodel/linearize.cc" "src/CMakeFiles/tyder.dir/objmodel/linearize.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/linearize.cc.o.d"
+  "/root/repo/src/objmodel/schema_printer.cc" "src/CMakeFiles/tyder.dir/objmodel/schema_printer.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/schema_printer.cc.o.d"
+  "/root/repo/src/objmodel/type.cc" "src/CMakeFiles/tyder.dir/objmodel/type.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/type.cc.o.d"
+  "/root/repo/src/objmodel/type_graph.cc" "src/CMakeFiles/tyder.dir/objmodel/type_graph.cc.o" "gcc" "src/CMakeFiles/tyder.dir/objmodel/type_graph.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/tyder.dir/query/query.cc.o" "gcc" "src/CMakeFiles/tyder.dir/query/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

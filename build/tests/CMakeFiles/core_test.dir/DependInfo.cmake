@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algebra_test.cc" "tests/CMakeFiles/core_test.dir/core/algebra_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/algebra_test.cc.o.d"
+  "/root/repo/tests/core/augment_test.cc" "tests/CMakeFiles/core_test.dir/core/augment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/augment_test.cc.o.d"
+  "/root/repo/tests/core/collapse_test.cc" "tests/CMakeFiles/core_test.dir/core/collapse_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/collapse_test.cc.o.d"
+  "/root/repo/tests/core/factor_methods_test.cc" "tests/CMakeFiles/core_test.dir/core/factor_methods_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/factor_methods_test.cc.o.d"
+  "/root/repo/tests/core/factor_state_test.cc" "tests/CMakeFiles/core_test.dir/core/factor_state_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/factor_state_test.cc.o.d"
+  "/root/repo/tests/core/is_applicable_test.cc" "tests/CMakeFiles/core_test.dir/core/is_applicable_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/is_applicable_test.cc.o.d"
+  "/root/repo/tests/core/projection_test.cc" "tests/CMakeFiles/core_test.dir/core/projection_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/projection_test.cc.o.d"
+  "/root/repo/tests/core/rename_test.cc" "tests/CMakeFiles/core_test.dir/core/rename_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rename_test.cc.o.d"
+  "/root/repo/tests/core/revert_test.cc" "tests/CMakeFiles/core_test.dir/core/revert_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/revert_test.cc.o.d"
+  "/root/repo/tests/core/verify_test.cc" "tests/CMakeFiles/core_test.dir/core/verify_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/verify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tyder.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/tyder_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

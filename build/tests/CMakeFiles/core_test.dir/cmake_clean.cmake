@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/algebra_test.cc.o"
+  "CMakeFiles/core_test.dir/core/algebra_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/augment_test.cc.o"
+  "CMakeFiles/core_test.dir/core/augment_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/collapse_test.cc.o"
+  "CMakeFiles/core_test.dir/core/collapse_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/factor_methods_test.cc.o"
+  "CMakeFiles/core_test.dir/core/factor_methods_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/factor_state_test.cc.o"
+  "CMakeFiles/core_test.dir/core/factor_state_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/is_applicable_test.cc.o"
+  "CMakeFiles/core_test.dir/core/is_applicable_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/projection_test.cc.o"
+  "CMakeFiles/core_test.dir/core/projection_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rename_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rename_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/revert_test.cc.o"
+  "CMakeFiles/core_test.dir/core/revert_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/verify_test.cc.o"
+  "CMakeFiles/core_test.dir/core/verify_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

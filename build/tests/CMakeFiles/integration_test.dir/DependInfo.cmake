@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/behavior_preservation_test.cc" "tests/CMakeFiles/integration_test.dir/integration/behavior_preservation_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/behavior_preservation_test.cc.o.d"
+  "/root/repo/tests/integration/full_lifecycle_test.cc" "tests/CMakeFiles/integration_test.dir/integration/full_lifecycle_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/full_lifecycle_test.cc.o.d"
+  "/root/repo/tests/integration/paper_examples_test.cc" "tests/CMakeFiles/integration_test.dir/integration/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/paper_examples_test.cc.o.d"
+  "/root/repo/tests/integration/tdl_end_to_end_test.cc" "tests/CMakeFiles/integration_test.dir/integration/tdl_end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/tdl_end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/views_over_views_test.cc" "tests/CMakeFiles/integration_test.dir/integration/views_over_views_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/views_over_views_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tyder.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/tyder_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_test.dir/methods/accessor_gen_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/accessor_gen_test.cc.o.d"
+  "CMakeFiles/methods_test.dir/methods/applicability_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/applicability_test.cc.o.d"
+  "CMakeFiles/methods_test.dir/methods/consistency_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/consistency_test.cc.o.d"
+  "CMakeFiles/methods_test.dir/methods/dispatch_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/dispatch_test.cc.o.d"
+  "CMakeFiles/methods_test.dir/methods/precedence_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/precedence_test.cc.o.d"
+  "CMakeFiles/methods_test.dir/methods/schema_test.cc.o"
+  "CMakeFiles/methods_test.dir/methods/schema_test.cc.o.d"
+  "methods_test"
+  "methods_test.pdb"
+  "methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mir/call_graph_test.cc" "tests/CMakeFiles/mir_test.dir/mir/call_graph_test.cc.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/call_graph_test.cc.o.d"
+  "/root/repo/tests/mir/dataflow_test.cc" "tests/CMakeFiles/mir_test.dir/mir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/dataflow_test.cc.o.d"
+  "/root/repo/tests/mir/expr_test.cc" "tests/CMakeFiles/mir_test.dir/mir/expr_test.cc.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/expr_test.cc.o.d"
+  "/root/repo/tests/mir/printer_test.cc" "tests/CMakeFiles/mir_test.dir/mir/printer_test.cc.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/printer_test.cc.o.d"
+  "/root/repo/tests/mir/type_check_test.cc" "tests/CMakeFiles/mir_test.dir/mir/type_check_test.cc.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/type_check_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tyder.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/tyder_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_test.dir/mir/call_graph_test.cc.o"
+  "CMakeFiles/mir_test.dir/mir/call_graph_test.cc.o.d"
+  "CMakeFiles/mir_test.dir/mir/dataflow_test.cc.o"
+  "CMakeFiles/mir_test.dir/mir/dataflow_test.cc.o.d"
+  "CMakeFiles/mir_test.dir/mir/expr_test.cc.o"
+  "CMakeFiles/mir_test.dir/mir/expr_test.cc.o.d"
+  "CMakeFiles/mir_test.dir/mir/printer_test.cc.o"
+  "CMakeFiles/mir_test.dir/mir/printer_test.cc.o.d"
+  "CMakeFiles/mir_test.dir/mir/type_check_test.cc.o"
+  "CMakeFiles/mir_test.dir/mir/type_check_test.cc.o.d"
+  "mir_test"
+  "mir_test.pdb"
+  "mir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objmodel_test.dir/objmodel/hierarchy_analysis_test.cc.o"
+  "CMakeFiles/objmodel_test.dir/objmodel/hierarchy_analysis_test.cc.o.d"
+  "CMakeFiles/objmodel_test.dir/objmodel/schema_printer_test.cc.o"
+  "CMakeFiles/objmodel_test.dir/objmodel/schema_printer_test.cc.o.d"
+  "CMakeFiles/objmodel_test.dir/objmodel/subtype_cache_test.cc.o"
+  "CMakeFiles/objmodel_test.dir/objmodel/subtype_cache_test.cc.o.d"
+  "CMakeFiles/objmodel_test.dir/objmodel/type_graph_test.cc.o"
+  "CMakeFiles/objmodel_test.dir/objmodel/type_graph_test.cc.o.d"
+  "objmodel_test"
+  "objmodel_test.pdb"
+  "objmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testing/fixtures.cc" "tests/CMakeFiles/tyder_testing.dir/testing/fixtures.cc.o" "gcc" "tests/CMakeFiles/tyder_testing.dir/testing/fixtures.cc.o.d"
+  "/root/repo/tests/testing/random_schema.cc" "tests/CMakeFiles/tyder_testing.dir/testing/random_schema.cc.o" "gcc" "tests/CMakeFiles/tyder_testing.dir/testing/random_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tyder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tyder_testing.dir/testing/fixtures.cc.o"
+  "CMakeFiles/tyder_testing.dir/testing/fixtures.cc.o.d"
+  "CMakeFiles/tyder_testing.dir/testing/random_schema.cc.o"
+  "CMakeFiles/tyder_testing.dir/testing/random_schema.cc.o.d"
+  "libtyder_testing.a"
+  "libtyder_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tyder_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tyderc.dir/tyderc.cc.o"
+  "CMakeFiles/tyderc.dir/tyderc.cc.o.d"
+  "tyderc"
+  "tyderc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tyderc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
