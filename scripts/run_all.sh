@@ -7,12 +7,70 @@
 #   4. the runnable examples.
 #
 # Usage: scripts/run_all.sh [build-dir]
+#        scripts/run_all.sh bench [build-dir]
+#
+# The `bench` mode runs every bench binary, collects the one-line JSON each
+# emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
+# assembles BENCH_baseline.json at the repo root. The step fails if any
+# bench crashes or emits unparseable JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=all
+if [ "${1:-}" = "bench" ]; then
+  MODE=bench
+  shift
+fi
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
+
+run_bench_mode() {
+  echo "=== bench (JSON) ==="
+  local lines_file
+  lines_file="$(mktemp)"
+  trap 'rm -f "$lines_file"' RETURN
+  local b out
+  for b in "$BUILD"/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "--- $b"
+    case "$b" in
+      # Figure/example reproductions take no google-benchmark flags.
+      *bench_fig*|*bench_example*)
+        out="$("$b")" ;;
+      *)
+        out="$("$b" --benchmark_min_time=0.02)" ;;
+    esac
+    # The console reporter may leave ANSI escapes before the marker, so
+    # match anywhere in the line and strip through the marker.
+    if ! printf '%s\n' "$out" | grep -a 'BENCHJSON: ' >> "$lines_file"; then
+      echo "ERROR: $b emitted no BENCHJSON line" >&2
+      return 1
+    fi
+  done
+  sed -i 's/^.*BENCHJSON: //' "$lines_file"
+  python3 - "$lines_file" > BENCH_baseline.json <<'PY'
+import json, sys
+benches = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        benches.append(json.loads(line))  # raises on unparseable JSON
+json.dump({"schema": "tyder-bench-v1", "benches": benches},
+          sys.stdout, indent=2)
+print()
+PY
+  echo "wrote BENCH_baseline.json ($(wc -c < BENCH_baseline.json) bytes)"
+}
+
+if [ "$MODE" = "bench" ]; then
+  run_bench_mode
+  echo "BENCH GREEN"
+  exit 0
+fi
 
 echo "=== tests ==="
 ctest --test-dir "$BUILD" --output-on-failure

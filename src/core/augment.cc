@@ -1,6 +1,7 @@
 #include "core/augment.h"
 
 #include "mir/dataflow.h"
+#include "obs/tracer.h"
 
 namespace tyder {
 
@@ -120,9 +121,7 @@ class Augmenter {
     return Status::OK();
   }
 
-  void Trace(std::string line) {
-    if (trace_ != nullptr) trace_->push_back(std::move(line));
-  }
+  void Trace(std::string line) { obs::Narrate(trace_, std::move(line)); }
 
   Schema& schema_;
   const std::set<TypeId>& z_;

@@ -1,6 +1,7 @@
 #include "core/factor_methods.h"
 
 #include "mir/dataflow.h"
+#include "obs/tracer.h"
 
 namespace tyder {
 
@@ -95,14 +96,17 @@ Result<std::vector<MethodRewrite>> FactorMethods(
     }
 
     if (!(rw.new_sig == rw.old_sig)) {
-      if (trace != nullptr) {
-        trace->push_back(
+      if (obs::NarrationRequested(trace)) {
+        obs::Narrate(
+            trace,
             method.label.str() + ": " +
-            SignatureToString(schema.types(), schema.gf(method.gf).name.view(),
-                              rw.old_sig) +
-            "  =>  " +
-            SignatureToString(schema.types(), schema.gf(method.gf).name.view(),
-                              rw.new_sig));
+                SignatureToString(schema.types(),
+                                  schema.gf(method.gf).name.view(),
+                                  rw.old_sig) +
+                "  =>  " +
+                SignatureToString(schema.types(),
+                                  schema.gf(method.gf).name.view(),
+                                  rw.new_sig));
       }
       schema.SetMethodSignature(m, rw.new_sig);
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/tracer.h"
+
 namespace tyder {
 
 namespace {
@@ -83,9 +85,7 @@ class Factorizer {
   }
 
  private:
-  void Trace(std::string line) {
-    if (trace_ != nullptr) trace_->push_back(std::move(line));
-  }
+  void Trace(std::string line) { obs::Narrate(trace_, std::move(line)); }
 
   Result<TypeId> CreateSurrogate(TypeId t) {
     std::string name;

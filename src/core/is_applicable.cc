@@ -5,6 +5,7 @@
 
 #include "methods/applicability.h"
 #include "mir/call_graph.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
@@ -22,6 +23,7 @@ class Analyzer {
         record_trace_(record_trace) {}
 
   Result<ApplicabilityResult> Run() {
+    TYDER_COUNT("applicability.runs");
     std::vector<MethodId> candidates =
         MethodsApplicableToType(schema_, source_);
     // The optimistic scheme can evict a settled method back to unknown when a
@@ -56,13 +58,17 @@ class Analyzer {
     std::set<MethodId> dependency_list;
   };
 
+  // Narration goes to the result's trace vector when requested and is
+  // mirrored to the thread's tracer (the structured channel) when one is
+  // installed.
   void Trace(const std::string& line) {
-    if (record_trace_) trace_.push_back(line);
+    obs::Narrate(record_trace_ ? &trace_ : nullptr, line);
   }
   std::string Label(MethodId m) const { return schema_.method(m).label.str(); }
 
   // The paper's IsApplicable(m, T, projection-list).
   Result<Verdict> Check(MethodId m) {
+    TYDER_COUNT("applicability.method_checks");
     if (applicable_.count(m) > 0) return Verdict::kApplicable;
     if (not_applicable_.count(m) > 0) return Verdict::kNotApplicable;
 

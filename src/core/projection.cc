@@ -1,7 +1,11 @@
 #include "core/projection.h"
 
+#include <optional>
+
 #include "core/augment.h"
 #include "core/verify.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
@@ -49,10 +53,11 @@ Status ValidateSpec(const Schema& schema, const ProjectionSpec& spec) {
 
 }  // namespace
 
-Result<DerivationResult> DeriveProjection(Schema& schema,
-                                          const ProjectionSpec& spec,
-                                          const ProjectionOptions& options) {
-  TYDER_RETURN_IF_ERROR(ValidateSpec(schema, spec));
+namespace {
+
+Result<DerivationResult> RunPipeline(Schema& schema,
+                                     const ProjectionSpec& spec,
+                                     const ProjectionOptions& options) {
   std::set<AttrId> projection(spec.attributes.begin(), spec.attributes.end());
 
   // The verifier compares against this snapshot (cheap: bodies are shared).
@@ -60,46 +65,98 @@ Result<DerivationResult> DeriveProjection(Schema& schema,
 
   DerivationResult result;
   result.spec = spec;
-  std::vector<std::string>* trace =
-      options.record_trace ? &result.trace : nullptr;
 
-  // 1. Method applicability (Section 4.1) — on the unmodified schema.
-  TYDER_ASSIGN_OR_RETURN(
-      result.applicability,
-      ComputeApplicableMethods(schema, spec.source, projection,
-                               options.record_trace));
-  if (options.record_trace) {
-    result.trace = result.applicability.trace;
+  obs::ScopedSpan pipeline("DeriveProjection");
+  pipeline.Attr("source", schema.types().TypeName(spec.source));
+  pipeline.Attr("view", spec.view_name);
+  pipeline.Attr("attributes", std::to_string(spec.attributes.size()));
+
+  // 1. Method applicability (Section 4.1) — on the unmodified schema. The
+  //    narration reaches the tracer; the structured channel supersedes
+  //    ApplicabilityResult::trace here.
+  {
+    obs::ScopedSpan span("IsApplicable");
+    TYDER_ASSIGN_OR_RETURN(
+        result.applicability,
+        ComputeApplicableMethods(schema, spec.source, projection,
+                                 /*record_trace=*/false));
+    span.Attr("applicable",
+              std::to_string(result.applicability.applicable.size()));
+    span.Attr("not_applicable",
+              std::to_string(result.applicability.not_applicable.size()));
   }
 
   // 2. State factorization (Section 5.1).
-  TYDER_ASSIGN_OR_RETURN(
-      result.derived,
-      FactorState(schema, spec.source, projection, spec.view_name,
-                  &result.surrogates, trace));
+  {
+    obs::ScopedSpan span("FactorState");
+    TYDER_ASSIGN_OR_RETURN(
+        result.derived,
+        FactorState(schema, spec.source, projection, spec.view_name,
+                    &result.surrogates, nullptr));
+    span.Attr("surrogates", std::to_string(result.surrogates.created.size()));
+  }
 
   // 3. Hierarchy augmentation (Sections 6.3–6.4) — Z from def-use analysis
   //    of the original bodies.
-  TYDER_ASSIGN_OR_RETURN(
-      result.augment_z,
-      ComputeAugmentSet(schema, spec.source, result.applicability.applicable,
-                        result.surrogates));
-  TYDER_RETURN_IF_ERROR(Augment(schema, spec.source, result.augment_z,
-                                &result.surrogates, trace));
+  {
+    obs::ScopedSpan span("Augment");
+    TYDER_ASSIGN_OR_RETURN(
+        result.augment_z,
+        ComputeAugmentSet(schema, spec.source, result.applicability.applicable,
+                          result.surrogates));
+    TYDER_RETURN_IF_ERROR(Augment(schema, spec.source, result.augment_z,
+                                  &result.surrogates, nullptr));
+    span.Attr("z", std::to_string(result.augment_z.size()));
+  }
 
   // 4. Method factorization (Section 6.1) with body retyping (Section 6.3).
-  TYDER_ASSIGN_OR_RETURN(
-      result.rewrites,
-      FactorMethods(schema, spec.source, result.applicability.applicable,
-                    result.surrogates, trace));
+  {
+    obs::ScopedSpan span("FactorMethods");
+    TYDER_ASSIGN_OR_RETURN(
+        result.rewrites,
+        FactorMethods(schema, spec.source, result.applicability.applicable,
+                      result.surrogates, nullptr));
+    span.Attr("rewrites", std::to_string(result.rewrites.size()));
+  }
 
   // 5. Behavior preservation.
   if (options.verify) {
+    obs::ScopedSpan span("Verify");
     VerifyReport report = VerifyDerivation(snapshot, schema, result);
     if (!report.ok()) {
       return Status::Internal("derivation broke an invariant:\n" +
                               report.ToString());
     }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<DerivationResult> DeriveProjection(Schema& schema,
+                                          const ProjectionSpec& spec,
+                                          const ProjectionOptions& options) {
+  TYDER_RETURN_IF_ERROR(ValidateSpec(schema, spec));
+  TYDER_COUNT("projection.derivations");
+  TYDER_TIMED("projection.derive_ns");
+
+  // record_trace maps onto the tracer: install a thread-local one unless the
+  // caller already did, run the pipeline under it, then render the legacy
+  // string narration from the structured events.
+  obs::Tracer local_tracer;
+  std::optional<obs::ScopedTracer> install;
+  if (options.record_trace && !obs::TracingActive()) {
+    install.emplace(&local_tracer);
+  }
+  obs::Tracer* tracer = obs::CurrentTracer();
+  size_t first_event = tracer != nullptr ? tracer->NumEvents() : 0;
+
+  Result<DerivationResult> result = RunPipeline(schema, spec, options);
+  if (!result.ok()) return result;
+  if (options.record_trace && tracer != nullptr) {
+    result->events.assign(tracer->events().begin() + first_event,
+                          tracer->events().end());
+    result->trace = obs::RenderNarration(result->events);
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include "core/factor_state.h"
 #include "core/is_applicable.h"
 #include "methods/schema.h"
+#include "obs/tracer.h"
 
 namespace tyder {
 
@@ -33,6 +34,12 @@ struct ProjectionSpec {
 };
 
 struct ProjectionOptions {
+  // Capture the derivation as a structured trace: when no obs::Tracer is
+  // installed on the thread, DeriveProjection installs a local one for the
+  // duration of the call and fills DerivationResult::events (one span per
+  // paper phase, narration as instant events) plus the rendered
+  // DerivationResult::trace lines. When a tracer is already installed (e.g.
+  // tyderc --trace), events flow to it and are copied into the result.
   bool record_trace = false;
   // Run the behavior-preservation verifier against a pre-derivation snapshot
   // and fail the derivation on any violation.
@@ -46,8 +53,13 @@ struct DerivationResult {
   SurrogateSet surrogates;
   std::set<TypeId> augment_z;            // the paper's Z
   std::vector<MethodRewrite> rewrites;
-  std::vector<std::string> trace;        // IsApplicable + FactorState +
-                                         // Augment + FactorMethods narration
+  // Structured trace (record_trace only): spans for DeriveProjection and the
+  // IsApplicable / FactorState / Augment / FactorMethods / Verify phases,
+  // with the per-step narration as instant events. Export with obs/export.h.
+  std::vector<obs::TraceEvent> events;
+  // Back-compat rendering of `events`: the IsApplicable + FactorState +
+  // Augment + FactorMethods narration lines, in emission order.
+  std::vector<std::string> trace;
 };
 
 // Derives Π_attributes(source) in place on `schema`.

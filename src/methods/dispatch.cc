@@ -1,16 +1,20 @@
 #include "methods/dispatch.h"
 
 #include "methods/precedence.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
 Result<MethodId> Dispatch(const Schema& schema, GfId gf,
                           const std::vector<TypeId>& arg_types) {
+  TYDER_COUNT("dispatch.calls");
   if (static_cast<int>(arg_types.size()) != schema.gf(gf).arity) {
     return Status::InvalidArgument("call to '" + schema.gf(gf).name.str() +
                                    "' with wrong argument count");
   }
-  return MostSpecificApplicable(schema, gf, arg_types);
+  Result<MethodId> selected = MostSpecificApplicable(schema, gf, arg_types);
+  if (!selected.ok()) TYDER_COUNT("dispatch.no_applicable_method");
+  return selected;
 }
 
 Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
@@ -21,6 +25,7 @@ Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
 
 std::vector<MethodId> DispatchOrder(const Schema& schema, GfId gf,
                                     const std::vector<TypeId>& arg_types) {
+  TYDER_COUNT("dispatch.order_queries");
   return SortBySpecificity(schema, gf, arg_types);
 }
 

@@ -1,5 +1,7 @@
 #include "mir/dataflow.h"
 
+#include "obs/obs.h"
+
 namespace tyder {
 
 namespace {
@@ -64,8 +66,12 @@ Result<FlowInfo> AnalyzeFlow(const Schema& schema, MethodId m) {
       info.var_reached_by.emplace(e.var, std::set<int>{});
     }
   });
+  TYDER_COUNT("dataflow.analyses");
+  uint64_t iterations = 1;  // the final (no-change) pass counts too
   while (Propagate(method.body, &info)) {
+    ++iterations;
   }
+  TYDER_COUNT_N("dataflow.fixpoint_iterations", iterations);
   return info;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/string_util.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
@@ -111,11 +112,16 @@ Result<AttrId> TypeGraph::FindAttribute(std::string_view name) const {
 
 const std::vector<bool>& TypeGraph::ReachRow(TypeId t) const {
   if (cache_version_ != version_) {
+    if (!reach_cache_.empty()) TYDER_COUNT("subtype.cache_invalidations");
     reach_cache_.clear();
     cache_version_ = version_;
   }
   auto it = reach_cache_.find(t);
-  if (it != reach_cache_.end()) return it->second;
+  if (it != reach_cache_.end()) {
+    TYDER_COUNT("subtype.cache_hit");
+    return it->second;
+  }
+  TYDER_COUNT("subtype.cache_miss");
   std::vector<bool> row(types_.size(), false);
   std::deque<TypeId> queue{t};
   row[t] = true;
@@ -133,8 +139,10 @@ const std::vector<bool>& TypeGraph::ReachRow(TypeId t) const {
 }
 
 bool TypeGraph::IsSubtype(TypeId a, TypeId b) const {
+  TYDER_COUNT("subtype.queries");
   if (a == b) return true;
   if (cache_enabled_) return ReachRow(a)[b];
+  TYDER_COUNT("subtype.uncached_walks");
   std::vector<bool> seen(types_.size(), false);
   std::deque<TypeId> queue{a};
   seen[a] = true;

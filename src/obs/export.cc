@@ -1,0 +1,193 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tyder::obs {
+
+namespace {
+
+std::string FormatDurationNs(int64_t ns) {
+  char buf[32];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  }
+  return buf;
+}
+
+void AppendAttrsJson(std::ostream& out, const TraceEvent& e) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : e.attrs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TraceToText(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kBegin: {
+        out << std::string(2 * static_cast<size_t>(e.depth), ' ') << "["
+            << e.name;
+        for (const auto& [key, value] : e.attrs) {
+          out << " " << key << "=" << value;
+        }
+        out << "\n";
+        break;
+      }
+      case TraceEvent::Kind::kEnd:
+        out << std::string(2 * static_cast<size_t>(e.depth), ' ') << "] "
+            << e.name << " " << FormatDurationNs(e.dur_ns) << "\n";
+        break;
+      case TraceEvent::Kind::kInstant:
+        out << std::string(2 * static_cast<size_t>(e.depth), ' ') << e.name
+            << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string TraceToJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"events\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    const char* kind = e.kind == TraceEvent::Kind::kBegin    ? "begin"
+                       : e.kind == TraceEvent::Kind::kEnd    ? "end"
+                                                             : "instant";
+    out << "{\"kind\":\"" << kind << "\",\"name\":\"" << JsonEscape(e.name)
+        << "\",\"depth\":" << e.depth << ",\"ts_ns\":" << e.ts_ns;
+    if (e.kind == TraceEvent::Kind::kEnd) out << ",\"dur_ns\":" << e.dur_ns;
+    if (!e.attrs.empty()) {
+      out << ",\"attrs\":";
+      AppendAttrsJson(out, e);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    double ts_us = static_cast<double>(e.ts_ns) / 1e3;
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"pid\":1,\"tid\":1,"
+        << "\"ts\":" << ts_us;
+    switch (e.kind) {
+      case TraceEvent::Kind::kBegin:
+        out << ",\"ph\":\"B\"";
+        if (!e.attrs.empty()) {
+          out << ",\"args\":";
+          AppendAttrsJson(out, e);
+        }
+        break;
+      case TraceEvent::Kind::kEnd:
+        out << ",\"ph\":\"E\"";
+        break;
+      case TraceEvent::Kind::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::vector<std::string> RenderNarration(
+    const std::vector<TraceEvent>& events) {
+  std::vector<std::string> lines;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kInstant) lines.push_back(e.name);
+  }
+  return lines;
+}
+
+std::string MetricsToText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    out << name << " = " << value << "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
+    out << name << ": count=" << snap.count << " min=" << snap.min
+        << " max=" << snap.max << " sum=" << snap.sum << " p50=" << snap.p50
+        << " p95=" << snap.p95 << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << snap.count
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+        << ",\"sum\":" << snap.sum << ",\"p50\":" << snap.p50
+        << ",\"p95\":" << snap.p95 << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace tyder::obs

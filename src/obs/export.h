@@ -1,0 +1,46 @@
+// Exporters for traces and metrics: human-readable text, plain JSON, and
+// Chrome trace_event JSON (load via chrome://tracing or https://ui.perfetto.dev).
+
+#ifndef TYDER_OBS_EXPORT_H_
+#define TYDER_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace tyder::obs {
+
+// --- trace exporters ------------------------------------------------------
+
+// Indented text rendering: one line per span (with duration and attributes)
+// and per instant event.
+std::string TraceToText(const std::vector<TraceEvent>& events);
+
+// {"events": [{"kind": "begin"|"end"|"instant", "name": ..., "depth": ...,
+//  "ts_ns": ..., "dur_ns": ..., "attrs": {...}}, ...]}
+std::string TraceToJson(const std::vector<TraceEvent>& events);
+
+// Chrome trace_event format: {"traceEvents": [{"ph": "B"/"E"/"i", ...}]}.
+// Timestamps are microseconds as the format requires.
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
+// The back-compat narration: instant-event messages in emission order —
+// exactly the lines the legacy `DerivationResult::trace` vector carried.
+std::vector<std::string> RenderNarration(const std::vector<TraceEvent>& events);
+
+// --- metrics exporters ----------------------------------------------------
+
+// Name-sorted "name = value" lines, histograms with count/min/max/sum/p50/p95.
+std::string MetricsToText(const MetricsRegistry& registry);
+
+// {"counters": {...}, "histograms": {name: {count, min, max, sum, p50, p95}}}
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+// JSON string escaping (shared with the bench reporters).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_EXPORT_H_

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace tyder::obs {
+
+void Histogram::Record(int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  min_ = max_ = sum_ = 0;
+  samples_.clear();
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.sum = sum_;
+  if (!samples_.empty()) {
+    std::vector<int64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto quantile = [&sorted](double q) {
+      size_t index = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+      return sorted[std::min(index, sorted.size() - 1)];
+    };
+    snap.p50 = quantile(0.50);
+    snap.p95 = quantile(0.95);
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricsRegistry::HistogramSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snap());
+  }
+  return out;
+}
+
+}  // namespace tyder::obs

@@ -1,0 +1,63 @@
+#include "obs/tracer.h"
+
+namespace tyder::obs {
+
+namespace {
+thread_local Tracer* g_current_tracer = nullptr;
+}  // namespace
+
+void Tracer::BeginSpan(std::string name) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kBegin;
+  e.name = std::move(name);
+  e.depth = depth();
+  e.ts_ns = Now();
+  open_.push_back(events_.size());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::EndSpan() {
+  if (open_.empty()) return;
+  size_t begin_index = open_.back();
+  open_.pop_back();
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kEnd;
+  e.name = events_[begin_index].name;
+  e.depth = depth();
+  e.ts_ns = Now();
+  e.dur_ns = e.ts_ns - events_[begin_index].ts_ns;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Instant(std::string message) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.name = std::move(message);
+  e.depth = depth();
+  e.ts_ns = Now();
+  events_.push_back(std::move(e));
+}
+
+void Tracer::SpanAttr(std::string_view key, std::string value) {
+  if (open_.empty()) return;
+  events_[open_.back()].attrs.emplace_back(std::string(key), std::move(value));
+}
+
+Tracer* CurrentTracer() { return g_current_tracer; }
+
+ScopedTracer::ScopedTracer(Tracer* tracer) : prev_(g_current_tracer) {
+  g_current_tracer = tracer;
+}
+
+ScopedTracer::~ScopedTracer() { g_current_tracer = prev_; }
+
+void Emit(std::string message) {
+  if (g_current_tracer != nullptr) g_current_tracer->Instant(std::move(message));
+}
+
+void Narrate(std::vector<std::string>* sink, std::string line) {
+  if (g_current_tracer != nullptr) g_current_tracer->Instant(line);
+  if (sink != nullptr) sink->push_back(std::move(line));
+}
+
+}  // namespace tyder::obs

@@ -1,0 +1,128 @@
+// Hierarchical tracing for the derivation pipeline and its consumers.
+//
+// A Tracer records a flat stream of TraceEvents (span begin/end pairs plus
+// instant narration events), each stamped with a steady_clock timestamp
+// relative to the tracer's epoch and the nesting depth at emission. Spans
+// are opened and closed with RAII ScopedSpans; narration lines (the paper's
+// "FactorState({e2,h2}, C, ~A, 1)" style) become instant events attached to
+// the innermost open span.
+//
+// Tracers are installed per thread with ScopedTracer; instrumentation sites
+// (ScopedSpan, Emit, Narrate) write to the installed tracer and are no-ops
+// when none is installed, so library code can be instrumented
+// unconditionally. Exporters (text, JSON, Chrome trace_event) live in
+// obs/export.h.
+
+#ifndef TYDER_OBS_TRACER_H_
+#define TYDER_OBS_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tyder::obs {
+
+struct TraceEvent {
+  enum class Kind { kBegin, kEnd, kInstant };
+
+  Kind kind = Kind::kInstant;
+  // Span name for kBegin/kEnd; the narration line for kInstant.
+  std::string name;
+  // Nesting depth at emission: the root span begins at depth 0; an instant
+  // inside it carries depth 1.
+  int depth = 0;
+  // Nanoseconds since the tracer's epoch.
+  int64_t ts_ns = 0;
+  // kEnd only: wall-clock span duration.
+  int64_t dur_ns = 0;
+  // Key/value attributes (kBegin events only; attached via ScopedSpan::Attr).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Non-copyable: open-span bookkeeping indexes into events_.
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void BeginSpan(std::string name);
+  // Closes the innermost open span, computing its duration. No-op if no span
+  // is open.
+  void EndSpan();
+  void Instant(std::string message);
+  // Attaches an attribute to the innermost open span's begin event.
+  void SpanAttr(std::string_view key, std::string value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t NumEvents() const { return events_.size(); }
+  int depth() const { return static_cast<int>(open_.size()); }
+
+ private:
+  int64_t Now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  std::vector<size_t> open_;  // indices of kBegin events of open spans
+};
+
+// The tracer installed on this thread, or nullptr.
+Tracer* CurrentTracer();
+inline bool TracingActive() { return CurrentTracer() != nullptr; }
+
+// Installs `tracer` as the thread's current tracer for the enclosing scope,
+// restoring the previous one on destruction.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+// RAII span on the current tracer; inert when no tracer is installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) : tracer_(CurrentTracer()) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(std::string(name));
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Attr(std::string_view key, std::string value) {
+    if (tracer_ != nullptr) tracer_->SpanAttr(key, std::move(value));
+  }
+
+ private:
+  Tracer* tracer_;
+};
+
+// Emits an instant event on the current tracer (no-op without one).
+void Emit(std::string message);
+
+// Narration used by the derivation phases: pushes `line` onto `sink` when
+// non-null (the legacy string-vector channel) and mirrors it as an instant
+// event on the current tracer. Callers should build `line` only when
+// NarrationRequested(sink) to keep the untraced path allocation-free.
+inline bool NarrationRequested(const std::vector<std::string>* sink) {
+  return sink != nullptr || TracingActive();
+}
+void Narrate(std::vector<std::string>* sink, std::string line);
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_TRACER_H_

@@ -5,6 +5,7 @@
 #include "lang/parser.h"
 #include "mir/builder.h"
 #include "mir/type_check.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
@@ -12,18 +13,20 @@ Query::Query(const Schema& schema, std::string_view type_name)
     : schema_(schema) {
   Result<TypeId> from = schema.types().FindType(type_name);
   if (!from.ok()) {
-    deferred_ = from.status();
+    Defer(from.status());
     return;
   }
   from_ = *from;
 }
 
 Query& Query::Where(ExprPtr predicate) {
-  if (!deferred_.ok()) return *this;
   if (predicate == nullptr) {
-    deferred_ = Status::InvalidArgument("null predicate");
+    Defer(Status::InvalidArgument("null predicate"));
     return *this;
   }
+  // Without a valid extent type the predicate cannot be type-checked; the
+  // constructor error is already recorded.
+  if (from_ == kInvalidType) return *this;
   // Type-check as `(self: From) -> Bool { return <expr>; }`.
   Signature sig{{from_}, schema_.builtins().bool_type};
   std::vector<Symbol> params = {Symbol::Intern("self")};
@@ -31,7 +34,7 @@ Query& Query::Where(ExprPtr predicate) {
   Result<TypeAnnotations> checked =
       TypeCheckBody(schema_, sig, params, body);
   if (!checked.ok()) {
-    deferred_ = checked.status().WithContext("query predicate");
+    Defer(checked.status().WithContext("query predicate"));
     return *this;
   }
   predicates_.push_back(std::move(body));
@@ -39,34 +42,33 @@ Query& Query::Where(ExprPtr predicate) {
 }
 
 Query& Query::WhereTdl(std::string_view expr) {
-  if (!deferred_.ok()) return *this;
   Result<AstExprPtr> parsed = ParseTdlExpression(expr);
   if (!parsed.ok()) {
-    deferred_ = parsed.status().WithContext("query predicate");
+    Defer(parsed.status().WithContext("query predicate"));
     return *this;
   }
+  if (from_ == kInvalidType) return *this;
   Result<ExprPtr> lowered =
       LowerExpression(schema_, *parsed, {{"self", from_}});
   if (!lowered.ok()) {
-    deferred_ = lowered.status().WithContext("query predicate");
+    Defer(lowered.status().WithContext("query predicate"));
     return *this;
   }
   return Where(*lowered);
 }
 
 Query& Query::Column(std::string_view gf_name) {
-  if (!deferred_.ok()) return *this;
   Result<GfId> gf = schema_.FindGenericFunction(gf_name);
   if (!gf.ok()) {
-    deferred_ = gf.status().WithContext("query column");
+    Defer(gf.status().WithContext("query column"));
     return *this;
   }
   if (schema_.gf(*gf).arity != 1) {
-    deferred_ = Status::InvalidArgument("query column '" +
-                                        std::string(gf_name) +
-                                        "' must be a unary generic function");
+    Defer(Status::InvalidArgument("query column '" + std::string(gf_name) +
+                                  "' must be a unary generic function"));
     return *this;
   }
+  if (from_ == kInvalidType) return *this;
   // The column must be answerable by every candidate: check that the call is
   // at least dynamically plausible for the extent type, by type-checking
   // `gf(self)` as an expression statement.
@@ -76,8 +78,8 @@ Query& Query::Column(std::string_view gf_name) {
   Result<TypeAnnotations> checked =
       TypeCheckBody(schema_, sig, params, body);
   if (!checked.ok()) {
-    deferred_ = checked.status().WithContext("query column '" +
-                                             std::string(gf_name) + "'");
+    Defer(checked.status().WithContext("query column '" +
+                                       std::string(gf_name) + "'"));
     return *this;
   }
   columns_.push_back(*gf);
@@ -86,11 +88,27 @@ Query& Query::Column(std::string_view gf_name) {
 }
 
 Result<QueryResult> Query::Execute(ObjectStore& store) const {
-  TYDER_RETURN_IF_ERROR(deferred_);
+  if (!deferred_.empty()) {
+    if (deferred_.size() == 1) return deferred_.front();
+    std::string all = "query construction failed with " +
+                      std::to_string(deferred_.size()) + " errors:";
+    for (const Status& s : deferred_) all += "\n  - " + s.ToString();
+    return Status::InvalidArgument(std::move(all));
+  }
+  TYDER_COUNT("query.executions");
+  TYDER_TIMED("query.execute_ns");
+  obs::ScopedSpan span("Query::Execute");
+  span.Attr("from", schema_.types().TypeName(from_));
+  span.Attr("predicates", std::to_string(predicates_.size()));
+  span.Attr("columns", std::to_string(columns_.size()));
+
   QueryResult result;
   result.columns = column_names_;
   Interpreter interp(schema_, &store);
+  uint64_t scanned = 0;
+  uint64_t filtered_out = 0;
   for (ObjectId candidate : store.Extent(schema_, from_)) {
+    ++scanned;
     bool keep = true;
     for (const ExprPtr& predicate : predicates_) {
       TYDER_ASSIGN_OR_RETURN(
@@ -104,7 +122,10 @@ Result<QueryResult> Query::Execute(ObjectStore& store) const {
         break;
       }
     }
-    if (!keep) continue;
+    if (!keep) {
+      ++filtered_out;
+      continue;
+    }
     result.objects.push_back(candidate);
     std::vector<Value> row;
     row.reserve(columns_.size());
@@ -115,6 +136,13 @@ Result<QueryResult> Query::Execute(ObjectStore& store) const {
     }
     result.rows.push_back(std::move(row));
   }
+  TYDER_COUNT_N("query.objects_scanned", scanned);
+  TYDER_COUNT_N("query.objects_filtered_out", filtered_out);
+  TYDER_COUNT_N("query.rows_emitted",
+                static_cast<uint64_t>(result.objects.size()));
+  span.Attr("scanned", std::to_string(scanned));
+  span.Attr("filtered_out", std::to_string(filtered_out));
+  span.Attr("rows", std::to_string(result.objects.size()));
   return result;
 }
 

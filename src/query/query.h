@@ -48,12 +48,18 @@ class Query {
   Query& Column(std::string_view gf_name);
 
   // Runs the query. Construction-time errors (unknown type/function,
-  // ill-typed predicate) surface here.
+  // ill-typed predicate) surface here; every accumulated error is reported —
+  // a single error keeps its own code/message, multiple errors are combined
+  // into one InvalidArgument listing all of them.
   Result<QueryResult> Execute(ObjectStore& store) const;
 
  private:
+  // Records a construction error; later builder calls still validate
+  // whatever they can so Execute can report every problem at once.
+  void Defer(Status status) { deferred_.push_back(std::move(status)); }
+
   const Schema& schema_;
-  Status deferred_;  // first construction error, reported at Execute
+  std::vector<Status> deferred_;  // all construction errors, in call order
   TypeId from_ = kInvalidType;
   std::vector<ExprPtr> predicates_;
   std::vector<GfId> columns_;

@@ -90,6 +90,55 @@ TEST(ProjectionTest, TraceCoversAllPhases) {
   EXPECT_NE(joined.find("=>"), std::string::npos);                // phase 4
 }
 
+// Regression: the narration now flows through the obs tracer as instant
+// events, but the rendered `trace` lines must stay byte-for-byte what the
+// pre-obs string-vector implementation produced.
+TEST(ProjectionTest, TraceLinesAreStableAcrossTheObsRewrite) {
+  auto fx = testing::BuildExample1(true);
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ProjectionOptions options;
+  options.record_trace = true;
+  auto result = DeriveProjection(fx->schema, spec, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string>& trace = result->trace;
+  auto index_of = [&trace](std::string_view line) {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i] == line) return static_cast<ptrdiff_t>(i);
+    }
+    return static_cast<ptrdiff_t>(-1);
+  };
+  // One pinned line per paper phase, exact text.
+  ptrdiff_t applicable =
+      index_of("accessor get_h2 reads h2 (projected) -> Applicable");
+  ptrdiff_t cycle = index_of("cycle: assume x1 applicable");
+  ptrdiff_t evict = index_of("evict y1 (assumed x1 applicable)");
+  ptrdiff_t factor = index_of("FactorState({e2,h2}, C, ProjA, 1)");
+  ptrdiff_t surrogate = index_of("create ProjA [surrogate of A]");
+  ptrdiff_t precedence = index_of("make ~C a supertype of ProjA with precedence 1");
+  ptrdiff_t augment = index_of("create ~G [stateless surrogate of G]");
+  ptrdiff_t rewrite = index_of("z1: z(C) -> G  =>  z(~C) -> ~G");
+  EXPECT_GE(applicable, 0);
+  EXPECT_GE(cycle, 0);
+  EXPECT_GE(evict, 0);
+  EXPECT_GE(factor, 0);
+  EXPECT_GE(surrogate, 0);
+  EXPECT_GE(precedence, 0);
+  EXPECT_GE(augment, 0);
+  EXPECT_GE(rewrite, 0);
+  // And the phases appear in pipeline order.
+  EXPECT_LT(applicable, cycle);
+  EXPECT_LT(cycle, evict);
+  EXPECT_LT(evict, surrogate);
+  EXPECT_LT(surrogate, factor);
+  EXPECT_LT(factor, precedence);
+  EXPECT_LT(precedence, augment);
+  EXPECT_LT(augment, rewrite);
+}
+
 TEST(ProjectionTest, ValidationErrors) {
   auto fx = testing::BuildPersonEmployee();
   ASSERT_TRUE(fx.ok());

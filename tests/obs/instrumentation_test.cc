@@ -1,0 +1,205 @@
+// End-to-end checks that the instrumented library paths produce
+// deterministic counters and well-nested spans on the paper's fixed schemas.
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "instances/store.h"
+#include "methods/dispatch.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "query/query.h"
+#include "testing/fixtures.h"
+
+namespace tyder {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceEvent;
+
+#if TYDER_OBS_ENABLED
+
+TEST(InstrumentationTest, SubtypeCacheHitMissIsDeterministic) {
+  // Build a private graph so no other code has warmed its reachability
+  // cache; declaring a type invalidates any cached rows, so the cache is
+  // provably cold after the last declaration.
+  TypeGraph graph;
+  auto base = graph.DeclareType("ObsBase", TypeKind::kUser);
+  ASSERT_TRUE(base.ok());
+  auto mid = graph.DeclareType("ObsMid", TypeKind::kUser);
+  ASSERT_TRUE(mid.ok());
+  auto leaf = graph.DeclareType("ObsLeaf", TypeKind::kUser);
+  ASSERT_TRUE(leaf.ok());
+  ASSERT_TRUE(graph.AddSupertype(*mid, *base).ok());
+  ASSERT_TRUE(graph.AddSupertype(*leaf, *mid).ok());
+  // AddSupertype's cycle check caches rows and then bumps the graph version;
+  // sync the cache once so the deltas below see no leftover invalidation.
+  EXPECT_TRUE(graph.IsSubtype(*mid, *base));
+
+  MetricsRegistry::Global().Reset();
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));  // cold row -> miss
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 1u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 1u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 0u);
+
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *mid));  // warm row -> hit
+  EXPECT_FALSE(graph.IsSubtype(*base, *leaf));  // other row -> miss
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 3u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 1u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 2u);
+
+  // Reflexive queries short-circuit before the cache.
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *leaf));
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 4u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 1u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 2u);
+
+  // Mutating the graph invalidates every cached row.
+  auto extra = graph.DeclareType("ObsExtra", TypeKind::kUser);
+  ASSERT_TRUE(extra.ok());
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));  // re-derived -> miss
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 3u);
+  EXPECT_EQ(
+      MetricsRegistry::Global().CounterValue("subtype.cache_invalidations"),
+      1u);
+}
+
+TEST(InstrumentationTest, DispatchCountersOnExample1AreDeterministic) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  auto u = fx->schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+
+  // Warm the caches with one dispatch, then require two identical dispatch
+  // sweeps to produce identical counter deltas — and no cache misses.
+  ASSERT_TRUE(Dispatch(fx->schema, *u, {fx->a}).ok());
+
+  auto sweep_delta = [&](const char* name) {
+    MetricsRegistry::Global().Reset();
+    EXPECT_TRUE(Dispatch(fx->schema, *u, {fx->a}).ok());
+    EXPECT_TRUE(Dispatch(fx->schema, *u, {fx->b}).ok());
+    return MetricsRegistry::Global().CounterValue(name);
+  };
+  EXPECT_EQ(sweep_delta("dispatch.calls"), 2u);
+  uint64_t hits_first = sweep_delta("subtype.cache_hit");
+  uint64_t hits_second = sweep_delta("subtype.cache_hit");
+  EXPECT_GT(hits_first, 0u);
+  EXPECT_EQ(hits_first, hits_second);
+  EXPECT_EQ(sweep_delta("subtype.cache_miss"), 0u);
+}
+
+TEST(InstrumentationTest, QueryCountersCountScannedFilteredEmitted) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ObjectStore store;
+  for (double pay : {40.0, 90.0, 120.0}) {
+    auto obj = store.CreateObject(fx->schema, fx->employee);
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(store.SetSlot(*obj, fx->pay_rate, Value::Float(pay)).ok());
+    ASSERT_TRUE(store.SetSlot(*obj, fx->date_of_birth, Value::Int(1980)).ok());
+    ASSERT_TRUE(store.SetSlot(*obj, fx->hrs_worked, Value::Float(40.0)).ok());
+    ASSERT_TRUE(store.SetSlot(*obj, fx->ssn, Value::String("s")).ok());
+  }
+
+  MetricsRegistry::Global().Reset();
+  Query query(fx->schema, "Employee");
+  query.WhereTdl("get_pay_rate(self) < 100.0").Column("get_SSN");
+  auto result = query.Execute(store);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objects.size(), 2u);
+  MetricsRegistry& m = MetricsRegistry::Global();
+  EXPECT_EQ(m.CounterValue("query.executions"), 1u);
+  EXPECT_EQ(m.CounterValue("query.objects_scanned"), 3u);
+  EXPECT_EQ(m.CounterValue("query.objects_filtered_out"), 1u);
+  EXPECT_EQ(m.CounterValue("query.rows_emitted"), 2u);
+}
+
+TEST(InstrumentationTest, DerivationBumpsPipelineCounters) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  MetricsRegistry::Global().Reset();
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+  MetricsRegistry& m = MetricsRegistry::Global();
+  EXPECT_EQ(m.CounterValue("projection.derivations"), 1u);
+  EXPECT_EQ(m.CounterValue("applicability.runs"), 1u);
+  EXPECT_GT(m.CounterValue("applicability.method_checks"), 0u);
+  EXPECT_GT(m.CounterValue("dataflow.analyses"), 0u);
+  EXPECT_GT(m.CounterValue("dataflow.fixpoint_iterations"), 0u);
+  // The behavior-preservation verifier replays dispatch on both schemas.
+  EXPECT_GT(m.CounterValue("dispatch.calls"), 0u);
+}
+
+#endif  // TYDER_OBS_ENABLED
+
+TEST(InstrumentationTest, DerivationSpansMatchThePaperPhases) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ProjectionOptions options;
+  options.record_trace = true;
+  auto result = DeriveProjection(fx->schema, spec, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::vector<std::string> phase_spans;
+  for (const TraceEvent& e : result->events) {
+    if (e.kind == TraceEvent::Kind::kBegin && e.depth == 1) {
+      phase_spans.push_back(e.name);
+    }
+  }
+  EXPECT_EQ(phase_spans,
+            (std::vector<std::string>{"IsApplicable", "FactorState", "Augment",
+                                      "FactorMethods", "Verify"}));
+  ASSERT_FALSE(result->events.empty());
+  EXPECT_EQ(result->events.front().name, "DeriveProjection");
+  EXPECT_EQ(result->events.front().depth, 0);
+
+  // Every span closes, and narration lines sit strictly inside the pipeline
+  // span (depth >= 1).
+  int open = 0;
+  for (const TraceEvent& e : result->events) {
+    if (e.kind == TraceEvent::Kind::kBegin) ++open;
+    if (e.kind == TraceEvent::Kind::kEnd) --open;
+    if (e.kind == TraceEvent::Kind::kInstant) EXPECT_GE(e.depth, 1);
+    EXPECT_GE(open, 0);
+  }
+  EXPECT_EQ(open, 0);
+
+  // The legacy rendering equals the instant events, in order.
+  EXPECT_EQ(result->trace, obs::RenderNarration(result->events));
+  EXPECT_FALSE(result->trace.empty());
+}
+
+TEST(InstrumentationTest, AmbientTracerSeesTheDerivation) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer install(&tracer);
+    ProjectionSpec spec;
+    spec.source = fx->a;
+    spec.attributes = {fx->a2, fx->e2, fx->h2};
+    spec.view_name = "ProjA";
+    // Even without record_trace the events flow to the installed tracer.
+    ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+  }
+  bool saw_pipeline = false;
+  bool saw_narration = false;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.kind == TraceEvent::Kind::kBegin && e.name == "DeriveProjection") {
+      saw_pipeline = true;
+    }
+    if (e.kind == TraceEvent::Kind::kInstant) saw_narration = true;
+  }
+  EXPECT_TRUE(saw_pipeline);
+  EXPECT_TRUE(saw_narration);
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+
+namespace tyder::obs {
+namespace {
+
+TEST(MetricsTest, CountersAccumulateAndReset) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Add(1);
+  c->Add(41);
+  EXPECT_EQ(registry.CounterValue("test.counter"), 42u);
+  EXPECT_EQ(registry.CounterValue("test.untouched"), 0u);
+  // Same name -> same counter.
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("test.counter"), 0u);
+}
+
+TEST(MetricsTest, HistogramStats) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.latency");
+  for (int64_t v = 1; v <= 100; ++v) h->Record(v);
+  Histogram::Snapshot snap = h->Snap();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_EQ(snap.sum, 5050);
+  EXPECT_NEAR(static_cast<double>(snap.p50), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(snap.p95), 95.0, 2.0);
+  h->Reset();
+  EXPECT_EQ(h->Snap().count, 0u);
+}
+
+TEST(MetricsTest, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  auto snapshot = registry.CounterSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "alpha");
+  EXPECT_EQ(snapshot[1].first, "mid");
+  EXPECT_EQ(snapshot[2].first, "zeta");
+}
+
+TEST(MetricsTest, TextAndJsonExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(7);
+  registry.GetHistogram("b.ns")->Record(10);
+  registry.GetHistogram("b.ns")->Record(30);
+  std::string text = MetricsToText(registry);
+  EXPECT_NE(text.find("a.count = 7"), std::string::npos);
+  EXPECT_NE(text.find("b.ns: count=2 min=10 max=30 sum=40"),
+            std::string::npos);
+  std::string json = MetricsToJson(registry);
+  EXPECT_NE(json.find("\"a.count\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"b.ns\":{\"count\":2,\"min\":10,\"max\":30,"
+                      "\"sum\":40"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, MacrosHitTheGlobalRegistry) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  uint64_t before = global.CounterValue("test.macro_counter");
+  TYDER_COUNT("test.macro_counter");
+  TYDER_COUNT_N("test.macro_counter", 4);
+#if TYDER_OBS_ENABLED
+  EXPECT_EQ(global.CounterValue("test.macro_counter"), before + 5);
+#else
+  EXPECT_EQ(global.CounterValue("test.macro_counter"), before);
+#endif
+}
+
+TEST(MetricsTest, TimedMacroRecordsDurations) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  uint64_t before = global.GetHistogram("test.macro_timer")->Snap().count;
+  {
+    TYDER_TIMED("test.macro_timer");
+  }
+#if TYDER_OBS_ENABLED
+  Histogram::Snapshot snap = global.GetHistogram("test.macro_timer")->Snap();
+  EXPECT_EQ(snap.count, before + 1);
+  EXPECT_GE(snap.max, 0);
+#else
+  EXPECT_EQ(global.GetHistogram("test.macro_timer")->Snap().count, before);
+#endif
+}
+
+TEST(MetricsTest, JsonEscaping) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+}  // namespace
+}  // namespace tyder::obs

@@ -1,0 +1,251 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace tyder::obs {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker, enough to prove the
+// exporters emit well-formed JSON (the script-side consumer re-validates
+// with a real parser).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return Consume('"');
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Consume(char c) { return Peek(c); }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(TracerTest, SpansNestAndCarryDurations) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    ScopedSpan outer("outer");
+    outer.Attr("key", "value");
+    Emit("hello");
+    {
+      ScopedSpan inner("inner");
+      Emit("nested");
+    }
+  }
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kBegin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  ASSERT_EQ(events[0].attrs.size(), 1u);
+  EXPECT_EQ(events[0].attrs[0].first, "key");
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kInstant);
+  EXPECT_EQ(events[1].name, "hello");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 1);
+  EXPECT_EQ(events[3].name, "nested");
+  EXPECT_EQ(events[3].depth, 2);
+  EXPECT_EQ(events[4].kind, TraceEvent::Kind::kEnd);
+  EXPECT_EQ(events[4].name, "inner");
+  EXPECT_EQ(events[5].kind, TraceEvent::Kind::kEnd);
+  EXPECT_EQ(events[5].name, "outer");
+  // Durations are monotone: outer covers inner.
+  EXPECT_GE(events[5].dur_ns, events[4].dur_ns);
+  EXPECT_GE(events[4].ts_ns, events[2].ts_ns);
+}
+
+TEST(TracerTest, NoInstalledTracerIsInert) {
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  ScopedSpan span("ignored");  // must not crash
+  Emit("dropped");
+  Narrate(nullptr, "dropped too");
+  std::vector<std::string> sink;
+  Narrate(&sink, "kept");
+  EXPECT_EQ(sink, std::vector<std::string>{"kept"});
+}
+
+TEST(TracerTest, ScopedTracerRestoresPrevious) {
+  Tracer a, b;
+  ScopedTracer install_a(&a);
+  {
+    ScopedTracer install_b(&b);
+    EXPECT_EQ(CurrentTracer(), &b);
+    Emit("to b");
+  }
+  EXPECT_EQ(CurrentTracer(), &a);
+  Emit("to a");
+  EXPECT_EQ(b.NumEvents(), 1u);
+  EXPECT_EQ(a.NumEvents(), 1u);
+}
+
+TEST(TracerTest, NarrationMirrorsToSinkAndTracer) {
+  Tracer tracer;
+  std::vector<std::string> sink;
+  {
+    ScopedTracer install(&tracer);
+    Narrate(&sink, "line one");
+    Narrate(nullptr, "line two");
+  }
+  EXPECT_EQ(sink, std::vector<std::string>{"line one"});
+  auto lines = RenderNarration(tracer.events());
+  EXPECT_EQ(lines, (std::vector<std::string>{"line one", "line two"}));
+}
+
+TEST(TracerTest, TextExportIndentsByDepth) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    ScopedSpan outer("outer");
+    Emit("message");
+  }
+  std::string text = TraceToText(tracer.events());
+  EXPECT_NE(text.find("[outer"), std::string::npos);
+  EXPECT_NE(text.find("\n  message"), std::string::npos);
+  EXPECT_NE(text.find("] outer"), std::string::npos);
+}
+
+TEST(TracerTest, JsonExportsAreWellFormed) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    ScopedSpan outer("outer \"quoted\"\nname");
+    outer.Attr("attr", "va\\lue");
+    Emit("instant");
+    ScopedSpan inner("inner");
+  }
+  std::string json = TraceToJson(tracer.events());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  std::string chrome = TraceToChromeJson(tracer.events());
+  EXPECT_TRUE(JsonChecker(chrome).Valid()) << chrome;
+  // Chrome trace_event essentials: the container key, phase markers, and
+  // microsecond timestamps.
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":"), std::string::npos);
+}
+
+TEST(TracerTest, JsonRoundTripPreservesEventStructure) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    ScopedSpan s("phase");
+    Emit("step");
+  }
+  std::string json = TraceToJson(tracer.events());
+  // Round-trip at the structural level: every event appears exactly once
+  // with its kind tag.
+  auto count = [&json](std::string_view needle) {
+    size_t n = 0;
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"kind\":\"begin\",\"name\":\"phase\""), 1u);
+  EXPECT_EQ(count("\"kind\":\"end\",\"name\":\"phase\""), 1u);
+  EXPECT_EQ(count("\"kind\":\"instant\",\"name\":\"step\""), 1u);
+}
+
+}  // namespace
+}  // namespace tyder::obs

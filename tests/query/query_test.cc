@@ -159,10 +159,24 @@ TEST_F(QueryTest, UnknownTypeAndColumnRejected) {
   EXPECT_FALSE(binary_column.Execute(store_).ok());
 }
 
-TEST_F(QueryTest, FirstErrorWinsAcrossChaining) {
+TEST_F(QueryTest, SingleErrorKeepsItsCodeAcrossChaining) {
   Query query(fx_.schema, "Ghost");
   query.WhereTdl("true").Column("age");  // chained after the type error
   EXPECT_EQ(query.Execute(store_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, AllConstructionErrorsAreReportedTogether) {
+  Query query(fx_.schema, "Employee");
+  query.WhereTdl("get_pay_rate(self) <")  // parse error
+      .Column("ghost_fn")                 // unknown column
+      .Column("get_SSN");                 // fine; must not mask the errors
+  auto result = query.Execute(store_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("2 errors"), std::string::npos) << message;
+  EXPECT_NE(message.find("query predicate"), std::string::npos) << message;
+  EXPECT_NE(message.find("ghost_fn"), std::string::npos) << message;
 }
 
 }  // namespace

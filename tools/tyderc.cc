@@ -12,10 +12,19 @@
 //   tyderc <schema.tdl> --export             re-emit the schema as TDL
 //   tyderc <schema.tdl> --stats              hierarchy metrics
 //
+// Observability modifiers (composable with everything above; see
+// docs/OBSERVABILITY.md):
+//
+//   --trace              print the span/narration trace of the whole run
+//   --trace-json=<file>  write the trace in Chrome trace_event format
+//                        (load via chrome://tracing or ui.perfetto.dev)
+//   --metrics            print process counters/histograms after the run
+//
 // Flags compose left to right; transforms apply before later inspections.
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +39,8 @@
 #include "mir/printer.h"
 #include "objmodel/hierarchy_analysis.h"
 #include "objmodel/schema_printer.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace tyder {
 namespace {
@@ -42,25 +53,30 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr << "usage: tyderc <schema.tdl> [--print] [--methods] [--dot] "
                "[--lint] [--project <Type> <a,b,c> <ViewName>] [--collapse] "
-               "[--serialize] [--export] [--stats]\n";
+               "[--serialize] [--export] [--stats] "
+               "[--trace] [--trace-json=<file>] [--metrics]\n";
   return 2;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::ifstream in(argv[1]);
+int RunOps(const std::string& schema_path,
+           const std::vector<std::string>& ops) {
+  std::ifstream in(schema_path);
   if (!in) {
-    std::cerr << "tyderc: cannot open '" << argv[1] << "'\n";
+    std::cerr << "tyderc: cannot open '" << schema_path << "'\n";
     return 1;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  Result<Catalog> catalog = LoadTdl(buffer.str());
+  Result<Catalog> catalog = [&] {
+    obs::ScopedSpan span("LoadTdl");
+    span.Attr("path", schema_path);
+    return LoadTdl(buffer.str());
+  }();
   if (!catalog.ok()) return Fail(catalog.status());
   Schema& schema = catalog->schema();
 
-  if (argc == 2) {
+  if (ops.empty()) {
     std::cout << "OK: " << schema.types().NumTypes() << " types, "
               << schema.types().NumAttributes() << " attributes, "
               << schema.NumGenericFunctions() << " generic functions, "
@@ -69,8 +85,9 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  for (int i = 2; i < argc; ++i) {
-    std::string flag = argv[i];
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const std::string& flag = ops[i];
+    obs::ScopedSpan span(flag);
     if (flag == "--print") {
       std::cout << PrintHierarchy(schema.types());
     } else if (flag == "--methods") {
@@ -95,10 +112,10 @@ int Run(int argc, char** argv) {
         std::cout << ConsistencyReport(schema, issues);
       }
     } else if (flag == "--project") {
-      if (i + 3 >= argc) return Usage();
-      std::string source = argv[++i];
-      std::vector<std::string> attrs = SplitAndTrim(argv[++i], ',');
-      std::string view = argv[++i];
+      if (i + 3 >= ops.size()) return Usage();
+      std::string source = ops[++i];
+      std::vector<std::string> attrs = SplitAndTrim(ops[++i], ',');
+      std::string view = ops[++i];
       Result<DerivationResult> result =
           DeriveProjectionByName(schema, source, attrs, view);
       if (!result.ok()) return Fail(result.status());
@@ -123,6 +140,56 @@ int Run(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  // Peel off the observability modifiers; everything else keeps its
+  // left-to-right op semantics.
+  bool want_trace = false;
+  bool want_metrics = false;
+  std::string trace_json_path;
+  std::string schema_path;
+  std::vector<std::string> ops;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace") {
+      want_trace = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_json_path = arg.substr(std::string("--trace-json=").size());
+      if (trace_json_path.empty()) return Usage();
+    } else if (schema_path.empty()) {
+      schema_path = arg;
+    } else {
+      ops.push_back(arg);
+    }
+  }
+  if (schema_path.empty()) return Usage();
+
+  obs::Tracer tracer;
+  std::optional<obs::ScopedTracer> install;
+  if (want_trace || !trace_json_path.empty()) install.emplace(&tracer);
+
+  int exit_code = RunOps(schema_path, ops);
+
+  if (want_trace) {
+    std::cout << "=== trace ===\n" << obs::TraceToText(tracer.events());
+  }
+  if (!trace_json_path.empty()) {
+    std::ofstream out(trace_json_path);
+    if (!out) {
+      std::cerr << "tyderc: cannot write '" << trace_json_path << "'\n";
+      return 1;
+    }
+    out << obs::TraceToChromeJson(tracer.events()) << "\n";
+  }
+  if (want_metrics) {
+    std::cout << "=== metrics ===\n"
+              << obs::MetricsToText(obs::MetricsRegistry::Global());
+  }
+  return exit_code;
 }
 
 }  // namespace
