@@ -8,11 +8,16 @@
 #
 # Usage: scripts/run_all.sh [build-dir]
 #        scripts/run_all.sh bench [build-dir]
+#        scripts/run_all.sh asan [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
 # assembles BENCH_baseline.json at the repo root. The step fails if any
 # bench crashes or emits unparseable JSON.
+#
+# The `asan` mode builds with -DTYDER_SANITIZE=address,undefined (default
+# build dir: build-asan) and runs the tier-1 test suite — including the
+# fault-injection/rollback tests — under ASan+UBSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +25,21 @@ MODE=all
 if [ "${1:-}" = "bench" ]; then
   MODE=bench
   shift
+elif [ "${1:-}" = "asan" ]; then
+  MODE=asan
+  shift
 fi
+
+if [ "$MODE" = "asan" ]; then
+  BUILD="${1:-build-asan}"
+  cmake -B "$BUILD" -G Ninja -DTYDER_SANITIZE=address,undefined
+  cmake --build "$BUILD"
+  echo "=== tests (ASan+UBSan) ==="
+  ctest --test-dir "$BUILD" --output-on-failure
+  echo "ASAN GREEN"
+  exit 0
+fi
+
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -G Ninja

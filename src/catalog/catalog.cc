@@ -1,7 +1,9 @@
 #include "catalog/catalog.h"
 
+#include "common/failpoint.h"
 #include "core/algebra.h"
 #include "core/revert.h"
+#include "core/transaction.h"
 
 namespace tyder {
 
@@ -20,10 +22,12 @@ Result<const ViewDef*> Catalog::DefineProjectionView(
                                  "' already defined");
   }
   TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  SchemaTransaction txn(schema_);
   TYDER_ASSIGN_OR_RETURN(
       DerivationResult derivation,
       DeriveProjectionByName(schema_, source_type, attribute_names, name,
                              options));
+  TYDER_FAULT_POINT("catalog.define.after_derive");
   ViewDef def;
   def.name = std::string(name);
   def.op = ViewOpKind::kProjection;
@@ -34,6 +38,7 @@ Result<const ViewDef*> Catalog::DefineProjectionView(
     TYDER_ASSIGN_OR_RETURN(AttrId a, schema_.types().FindAttribute(attr));
     def.attributes.push_back(a);
   }
+  txn.Commit();
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -45,13 +50,16 @@ Result<const ViewDef*> Catalog::DefineSelectionView(
                                  "' already defined");
   }
   TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  SchemaTransaction txn(schema_);
   TYDER_ASSIGN_OR_RETURN(TypeId derived,
                          DeriveSelection(schema_, source, name));
+  TYDER_FAULT_POINT("catalog.define.after_derive");
   ViewDef def;
   def.name = std::string(name);
   def.op = ViewOpKind::kSelection;
   def.derived = derived;
   def.source = source;
+  txn.Commit();
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -65,8 +73,10 @@ Result<const ViewDef*> Catalog::DefineGeneralizationView(
   }
   TYDER_ASSIGN_OR_RETURN(TypeId a, schema_.types().FindType(type_a));
   TYDER_ASSIGN_OR_RETURN(TypeId b, schema_.types().FindType(type_b));
+  SchemaTransaction txn(schema_);
   TYDER_ASSIGN_OR_RETURN(DerivationResult derivation,
                          DeriveGeneralization(schema_, a, b, name, options));
+  TYDER_FAULT_POINT("catalog.define.after_derive");
   ViewDef def;
   def.name = std::string(name);
   def.op = ViewOpKind::kGeneralization;
@@ -74,6 +84,7 @@ Result<const ViewDef*> Catalog::DefineGeneralizationView(
   def.source = a;
   def.source2 = b;
   def.derivation = derivation;
+  txn.Commit();
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -87,9 +98,14 @@ Result<const ViewDef*> Catalog::DefineRenameView(
                                  "' already defined");
   }
   TYDER_ASSIGN_OR_RETURN(TypeId source, schema_.types().FindType(source_type));
+  // The transaction covers the alias-accessor generation that DeriveRenameView
+  // performs after its inner (already-committed) projection: a failed alias
+  // must unwind the whole view, not leave a projected-but-unaliased type.
+  SchemaTransaction txn(schema_);
   TYDER_ASSIGN_OR_RETURN(
       DerivationResult derivation,
       DeriveRenameView(schema_, source, renames, name, options));
+  TYDER_FAULT_POINT("catalog.define.after_derive");
   ViewDef def;
   def.name = std::string(name);
   def.op = ViewOpKind::kRename;
@@ -97,6 +113,7 @@ Result<const ViewDef*> Catalog::DefineRenameView(
   def.source = source;
   def.renames = renames;
   def.derivation = derivation;
+  txn.Commit();
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -116,6 +133,7 @@ Status Catalog::DropView(std::string_view name) {
   if (it == views_.end()) {
     return Status::NotFound("no view named '" + std::string(name) + "'");
   }
+  SchemaTransaction txn(schema_);
   switch (it->op) {
     case ViewOpKind::kProjection:
     case ViewOpKind::kGeneralization:
@@ -152,6 +170,10 @@ Status Catalog::DropView(std::string_view name) {
       break;
     }
   }
+  // Schema mutations done but the registry entry still present: a failure
+  // here must restore the schema and keep the view listed.
+  TYDER_FAULT_POINT("catalog.drop.mid");
+  txn.Commit();
   views_.erase(it);
   return Status::OK();
 }

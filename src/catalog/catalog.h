@@ -33,6 +33,12 @@ struct ViewDef {
   DerivationResult derivation;
 };
 
+// All-or-nothing guarantee: every mutating Catalog operation (the four
+// Define*View methods, DropView, and Collapse) runs inside a
+// SchemaTransaction (core/transaction.h). On any non-OK return the schema is
+// rolled back to its pre-call state — serializing byte-identically to it —
+// and `views()` is untouched; on OK the schema mutation and the registry
+// update land together.
 class Catalog {
  public:
   static Result<Catalog> Create();
@@ -70,7 +76,8 @@ class Catalog {
   // Drops a view, reverting its derivation (projection/generalization) or
   // detaching its type (selection). Refused when anything still observes the
   // view's types — including rename views, whose alias accessors cannot be
-  // removed from the schema.
+  // removed from the schema. A refused drop leaves both the schema and the
+  // view registry exactly as they were (all-or-nothing, see class comment).
   Status DropView(std::string_view name);
 
   // Collapses empty surrogates, keeping every registered view type.

@@ -1,0 +1,148 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace tyder::failpoint {
+
+namespace {
+
+// The registry of every fault point wired into the codebase. Adding a
+// TYDER_FAULT_POINT call site requires adding its name here (GetPoint aborts
+// on unknown names); tests iterate AllFaultPointNames to cover each one.
+const char* const kFaultPointNames[] = {
+    "augment.after_compute",     // pipeline: after ComputeAugmentSet, pre-Augment
+    "augment.before",            // Augment entry (schema already factored)
+    "augment.mid",               // inside Augmenter recursion, partial edges
+    "catalog.define.after_derive",  // view derived but not yet recorded
+    "catalog.drop.mid",          // view reverted/detached but not yet erased
+    "collapse.before",           // CollapseEmptySurrogates entry
+    "collapse.mid",              // after a surrogate was spliced out
+    "factor_methods.before",     // FactorMethods entry
+    "factor_methods.mid",        // after some signatures already rewritten
+    "factor_state.before",       // FactorState entry
+    "factor_state.mid",          // mid-recursion, surrogates partially created
+    "is_applicable.before",      // ComputeApplicableMethods entry
+    "is_applicable.mid",         // inside the per-method applicability check
+    "revert.before",             // RevertDerivation after preconditions
+    "revert.mid",                // signatures restored, attributes not yet
+    "verify.before",             // pre-verification, schema fully mutated
+    "verify.force_failure",      // makes VerifyDerivation report an issue
+};
+
+class Registry {
+ public:
+  static Registry& Global() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  FailPoint* Find(std::string_view name) {
+    auto it = points_.find(name);
+    return it == points_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  void DeactivateAll() {
+    for (auto& [name, point] : points_) {
+      point.remaining.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  Registry() {
+    for (const char* name : kFaultPointNames) {
+      names_.emplace_back(name);
+      points_.try_emplace(name);  // atomics: must construct in place
+    }
+    ActivateFromEnv();
+  }
+
+  // TYDER_FAULTS=name[=count],name[=count],...
+  void ActivateFromEnv() {
+    const char* env = std::getenv("TYDER_FAULTS");
+    if (env == nullptr || *env == '\0') return;
+    for (const std::string& entry : SplitAndTrim(env, ',')) {
+      if (entry.empty()) continue;
+      std::string name = entry;
+      int count = -1;
+      size_t eq = entry.find('=');
+      if (eq != std::string::npos) {
+        name = entry.substr(0, eq);
+        count = std::atoi(entry.c_str() + eq + 1);
+      }
+      FailPoint* point = Find(name);
+      if (point == nullptr) {
+        std::fprintf(stderr,
+                     "tyder: TYDER_FAULTS names unknown fault point '%s' "
+                     "(ignored)\n",
+                     name.c_str());
+        continue;
+      }
+      point->remaining.store(count, std::memory_order_relaxed);
+    }
+  }
+
+  std::map<std::string, FailPoint, std::less<>> points_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& AllFaultPointNames() {
+  return Registry::Global().names();
+}
+
+FailPoint* GetPoint(std::string_view name) {
+  FailPoint* point = Registry::Global().Find(name);
+  if (point == nullptr) {
+    std::fprintf(stderr,
+                 "tyder: fault point '%.*s' is not in the registry list in "
+                 "failpoint.cc\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return point;
+}
+
+void Activate(std::string_view name, int count) {
+  GetPoint(name)->remaining.store(count, std::memory_order_relaxed);
+}
+
+void Deactivate(std::string_view name) {
+  GetPoint(name)->remaining.store(0, std::memory_order_relaxed);
+}
+
+void DeactivateAll() { Registry::Global().DeactivateAll(); }
+
+uint64_t FireCount(std::string_view name) {
+  return GetPoint(name)->fires.load(std::memory_order_relaxed);
+}
+
+Status Fire(FailPoint* point, const char* name) {
+  int remaining = point->remaining.load(std::memory_order_relaxed);
+  if (remaining == 0) return Status::OK();
+  if (remaining > 0) {
+    point->remaining.fetch_sub(1, std::memory_order_relaxed);
+  }
+  point->fires.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal("fault injected at '" + std::string(name) + "'");
+}
+
+bool Consume(const char* name) {
+#if TYDER_FAILPOINTS_ENABLED
+  static FailPoint* point = GetPoint(name);
+  if (point->remaining.load(std::memory_order_relaxed) == 0) return false;
+  return !Fire(point, name).ok();
+#else
+  (void)name;
+  return false;
+#endif
+}
+
+}  // namespace tyder::failpoint

@@ -1,0 +1,96 @@
+// Named fault points for failure-path testing, in the style of the RocksDB /
+// TiKV fail-point facilities. Library code marks each interesting failure
+// site with TYDER_FAULT_POINT("phase.site"); the macro is inert unless that
+// point has been activated, in which case it makes the enclosing function
+// return Status::Internal — letting tests force a failure at every phase
+// boundary (and mid-phase) of the derivation pipeline and prove the schema
+// transaction rolls every one of them back cleanly.
+//
+// Activation:
+//   - from tests:      failpoint::Activate("augment.mid");          // always
+//                      failpoint::Activate("factor_state.mid", 1);  // 1 shot
+//                      failpoint::DeactivateAll();
+//   - from the env:    TYDER_FAULTS=factor_methods.mid=1,verify.before
+//                      (comma-separated name[=count]; no count means fire on
+//                      every hit; parsed once at first use)
+//
+// Cost: an inactive point is one function-local-static pointer load plus one
+// relaxed atomic load — unmeasurable next to any schema operation (see
+// bench_transaction). With -DTYDER_FAILPOINTS=OFF the macro compiles to
+// nothing and the registry stays empty.
+//
+// Every point name must appear in the canonical registry list in
+// failpoint.cc (AllFaultPointNames); hitting an unregistered name aborts, so
+// a typo at a call site fails loudly the first time the site executes.
+
+#ifndef TYDER_COMMON_FAILPOINT_H_
+#define TYDER_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+#ifndef TYDER_FAILPOINTS_ENABLED
+#define TYDER_FAILPOINTS_ENABLED 1
+#endif
+
+namespace tyder::failpoint {
+
+struct FailPoint {
+  // 0: inactive. N>0: fire on the next N hits. -1: fire on every hit.
+  std::atomic<int> remaining{0};
+  // Total failures this point has injected (never reset by Deactivate).
+  std::atomic<uint64_t> fires{0};
+};
+
+// The canonical, sorted list of every fault point wired into the codebase.
+// Tests iterate this to prove each failure path leaves the schema untouched.
+const std::vector<std::string>& AllFaultPointNames();
+
+// Looks up a registered point; aborts on an unknown name.
+FailPoint* GetPoint(std::string_view name);
+
+// Arms `name`: the next `count` hits fail (count < 0: every hit fails).
+void Activate(std::string_view name, int count = -1);
+void Deactivate(std::string_view name);
+void DeactivateAll();
+
+// Total failures `name` has injected so far.
+uint64_t FireCount(std::string_view name);
+
+// Internal: slow path taken only when the point is armed.
+Status Fire(FailPoint* point, const char* name);
+
+// True iff `name` is armed (consuming one shot and counting a fire). For
+// failure sites that do not propagate a Status, e.g. the verifier's report.
+bool Consume(const char* name);
+
+}  // namespace tyder::failpoint
+
+#if TYDER_FAILPOINTS_ENABLED
+
+// Makes the enclosing function (returning Status or Result<T>) fail with
+// Status::Internal when fault point `name` is armed. `name` must be a string
+// literal present in the registry list in failpoint.cc.
+#define TYDER_FAULT_POINT(name)                                            \
+  do {                                                                     \
+    static ::tyder::failpoint::FailPoint* tyder_failpoint_ =               \
+        ::tyder::failpoint::GetPoint(name);                                \
+    if (tyder_failpoint_->remaining.load(std::memory_order_relaxed) != 0)  \
+      TYDER_RETURN_IF_ERROR(                                               \
+          ::tyder::failpoint::Fire(tyder_failpoint_, name));               \
+  } while (0)
+
+#else  // !TYDER_FAILPOINTS_ENABLED
+
+#define TYDER_FAULT_POINT(name) \
+  do {                          \
+  } while (0)
+
+#endif  // TYDER_FAILPOINTS_ENABLED
+
+#endif  // TYDER_COMMON_FAILPOINT_H_

@@ -1,0 +1,15 @@
+#include "common/result.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tyder::internal {
+
+void DieOnBadResult(const char* what, const Status& status) {
+  std::fprintf(stderr, "tyder: fatal: %s (status: %s)\n", what,
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tyder::internal

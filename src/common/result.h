@@ -4,13 +4,19 @@
 #ifndef TYDER_COMMON_RESULT_H_
 #define TYDER_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
 #include "common/status.h"
 
 namespace tyder {
+
+namespace internal {
+// Prints the carried status (or the misuse description) to stderr and aborts.
+// Always on — an `assert` would compile out under NDEBUG and turn release-mode
+// misuse of Result into silent undefined behavior.
+[[noreturn]] void DieOnBadResult(const char* what, const Status& status);
+}  // namespace internal
 
 template <typename T>
 class Result {
@@ -19,22 +25,25 @@ class Result {
   // sites natural: `return value;` / `return Status::NotFound(...)`.
   Result(T value) : value_(std::move(value)) {}         // NOLINT
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::DieOnBadResult("Result constructed from OK status without a value",
+                               status_);
+    }
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return std::move(*value_);
   }
 
@@ -49,6 +58,13 @@ class Result {
   }
 
  private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      internal::DieOnBadResult("Result::value() called on an error Result",
+                               status_);
+    }
+  }
+
   Status status_;  // OK iff value_ holds a value
   std::optional<T> value_;
 };

@@ -1,5 +1,6 @@
 #include "core/augment.h"
 
+#include "common/failpoint.h"
 #include "mir/dataflow.h"
 #include "obs/tracer.h"
 
@@ -66,6 +67,8 @@ class Augmenter {
                               "' before its surrogate exists");
     }
     Trace("Augment(" + schema_.types().TypeName(t) + ")");
+    // Mid-phase failure site: stateless surrogates and edges partially added.
+    TYDER_FAULT_POINT("augment.mid");
 
     // Copy: the loop body mutates supertype lists of *other* types, but the
     // surrogate prepend below edits s's list, and `t`'s own list stays fixed;
@@ -134,6 +137,7 @@ class Augmenter {
 
 Status Augment(Schema& schema, TypeId source, const std::set<TypeId>& z,
                SurrogateSet* surrogates, std::vector<std::string>* trace) {
+  TYDER_FAULT_POINT("augment.before");
   if (z.empty()) return Status::OK();
   return Augmenter(schema, z, surrogates, trace).Run(source);
 }

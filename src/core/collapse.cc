@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+#include "core/transaction.h"
 #include "mir/expr.h"
 
 namespace tyder {
@@ -74,6 +76,10 @@ bool IsCollapsible(const Schema& schema, TypeId t,
 
 Result<CollapseReport> CollapseEmptySurrogates(Schema& schema,
                                                const std::set<TypeId>& keep) {
+  // All-or-nothing: a failure mid-fixpoint (or a final validation failure)
+  // rolls the schema back to its pre-call state.
+  SchemaTransaction txn(schema);
+  TYDER_FAULT_POINT("collapse.before");
   CollapseReport report;
   // Referenced-type set is collapse-invariant (collapse edits only edges),
   // so one computation serves the whole fixpoint loop.
@@ -86,9 +92,12 @@ Result<CollapseReport> CollapseEmptySurrogates(Schema& schema,
       Splice(schema, t);
       report.collapsed.push_back(t);
       changed = true;
+      // Mid-phase failure site: this surrogate already spliced out.
+      TYDER_FAULT_POINT("collapse.mid");
     }
   }
   TYDER_RETURN_IF_ERROR(schema.Validate());
+  txn.Commit();
   return report;
 }
 

@@ -30,6 +30,10 @@ struct CollapseReport {
 // Collapses every collapsible surrogate, iterating to fixpoint. Types in
 // `keep` are never collapsed (pass the derived view types the catalog still
 // exposes).
+//
+// All-or-nothing guarantee: runs inside a SchemaTransaction — on any non-OK
+// return the schema is rolled back to its pre-call state (no surrogate stays
+// half-spliced) and serializes byte-identically to it.
 Result<CollapseReport> CollapseEmptySurrogates(Schema& schema,
                                                const std::set<TypeId>& keep);
 

@@ -1,5 +1,6 @@
 #include "core/factor_methods.h"
 
+#include "common/failpoint.h"
 #include "mir/dataflow.h"
 #include "obs/tracer.h"
 
@@ -18,6 +19,7 @@ Result<std::vector<MethodRewrite>> FactorMethods(
     Schema& schema, TypeId source,
     const std::vector<MethodId>& applicable_methods,
     const SurrogateSet& surrogates, std::vector<std::string>* trace) {
+  TYDER_FAULT_POINT("factor_methods.before");
   std::vector<MethodRewrite> rewrites;
   for (MethodId m : applicable_methods) {
     const Method& method = schema.method(m);
@@ -111,6 +113,9 @@ Result<std::vector<MethodRewrite>> FactorMethods(
       schema.SetMethodSignature(m, rw.new_sig);
     }
     rewrites.push_back(std::move(rw));
+    // Mid-phase failure site: this method's signature/body already rewritten
+    // in place, later methods not yet visited.
+    TYDER_FAULT_POINT("factor_methods.mid");
   }
   return rewrites;
 }

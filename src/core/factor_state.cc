@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "obs/tracer.h"
 
 namespace tyder {
@@ -47,6 +48,9 @@ class Factorizer {
       TYDER_ASSIGN_OR_RETURN(surrogate, CreateSurrogate(t));
       created = true;
     }
+    // Mid-recursion failure site: surrogates partially created, attributes
+    // partially moved — the worst possible place to abandon the schema.
+    TYDER_FAULT_POINT("factor_state.mid");
     if (h != kInvalidType &&
         !schema_.types().type(h).HasDirectSupertype(surrogate)) {
       InsertSupertypeRanked(schema_, surrogates_, h, surrogate, rank);
@@ -145,6 +149,7 @@ Result<TypeId> FactorState(Schema& schema, TypeId source,
                            const std::set<AttrId>& projection,
                            std::string_view view_name, SurrogateSet* surrogates,
                            std::vector<std::string>* trace) {
+  TYDER_FAULT_POINT("factor_state.before");
   if (source >= schema.types().NumTypes()) {
     return Status::InvalidArgument("source type id out of range");
   }

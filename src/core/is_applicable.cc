@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "methods/applicability.h"
 #include "mir/call_graph.h"
 #include "obs/obs.h"
@@ -24,6 +25,7 @@ class Analyzer {
 
   Result<ApplicabilityResult> Run() {
     TYDER_COUNT("applicability.runs");
+    TYDER_FAULT_POINT("is_applicable.before");
     std::vector<MethodId> candidates =
         MethodsApplicableToType(schema_, source_);
     // The optimistic scheme can evict a settled method back to unknown when a
@@ -69,6 +71,7 @@ class Analyzer {
   // The paper's IsApplicable(m, T, projection-list).
   Result<Verdict> Check(MethodId m) {
     TYDER_COUNT("applicability.method_checks");
+    TYDER_FAULT_POINT("is_applicable.mid");
     if (applicable_.count(m) > 0) return Verdict::kApplicable;
     if (not_applicable_.count(m) > 0) return Verdict::kNotApplicable;
 

@@ -2,7 +2,9 @@
 
 #include <optional>
 
+#include "common/failpoint.h"
 #include "core/augment.h"
+#include "core/transaction.h"
 #include "core/verify.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -55,13 +57,12 @@ Status ValidateSpec(const Schema& schema, const ProjectionSpec& spec) {
 
 namespace {
 
-Result<DerivationResult> RunPipeline(Schema& schema,
+// `snapshot` is the enclosing transaction's pre-derivation copy; the verifier
+// compares against it, so the pipeline itself never copies the schema.
+Result<DerivationResult> RunPipeline(Schema& schema, const Schema& snapshot,
                                      const ProjectionSpec& spec,
                                      const ProjectionOptions& options) {
   std::set<AttrId> projection(spec.attributes.begin(), spec.attributes.end());
-
-  // The verifier compares against this snapshot (cheap: bodies are shared).
-  Schema snapshot = schema;
 
   DerivationResult result;
   result.spec = spec;
@@ -104,6 +105,7 @@ Result<DerivationResult> RunPipeline(Schema& schema,
         result.augment_z,
         ComputeAugmentSet(schema, spec.source, result.applicability.applicable,
                           result.surrogates));
+    TYDER_FAULT_POINT("augment.after_compute");
     TYDER_RETURN_IF_ERROR(Augment(schema, spec.source, result.augment_z,
                                   &result.surrogates, nullptr));
     span.Attr("z", std::to_string(result.augment_z.size()));
@@ -119,9 +121,11 @@ Result<DerivationResult> RunPipeline(Schema& schema,
     span.Attr("rewrites", std::to_string(result.rewrites.size()));
   }
 
-  // 5. Behavior preservation.
+  // 5. Behavior preservation. A rejection here (or any earlier failure) is
+  //    rolled back by the caller's SchemaTransaction.
   if (options.verify) {
     obs::ScopedSpan span("Verify");
+    TYDER_FAULT_POINT("verify.before");
     VerifyReport report = VerifyDerivation(snapshot, schema, result);
     if (!report.ok()) {
       return Status::Internal("derivation broke an invariant:\n" +
@@ -151,8 +155,14 @@ Result<DerivationResult> DeriveProjection(Schema& schema,
   obs::Tracer* tracer = obs::CurrentTracer();
   size_t first_event = tracer != nullptr ? tracer->NumEvents() : 0;
 
-  Result<DerivationResult> result = RunPipeline(schema, spec, options);
+  // All-or-nothing: any pipeline failure (including a verify rejection) rolls
+  // the schema back to the transaction's snapshot before returning. The same
+  // snapshot doubles as the verifier's pre-derivation reference.
+  SchemaTransaction txn(schema);
+  Result<DerivationResult> result =
+      RunPipeline(schema, txn.snapshot(), spec, options);
   if (!result.ok()) return result;
+  txn.Commit();
   if (options.record_trace && tracer != nullptr) {
     result->events.assign(tracer->events().begin() + first_event,
                           tracer->events().end());

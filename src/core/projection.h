@@ -42,7 +42,11 @@ struct ProjectionOptions {
   // tyderc --trace), events flow to it and are copied into the result.
   bool record_trace = false;
   // Run the behavior-preservation verifier against a pre-derivation snapshot
-  // and fail the derivation on any violation.
+  // and fail the derivation on any violation. Failure contract: a verifier
+  // rejection returns Status::Internal carrying the VerifyReport, and — like
+  // every other failure in the pipeline — the schema is rolled back to its
+  // pre-call state first (see the all-or-nothing guarantee below), so a
+  // rejected derivation never leaves the half-refactored hierarchy live.
   bool verify = true;
 };
 
@@ -63,6 +67,11 @@ struct DerivationResult {
 };
 
 // Derives Π_attributes(source) in place on `schema`.
+//
+// All-or-nothing guarantee: the pipeline runs inside a SchemaTransaction
+// (core/transaction.h). On any non-OK return — invalid spec, a failure in any
+// phase, or a verifier rejection — `schema` is rolled back to its pre-call
+// state and serializes byte-identically to it; on OK the mutations commit.
 Result<DerivationResult> DeriveProjection(Schema& schema,
                                           const ProjectionSpec& spec,
                                           const ProjectionOptions& options = {});

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "common/failpoint.h"
+#include "core/transaction.h"
 #include "mir/expr.h"
 
 namespace tyder {
@@ -92,11 +94,20 @@ Status RevertDerivation(Schema& schema, const DerivationResult& derivation) {
   }
   TYDER_RETURN_IF_ERROR(CheckNoExternalObservers(schema, derivation));
 
+  // All-or-nothing: a failure below (mid-unwind or in the final validation)
+  // rolls the schema back, so a refused or failed revert leaves the
+  // derivation fully intact rather than half-unwound.
+  SchemaTransaction txn(schema);
+  TYDER_FAULT_POINT("revert.before");
+
   // 1. Restore method signatures and bodies.
   for (const MethodRewrite& rw : derivation.rewrites) {
     schema.SetMethodSignature(rw.method, rw.old_sig);
     if (rw.body_changed) schema.SetMethodBody(rw.method, rw.old_body);
   }
+
+  // Mid-phase failure site: signatures restored, attributes still re-homed.
+  TYDER_FAULT_POINT("revert.mid");
 
   // 2. Move attributes back to their sources and unhook the edges.
   for (const auto& [source, surrogate] : derivation.surrogates.of) {
@@ -119,7 +130,9 @@ Status RevertDerivation(Schema& schema, const DerivationResult& derivation) {
     node.set_detached(true);
   }
 
-  return schema.Validate();
+  TYDER_RETURN_IF_ERROR(schema.Validate());
+  txn.Commit();
+  return Status::OK();
 }
 
 }  // namespace tyder

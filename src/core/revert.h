@@ -18,6 +18,9 @@
 
 namespace tyder {
 
+// All-or-nothing guarantee: runs inside a SchemaTransaction — on any non-OK
+// return (refused revert or mid-unwind failure) the schema is rolled back to
+// its pre-call state and serializes byte-identically to it.
 Status RevertDerivation(Schema& schema, const DerivationResult& derivation);
 
 }  // namespace tyder

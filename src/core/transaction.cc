@@ -1,0 +1,25 @@
+#include "core/transaction.h"
+
+#include <chrono>
+
+#include "obs/obs.h"
+
+namespace tyder {
+
+SchemaTransaction::SchemaTransaction(Schema& schema)
+    : schema_(schema), snapshot_(schema) {
+  TYDER_COUNT("transaction.begins");
+}
+
+SchemaTransaction::~SchemaTransaction() {
+  if (!committed_) Rollback();
+}
+
+void SchemaTransaction::Rollback() {
+  TYDER_COUNT("projection.rollbacks");
+  TYDER_TIMED("projection.rollback_ns");
+  obs::Narrate(nullptr, "transaction rollback");
+  schema_ = snapshot_;
+}
+
+}  // namespace tyder

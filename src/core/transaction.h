@@ -1,0 +1,57 @@
+// SchemaTransaction: all-or-nothing schema mutation. The derivation pipeline
+// (FactorState → Augment → FactorMethods) is a multi-phase refactoring of the
+// shared type hierarchy, and the paper's guarantee — existing types keep
+// exactly their original state and behavior — is only meaningful if a failed
+// derivation leaves the schema untouched. A SchemaTransaction snapshots the
+// schema on construction (cheap: method bodies are shared shared_ptrs, so a
+// snapshot is a structure-only copy), and unless Commit() is called, its
+// destructor rolls the schema back to that snapshot — so every early return
+// on an error path restores the pre-call schema byte-for-byte (the rolled
+// back schema serializes identically to the snapshot).
+//
+// Used by DeriveProjection, CollapseEmptySurrogates, RevertDerivation, and
+// every Catalog view operation; each documents the strong guarantee in its
+// header. Rollbacks are observable through the `projection.rollbacks` counter
+// and the `projection.rollback_ns` histogram (docs/ROBUSTNESS.md).
+//
+// Transactions nest naturally: an outer transaction (e.g. a Catalog view
+// definition) simply restores over whatever an inner one (DeriveProjection)
+// already rolled back.
+
+#ifndef TYDER_CORE_TRANSACTION_H_
+#define TYDER_CORE_TRANSACTION_H_
+
+#include "methods/schema.h"
+
+namespace tyder {
+
+class SchemaTransaction {
+ public:
+  explicit SchemaTransaction(Schema& schema);
+  // Rolls back unless Commit() was called.
+  ~SchemaTransaction();
+
+  SchemaTransaction(const SchemaTransaction&) = delete;
+  SchemaTransaction& operator=(const SchemaTransaction&) = delete;
+
+  // Keeps the mutations made since construction; the destructor becomes a
+  // no-op.
+  void Commit() { committed_ = true; }
+  bool committed() const { return committed_; }
+
+  // The pre-transaction state. Stable for the transaction's lifetime — the
+  // verifier compares the mutated schema against exactly this snapshot, so
+  // the pipeline does not need a second copy.
+  const Schema& snapshot() const { return snapshot_; }
+
+ private:
+  void Rollback();
+
+  Schema& schema_;
+  Schema snapshot_;
+  bool committed_ = false;
+};
+
+}  // namespace tyder
+
+#endif  // TYDER_CORE_TRANSACTION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
 #include "methods/applicability.h"
 #include "methods/dispatch.h"
 #include "mir/type_check.h"
@@ -115,6 +116,11 @@ std::string VerifyReport::ToString() const {
 VerifyReport VerifyDerivation(const Schema& before, const Schema& after,
                               const DerivationResult& result) {
   VerifyReport report;
+  // Fault point driving the genuine report-rejection path (the pipeline turns
+  // a non-empty report into Status::Internal and rolls the schema back).
+  if (failpoint::Consume("verify.force_failure")) {
+    report.issues.push_back("fault injected at 'verify.force_failure'");
+  }
   Status valid = after.Validate();
   if (!valid.ok()) {
     report.issues.push_back("schema invalid after derivation: " +

@@ -8,6 +8,12 @@ namespace {
 
 class Parser {
  public:
+  // Recursive-descent depth cap: nesting beyond this yields a diagnostic
+  // instead of a stack overflow on adversarial input (each nesting level
+  // costs a bounded handful of frames, so 1000 levels is far below any real
+  // stack limit while far above any legitimate TDL program).
+  static constexpr int kMaxNestingDepth = 1000;
+
   Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
       : tokens_(std::move(tokens)), diags_(diags) {}
 
@@ -55,6 +61,27 @@ class Parser {
   void SyncPast(TokenKind kind) {
     while (!At(TokenKind::kEnd) && !Accept(kind)) Advance();
   }
+
+  // True once nesting exceeds the cap. Reports a single diagnostic and jumps
+  // to the end-of-input token so every recursive production unwinds without
+  // descending further.
+  bool DepthExceeded() {
+    if (depth_ < kMaxNestingDepth) return false;
+    if (!depth_reported_) {
+      depth_reported_ = true;
+      diags_.Error(Cur().line, Cur().col,
+                   "nesting exceeds the maximum depth of " +
+                       std::to_string(kMaxNestingDepth));
+      pos_ = tokens_.size() - 1;  // the kEnd token
+    }
+    return true;
+  }
+
+  struct DepthScope {
+    explicit DepthScope(Parser& p) : parser(p) { ++parser.depth_; }
+    ~DepthScope() { --parser.depth_; }
+    Parser& parser;
+  };
 
   void ParseDecl(AstSchema& schema) {
     switch (Cur().kind) {
@@ -225,6 +252,11 @@ class Parser {
     auto stmt = std::make_shared<AstStmt>();
     stmt->line = Cur().line;
     stmt->col = Cur().col;
+    if (DepthExceeded()) {
+      stmt->kind = AstStmtKind::kReturn;
+      return stmt;
+    }
+    DepthScope depth(*this);
     if (Accept(TokenKind::kReturn)) {
       stmt->kind = AstStmtKind::kReturn;
       if (!At(TokenKind::kSemicolon)) stmt->expr = ParseExpr();
@@ -264,7 +296,17 @@ class Parser {
     return stmt;
   }
 
-  AstExprPtr ParseExpr() { return ParseOr(); }
+  AstExprPtr ParseExpr() {
+    if (DepthExceeded()) {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kInt;
+      e->line = Cur().line;
+      e->col = Cur().col;
+      return e;
+    }
+    DepthScope depth(*this);
+    return ParseOr();
+  }
 
   AstExprPtr MakeBin(BinOpKind op, AstExprPtr lhs, AstExprPtr rhs) {
     auto e = std::make_shared<AstExpr>();
@@ -394,6 +436,8 @@ class Parser {
   std::vector<Token> tokens_;
   DiagnosticEngine& diags_;
   size_t pos_ = 0;
+  int depth_ = 0;
+  bool depth_reported_ = false;
 };
 
 }  // namespace

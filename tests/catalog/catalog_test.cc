@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/diff.h"
+#include "catalog/serialize.h"
 #include "testing/fixtures.h"
 
 namespace tyder {
@@ -94,6 +96,91 @@ TEST_F(CatalogTest, CollapseKeepsViewTypes) {
 TEST_F(CatalogTest, UnknownSourceTypeReported) {
   EXPECT_FALSE(catalog_->DefineProjectionView("V", "Ghost", {"SSN"}).ok());
   EXPECT_FALSE(catalog_->DefineSelectionView("V", "Ghost").ok());
+}
+
+// Every refused DropView must leave both the schema and the view registry
+// exactly as they were (the all-or-nothing guarantee in catalog.h).
+
+// Captures catalog state and asserts nothing changed since construction.
+class CatalogStateCheck {
+ public:
+  explicit CatalogStateCheck(const Catalog& catalog)
+      : catalog_(catalog),
+        schema_(catalog.schema()),
+        serialized_(SerializeSchema(catalog.schema())),
+        views_(catalog.views().size()) {
+    for (const ViewDef& def : catalog.views()) names_.push_back(def.name);
+  }
+
+  void ExpectUnchanged() const {
+    EXPECT_EQ(SerializeSchema(catalog_.schema()), serialized_);
+    EXPECT_TRUE(DiffSchemas(schema_, catalog_.schema()).empty())
+        << DiffToString(DiffSchemas(schema_, catalog_.schema()));
+    ASSERT_EQ(catalog_.views().size(), views_);
+    for (size_t i = 0; i < views_; ++i) {
+      EXPECT_EQ(catalog_.views()[i].name, names_[i]);
+    }
+  }
+
+ private:
+  const Catalog& catalog_;
+  Schema schema_;  // pre-call copy for structural diffing
+  std::string serialized_;
+  size_t views_;
+  std::vector<std::string> names_;
+};
+
+TEST_F(CatalogTest, DropUnknownViewLeavesEverythingUntouched) {
+  ASSERT_TRUE(
+      catalog_
+          ->DefineProjectionView("V1", "Employee",
+                                 {"SSN", "date_of_birth", "pay_rate"})
+          .ok());
+  CatalogStateCheck check(*catalog_);
+  EXPECT_EQ(catalog_->DropView("Ghost").code(), StatusCode::kNotFound);
+  check.ExpectUnchanged();
+}
+
+TEST_F(CatalogTest, DropObservedViewRefusedAndUntouched) {
+  ASSERT_TRUE(catalog_
+                  ->DefineProjectionView(
+                      "V1", "Employee", {"SSN", "date_of_birth", "pay_rate"})
+                  .ok());
+  ASSERT_TRUE(
+      catalog_->DefineProjectionView("V2", "V1", {"SSN", "pay_rate"}).ok());
+  CatalogStateCheck check(*catalog_);
+  // V2's derivation observes V1's surrogates, so reverting V1 is refused.
+  Status status = catalog_->DropView("V1");
+  ASSERT_FALSE(status.ok());
+  check.ExpectUnchanged();
+  // Dropping in dependency order still works.
+  EXPECT_TRUE(catalog_->DropView("V2").ok());
+  EXPECT_TRUE(catalog_->DropView("V1").ok());
+  EXPECT_TRUE(catalog_->views().empty());
+}
+
+TEST_F(CatalogTest, DropRenameViewRefusedAndUntouched) {
+  auto view = catalog_->DefineRenameView(
+      "Renamed", "Employee", {{"pay_rate", "hourly_rate"}});
+  ASSERT_TRUE(view.ok()) << view.status();
+  CatalogStateCheck check(*catalog_);
+  Status status = catalog_->DropView("Renamed");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  check.ExpectUnchanged();
+}
+
+TEST_F(CatalogTest, DropObservedSelectionViewRefusedAndUntouched) {
+  ASSERT_TRUE(catalog_->DefineSelectionView("Staff", "Employee").ok());
+  // A second selection view under the first makes "Staff" observed.
+  ASSERT_TRUE(catalog_->DefineSelectionView("NightStaff", "Staff").ok());
+  CatalogStateCheck check(*catalog_);
+  Status status = catalog_->DropView("Staff");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  check.ExpectUnchanged();
+  EXPECT_TRUE(catalog_->DropView("NightStaff").ok());
+  EXPECT_TRUE(catalog_->DropView("Staff").ok());
 }
 
 TEST_F(CatalogTest, CreateMakesEmptyCatalog) {

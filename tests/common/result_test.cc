@@ -1,0 +1,56 @@
+// Result<T> misuse must die loudly in every build mode: value() on an error
+// Result and Result(OK-status-without-a-value) print the carried status and
+// abort instead of silently returning garbage (the checks are hand-rolled,
+// not `assert`, so NDEBUG cannot compile them out).
+
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace tyder {
+namespace {
+
+TEST(ResultTest, OkResultCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorResultCarriesStatus) {
+  Result<int> r(Status::NotFound("no such thing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveValueOutOfResult) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorResultDies) {
+  Result<int> r(Status::InvalidArgument("boom"));
+  EXPECT_DEATH(r.value(), "Result::value\\(\\) called on an error Result");
+  // The abort message must surface the carried status, not just the misuse.
+  EXPECT_DEATH(r.value(), "boom");
+}
+
+TEST(ResultDeathTest, DerefOnErrorResultDies) {
+  Result<std::string> r(Status::Internal("mid-pipeline failure"));
+  EXPECT_DEATH(*r, "mid-pipeline failure");
+  EXPECT_DEATH(r->size(), "called on an error Result");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusDies) {
+  EXPECT_DEATH(Result<int>(Status::OK()),
+               "Result constructed from OK status without a value");
+}
+
+}  // namespace
+}  // namespace tyder

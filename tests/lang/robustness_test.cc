@@ -88,6 +88,58 @@ TEST(RobustnessTest, TruncatedInputsReportErrors) {
   }
 }
 
+TEST(RobustnessTest, ExcessiveExpressionNestingReportsError) {
+  // ~100k levels of parenthesization: a naive recursive-descent parser blows
+  // the stack here; the depth guard must turn this into a ParseError instead.
+  constexpr int kDepth = 100000;
+  std::string deep = "method m (a: Int) -> Int { return ";
+  deep.reserve(deep.size() + 2 * kDepth + 16);
+  for (int i = 0; i < kDepth; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < kDepth; ++i) deep += ")";
+  deep += "; }";
+  auto ast = ParseTdl(deep);
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("maximum depth"), std::string::npos)
+      << ast.status();
+}
+
+TEST(RobustnessTest, ExcessiveStatementNestingReportsError) {
+  constexpr int kDepth = 100000;
+  std::string body;
+  body.reserve(14 * kDepth + 32);
+  for (int i = 0; i < kDepth; ++i) body += "if (true) { ";
+  body += "return 1;";
+  for (int i = 0; i < kDepth; ++i) body += " }";
+  std::string src = "method m (a: Int) -> Int { " + body + " return 0; }";
+  auto ast = ParseTdl(src);
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("maximum depth"), std::string::npos)
+      << ast.status();
+}
+
+TEST(RobustnessTest, UnclosedDeepNestingReportsErrorWithoutCrash) {
+  // Open brackets with no closers: the depth guard fires and recovery must
+  // still terminate at end-of-input instead of looping or crashing.
+  std::string open = "method m (a: Int) -> Int { return ";
+  for (int i = 0; i < 100000; ++i) open += "(";
+  EXPECT_FALSE(ParseTdl(open).ok());
+  std::string mixed = "method m (a: Int) -> Int { ";
+  for (int i = 0; i < 50000; ++i) mixed += "if (true) { (";
+  EXPECT_FALSE(ParseTdl(mixed).ok());
+}
+
+TEST(RobustnessTest, NestingJustUnderTheCapStillParses) {
+  // The guard must not reject deep-but-legal inputs (cap is 1000).
+  std::string deep = "method m (a: Int) -> Int { return ";
+  for (int i = 0; i < 900; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 900; ++i) deep += ")";
+  deep += "; }";
+  auto ast = ParseTdl(deep);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+}
+
 TEST(RobustnessTest, DeeplyNestedIfChainsParse) {
   std::string body;
   for (int i = 0; i < 100; ++i) body += "if (true) { ";

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/diff.h"
 #include "catalog/serialize.h"
+#include "common/failpoint.h"
 #include "core/collapse.h"
 #include "core/projection.h"
 #include "core/verify.h"
@@ -173,6 +175,60 @@ TEST_P(ProjectionPropertyTest, InstanceBehaviorPreserved) {
   ASSERT_EQ(before.size(), after.size());
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_EQ(before[i], after[i]) << "call " << i << " diverged";
+  }
+}
+
+TEST_P(ProjectionPropertyTest, FaultedDerivationRollsBackExactly) {
+  // All-or-nothing under fault injection (core/transaction.h): for every
+  // pipeline fault point that this schema's derivation reaches, the failed
+  // derivation must leave the schema serializing byte-identically to its
+  // pre-call state, and the same derivation must succeed once the fault is
+  // cleared. Points a given random schema never reaches (e.g. the augment
+  // ones when Z is empty) derive successfully instead — also checked.
+  const Scenario& sc = GetParam();
+  const char* kPoints[] = {
+      "is_applicable.before", "is_applicable.mid",    "factor_state.before",
+      "factor_state.mid",     "augment.after_compute", "augment.before",
+      "augment.mid",          "factor_methods.before", "factor_methods.mid",
+      "verify.before",        "verify.force_failure",
+  };
+  for (const char* point : kPoints) {
+    SCOPED_TRACE(point);
+    testing::RandomSchemaOptions options;
+    options.seed = sc.seed;
+    options.num_types = sc.num_types;
+    options.num_general_methods = sc.num_methods;
+    options.with_mutators = sc.mutators;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+
+    TypeId source = kInvalidType;
+    std::vector<AttrId> attrs;
+    ASSERT_TRUE(testing::PickRandomProjection(*schema, sc.seed * 31 + 7,
+                                              &source, &attrs));
+    ProjectionSpec spec;
+    spec.source = source;
+    spec.attributes = attrs;
+    spec.view_name = "FaultedView";
+
+    Schema before = *schema;
+    std::string pre = SerializeSchema(*schema);
+    uint64_t fires = failpoint::FireCount(point);
+    failpoint::Activate(point);
+    auto faulted = DeriveProjection(*schema, spec);
+    failpoint::DeactivateAll();
+
+    if (failpoint::FireCount(point) > fires) {
+      ASSERT_FALSE(faulted.ok());
+      EXPECT_EQ(SerializeSchema(*schema), pre);
+      EXPECT_TRUE(DiffSchemas(before, *schema).empty())
+          << DiffToString(DiffSchemas(before, *schema));
+      auto retry = DeriveProjection(*schema, spec);
+      EXPECT_TRUE(retry.ok()) << retry.status();
+    } else {
+      // The derivation never reached the point; it must have succeeded.
+      EXPECT_TRUE(faulted.ok()) << faulted.status();
+    }
   }
 }
 

@@ -7,6 +7,10 @@
 //   tyderc <schema.tdl> --dot                Graphviz of the hierarchy
 //   tyderc <schema.tdl> --lint               multi-method consistency report
 //   tyderc <schema.tdl> --project T a,b,c V  derive Π_{a,b,c}(T) as view V
+//   tyderc <schema.tdl> --no-verify          skip the behavior-preservation
+//                                            verifier in later --project ops
+//                                            (failures still roll the schema
+//                                            back — derivation is atomic)
 //   tyderc <schema.tdl> --collapse           collapse empty surrogates
 //   tyderc <schema.tdl> --serialize          dump the (post-ops) schema
 //   tyderc <schema.tdl> --export             re-emit the schema as TDL
@@ -52,7 +56,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: tyderc <schema.tdl> [--print] [--methods] [--dot] "
-               "[--lint] [--project <Type> <a,b,c> <ViewName>] [--collapse] "
+               "[--lint] [--no-verify] "
+               "[--project <Type> <a,b,c> <ViewName>] [--collapse] "
                "[--serialize] [--export] [--stats] "
                "[--trace] [--trace-json=<file>] [--metrics]\n";
   return 2;
@@ -85,10 +90,15 @@ int RunOps(const std::string& schema_path,
     return 0;
   }
 
+  ProjectionOptions projection_options;
   for (size_t i = 0; i < ops.size(); ++i) {
     const std::string& flag = ops[i];
     obs::ScopedSpan span(flag);
-    if (flag == "--print") {
+    if (flag == "--no-verify") {
+      // DeriveProjection stays transactional either way: a failed derivation
+      // rolls the schema back whether or not the verifier runs.
+      projection_options.verify = false;
+    } else if (flag == "--print") {
       std::cout << PrintHierarchy(schema.types());
     } else if (flag == "--methods") {
       std::cout << PrintAllMethods(schema);
@@ -117,7 +127,8 @@ int RunOps(const std::string& schema_path,
       std::vector<std::string> attrs = SplitAndTrim(ops[++i], ',');
       std::string view = ops[++i];
       Result<DerivationResult> result =
-          DeriveProjectionByName(schema, source, attrs, view);
+          DeriveProjectionByName(schema, source, attrs, view,
+                                 projection_options);
       if (!result.ok()) return Fail(result.status());
       std::cout << "derived " << view << "; applicable methods:";
       for (MethodId m : result->applicability.applicable) {
