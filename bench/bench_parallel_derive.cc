@@ -1,0 +1,103 @@
+// Throughput of the DeriveBatch driver (core/derive_batch.h): many
+// independent projections analyzed concurrently over one shared read-only
+// schema. The analysis phase is the paper's IsApplicable, which only reads —
+// the subtype closure, dispatch tables, and relevant-call cache are all
+// concurrent-reader safe — so throughput should scale with --jobs up to the
+// machine's core count. Real time is the scaling metric (cpu_time sums all
+// workers); SetItemsProcessed reports projections/second.
+
+#include <benchmark/benchmark.h>
+
+#include "core/derive_batch.h"
+#include "workloads.h"
+
+namespace tyder::bench {
+namespace {
+
+// A batch of `count` distinct projections of Src in a wide schema: item i
+// keeps a rotating half-window of the cumulative attributes, so every item
+// runs a full applicability analysis with a different verdict pattern.
+std::vector<ProjectionSpec> RotatingSpecs(const Schema& schema, TypeId source,
+                                          size_t count) {
+  std::vector<AttrId> cumulative = schema.types().CumulativeAttributes(source);
+  std::vector<ProjectionSpec> specs;
+  for (size_t i = 0; i < count; ++i) {
+    ProjectionSpec spec;
+    spec.source = source;
+    spec.view_name = "V" + std::to_string(i);
+    size_t half = cumulative.size() / 2;
+    for (size_t k = 0; k < half; ++k) {
+      spec.attributes.push_back(cumulative[(i + k) % cumulative.size()]);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// Analysis-only batch (apply=false): the schema stays frozen, so every
+// iteration measures the same work and the jobs axis isolates parallel
+// analysis scaling.
+void BM_ParallelDeriveAnalysis(benchmark::State& state) {
+  int jobs = static_cast<int>(state.range(0));
+  auto schema = BuildWideSchema(64);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("Src");
+  std::vector<ProjectionSpec> specs = RotatingSpecs(*schema, *source, 64);
+  BatchDeriveOptions options;
+  options.jobs = jobs;
+  options.apply = false;
+  for (auto _ : state) {
+    BatchDeriveReport report = DeriveBatch(*schema, specs, options);
+    if (report.failed != 0) {
+      state.SkipWithError("batch analysis failed");
+      return;
+    }
+    benchmark::DoNotOptimize(report.analyzed_ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(specs.size()));
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_ParallelDeriveAnalysis)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// End-to-end batch: parallel analysis plus the serialized apply phase (each
+// item commits through its own SchemaTransaction). The schema is copied per
+// iteration so every run applies onto a clean hierarchy.
+void BM_ParallelDeriveApply(benchmark::State& state) {
+  int jobs = static_cast<int>(state.range(0));
+  auto schema = BuildTreeSchema(4);
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  auto source = schema->types().FindType("N0_0");
+  std::vector<ProjectionSpec> specs = RotatingSpecs(*schema, *source, 8);
+  BatchDeriveOptions options;
+  options.jobs = jobs;
+  options.apply = true;
+  options.verify = false;
+  for (auto _ : state) {
+    Schema working = *schema;
+    BatchDeriveReport report = DeriveBatch(working, specs, options);
+    if (report.applied != static_cast<int>(specs.size())) {
+      state.SkipWithError("batch apply failed");
+      return;
+    }
+    benchmark::DoNotOptimize(report.applied);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(specs.size()));
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_ParallelDeriveApply)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace tyder::bench

@@ -7,17 +7,24 @@
 #   4. the runnable examples.
 #
 # Usage: scripts/run_all.sh [build-dir]
-#        scripts/run_all.sh bench [build-dir]
+#        scripts/run_all.sh bench [build-dir] [out-file]
 #        scripts/run_all.sh asan [build-dir]
+#        scripts/run_all.sh tsan [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
-# assembles BENCH_baseline.json at the repo root. The step fails if any
-# bench crashes or emits unparseable JSON.
+# assembles <out-file> (default: BENCH_baseline.json) at the repo root. The
+# step fails if any bench crashes or emits unparseable JSON. Compare two
+# bench reports with scripts/bench_compare.py.
 #
 # The `asan` mode builds with -DTYDER_SANITIZE=address,undefined (default
 # build dir: build-asan) and runs the tier-1 test suite — including the
 # fault-injection/rollback tests — under ASan+UBSan.
+#
+# The `tsan` mode builds with -DTYDER_SANITIZE=thread (default build dir:
+# build-tsan) and runs the concurrency-sensitive suites — the parallel
+# batch-derivation driver, the dispatch-table/call-site-cache tests, and the
+# subtype-closure cache tests — under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +34,9 @@ if [ "${1:-}" = "bench" ]; then
   shift
 elif [ "${1:-}" = "asan" ]; then
   MODE=asan
+  shift
+elif [ "${1:-}" = "tsan" ]; then
+  MODE=tsan
   shift
 fi
 
@@ -40,7 +50,19 @@ if [ "$MODE" = "asan" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "tsan" ]; then
+  BUILD="${1:-build-tsan}"
+  cmake -B "$BUILD" -G Ninja -DTYDER_SANITIZE=thread
+  cmake --build "$BUILD"
+  echo "=== tests (TSan) ==="
+  ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache'
+  echo "TSAN GREEN"
+  exit 0
+fi
+
 BUILD="${1:-build}"
+BENCH_OUT="${2:-BENCH_baseline.json}"
 
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
@@ -69,7 +91,7 @@ run_bench_mode() {
     fi
   done
   sed -i 's/^.*BENCHJSON: //' "$lines_file"
-  python3 - "$lines_file" > BENCH_baseline.json <<'PY'
+  python3 - "$lines_file" > "$BENCH_OUT" <<'PY'
 import json, sys
 benches = []
 with open(sys.argv[1]) as f:
@@ -82,7 +104,7 @@ json.dump({"schema": "tyder-bench-v1", "benches": benches},
           sys.stdout, indent=2)
 print()
 PY
-  echo "wrote BENCH_baseline.json ($(wc -c < BENCH_baseline.json) bytes)"
+  echo "wrote $BENCH_OUT ($(wc -c < "$BENCH_OUT") bytes)"
 }
 
 if [ "$MODE" = "bench" ]; then
@@ -103,7 +125,7 @@ done
 echo "=== benchmarks ==="
 for b in "$BUILD"/bench/bench_*_scale "$BUILD"/bench/bench_dispatch \
          "$BUILD"/bench/bench_views_over_views "$BUILD"/bench/bench_subtype_cache \
-         "$BUILD"/bench/bench_query; do
+         "$BUILD"/bench/bench_query "$BUILD"/bench/bench_parallel_derive; do
   echo "--- $b"
   "$b" --benchmark_min_time=0.02
 done

@@ -21,7 +21,8 @@ class Analyzer {
       : schema_(schema),
         source_(source),
         projection_(projection),
-        record_trace_(record_trace) {}
+        record_trace_(record_trace),
+        state_(schema.NumMethods(), kUnknown) {}
 
   Result<ApplicabilityResult> Run() {
     TYDER_COUNT("applicability.runs");
@@ -37,14 +38,14 @@ class Analyzer {
     while (unsettled) {
       unsettled = false;
       for (MethodId m : candidates) {
-        if (applicable_.count(m) > 0 || not_applicable_.count(m) > 0) continue;
+        if (state_[m] != kUnknown) continue;
         TYDER_RETURN_IF_ERROR(Check(m).status());
         unsettled = true;
       }
     }
     ApplicabilityResult result;
     for (MethodId m : candidates) {
-      if (applicable_.count(m) > 0) {
+      if (state_[m] == kApplicable) {
         result.applicable.push_back(m);
       } else {
         result.not_applicable.push_back(m);
@@ -72,8 +73,8 @@ class Analyzer {
   Result<Verdict> Check(MethodId m) {
     TYDER_COUNT("applicability.method_checks");
     TYDER_FAULT_POINT("is_applicable.mid");
-    if (applicable_.count(m) > 0) return Verdict::kApplicable;
-    if (not_applicable_.count(m) > 0) return Verdict::kNotApplicable;
+    if (state_[m] == kApplicable) return Verdict::kApplicable;
+    if (state_[m] == kNotApplicable) return Verdict::kNotApplicable;
 
     const Method& method = schema_.method(m);
     if (method.kind != MethodKind::kGeneral) {
@@ -106,7 +107,7 @@ class Analyzer {
     // Success: dependents that assumed m applicable were right; nothing to
     // repair.
     stack_.pop_back();
-    applicable_.insert(m);
+    state_[m] = kApplicable;
     Trace(Label(m) + " -> Applicable");
     return Verdict::kApplicable;
   }
@@ -115,13 +116,13 @@ class Analyzer {
     const Method& method = schema_.method(m);
     AttrId attr = method.attr;
     if (projection_.count(attr) > 0) {
-      applicable_.insert(m);
+      state_[m] = kApplicable;
       Trace("accessor " + Label(m) + " reads " +
             schema_.types().attribute(attr).name.str() +
             " (projected) -> Applicable");
       return Verdict::kApplicable;
     }
-    not_applicable_.insert(m);
+    state_[m] = kNotApplicable;
     Trace("accessor " + Label(m) + " reads " +
           schema_.types().attribute(attr).name.str() +
           " (not projected) -> NotApplicable");
@@ -157,13 +158,14 @@ class Analyzer {
   Verdict Fail(MethodId m, const RelevantCall& call) {
     (void)call;
     for (MethodId d : stack_.back().dependency_list) {
-      if (applicable_.erase(d) > 0) {
+      if (state_[d] == kApplicable) {
+        state_[d] = kUnknown;
         Trace("evict " + Label(d) + " (assumed " + Label(m) +
               " applicable)");
       }
     }
     stack_.pop_back();
-    not_applicable_.insert(m);
+    state_[m] = kNotApplicable;
     Trace(Label(m) + " -> NotApplicable");
     return Verdict::kNotApplicable;
   }
@@ -173,9 +175,12 @@ class Analyzer {
   const std::set<AttrId>& projection_;
   bool record_trace_;
 
+  // Per-method verdicts as a flat array (the hot loops probe these
+  // constantly; method ids are dense).
+  enum State : uint8_t { kUnknown = 0, kApplicable = 1, kNotApplicable = 2 };
+
   std::vector<StackEntry> stack_;
-  std::set<MethodId> applicable_;
-  std::set<MethodId> not_applicable_;
+  std::vector<uint8_t> state_;
   std::vector<std::string> trace_;
 };
 

@@ -5,8 +5,9 @@
 
 #include "common/failpoint.h"
 #include "methods/applicability.h"
-#include "methods/dispatch.h"
+#include "methods/precedence.h"
 #include "mir/type_check.h"
+#include "obs/obs.h"
 
 namespace tyder {
 
@@ -74,10 +75,16 @@ void CheckDispatchPreserved(const Schema& before, const Schema& after,
   for (GfId g = 0; g < before.NumGenericFunctions(); ++g) {
     const GenericFunction& gf = before.gf(g);
     auto compare = [&](const std::vector<TypeId>& args) {
-      Result<MethodId> pre = Dispatch(before, g, args);
-      Result<MethodId> post = Dispatch(after, g, args);
-      bool same = pre.ok() == post.ok() &&
-                  (!pre.ok() || pre.value() == post.value());
+      // An exhaustive sweep over (gf, type tuple) space: every probe is a
+      // distinct call site, so going through Dispatch() would pay the
+      // call-site cache (lookup + insert) and NotFound-string machinery
+      // ~types^arity times for zero reuse. Compare the specificity order
+      // directly — the dispatch outcome is its front (or NotFound if empty).
+      TYDER_COUNT("verify.dispatch_probes");
+      std::vector<MethodId> pre = SortBySpecificity(before, g, args);
+      std::vector<MethodId> post = SortBySpecificity(after, g, args);
+      bool same = pre.empty() == post.empty() &&
+                  (pre.empty() || pre.front() == post.front());
       if (!same) {
         std::string call = gf.name.str() + "(";
         for (size_t i = 0; i < args.size(); ++i) {

@@ -1,9 +1,49 @@
 #include "methods/dispatch.h"
 
+#include <algorithm>
+#include <string>
+
+#include "methods/dispatch_table.h"
 #include "methods/precedence.h"
 #include "obs/obs.h"
 
 namespace tyder {
+
+namespace {
+
+Result<MethodId> NoApplicableMethod(const Schema& schema, GfId gf,
+                                    const std::vector<TypeId>& arg_types) {
+  std::string args;
+  for (size_t i = 0; i < arg_types.size(); ++i) {
+    if (i > 0) args += ", ";
+    args += schema.types().TypeName(arg_types[i]);
+  }
+  return Status::NotFound("no applicable method for " +
+                          schema.gf(gf).name.str() + "(" + args + ")");
+}
+
+// The specificity-sorted applicable set for the call, through the call-site
+// cache: a hit skips applicability *and* sorting; a miss computes both and
+// installs the result. `need_complete` demands the untruncated order
+// (DispatchOrder); Dispatch() only needs the front.
+std::vector<MethodId> SortedApplicable(const Schema& schema, GfId gf,
+                                       const std::vector<TypeId>& arg_types,
+                                       bool need_complete) {
+  std::shared_ptr<DispatchCache> cache = DispatchCache::ForSchema(schema);
+  DispatchCache::CachedOrder cached;
+  if (cache->Lookup(gf, arg_types, &cached) &&
+      (!need_complete || cached.Complete())) {
+    return std::vector<MethodId>(
+        cached.order.begin(),
+        cached.order.begin() +
+            std::min<size_t>(cached.full_len, DispatchCache::kMaxOrder));
+  }
+  std::vector<MethodId> sorted = SortBySpecificity(schema, gf, arg_types);
+  cache->Insert(gf, arg_types, sorted);
+  return sorted;
+}
+
+}  // namespace
 
 Result<MethodId> Dispatch(const Schema& schema, GfId gf,
                           const std::vector<TypeId>& arg_types) {
@@ -12,9 +52,13 @@ Result<MethodId> Dispatch(const Schema& schema, GfId gf,
     return Status::InvalidArgument("call to '" + schema.gf(gf).name.str() +
                                    "' with wrong argument count");
   }
-  Result<MethodId> selected = MostSpecificApplicable(schema, gf, arg_types);
-  if (!selected.ok()) TYDER_COUNT("dispatch.no_applicable_method");
-  return selected;
+  std::vector<MethodId> sorted =
+      SortedApplicable(schema, gf, arg_types, /*need_complete=*/false);
+  if (sorted.empty()) {
+    TYDER_COUNT("dispatch.no_applicable_method");
+    return NoApplicableMethod(schema, gf, arg_types);
+  }
+  return sorted.front();
 }
 
 Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
@@ -26,7 +70,7 @@ Result<MethodId> DispatchByName(const Schema& schema, std::string_view gf_name,
 std::vector<MethodId> DispatchOrder(const Schema& schema, GfId gf,
                                     const std::vector<TypeId>& arg_types) {
   TYDER_COUNT("dispatch.order_queries");
-  return SortBySpecificity(schema, gf, arg_types);
+  return SortedApplicable(schema, gf, arg_types, /*need_complete=*/true);
 }
 
 }  // namespace tyder

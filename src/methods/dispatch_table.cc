@@ -1,0 +1,193 @@
+#include "methods/dispatch_table.h"
+
+#include <algorithm>
+
+#include "methods/applicability.h"
+#include "obs/obs.h"
+
+namespace tyder {
+
+namespace {
+
+std::shared_ptr<const GfDispatchData> BuildGfData(const Schema& schema,
+                                                  GfId gf) {
+  TYDER_COUNT("dispatch.table_builds");
+  auto data = std::make_shared<GfDispatchData>();
+  const GenericFunction& g = schema.gf(gf);
+  data->arity = g.arity;
+  data->num_types = schema.types().NumTypes();
+  data->methods = g.methods;
+  data->words = (g.methods.size() + 63) / 64;
+  data->masks.assign(
+      static_cast<size_t>(g.arity) * data->num_types * data->words, 0);
+  const TypeGraph& graph = schema.types();
+  for (size_t j = 0; j < g.methods.size(); ++j) {
+    const Signature& sig = schema.method(g.methods[j]).sig;
+    for (int pos = 0; pos < g.arity; ++pos) {
+      TypeId formal = sig.params[pos];
+      // Set bit j in mask(pos, t) for every t ≼ formal.
+      for (TypeId t = 0; t < data->num_types; ++t) {
+        if (graph.IsSubtype(t, formal)) {
+          uint64_t* mask =
+              data->masks.data() +
+              (static_cast<size_t>(pos) * data->num_types + t) * data->words;
+          mask[j >> 6] |= uint64_t{1} << (j & 63);
+        }
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::shared_ptr<DispatchTables> DispatchTables::ForSchema(
+    const Schema& schema) {
+  return schema.dispatch_tables_slot().GetOrBuild<DispatchTables>(
+      schema.version(), [&schema] {
+        auto t = std::make_shared<DispatchTables>();
+        size_t n = schema.NumGenericFunctions();
+        t->per_gf_.resize(n);
+        t->uses_ = std::make_unique<std::atomic<uint32_t>[]>(n);
+        return t;
+      });
+}
+
+std::shared_ptr<const GfDispatchData> DispatchTables::TryGet(GfId gf) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (gf < per_gf_.size()) return per_gf_[gf];
+  return nullptr;
+}
+
+bool DispatchTables::NoteUse(GfId gf) {
+  if (gf >= per_gf_.size()) return false;  // stale-slot race guard
+  return uses_[gf].fetch_add(1, std::memory_order_relaxed) + 1 >=
+         kBuildThreshold;
+}
+
+std::shared_ptr<const GfDispatchData> DispatchTables::Build(
+    const Schema& schema, GfId gf) {
+  // Build outside any lock (the build itself only reads the schema), then
+  // publish; a racing builder's identical result simply wins.
+  std::shared_ptr<const GfDispatchData> built = BuildGfData(schema, gf);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (gf >= per_gf_.size()) return built;  // stale-slot race guard
+  if (per_gf_[gf] == nullptr) per_gf_[gf] = std::move(built);
+  return per_gf_[gf];
+}
+
+namespace {
+
+std::vector<MethodId> DirectScan(const Schema& schema, GfId gf,
+                                 const std::vector<TypeId>& arg_types) {
+  std::vector<MethodId> out;
+  for (MethodId m : schema.gf(gf).methods) {
+    if (ApplicableToCall(schema, m, arg_types)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MethodId> ApplicableMethodsFromTables(
+    const Schema& schema, GfId gf, const std::vector<TypeId>& arg_types) {
+  // Tiny gfs never pay for the table machinery, however hot they run: the
+  // scan itself beats a warm table lookup (see kDirectScanMax).
+  if (schema.gf(gf).methods.size() <= DispatchTables::kDirectScanMax) {
+    return DirectScan(schema, gf, arg_types);
+  }
+  std::shared_ptr<DispatchTables> tables = DispatchTables::ForSchema(schema);
+  std::shared_ptr<const GfDispatchData> data = tables->TryGet(gf);
+  if (data == nullptr) {
+    if (!tables->NoteUse(gf)) {
+      // Cold gf: the masks would cost O(types × arity) subtype tests to
+      // build — more than this one answer is worth. Scan directly.
+      return DirectScan(schema, gf, arg_types);
+    }
+    data = tables->Build(schema, gf);
+  }
+  std::vector<MethodId> out;
+  if (static_cast<int>(arg_types.size()) != data->arity ||
+      data->methods.empty()) {
+    return out;
+  }
+  // AND the per-position masks into a small stack buffer (method counts per
+  // gf are tiny; fall back to heap only beyond 512 methods).
+  uint64_t stack_acc[8];
+  std::vector<uint64_t> heap_acc;
+  uint64_t* acc = stack_acc;
+  if (data->words > 8) {
+    heap_acc.resize(data->words);
+    acc = heap_acc.data();
+  }
+  const uint64_t* first = data->Mask(0, arg_types[0]);
+  for (size_t w = 0; w < data->words; ++w) acc[w] = first[w];
+  for (int pos = 1; pos < data->arity; ++pos) {
+    const uint64_t* mask = data->Mask(pos, arg_types[pos]);
+    for (size_t w = 0; w < data->words; ++w) acc[w] &= mask[w];
+  }
+  for (size_t w = 0; w < data->words; ++w) {
+    uint64_t bits = acc[w];
+    while (bits != 0) {
+      unsigned j = static_cast<unsigned>(__builtin_ctzll(bits));
+      out.push_back(data->methods[(w << 6) + j]);
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<DispatchCache> DispatchCache::ForSchema(const Schema& schema) {
+  return schema.dispatch_cache_slot().GetOrBuild<DispatchCache>(
+      schema.version(), [] { return std::make_shared<DispatchCache>(); });
+}
+
+size_t DispatchCache::IndexOf(GfId gf, const std::vector<TypeId>& arg_types) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(gf);
+  mix(arg_types.size());
+  for (TypeId t : arg_types) mix(t);
+  return static_cast<size_t>(h) & (kLines - 1);
+}
+
+bool DispatchCache::Lookup(GfId gf, const std::vector<TypeId>& arg_types,
+                           CachedOrder* out) const {
+  if (arg_types.size() > kMaxArity) {
+    TYDER_COUNT("dispatch.cache_miss");
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const Line& line = lines_[IndexOf(gf, arg_types)];
+  bool hit = line.valid && line.gf == gf &&
+             line.nargs == arg_types.size();
+  for (size_t i = 0; hit && i < arg_types.size(); ++i) {
+    hit = line.args[i] == arg_types[i];
+  }
+  if (!hit) {
+    TYDER_COUNT("dispatch.cache_miss");
+    return false;
+  }
+  TYDER_COUNT("dispatch.cache_hit");
+  *out = line.cached;
+  return true;
+}
+
+void DispatchCache::Insert(GfId gf, const std::vector<TypeId>& arg_types,
+                           const std::vector<MethodId>& sorted_applicable) {
+  if (arg_types.size() > kMaxArity) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Line& line = lines_[IndexOf(gf, arg_types)];
+  line.valid = true;
+  line.gf = gf;
+  line.nargs = static_cast<uint8_t>(arg_types.size());
+  for (size_t i = 0; i < arg_types.size(); ++i) line.args[i] = arg_types[i];
+  line.cached.full_len = static_cast<uint16_t>(sorted_applicable.size());
+  size_t keep = std::min(sorted_applicable.size(), kMaxOrder);
+  for (size_t i = 0; i < keep; ++i) line.cached.order[i] = sorted_applicable[i];
+}
+
+}  // namespace tyder

@@ -35,9 +35,31 @@ bool MoreSpecific(const Schema& schema, MethodId a, MethodId b,
 std::vector<MethodId> SortBySpecificity(const Schema& schema, GfId gf,
                                         const std::vector<TypeId>& arg_types) {
   std::vector<MethodId> methods = ApplicableMethods(schema, gf, arg_types);
+  if (methods.size() <= 1) return methods;
+  // Computing each actual's CPL once and comparing formals through dense
+  // rank tables makes the comparator O(arity) instead of re-running the
+  // linearization per comparison. Identical verdicts to MoreSpecific():
+  // every formal of an applicable method appears in the actual's CPL, and
+  // absent types keep the "least specific" sentinel rank.
+  const TypeGraph& graph = schema.types();
+  size_t num_types = graph.NumTypes();
+  std::vector<std::vector<uint32_t>> rank(arg_types.size());
+  for (size_t i = 0; i < arg_types.size(); ++i) {
+    rank[i].assign(num_types, static_cast<uint32_t>(num_types));
+    std::vector<TypeId> cpl = ClassPrecedenceList(graph, arg_types[i]);
+    for (size_t r = 0; r < cpl.size(); ++r) {
+      rank[i][cpl[r]] = static_cast<uint32_t>(r);
+    }
+  }
   std::stable_sort(methods.begin(), methods.end(),
                    [&](MethodId a, MethodId b) {
-                     return MoreSpecific(schema, a, b, arg_types);
+                     const Signature& sa = schema.method(a).sig;
+                     const Signature& sb = schema.method(b).sig;
+                     for (size_t i = 0; i < arg_types.size(); ++i) {
+                       if (sa.params[i] == sb.params[i]) continue;
+                       return rank[i][sa.params[i]] < rank[i][sb.params[i]];
+                     }
+                     return false;
                    });
   return methods;
 }

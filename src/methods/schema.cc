@@ -21,6 +21,7 @@ Result<GfId> Schema::DeclareGenericFunction(std::string_view name, int arity) {
   GfId id = static_cast<GfId>(gfs_.size());
   gfs_.push_back(GenericFunction{sym, arity, {}});
   gf_index_.emplace(sym, id);
+  ++version_;
   return id;
 }
 
@@ -113,6 +114,7 @@ Result<MethodId> Schema::AddMethod(Method m) {
   gf.methods.push_back(id);
   method_index_.emplace(m.label, id);
   methods_.push_back(std::move(m));
+  ++version_;
   return id;
 }
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/analysis_cache.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "methods/generic_function.h"
@@ -61,9 +62,11 @@ class Schema {
   // FactorMethods rewrites signatures/bodies in place; these are the only
   // mutators of a registered method.
   void SetMethodSignature(MethodId id, Signature sig) {
+    ++version_;
     methods_[id].sig = std::move(sig);
   }
   void SetMethodBody(MethodId id, ExprPtr body) {
+    ++version_;
     methods_[id].body = std::move(body);
   }
 
@@ -78,6 +81,30 @@ class Schema {
   // consistency and accessor well-formedness.
   Status Validate() const;
 
+  // --- derived-structure caching --------------------------------------------
+
+  // Monotone mutation counter covering both the method/gf tables (local
+  // bumps) and the type hierarchy (TypeGraph::version). Every derived
+  // structure — dispatch tables, the call-site dispatch cache, the
+  // relevant-call cache — keys its validity on this value, so any schema
+  // mutation invalidates them all on the next read.
+  uint64_t version() const { return version_ + types_.version(); }
+
+  // Version-keyed slots for lazily built analysis structures. The slots are
+  // owned here so they share the schema's lifetime and copy semantics
+  // (copies and rollback targets start cold — see common/analysis_cache.h);
+  // their concrete content types live with the code that builds them
+  // (methods/dispatch_table.cc, mir/call_graph.cc).
+  AnalysisCacheSlot& dispatch_tables_slot() const {
+    return dispatch_tables_slot_;
+  }
+  AnalysisCacheSlot& dispatch_cache_slot() const {
+    return dispatch_cache_slot_;
+  }
+  AnalysisCacheSlot& relevant_calls_slot() const {
+    return relevant_calls_slot_;
+  }
+
  private:
 
   TypeGraph types_;
@@ -88,6 +115,11 @@ class Schema {
   std::unordered_map<Symbol, MethodId, SymbolHash> method_index_;
   std::unordered_map<AttrId, MethodId> readers_;
   std::unordered_map<AttrId, MethodId> mutators_;
+
+  uint64_t version_ = 0;
+  mutable AnalysisCacheSlot dispatch_tables_slot_;
+  mutable AnalysisCacheSlot dispatch_cache_slot_;
+  mutable AnalysisCacheSlot relevant_calls_slot_;
 };
 
 }  // namespace tyder

@@ -8,6 +8,86 @@
 
 namespace tyder {
 
+TypeGraph::TypeGraph(const TypeGraph& other)
+    : types_(other.types_),
+      attrs_(other.attrs_),
+      type_index_(other.type_index_),
+      attr_index_(other.attr_index_),
+      version_(other.version_),
+      cache_enabled_(other.cache_enabled_) {}
+
+TypeGraph& TypeGraph::operator=(const TypeGraph& other) {
+  if (this == &other) return *this;
+  types_ = other.types_;
+  attrs_ = other.attrs_;
+  type_index_ = other.type_index_;
+  attr_index_ = other.attr_index_;
+  version_ = other.version_;
+  cache_enabled_ = other.cache_enabled_;
+  // The assigned-over graph may have published a closure for its old
+  // structure; drop it. Assignment implies exclusive access (see Invalidate).
+  std::lock_guard<std::mutex> lock(closure_mu_);
+  closure_retired_.clear();
+  closure_owner_.reset();
+  closure_spare_.reset();
+  closure_published_.store(nullptr, std::memory_order_release);
+  return *this;
+}
+
+TypeGraph::TypeGraph(TypeGraph&& other) noexcept
+    : types_(std::move(other.types_)),
+      attrs_(std::move(other.attrs_)),
+      type_index_(std::move(other.type_index_)),
+      attr_index_(std::move(other.attr_index_)),
+      version_(other.version_),
+      cache_enabled_(other.cache_enabled_) {
+  // The moved-from graph's closure no longer describes its (emptied)
+  // structure.
+  std::lock_guard<std::mutex> lock(other.closure_mu_);
+  other.closure_retired_.clear();
+  other.closure_owner_.reset();
+  other.closure_spare_.reset();
+  other.closure_published_.store(nullptr, std::memory_order_release);
+}
+
+TypeGraph& TypeGraph::operator=(TypeGraph&& other) noexcept {
+  if (this == &other) return *this;
+  types_ = std::move(other.types_);
+  attrs_ = std::move(other.attrs_);
+  type_index_ = std::move(other.type_index_);
+  attr_index_ = std::move(other.attr_index_);
+  version_ = other.version_;
+  cache_enabled_ = other.cache_enabled_;
+  {
+    std::lock_guard<std::mutex> lock(closure_mu_);
+    closure_retired_.clear();
+    closure_owner_.reset();
+    closure_spare_.reset();
+    closure_published_.store(nullptr, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(other.closure_mu_);
+    other.closure_retired_.clear();
+    other.closure_owner_.reset();
+    other.closure_spare_.reset();
+    other.closure_published_.store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
+void TypeGraph::Invalidate() {
+  ++version_;
+  // Mutation requires exclusive access, so no reader can be holding a
+  // retired closure pointer across this call; free everything eagerly
+  // rather than letting rebuild churn accumulate. The live closure's
+  // allocation is reclaimed, not freed: the next build recycles it, so a
+  // mutate→query loop does not malloc per cycle.
+  std::lock_guard<std::mutex> lock(closure_mu_);
+  closure_retired_.clear();
+  if (closure_owner_ != nullptr) closure_spare_ = std::move(closure_owner_);
+  closure_published_.store(nullptr, std::memory_order_release);
+}
+
 Result<TypeId> TypeGraph::DeclareType(std::string_view name, TypeKind kind) {
   if (name.empty()) {
     return Status::InvalidArgument("type name must be non-empty");
@@ -20,7 +100,7 @@ Result<TypeId> TypeGraph::DeclareType(std::string_view name, TypeKind kind) {
   TypeId id = static_cast<TypeId>(types_.size());
   types_.emplace_back(sym, kind);
   type_index_.emplace(sym, id);
-  ++version_;  // new node: cached rows have the wrong width
+  Invalidate();  // new node: the closure has the wrong row count
   return id;
 }
 
@@ -47,14 +127,16 @@ Status TypeGraph::AddSupertype(TypeId sub, TypeId super) {
                                  "' is already a direct supertype of '" +
                                  TypeName(sub) + "'");
   }
-  // super ≼ sub would close a cycle.
-  if (IsSubtype(super, sub)) {
+  // super ≼ sub would close a cycle. Checked with the exact walk (as in
+  // Validate()) rather than IsSubtype so that bulk hierarchy construction
+  // never allocates or populates closure state it immediately invalidates.
+  if (UncachedWalk(super, sub)) {
     return Status::FailedPrecondition(
         "adding supertype '" + TypeName(super) + "' to '" + TypeName(sub) +
         "' would create a cycle");
   }
   types_[sub].AppendSupertype(super);
-  ++version_;
+  Invalidate();
   return Status::OK();
 }
 
@@ -110,39 +192,142 @@ Result<AttrId> TypeGraph::FindAttribute(std::string_view name) const {
   return it->second;
 }
 
-const std::vector<bool>& TypeGraph::ReachRow(TypeId t) const {
-  if (cache_version_ != version_) {
-    if (!reach_cache_.empty()) TYDER_COUNT("subtype.cache_invalidations");
-    reach_cache_.clear();
-    cache_version_ = version_;
-  }
-  auto it = reach_cache_.find(t);
-  if (it != reach_cache_.end()) {
+const TypeGraph::Closure* TypeGraph::closure() const {
+  const Closure* c = closure_published_.load(std::memory_order_acquire);
+  if (c != nullptr && c->version == version_) {
     TYDER_COUNT("subtype.cache_hit");
-    return it->second;
+    return c;
+  }
+  return BuildClosure();
+}
+
+const TypeGraph::Closure* TypeGraph::BuildClosure() const {
+  std::lock_guard<std::mutex> lock(closure_mu_);
+  // Another thread may have finished the build while we waited on the lock.
+  const Closure* current = closure_published_.load(std::memory_order_acquire);
+  if (current != nullptr && current->version == version_) {
+    TYDER_COUNT("subtype.cache_hit");
+    return current;
   }
   TYDER_COUNT("subtype.cache_miss");
-  std::vector<bool> row(types_.size(), false);
-  std::deque<TypeId> queue{t};
-  row[t] = true;
+  if (current != nullptr || closure_spare_ != nullptr) {
+    TYDER_COUNT("subtype.cache_invalidations");
+  }
+
+  // Allocation (or recycling) only: rows are filled on demand by BuildRow,
+  // so a mutation followed by a handful of queries pays for those rows, not
+  // for the whole O(types × edges) closure.
+  const size_t n = types_.size();
+  std::unique_ptr<Closure> built;
+  if (closure_spare_ != nullptr && closure_spare_->rows_cap >= n) {
+    built = std::move(closure_spare_);
+    for (size_t i = 0; i < n; ++i) {
+      built->row_built[i].store(0, std::memory_order_relaxed);
+    }
+  } else {
+    built = std::make_unique<Closure>();
+    // Headroom so that DeclareType-heavy phases (FactorState spinning off
+    // surrogates) keep recycling instead of reallocating per declaration.
+    built->rows_cap = n + n / 2 + 8;
+    const size_t words_cap = (built->rows_cap + 63) / 64;
+    built->bits = std::make_unique_for_overwrite<uint64_t[]>(built->rows_cap *
+                                                             words_cap);
+    built->row_built =
+        std::make_unique<std::atomic<uint8_t>[]>(built->rows_cap);
+  }
+  built->version = version_;
+  built->num_types = n;
+  built->words = (n + 63) / 64;
+
+  // Publish. The replaced closure is parked, not freed: a concurrent reader
+  // may have loaded its pointer and still be checking its version.
+  if (closure_owner_ != nullptr) {
+    closure_retired_.push_back(std::move(closure_owner_));
+  }
+  closure_owner_ = std::move(built);
+  closure_published_.store(closure_owner_.get(), std::memory_order_release);
+  return closure_owner_.get();
+}
+
+void TypeGraph::BuildRow(const Closure* c, TypeId root) const {
+  std::lock_guard<std::mutex> lock(closure_mu_);
+  if (c->RowReady(root)) return;  // raced with another builder
+  // One ancestor walk for just this row, using the row bits themselves as
+  // the visited set — cold cost O(ancestors + edges) regardless of how many
+  // other rows are stale, which is what mutation-heavy phases (FactorState)
+  // hit between edits. Cycle-tolerant by construction (a revisited node's
+  // bit is already set). `bits` writes happen under `closure_mu_`; the
+  // release-store of the flag publishes the row to lock-free readers.
+  uint64_t* row = c->bits.get() + root * c->words;
+  std::fill_n(row, c->words, uint64_t{0});
+  row[root >> 6] |= uint64_t{1} << (root & 63);
+  std::vector<TypeId> queue{root};
   while (!queue.empty()) {
-    TypeId cur = queue.front();
-    queue.pop_front();
-    for (TypeId s : types_[cur].supertypes()) {
-      if (!row[s]) {
-        row[s] = true;
+    TypeId t = queue.back();
+    queue.pop_back();
+    for (TypeId s : types_[t].supertypes()) {
+      uint64_t& w = row[s >> 6];
+      const uint64_t bit = uint64_t{1} << (s & 63);
+      if ((w & bit) == 0) {
+        w |= bit;
         queue.push_back(s);
       }
     }
   }
-  return reach_cache_.emplace(t, std::move(row)).first->second;
+  c->row_built[root].store(1, std::memory_order_release);
 }
 
-bool TypeGraph::IsSubtype(TypeId a, TypeId b) const {
-  TYDER_COUNT("subtype.queries");
-  if (a == b) return true;
-  if (cache_enabled_) return ReachRow(a)[b];
-  TYDER_COUNT("subtype.uncached_walks");
+void TypeGraph::BuildAllRows(const Closure* c) const {
+  std::lock_guard<std::mutex> lock(closure_mu_);
+  // Bulk path: fill every missing row supertypes-first, row(t) = bit(t) |
+  // OR row(s) over direct supertypes s — O(types × edges / 64) words total,
+  // cheaper than per-row walks when warming the whole graph. Iterative
+  // post-order DFS over the super edges, descending only into rows not yet
+  // built (already-published rows are reused as-is, never rewritten — a
+  // concurrent reader may be scanning them). The graph is acyclic by
+  // construction (AddSupertype refuses cycles), but a cycle snuck in
+  // through mutable_type() must not hang the build — Validate() detects it
+  // with an exact walk — so in-progress nodes are skipped rather than
+  // revisited.
+  enum : uint8_t { kUnvisited = 0, kInProgress = 1, kDone = 2 };
+  std::vector<uint8_t> mark(c->num_types, kUnvisited);
+  std::vector<std::pair<TypeId, size_t>> stack;  // (type, next super index)
+  for (TypeId seed = 0; seed < c->num_types; ++seed) {
+    if (mark[seed] != kUnvisited || c->RowReady(seed)) continue;
+    stack.emplace_back(seed, 0);
+    mark[seed] = kInProgress;
+    while (!stack.empty()) {
+      auto& [t, next] = stack.back();
+      const std::vector<TypeId>& supers = types_[t].supertypes();
+      if (next < supers.size()) {
+        TypeId s = supers[next++];
+        if (mark[s] == kUnvisited && !c->RowReady(s)) {
+          stack.emplace_back(s, 0);
+          mark[s] = kInProgress;
+        }
+        continue;
+      }
+      uint64_t* row = c->bits.get() + t * c->words;
+      std::fill_n(row, c->words, uint64_t{0});
+      row[t >> 6] |= uint64_t{1} << (t & 63);
+      for (TypeId s : supers) {
+        if (!c->RowReady(s)) continue;  // in-progress: a mutable_type() cycle
+        const uint64_t* srow = c->bits.get() + s * c->words;
+        for (size_t w = 0; w < c->words; ++w) row[w] |= srow[w];
+      }
+      c->row_built[t].store(1, std::memory_order_release);
+      mark[t] = kDone;
+      stack.pop_back();
+    }
+  }
+}
+
+void TypeGraph::PrewarmClosure() const {
+  if (!cache_enabled_) return;
+  BuildAllRows(closure());
+}
+
+bool TypeGraph::UncachedWalk(TypeId a, TypeId b) const {
   std::vector<bool> seen(types_.size(), false);
   std::deque<TypeId> queue{a};
   seen[a] = true;
@@ -158,6 +343,18 @@ bool TypeGraph::IsSubtype(TypeId a, TypeId b) const {
     }
   }
   return false;
+}
+
+bool TypeGraph::IsSubtype(TypeId a, TypeId b) const {
+  TYDER_COUNT("subtype.queries");
+  if (a == b) return true;
+  if (!cache_enabled_) {
+    TYDER_COUNT("subtype.uncached_walks");
+    return UncachedWalk(a, b);
+  }
+  const Closure* c = closure();
+  if (!c->RowReady(a)) BuildRow(c, a);
+  return c->Test(a, b);
 }
 
 std::vector<TypeId> TypeGraph::SupertypeClosure(TypeId t) const {
@@ -180,9 +377,8 @@ std::vector<TypeId> TypeGraph::SupertypeClosure(TypeId t) const {
 }
 
 std::vector<TypeId> TypeGraph::SubtypeClosure(TypeId t) const {
-  // Supertype edges are stored sub -> super; walk all types and test.
-  // (Schemas are small enough that the O(V·E) cost is irrelevant; callers
-  // needing bulk subtype queries use Digraph::TransitiveClosure.)
+  // Supertype edges are stored sub -> super; with the bitset closure this is
+  // one column scan (word-test per candidate).
   std::vector<TypeId> out;
   for (TypeId cand = 0; cand < types_.size(); ++cand) {
     if (IsSubtype(cand, t)) out.push_back(cand);
@@ -214,7 +410,9 @@ Status TypeGraph::Validate() const {
         return Status::Internal("supertype id out of range for '" +
                                 TypeName(t) + "'");
       }
-      if (IsSubtype(s, t)) {
+      // Exact DAG walk, not the closure: cycle detection must work even on
+      // the malformed graphs the closure build skips over.
+      if (s == t || UncachedWalk(s, t)) {
         return Status::Internal("cycle through '" + TypeName(t) + "' and '" +
                                 TypeName(s) + "'");
       }

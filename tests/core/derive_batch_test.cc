@@ -1,0 +1,234 @@
+// Tests for the parallel batch-derivation driver (core/derive_batch.h):
+// parallel analysis must agree with serial, apply mode must commit every
+// passing projection, per-item failures must stay isolated, and — together
+// with the fault-injection machinery — a rolled-back derivation must leave
+// every derived cache (subtype closure, dispatch tables, call-site cache)
+// consistent with the restored schema. The DeriveBatch* tests are also the
+// ThreadSanitizer targets for the analysis pool (run_all.sh tsan).
+
+#include "core/derive_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "core/projection.h"
+#include "methods/dispatch.h"
+#include "obs/obs.h"
+#include "testing/fixtures.h"
+#include "testing/random_schema.h"
+
+namespace tyder {
+namespace {
+
+// Deterministic projection batch over a random schema: every type with
+// cumulative attributes contributes one spec.
+std::vector<ProjectionSpec> AllTypeSpecs(const Schema& schema) {
+  std::vector<ProjectionSpec> specs;
+  for (TypeId t = 0; t < schema.types().NumTypes(); ++t) {
+    std::vector<AttrId> attrs = schema.types().CumulativeAttributes(t);
+    if (attrs.empty()) continue;
+    ProjectionSpec spec;
+    spec.source = t;
+    spec.attributes.assign(attrs.begin(),
+                           attrs.begin() + (attrs.size() + 1) / 2);
+    spec.view_name = "V_" + schema.types().TypeName(t);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(DeriveBatchTest, ParallelAnalysisMatchesSerial) {
+  for (uint32_t seed : {11u, 12u, 13u}) {
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    options.num_types = 14;
+    options.num_general_methods = 12;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    std::vector<ProjectionSpec> specs = AllTypeSpecs(*schema);
+    ASSERT_FALSE(specs.empty());
+
+    BatchDeriveOptions serial;
+    serial.jobs = 1;
+    serial.apply = false;
+    BatchDeriveReport serial_report = DeriveBatch(*schema, specs, serial);
+
+    BatchDeriveOptions parallel;
+    parallel.jobs = 4;
+    parallel.apply = false;
+    BatchDeriveReport parallel_report = DeriveBatch(*schema, specs, parallel);
+
+    ASSERT_EQ(serial_report.items.size(), parallel_report.items.size());
+    for (size_t i = 0; i < serial_report.items.size(); ++i) {
+      const BatchItemResult& s = serial_report.items[i];
+      const BatchItemResult& p = parallel_report.items[i];
+      EXPECT_EQ(s.status.ok(), p.status.ok()) << "item " << i;
+      EXPECT_EQ(s.applicability.applicable, p.applicability.applicable)
+          << "item " << i << " seed " << seed;
+      EXPECT_EQ(s.applicability.not_applicable, p.applicability.not_applicable)
+          << "item " << i << " seed " << seed;
+    }
+    EXPECT_EQ(serial_report.analyzed_ok, parallel_report.analyzed_ok);
+  }
+}
+
+TEST(DeriveBatchTest, AnalysisOnlyLeavesSchemaUntouched) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  size_t types_before = fx->schema.types().NumTypes();
+  uint64_t version_before = fx->schema.version();
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "PA";
+  BatchDeriveOptions options;
+  options.jobs = 2;
+  options.apply = false;
+  BatchDeriveReport report = DeriveBatch(fx->schema, {spec, spec}, options);
+  EXPECT_EQ(report.analyzed_ok, 2);
+  EXPECT_EQ(report.applied, 0);
+  EXPECT_EQ(fx->schema.types().NumTypes(), types_before);
+  EXPECT_EQ(fx->schema.version(), version_before);
+  // The analysis partition matches a direct DeriveProjection's.
+  auto direct = DeriveProjection(fx->schema, spec);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  EXPECT_EQ(report.items[0].applicability.applicable,
+            direct->applicability.applicable);
+}
+
+TEST(DeriveBatchTest, ApplyCommitsEveryPassingProjection) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ProjectionSpec first;
+  first.source = fx->employee;
+  first.attributes = {fx->ssn, fx->date_of_birth, fx->pay_rate};
+  first.view_name = "EmpView";
+  ProjectionSpec second;
+  second.source = fx->person;
+  second.attributes = {fx->ssn, fx->name};
+  second.view_name = "PersonView";
+
+  BatchDeriveOptions options;
+  options.jobs = 2;
+  options.apply = true;
+  BatchDeriveReport report =
+      DeriveBatch(fx->schema, {first, second}, options);
+  EXPECT_EQ(report.applied, 2);
+  EXPECT_EQ(report.failed, 0);
+  for (const BatchItemResult& item : report.items) {
+    ASSERT_TRUE(item.applied);
+    EXPECT_EQ(fx->schema.types().TypeName(item.derived), item.spec.view_name);
+  }
+}
+
+TEST(DeriveBatchTest, ItemFailuresAreIsolated) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ProjectionSpec good;
+  good.source = fx->employee;
+  good.attributes = {fx->ssn, fx->date_of_birth, fx->pay_rate};
+  good.view_name = "GoodView";
+  ProjectionSpec bad;
+  bad.source = fx->person;
+  bad.attributes = {fx->pay_rate};  // Employee state, not available on Person
+  bad.view_name = "BadView";
+
+  BatchDeriveOptions options;
+  options.jobs = 2;
+  options.apply = true;
+  BatchDeriveReport report =
+      DeriveBatch(fx->schema, {bad, good, bad}, options);
+  EXPECT_EQ(report.applied, 1);
+  EXPECT_EQ(report.failed, 2);
+  EXPECT_FALSE(report.items[0].status.ok());
+  EXPECT_TRUE(report.items[1].applied);
+  EXPECT_FALSE(report.items[2].status.ok());
+  EXPECT_TRUE(fx->schema.types().FindType("GoodView").ok());
+  EXPECT_FALSE(fx->schema.types().FindType("BadView").ok());
+}
+
+TEST(DeriveBatchTest, ResolveProjectionSpecReportsUnknownNames) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  EXPECT_EQ(ResolveProjectionSpec(fx->schema, "NoSuchType", {"SSN"}, "V")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ResolveProjectionSpec(fx->schema, "Person", {"no_such_attr"}, "V")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  auto ok = ResolveProjectionSpec(fx->schema, "Person", {"SSN"}, "V");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->source, fx->person);
+  EXPECT_EQ(ok->attributes, std::vector<AttrId>{fx->ssn});
+}
+
+// More workers than items, and an empty batch: the pool must not touch
+// out-of-range indices or deadlock.
+TEST(DeriveBatchTest, DegenerateBatchShapes) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  BatchDeriveOptions options;
+  options.jobs = 8;
+  options.apply = false;
+  BatchDeriveReport empty = DeriveBatch(fx->schema, {}, options);
+  EXPECT_TRUE(empty.items.empty());
+
+  ProjectionSpec spec;
+  spec.source = fx->person;
+  spec.attributes = {fx->ssn};
+  spec.view_name = "Solo";
+  BatchDeriveReport solo = DeriveBatch(fx->schema, {spec}, options);
+  ASSERT_EQ(solo.items.size(), 1u);
+  EXPECT_TRUE(solo.items[0].status.ok());
+  EXPECT_EQ(solo.analyzed_ok, 1);
+}
+
+// The rollback-invalidation satellite: warm every derived cache, force a
+// mid-derivation fault so the transaction rolls the schema back, and verify
+// the caches answer for the *restored* schema — the derived type's ids must
+// not leak out of the closure, the dispatch tables, or the call-site cache.
+TEST(DeriveBatchRollbackTest, RolledBackDerivationLeavesCachesConsistent) {
+  for (const char* point : {"is_applicable.before", "is_applicable.mid",
+                            "factor_state.mid", "factor_methods.mid"}) {
+    auto fx = testing::BuildExample1();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    Schema& schema = fx->schema;
+    auto u = schema.FindGenericFunction("u");
+    ASSERT_TRUE(u.ok());
+
+    // Warm the closure, the dispatch tables, and a call site.
+    EXPECT_TRUE(schema.types().IsSubtype(fx->a, fx->c));
+    auto before = Dispatch(schema, *u, {fx->a});
+    ASSERT_TRUE(before.ok());
+    size_t types_before = schema.types().NumTypes();
+
+    ProjectionSpec spec;
+    spec.source = fx->a;
+    spec.attributes = {fx->a2, fx->e2, fx->h2};
+    spec.view_name = "DoomedView";
+    failpoint::Activate(point, 1);
+    Result<DerivationResult> derived = DeriveProjection(schema, spec);
+    failpoint::DeactivateAll();
+    ASSERT_FALSE(derived.ok()) << "fault point " << point << " did not fire";
+
+    // Rolled back: no surrogate types survive, and every cached structure
+    // answers for the restored hierarchy.
+    EXPECT_EQ(schema.types().NumTypes(), types_before) << point;
+    EXPECT_FALSE(schema.types().FindType("DoomedView").ok()) << point;
+    EXPECT_TRUE(schema.types().IsSubtype(fx->a, fx->c)) << point;
+    EXPECT_FALSE(schema.types().IsSubtype(fx->c, fx->a)) << point;
+    auto after = Dispatch(schema, *u, {fx->a});
+    ASSERT_TRUE(after.ok()) << point;
+    EXPECT_EQ(*after, *before) << point;
+    // And a subsequent, un-faulted derivation succeeds from the restored
+    // state.
+    spec.view_name = "RetryView";
+    auto retry = DeriveProjection(schema, spec);
+    EXPECT_TRUE(retry.ok()) << point << ": " << retry.status();
+  }
+}
+
+}  // namespace
+}  // namespace tyder

@@ -1,0 +1,258 @@
+// Tests for the hot-path dispatch engine (methods/dispatch_table.h): the
+// per-gf applicability masks must agree bit-for-bit with the brute-force
+// scan, the call-site cache must never survive a schema mutation, and both
+// structures must tolerate concurrent readers (run under `run_all.sh tsan`).
+
+#include "methods/dispatch_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "methods/applicability.h"
+#include "methods/dispatch.h"
+#include "methods/precedence.h"
+#include "testing/fixtures.h"
+#include "testing/random_schema.h"
+
+namespace tyder {
+namespace {
+
+// The brute-force definition the masks must reproduce: scan the gf's methods
+// in registration order, keep those applicable to the call.
+std::vector<MethodId> BruteForceApplicable(const Schema& schema, GfId gf,
+                                           const std::vector<TypeId>& args) {
+  std::vector<MethodId> out;
+  for (MethodId m : schema.gf(gf).methods) {
+    if (ApplicableToCall(schema, m, args)) out.push_back(m);
+  }
+  return out;
+}
+
+TEST(DispatchTableTest, MasksMatchBruteForceOnRandomSchemas) {
+  for (uint32_t seed : {7u, 8u, 9u}) {
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    options.num_types = 16;
+    options.num_general_methods = 20;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    std::mt19937 rng(seed);
+    size_t num_types = schema->types().NumTypes();
+    for (GfId gf = 0; gf < schema->NumGenericFunctions(); ++gf) {
+      int arity = schema->gf(gf).arity;
+      for (int trial = 0; trial < 32; ++trial) {
+        std::vector<TypeId> args;
+        for (int i = 0; i < arity; ++i) {
+          args.push_back(static_cast<TypeId>(rng() % num_types));
+        }
+        EXPECT_EQ(ApplicableMethodsFromTables(*schema, gf, args),
+                  BruteForceApplicable(*schema, gf, args))
+            << "seed " << seed << " gf " << gf;
+      }
+    }
+  }
+}
+
+TEST(DispatchTableTest, ArityMismatchYieldsEmptySet) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  auto u = fx->schema.FindGenericFunction("u");
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(ApplicableMethodsFromTables(fx->schema, *u, {}).empty());
+  EXPECT_TRUE(
+      ApplicableMethodsFromTables(fx->schema, *u, {fx->a, fx->a}).empty());
+}
+
+TEST(DispatchTableTest, DispatchOrderEmptyWhenNothingApplies) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  // income is defined on Employee only; a Person argument has no applicable
+  // method — the order is empty and Dispatch reports NotFound.
+  auto income = fx->schema.FindGenericFunction("income");
+  ASSERT_TRUE(income.ok());
+  EXPECT_TRUE(DispatchOrder(fx->schema, *income, {fx->person}).empty());
+  EXPECT_EQ(Dispatch(fx->schema, *income, {fx->person}).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Two methods on unrelated formals, probed with an argument below both:
+// neither formal is a subtype of the other, so the order is decided by the
+// argument's class precedence list (Left precedes Right in CPL(Both)) — and
+// repeated queries (cached) must agree with the uncached sort.
+TEST(DispatchTableTest, AmbiguousMethodsFollowArgumentPrecedence) {
+  auto schema = Schema::Create();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  TypeGraph& g = schema->types();
+  auto left = g.DeclareType("Left", TypeKind::kUser);
+  auto right = g.DeclareType("Right", TypeKind::kUser);
+  auto both = g.DeclareType("Both", TypeKind::kUser);
+  ASSERT_TRUE(left.ok() && right.ok() && both.ok());
+  ASSERT_TRUE(g.AddSupertype(*both, *left).ok());
+  ASSERT_TRUE(g.AddSupertype(*both, *right).ok());
+  auto gf = schema->DeclareGenericFunction("amb", 1);
+  ASSERT_TRUE(gf.ok());
+  auto add = [&](const char* label, TypeId formal) {
+    Method m;
+    m.label = Symbol::Intern(label);
+    m.gf = *gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig = Signature{{formal}, schema->builtins().void_type};
+    m.param_names = {Symbol::Intern("p")};
+    return schema->AddMethod(std::move(m));
+  };
+  auto on_left = add("amb_left", *left);
+  auto on_right = add("amb_right", *right);
+  ASSERT_TRUE(on_left.ok() && on_right.ok());
+
+  std::vector<MethodId> expected = {*on_left, *on_right};
+  EXPECT_EQ(DispatchOrder(*schema, *gf, {*both}), expected);  // cold
+  EXPECT_EQ(DispatchOrder(*schema, *gf, {*both}), expected);  // cached
+  EXPECT_EQ(SortBySpecificity(*schema, *gf, {*both}), expected);
+}
+
+// A specificity order longer than the call-site cache keeps (kMaxOrder)
+// must still come back complete from DispatchOrder.
+TEST(DispatchTableTest, OrderLongerThanCacheLineIsComplete) {
+  auto schema = Schema::Create();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  TypeGraph& g = schema->types();
+  constexpr int kChain = 12;  // > DispatchCache::kMaxOrder
+  std::vector<TypeId> chain;
+  for (int i = 0; i < kChain; ++i) {
+    auto t = g.DeclareType("C" + std::to_string(i), TypeKind::kUser);
+    ASSERT_TRUE(t.ok());
+    if (i > 0) ASSERT_TRUE(g.AddSupertype(chain.back(), *t).ok());
+    chain.push_back(*t);
+  }
+  auto gf = schema->DeclareGenericFunction("deep", 1);
+  ASSERT_TRUE(gf.ok());
+  std::vector<MethodId> expected;  // most specific (C0) first
+  for (int i = 0; i < kChain; ++i) {
+    Method m;
+    m.label = Symbol::Intern("deep_" + std::to_string(i));
+    m.gf = *gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig = Signature{{chain[i]}, schema->builtins().void_type};
+    m.param_names = {Symbol::Intern("p")};
+    auto id = schema->AddMethod(std::move(m));
+    ASSERT_TRUE(id.ok());
+    expected.push_back(*id);
+  }
+  static_assert(kChain > static_cast<int>(DispatchCache::kMaxOrder));
+  // Twice: the first call primes the cache with a truncated entry, the
+  // second must notice the truncation and recompute the full order.
+  EXPECT_EQ(DispatchOrder(*schema, *gf, {chain[0]}), expected);
+  EXPECT_EQ(DispatchOrder(*schema, *gf, {chain[0]}), expected);
+  // Dispatch only needs the front, which the truncated entry serves.
+  auto best = Dispatch(*schema, *gf, {chain[0]});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, expected.front());
+}
+
+// A schema mutation must retire every cached call-site entry: adding a more
+// specific method after a dispatch has been cached changes the winner.
+TEST(DispatchCacheTest, SchemaMutationInvalidatesCachedCallSites) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  auto age = fx->schema.FindGenericFunction("age");
+  ASSERT_TRUE(age.ok());
+  auto before = Dispatch(fx->schema, *age, {fx->employee});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, fx->age);  // inherited from Person; now cached
+
+  Method m;
+  m.label = Symbol::Intern("age_employee");
+  m.gf = *age;
+  m.kind = MethodKind::kGeneral;
+  m.sig = Signature{{fx->employee}, fx->schema.method(fx->age).sig.result};
+  m.param_names = {Symbol::Intern("self")};
+  auto specialized = fx->schema.AddMethod(std::move(m));
+  ASSERT_TRUE(specialized.ok()) << specialized.status();
+
+  auto after = Dispatch(fx->schema, *age, {fx->employee});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *specialized);
+  // The Person call site is unaffected in outcome, only recomputed.
+  auto person_call = Dispatch(fx->schema, *age, {fx->person});
+  ASSERT_TRUE(person_call.ok());
+  EXPECT_EQ(*person_call, fx->age);
+}
+
+// Hierarchy edits (not just method registration) must also invalidate: the
+// type-graph version feeds Schema::version(), and even a cached *empty*
+// applicable set must be retired by the edit.
+TEST(DispatchCacheTest, HierarchyEditInvalidatesCachedCallSites) {
+  auto schema = Schema::Create();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  TypeGraph& g = schema->types();
+  auto top = g.DeclareType("Top", TypeKind::kUser);
+  auto mid = g.DeclareType("Mid", TypeKind::kUser);
+  auto leaf = g.DeclareType("Leaf", TypeKind::kUser);
+  ASSERT_TRUE(top.ok() && mid.ok() && leaf.ok());
+  ASSERT_TRUE(g.AddSupertype(*mid, *top).ok());
+  ASSERT_TRUE(g.AddSupertype(*leaf, *top).ok());
+  auto gf = schema->DeclareGenericFunction("f", 1);
+  ASSERT_TRUE(gf.ok());
+  Method m;
+  m.label = Symbol::Intern("f_mid");
+  m.gf = *gf;
+  m.kind = MethodKind::kGeneral;
+  m.sig = Signature{{*mid}, schema->builtins().void_type};
+  m.param_names = {Symbol::Intern("p")};
+  auto f_mid = schema->AddMethod(std::move(m));
+  ASSERT_TRUE(f_mid.ok());
+
+  // Leaf is not under Mid yet: no applicable method, and that empty verdict
+  // is now sitting in the call-site cache.
+  EXPECT_EQ(Dispatch(*schema, *gf, {*leaf}).status().code(),
+            StatusCode::kNotFound);
+  // Graft Leaf under Mid; the cached empty entry must not survive.
+  ASSERT_TRUE(g.AddSupertype(*leaf, *mid).ok());
+  auto after = Dispatch(*schema, *gf, {*leaf});
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, *f_mid);
+}
+
+// Many threads dispatching over one frozen schema: exercises the lazily
+// built masks, the shared closure, and the mutex-guarded call-site cache.
+// Primarily a ThreadSanitizer target (run_all.sh tsan).
+TEST(DispatchCacheTest, ConcurrentDispatchOverFrozenSchemaIsSafe) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  const Schema& schema = fx->schema;
+  auto u = schema.FindGenericFunction("u");
+  auto v = schema.FindGenericFunction("v");
+  ASSERT_TRUE(u.ok() && v.ok());
+  std::vector<TypeId> all = {fx->a, fx->b, fx->c, fx->d,
+                             fx->e, fx->f, fx->g, fx->h};
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> pool;
+    for (int w_ix = 0; w_ix < 4; ++w_ix) {
+      pool.emplace_back([&, w_ix] {
+        for (int round = 0; round < 50; ++round) {
+          for (TypeId t : all) {
+            // Same probes from every thread — results must be identical and
+            // the caches race-free.
+            auto direct = Dispatch(schema, *u, {t});
+            std::vector<MethodId> order = DispatchOrder(schema, *u, {t});
+            if (direct.ok() != !order.empty()) ++failures;
+            if (direct.ok() && order.front() != *direct) ++failures;
+            TypeId other = all[(w_ix + round) % all.size()];
+            auto multi = Dispatch(schema, *v, {t, other});
+            std::vector<MethodId> multi_order =
+                DispatchOrder(schema, *v, {t, other});
+            if (multi.ok() != !multi_order.empty()) ++failures;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tyder

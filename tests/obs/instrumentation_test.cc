@@ -20,9 +20,9 @@ using obs::TraceEvent;
 #if TYDER_OBS_ENABLED
 
 TEST(InstrumentationTest, SubtypeCacheHitMissIsDeterministic) {
-  // Build a private graph so no other code has warmed its reachability
-  // cache; declaring a type invalidates any cached rows, so the cache is
-  // provably cold after the last declaration.
+  // Build a private graph so no other code has warmed its ancestor closure;
+  // every mutation invalidates the closure, so it is provably cold after the
+  // last edge insertion.
   TypeGraph graph;
   auto base = graph.DeclareType("ObsBase", TypeKind::kUser);
   ASSERT_TRUE(base.ok());
@@ -32,33 +32,33 @@ TEST(InstrumentationTest, SubtypeCacheHitMissIsDeterministic) {
   ASSERT_TRUE(leaf.ok());
   ASSERT_TRUE(graph.AddSupertype(*mid, *base).ok());
   ASSERT_TRUE(graph.AddSupertype(*leaf, *mid).ok());
-  // AddSupertype's cycle check caches rows and then bumps the graph version;
-  // sync the cache once so the deltas below see no leftover invalidation.
-  EXPECT_TRUE(graph.IsSubtype(*mid, *base));
+  // Build every closure row for the final hierarchy outside the measured
+  // window, so the queries below are pure warm-path reads.
+  graph.PrewarmClosure();
 
   MetricsRegistry::Global().Reset();
-  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));  // cold row -> miss
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 1u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 1u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 0u);
-
-  EXPECT_TRUE(graph.IsSubtype(*leaf, *mid));  // warm row -> hit
-  EXPECT_FALSE(graph.IsSubtype(*base, *leaf));  // other row -> miss
+  // Every query against the unchanged graph hits the prewarmed closure,
+  // whatever row it touches.
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *mid));
+  EXPECT_FALSE(graph.IsSubtype(*base, *leaf));
   EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 3u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 1u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 2u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 3u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 0u);
 
   // Reflexive queries short-circuit before the cache.
   EXPECT_TRUE(graph.IsSubtype(*leaf, *leaf));
   EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.queries"), 4u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 1u);
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 2u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_hit"), 3u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 0u);
 
-  // Mutating the graph invalidates every cached row.
+  // Mutating the graph invalidates the whole closure; the next query
+  // rebuilds it (a miss that replaces a previous build counts as an
+  // invalidation).
   auto extra = graph.DeclareType("ObsExtra", TypeKind::kUser);
   ASSERT_TRUE(extra.ok());
-  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));  // re-derived -> miss
-  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 3u);
+  EXPECT_TRUE(graph.IsSubtype(*leaf, *base));  // rebuild -> miss
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("subtype.cache_miss"), 1u);
   EXPECT_EQ(
       MetricsRegistry::Global().CounterValue("subtype.cache_invalidations"),
       1u);
@@ -70,9 +70,12 @@ TEST(InstrumentationTest, DispatchCountersOnExample1AreDeterministic) {
   auto u = fx->schema.FindGenericFunction("u");
   ASSERT_TRUE(u.ok());
 
-  // Warm the caches with one dispatch, then require two identical dispatch
-  // sweeps to produce identical counter deltas — and no cache misses.
+  // Warm both call sites once, then require identical dispatch sweeps to
+  // produce identical counter deltas: every warm dispatch is a call-site
+  // cache hit, so it touches neither the applicability tables nor the
+  // subtype closure.
   ASSERT_TRUE(Dispatch(fx->schema, *u, {fx->a}).ok());
+  ASSERT_TRUE(Dispatch(fx->schema, *u, {fx->b}).ok());
 
   auto sweep_delta = [&](const char* name) {
     MetricsRegistry::Global().Reset();
@@ -81,10 +84,9 @@ TEST(InstrumentationTest, DispatchCountersOnExample1AreDeterministic) {
     return MetricsRegistry::Global().CounterValue(name);
   };
   EXPECT_EQ(sweep_delta("dispatch.calls"), 2u);
-  uint64_t hits_first = sweep_delta("subtype.cache_hit");
-  uint64_t hits_second = sweep_delta("subtype.cache_hit");
-  EXPECT_GT(hits_first, 0u);
-  EXPECT_EQ(hits_first, hits_second);
+  EXPECT_EQ(sweep_delta("dispatch.cache_hit"), 2u);
+  EXPECT_EQ(sweep_delta("dispatch.cache_miss"), 0u);
+  EXPECT_EQ(sweep_delta("dispatch.table_builds"), 0u);
   EXPECT_EQ(sweep_delta("subtype.cache_miss"), 0u);
 }
 
@@ -129,8 +131,10 @@ TEST(InstrumentationTest, DerivationBumpsPipelineCounters) {
   EXPECT_GT(m.CounterValue("applicability.method_checks"), 0u);
   EXPECT_GT(m.CounterValue("dataflow.analyses"), 0u);
   EXPECT_GT(m.CounterValue("dataflow.fixpoint_iterations"), 0u);
-  // The behavior-preservation verifier replays dispatch on both schemas.
-  EXPECT_GT(m.CounterValue("dispatch.calls"), 0u);
+  // The behavior-preservation verifier probes the dispatch outcome of every
+  // generic function over both schemas (without going through the call-site
+  // cache — each probe is a distinct call site).
+  EXPECT_GT(m.CounterValue("verify.dispatch_probes"), 0u);
 }
 
 #endif  // TYDER_OBS_ENABLED

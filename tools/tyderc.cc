@@ -11,10 +11,21 @@
 //                                            verifier in later --project ops
 //                                            (failures still roll the schema
 //                                            back — derivation is atomic)
+//   tyderc <schema.tdl> --batch <file>       derive every projection listed
+//                                            in <file> (one per line:
+//                                            "<Type> <a,b,c> <ViewName>"; '#'
+//                                            comments and blank lines are
+//                                            skipped); analysis runs on the
+//                                            --jobs worker pool, commits are
+//                                            serial and per-item atomic
 //   tyderc <schema.tdl> --collapse           collapse empty surrogates
 //   tyderc <schema.tdl> --serialize          dump the (post-ops) schema
 //   tyderc <schema.tdl> --export             re-emit the schema as TDL
 //   tyderc <schema.tdl> --stats              hierarchy metrics
+//
+// Execution modifiers:
+//
+//   --jobs <N>           analysis threads for --batch (default 1)
 //
 // Observability modifiers (composable with everything above; see
 // docs/OBSERVABILITY.md):
@@ -26,6 +37,7 @@
 //
 // Flags compose left to right; transforms apply before later inspections.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +49,7 @@
 #include "catalog/serialize.h"
 #include "common/string_util.h"
 #include "core/collapse.h"
+#include "core/derive_batch.h"
 #include "core/projection.h"
 #include "lang/analyzer.h"
 #include "methods/consistency.h"
@@ -57,14 +70,47 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr << "usage: tyderc <schema.tdl> [--print] [--methods] [--dot] "
                "[--lint] [--no-verify] "
-               "[--project <Type> <a,b,c> <ViewName>] [--collapse] "
-               "[--serialize] [--export] [--stats] "
+               "[--project <Type> <a,b,c> <ViewName>] [--batch <file>] "
+               "[--collapse] "
+               "[--serialize] [--export] [--stats] [--jobs <N>] "
                "[--trace] [--trace-json=<file>] [--metrics]\n";
   return 2;
 }
 
+// Parses a --batch file: one projection per line, "<Type> <a,b,c> <ViewName>"
+// (the same three operands --project takes). '#' starts a comment; blank
+// lines are skipped.
+Result<std::vector<ProjectionSpec>> LoadBatchFile(const Schema& schema,
+                                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open batch file '" + path + "'");
+  std::vector<ProjectionSpec> specs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string source, attrs, view;
+    if (!(fields >> source)) continue;  // blank / comment-only line
+    std::string garbage;
+    if (!(fields >> attrs >> view) || (fields >> garbage)) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": expected '<Type> <a,b,c> <ViewName>'");
+    }
+    Result<ProjectionSpec> spec = ResolveProjectionSpec(
+        schema, source, SplitAndTrim(attrs, ','), view);
+    if (!spec.ok()) {
+      return spec.status().WithContext(path + ":" + std::to_string(lineno));
+    }
+    specs.push_back(std::move(*spec));
+  }
+  return specs;
+}
+
 int RunOps(const std::string& schema_path,
-           const std::vector<std::string>& ops) {
+           const std::vector<std::string>& ops, int jobs) {
   std::ifstream in(schema_path);
   if (!in) {
     std::cerr << "tyderc: cannot open '" << schema_path << "'\n";
@@ -135,6 +181,35 @@ int RunOps(const std::string& schema_path,
         std::cout << " " << schema.method(m).label.view();
       }
       std::cout << "\n";
+    } else if (flag == "--batch") {
+      if (i + 1 >= ops.size()) return Usage();
+      std::string path = ops[++i];
+      Result<std::vector<ProjectionSpec>> specs =
+          LoadBatchFile(schema, path);
+      if (!specs.ok()) return Fail(specs.status());
+      BatchDeriveOptions batch_options;
+      batch_options.jobs = jobs;
+      batch_options.apply = true;
+      batch_options.verify = projection_options.verify;
+      BatchDeriveReport report = DeriveBatch(schema, *specs, batch_options);
+      std::cout << "batch: " << report.items.size() << " projections, "
+                << batch_options.jobs << " jobs\n";
+      for (const BatchItemResult& item : report.items) {
+        if (item.applied) {
+          std::cout << "  derived " << item.spec.view_name
+                    << "; applicable methods:";
+          for (MethodId m : item.applicability.applicable) {
+            std::cout << " " << schema.method(m).label.view();
+          }
+          std::cout << "\n";
+        } else {
+          std::cout << "  FAILED " << item.spec.view_name << ": "
+                    << item.status << "\n";
+        }
+      }
+      std::cout << "batch: " << report.applied << " applied, "
+                << report.failed << " failed\n";
+      if (report.failed > 0) return 1;
     } else if (flag == "--collapse") {
       Result<CollapseReport> report = catalog->Collapse();
       if (!report.ok()) return Fail(report.status());
@@ -159,6 +234,7 @@ int Run(int argc, char** argv) {
   // left-to-right op semantics.
   bool want_trace = false;
   bool want_metrics = false;
+  int jobs = 1;
   std::string trace_json_path;
   std::string schema_path;
   std::vector<std::string> ops;
@@ -168,6 +244,10 @@ int Run(int argc, char** argv) {
       want_trace = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) return Usage();
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) return Usage();
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_json_path = arg.substr(std::string("--trace-json=").size());
       if (trace_json_path.empty()) return Usage();
@@ -183,7 +263,7 @@ int Run(int argc, char** argv) {
   std::optional<obs::ScopedTracer> install;
   if (want_trace || !trace_json_path.empty()) install.emplace(&tracer);
 
-  int exit_code = RunOps(schema_path, ops);
+  int exit_code = RunOps(schema_path, ops, jobs);
 
   if (want_trace) {
     std::cout << "=== trace ===\n" << obs::TraceToText(tracer.events());
