@@ -1,0 +1,130 @@
+// Durability cost (src/storage/): what an fsynced WAL append adds to a
+// committed mutation, what snapshot compaction costs, and how recovery time
+// scales with the number of log records that must be replayed. Each append
+// is one write(2) plus one fsync(2), so WalAppend is dominated by the
+// filesystem's sync latency — docs/PERFORMANCE.md quotes these numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "storage/durable_catalog.h"
+#include "storage/wal.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (fs::temp_directory_path() / ("tyder_bench_wal_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// The raw unit of durability: append one record and fsync it.
+void BM_WalAppend(benchmark::State& state) {
+  std::string dir = FreshDir("append");
+  auto writer = storage::WalWriter::Open(dir + "/wal.log");
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    return;
+  }
+  uint64_t lsn = 0;
+  std::string payload = "project EmployeeView Employee SSN,pay_rate verify";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->Append(++lsn, payload).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend);
+
+// A logged derivation end to end: derive + append + fsync, against the
+// in-memory Catalog::DefineProjectionView cost visible in bench_transaction.
+void BM_LoggedDerivation(benchmark::State& state) {
+  std::string dir = FreshDir("logged");
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    auto fx = testing::BuildPersonEmployee();
+    auto db = storage::DurableCatalog::Open(dir);
+    if (!fx.ok() || !db.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    if (!db->Seed(Catalog(std::move(fx->schema))).ok()) {
+      state.SkipWithError("seed failed");
+      return;
+    }
+    state.ResumeTiming();
+    auto view = db->DefineProjectionView("EmployeeView", "Employee",
+                                         {"SSN", "date_of_birth", "pay_rate"});
+    benchmark::DoNotOptimize(view.ok());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_LoggedDerivation);
+
+// Snapshot + log truncation: the amortized cost of bounding recovery time.
+void BM_Compact(benchmark::State& state) {
+  std::string dir = FreshDir("compact");
+  auto fx = testing::BuildPersonEmployee();
+  auto db = storage::DurableCatalog::Open(dir);
+  if (!fx.ok() || !db.ok() ||
+      !db->Seed(Catalog(std::move(fx->schema))).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Compact().ok());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Compact);
+
+// Recovery vs. log length: open a directory whose WAL holds N derivation
+// records (alternating define/drop so the catalog stays small while the
+// replay work grows linearly).
+void BM_Recovery(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("recovery_" + std::to_string(records));
+  {
+    auto fx = testing::BuildPersonEmployee();
+    auto db = storage::DurableCatalog::Open(dir);
+    if (!fx.ok() || !db.ok() ||
+        !db->Seed(Catalog(std::move(fx->schema))).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    for (int i = 0; i < records / 2; ++i) {
+      // Dropped views leave tombstone types that keep owning the name, so
+      // every round needs a fresh one.
+      std::string name = "V" + std::to_string(i);
+      if (!db->DefineProjectionView(name, "Employee", {"SSN"}).ok() ||
+          !db->DropView(name).ok()) {
+        state.SkipWithError("log construction failed");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto db = storage::DurableCatalog::Open(dir);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(db->recovery().replayed_records);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Recovery)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tyder::bench

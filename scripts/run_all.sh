@@ -10,6 +10,8 @@
 #        scripts/run_all.sh bench [build-dir] [out-file]
 #        scripts/run_all.sh asan [build-dir]
 #        scripts/run_all.sh tsan [build-dir]
+#        scripts/run_all.sh ubsan [build-dir]
+#        scripts/run_all.sh crash [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
@@ -25,6 +27,16 @@
 # build-tsan) and runs the concurrency-sensitive suites — the parallel
 # batch-derivation driver, the dispatch-table/call-site-cache tests, and the
 # subtype-closure cache tests — under ThreadSanitizer.
+#
+# The `ubsan` mode builds with -DTYDER_SANITIZE=undefined alone (default
+# build dir: build-ubsan) and runs the full tier-1 suite — catches UB that
+# ASan's instrumentation can mask, and exercises the snapshot/WAL binary
+# parsers under strict bounds/alignment checking.
+#
+# The `crash` mode runs the in-process crash-injection suite and then an
+# out-of-process matrix: for every storage.* fault point `tyderc` reports,
+# a real tyderc process is killed mid-operation via TYDER_FAULTS and the
+# database directory must recover on the next open.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +49,12 @@ elif [ "${1:-}" = "asan" ]; then
   shift
 elif [ "${1:-}" = "tsan" ]; then
   MODE=tsan
+  shift
+elif [ "${1:-}" = "ubsan" ]; then
+  MODE=ubsan
+  shift
+elif [ "${1:-}" = "crash" ]; then
+  MODE=crash
   shift
 fi
 
@@ -61,6 +79,54 @@ if [ "$MODE" = "tsan" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "ubsan" ]; then
+  BUILD="${1:-build-ubsan}"
+  cmake -B "$BUILD" -G Ninja -DTYDER_SANITIZE=undefined
+  cmake --build "$BUILD"
+  echo "=== tests (UBSan) ==="
+  ctest --test-dir "$BUILD" --output-on-failure
+  echo "UBSAN GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "crash" ]; then
+  BUILD="${1:-build}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD"
+  echo "=== in-process crash matrix ==="
+  ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'CrashMatrix|Wal|DurableCatalog|AllOrNothing|Transaction'
+  echo "=== out-of-process crash matrix ==="
+  TYDERC="$BUILD/tools/tyderc"
+  TDL=examples/payroll.tdl
+  for point in $("$TYDERC" --list-faults | grep '^storage\.'); do
+    echo "--- $point"
+    DB="$(mktemp -d)/db"
+    "$TYDERC" "$TDL" --db "$DB" > /dev/null
+    # The armed fault aborts the mutating op (and, for the compact points,
+    # the compaction) partway through its disk protocol — the process exits
+    # non-zero with the directory in whatever state the "crash" left it.
+    case "$point" in
+      storage.compact.*)
+        if TYDER_FAULTS="$point" "$TYDERC" --db "$DB" --compact > /dev/null 2>&1; then
+          echo "ERROR: fault $point did not fire" >&2
+          exit 1
+        fi ;;
+      *)
+        if TYDER_FAULTS="$point" "$TYDERC" --db "$DB" \
+             --project Employee SSN,pay_rate CrashView > /dev/null 2>&1; then
+          echo "ERROR: fault $point did not fire" >&2
+          exit 1
+        fi ;;
+    esac
+    # Recovery: the next open must succeed and land on a valid catalog.
+    "$TYDERC" --db "$DB" > /dev/null
+    rm -rf "$(dirname "$DB")"
+  done
+  echo "CRASH GREEN"
+  exit 0
+fi
+
 BUILD="${1:-build}"
 BENCH_OUT="${2:-BENCH_baseline.json}"
 
@@ -81,7 +147,10 @@ run_bench_mode() {
       *bench_fig*|*bench_example*)
         out="$("$b")" ;;
       *)
-        out="$("$b" --benchmark_min_time=0.02)" ;;
+        # Longer sampling than the quick-look runs below: recorded numbers
+        # feed bench_compare.py, where sub-10µs benches need the extra
+        # iterations to stay inside the regression threshold's noise floor.
+        out="$("$b" --benchmark_min_time=0.1)" ;;
     esac
     # The console reporter may leave ANSI escapes before the marker, so
     # match anywhere in the line and strip through the marker.

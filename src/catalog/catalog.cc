@@ -38,7 +38,7 @@ Result<const ViewDef*> Catalog::DefineProjectionView(
     TYDER_ASSIGN_OR_RETURN(AttrId a, schema_.types().FindAttribute(attr));
     def.attributes.push_back(a);
   }
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -59,7 +59,7 @@ Result<const ViewDef*> Catalog::DefineSelectionView(
   def.op = ViewOpKind::kSelection;
   def.derived = derived;
   def.source = source;
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -84,7 +84,7 @@ Result<const ViewDef*> Catalog::DefineGeneralizationView(
   def.source = a;
   def.source2 = b;
   def.derivation = derivation;
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -113,7 +113,7 @@ Result<const ViewDef*> Catalog::DefineRenameView(
   def.source = source;
   def.renames = renames;
   def.derivation = derivation;
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   views_.push_back(std::move(def));
   return &views_.back();
 }
@@ -173,7 +173,7 @@ Status Catalog::DropView(std::string_view name) {
   // Schema mutations done but the registry entry still present: a failure
   // here must restore the schema and keep the view listed.
   TYDER_FAULT_POINT("catalog.drop.mid");
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   views_.erase(it);
   return Status::OK();
 }
@@ -182,6 +182,12 @@ Result<CollapseReport> Catalog::Collapse() {
   std::set<TypeId> keep;
   for (const ViewDef& def : views_) keep.insert(def.derived);
   return CollapseEmptySurrogates(schema_, keep);
+}
+
+Catalog Catalog::Restore(Schema schema, std::vector<ViewDef> views) {
+  Catalog catalog(std::move(schema));
+  catalog.views_ = std::move(views);
+  return catalog;
 }
 
 size_t Catalog::LiveSurrogateCount() const {

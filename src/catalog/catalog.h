@@ -73,6 +73,11 @@ class Catalog {
   const std::vector<ViewDef>& views() const { return views_; }
   Result<const ViewDef*> FindView(std::string_view name) const;
 
+  // Reconstructs a catalog from an already-deserialized schema plus view
+  // registry (storage/catalog_snapshot.h recovery path). Trusts its inputs;
+  // the snapshot decoder has already validated both.
+  static Catalog Restore(Schema schema, std::vector<ViewDef> views);
+
   // Drops a view, reverting its derivation (projection/generalization) or
   // detaching its type (selection). Refused when anything still observes the
   // view's types — including rename views, whose alias accessors cannot be

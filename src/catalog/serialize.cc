@@ -1,9 +1,11 @@
 #include "catalog/serialize.h"
 
+#include <cstdint>
 #include <sstream>
 
 #include "common/string_util.h"
 #include "mir/builder.h"
+#include "storage/crc32c.h"
 
 namespace tyder {
 
@@ -528,6 +530,97 @@ Result<Schema> DeserializeSchema(std::string_view text) {
   }
   TYDER_RETURN_IF_ERROR(schema.Validate());
   return schema;
+}
+
+// --- checksummed snapshot envelope ------------------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'t', 'y', 'd', 'r', 's', 'n', 'a', 'p'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr size_t kSnapshotHeaderSize = 16;  // magic + version + payload length
+
+void AppendLe32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t ReadLe32(std::string_view bytes, size_t offset) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 1]))
+             << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 3]))
+             << 24;
+}
+
+}  // namespace
+
+std::string EncodeSnapshotEnvelope(std::string_view payload) {
+  std::string out;
+  out.reserve(kSnapshotHeaderSize + payload.size() + 4);
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendLe32(out, kSnapshotVersion);
+  AppendLe32(out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  AppendLe32(out, storage::Crc32c(payload));
+  return out;
+}
+
+Result<std::string> DecodeSnapshotEnvelope(std::string_view bytes) {
+  if (bytes.size() < kSnapshotHeaderSize) {
+    return Status::ParseError(
+        "truncated snapshot: " + std::to_string(bytes.size()) +
+        " bytes is shorter than the " + std::to_string(kSnapshotHeaderSize) +
+        "-byte header");
+  }
+  if (bytes.substr(0, sizeof(kSnapshotMagic)) !=
+      std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) {
+    return Status::ParseError("not a tyder snapshot (bad magic)");
+  }
+  uint32_t version = ReadLe32(bytes, 8);
+  if (version == 0 || version > kSnapshotVersion) {
+    return Status::ParseError(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported by this build (newest supported: " +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+  uint64_t payload_len = ReadLe32(bytes, 12);
+  uint64_t expected = kSnapshotHeaderSize + payload_len + 4;
+  if (bytes.size() < expected) {
+    return Status::ParseError(
+        "truncated snapshot: header declares a " +
+        std::to_string(payload_len) + "-byte payload but only " +
+        std::to_string(bytes.size()) + " of " + std::to_string(expected) +
+        " bytes are present");
+  }
+  if (bytes.size() > expected) {
+    return Status::ParseError("snapshot has " +
+                              std::to_string(bytes.size() - expected) +
+                              " bytes of trailing garbage");
+  }
+  std::string_view payload = bytes.substr(kSnapshotHeaderSize, payload_len);
+  uint32_t stored = ReadLe32(bytes, kSnapshotHeaderSize + payload_len);
+  uint32_t actual = storage::Crc32c(payload);
+  if (stored != actual) {
+    std::ostringstream msg;
+    msg << "snapshot checksum mismatch: stored 0x" << std::hex << stored
+        << ", computed 0x" << actual;
+    return Status::ParseError(msg.str());
+  }
+  return std::string(payload);
+}
+
+std::string SaveSchemaSnapshot(const Schema& schema) {
+  return EncodeSnapshotEnvelope(SerializeSchema(schema));
+}
+
+Result<Schema> LoadSchemaSnapshot(std::string_view bytes) {
+  TYDER_ASSIGN_OR_RETURN(std::string payload, DecodeSnapshotEnvelope(bytes));
+  return DeserializeSchema(payload);
 }
 
 }  // namespace tyder

@@ -30,6 +30,32 @@ std::string SerializeSchema(const Schema& schema);
 // re-installed, then user content replayed) and validates the result.
 Result<Schema> DeserializeSchema(std::string_view text);
 
+// --- checksummed snapshot envelope ------------------------------------------
+//
+// The text formats above are self-describing but defenseless on disk: a
+// truncated or bit-flipped file can still parse. Snapshots written by the
+// durable catalog (src/storage/) are therefore framed in a binary envelope:
+//
+//   offset  size  field
+//   0       8     magic "tydrsnap"
+//   8       4     format version (little-endian u32, currently 1)
+//   12      4     payload length (little-endian u32)
+//   16      n     payload (e.g. SerializeSchema / ExportTdl text)
+//   16+n    4     CRC32C of the payload (little-endian u32 trailer)
+//
+// DecodeSnapshotEnvelope fails with a precise Status — never UB or silent
+// partial state — on truncated input (any strict prefix of a valid
+// envelope), wrong magic, a format version newer than this build supports,
+// trailing garbage, or a checksum mismatch.
+
+std::string EncodeSnapshotEnvelope(std::string_view payload);
+Result<std::string> DecodeSnapshotEnvelope(std::string_view bytes);
+
+// Schema-level convenience: SerializeSchema / DeserializeSchema through the
+// envelope.
+std::string SaveSchemaSnapshot(const Schema& schema);
+Result<Schema> LoadSchemaSnapshot(std::string_view bytes);
+
 // Body tree <-> s-expression (exposed for tests).
 std::string SerializeBody(const Schema& schema, const ExprPtr& body);
 Result<ExprPtr> DeserializeBody(const Schema& schema, std::string_view text);

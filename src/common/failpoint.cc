@@ -30,6 +30,12 @@ const char* const kFaultPointNames[] = {
     "is_applicable.mid",         // inside the per-method applicability check
     "revert.before",             // RevertDerivation after preconditions
     "revert.mid",                // signatures restored, attributes not yet
+    "storage.compact.after_rename",   // snapshot live, WAL not yet truncated
+    "storage.compact.before_rename",  // temp snapshot written, not renamed
+    "storage.wal.after_append",  // record bytes written, before fsync
+    "storage.wal.after_sync",    // record durable, commit not yet published
+    "storage.wal.mid_fsync",     // the record's fsync itself fails
+    "storage.wal.torn_write",    // only a prefix of the record reaches disk
     "verify.before",             // pre-verification, schema fully mutated
     "verify.force_failure",      // makes VerifyDerivation report an issue
 };
@@ -136,7 +142,7 @@ Status Fire(FailPoint* point, const char* name) {
 
 bool Consume(const char* name) {
 #if TYDER_FAILPOINTS_ENABLED
-  static FailPoint* point = GetPoint(name);
+  FailPoint* point = GetPoint(name);
   if (point->remaining.load(std::memory_order_relaxed) == 0) return false;
   return !Fire(point, name).ok();
 #else

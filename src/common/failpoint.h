@@ -67,6 +67,8 @@ Status Fire(FailPoint* point, const char* name);
 
 // True iff `name` is armed (consuming one shot and counting a fire). For
 // failure sites that do not propagate a Status, e.g. the verifier's report.
+// Looks the point up in the registry on every call; prefer
+// TYDER_FAULT_CONSUME at fixed call sites.
 bool Consume(const char* name);
 
 }  // namespace tyder::failpoint
@@ -85,11 +87,26 @@ bool Consume(const char* name);
           ::tyder::failpoint::Fire(tyder_failpoint_, name));               \
   } while (0)
 
+// Expression form of TYDER_FAULT_POINT for failure sites that cannot simply
+// return Status: evaluates to true iff `name` is armed (consuming one shot
+// and counting the fire). The registry lookup is cached per call site — each
+// expansion gets its own static, so distinct names stay independent.
+#define TYDER_FAULT_CONSUME(name)                                          \
+  ([]() -> bool {                                                          \
+    static ::tyder::failpoint::FailPoint* tyder_failpoint_ =               \
+        ::tyder::failpoint::GetPoint(name);                                \
+    if (tyder_failpoint_->remaining.load(std::memory_order_relaxed) == 0)  \
+      return false;                                                        \
+    return !::tyder::failpoint::Fire(tyder_failpoint_, name).ok();         \
+  }())
+
 #else  // !TYDER_FAILPOINTS_ENABLED
 
 #define TYDER_FAULT_POINT(name) \
   do {                          \
   } while (0)
+
+#define TYDER_FAULT_CONSUME(name) (false)
 
 #endif  // TYDER_FAILPOINTS_ENABLED
 

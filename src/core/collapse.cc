@@ -97,7 +97,7 @@ Result<CollapseReport> CollapseEmptySurrogates(Schema& schema,
     }
   }
   TYDER_RETURN_IF_ERROR(schema.Validate());
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   return report;
 }
 

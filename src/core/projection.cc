@@ -162,7 +162,7 @@ Result<DerivationResult> DeriveProjection(Schema& schema,
   Result<DerivationResult> result =
       RunPipeline(schema, txn.snapshot(), spec, options);
   if (!result.ok()) return result;
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   if (options.record_trace && tracer != nullptr) {
     result->events.assign(tracer->events().begin() + first_event,
                           tracer->events().end());

@@ -131,7 +131,7 @@ Status RevertDerivation(Schema& schema, const DerivationResult& derivation) {
   }
 
   TYDER_RETURN_IF_ERROR(schema.Validate());
-  txn.Commit();
+  TYDER_RETURN_IF_ERROR(txn.Commit());
   return Status::OK();
 }
 

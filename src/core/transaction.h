@@ -17,10 +17,20 @@
 // Transactions nest naturally: an outer transaction (e.g. a Catalog view
 // definition) simply restores over whatever an inner one (DeriveProjection)
 // already rolled back.
+//
+// Durability (src/storage/): a ScopedCommitHook armed on the thread is
+// invoked by the *outermost* live transaction's Commit() before the commit
+// takes effect — the durable catalog uses this to fsync a write-ahead-log
+// record before the in-memory state is published. A failing hook leaves the
+// transaction uncommitted, so the destructor rolls back and the operation
+// fails exactly like any mid-pipeline error.
 
 #ifndef TYDER_CORE_TRANSACTION_H_
 #define TYDER_CORE_TRANSACTION_H_
 
+#include <functional>
+
+#include "common/status.h"
 #include "methods/schema.h"
 
 namespace tyder {
@@ -28,15 +38,18 @@ namespace tyder {
 class SchemaTransaction {
  public:
   explicit SchemaTransaction(Schema& schema);
-  // Rolls back unless Commit() was called.
+  // Rolls back unless Commit() succeeded.
   ~SchemaTransaction();
 
   SchemaTransaction(const SchemaTransaction&) = delete;
   SchemaTransaction& operator=(const SchemaTransaction&) = delete;
 
   // Keeps the mutations made since construction; the destructor becomes a
-  // no-op.
-  void Commit() { committed_ = true; }
+  // no-op. If this is the outermost live transaction on the thread and a
+  // ScopedCommitHook is armed, the hook runs first; a non-OK hook result is
+  // returned, the transaction stays uncommitted, and the destructor rolls
+  // back — the mutation is never published without its durability record.
+  [[nodiscard]] Status Commit();
   bool committed() const { return committed_; }
 
   // The pre-transaction state. Stable for the transaction's lifetime — the
@@ -49,7 +62,41 @@ class SchemaTransaction {
 
   Schema& schema_;
   Schema snapshot_;
+  // 1 for the outermost live transaction on this thread, 2 for one nested
+  // inside it, ... Only the outermost fires the commit hook: an inner
+  // transaction (e.g. DeriveProjection inside a Catalog view definition) is
+  // an implementation detail of an operation that is durable as a whole.
+  int depth_;
   bool committed_ = false;
+};
+
+// Arms `fn` as the thread's durability hook for the enclosing scope. The
+// next outermost SchemaTransaction::Commit() on this thread invokes it
+// (one-shot: a second top-level commit in the same scope is not hooked) and
+// refuses to commit if it fails. Scopes nest; the previous hook is restored
+// on destruction.
+//
+// Used by storage::DurableCatalog to append + fsync the WAL record for a
+// logged operation at the exact point the operation's mutations become
+// visible.
+class ScopedCommitHook {
+ public:
+  using Fn = std::function<Status()>;
+  explicit ScopedCommitHook(Fn fn);
+  ~ScopedCommitHook();
+
+  ScopedCommitHook(const ScopedCommitHook&) = delete;
+  ScopedCommitHook& operator=(const ScopedCommitHook&) = delete;
+
+  // True once a commit has (successfully or not) invoked the hook.
+  bool fired() const { return fired_; }
+
+ private:
+  friend class SchemaTransaction;
+
+  ScopedCommitHook* prev_;
+  Fn fn_;
+  bool fired_ = false;
 };
 
 }  // namespace tyder

@@ -125,7 +125,7 @@ VerifyReport VerifyDerivation(const Schema& before, const Schema& after,
   VerifyReport report;
   // Fault point driving the genuine report-rejection path (the pipeline turns
   // a non-empty report into Status::Internal and rolls the schema back).
-  if (failpoint::Consume("verify.force_failure")) {
+  if (TYDER_FAULT_CONSUME("verify.force_failure")) {
     report.issues.push_back("fault injected at 'verify.force_failure'");
   }
   Status valid = after.Validate();

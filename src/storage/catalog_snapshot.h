@@ -1,0 +1,59 @@
+// Full-fidelity catalog snapshots: the payload the durable catalog frames in
+// the checksummed envelope of catalog/serialize.h.
+//
+// ExportTdl is deliberately NOT used here: a TDL round trip is lossy (detached
+// tombstone types vanish, generic-function id order can shift), so it cannot
+// honor the recovery contract that a reloaded catalog serializes
+// byte-identically to the one that was saved. This format instead embeds the
+// exact SerializeSchema text — whose ids are stable across a round trip —
+// followed by the view registry with each view's complete derivation record
+// (surrogates, rewrites with original signatures and bodies), so DropView and
+// Collapse keep working after recovery.
+//
+//   tyder-db v1
+//   schema <nbytes>
+//   <SerializeSchema text, exactly nbytes>
+//   view <name> <op> <derived> <source> <source2>
+//   va <attr-ids|->            # ViewDef.attributes
+//   vn <attr=alias,...|->      # ViewDef.renames
+//   dd <derived> <spec.source> <spec.view_name|->
+//   dattrs <attr-ids|->        # spec.attributes
+//   do <src:surr,...|->        # surrogates.of
+//   dc <type-ids|->            # surrogates.created
+//   de <a:b:rank,...|->        # surrogates.edge_rank
+//   dg <type-ids|->            # surrogates.augment_created
+//   dz <type-ids|->            # augment_z
+//   da <method-ids|->          # applicability.applicable
+//   dn <method-ids|->          # applicability.not_applicable
+//   rw <method> <0|1> <old params|-> <old result> <new params|-> <new result>
+//   rwb <method> <s-expression>     # old body, rewrites with body_changed only
+//   end
+//
+// Transient diagnostics (trace lines, trace events) are not persisted.
+
+#ifndef TYDER_STORAGE_CATALOG_SNAPSHOT_H_
+#define TYDER_STORAGE_CATALOG_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace tyder::storage {
+
+// Serializes the whole catalog (schema + view registry) as the text payload
+// above. Deterministic: equal catalogs produce equal bytes.
+std::string SerializeCatalog(const Catalog& catalog);
+
+// Inverse of SerializeCatalog. The result serializes byte-identically to the
+// input of the SerializeCatalog call that produced `text`.
+Result<Catalog> DeserializeCatalog(std::string_view text);
+
+// Catalog <-> checksummed snapshot envelope (serialize.h framing).
+std::string SaveCatalogSnapshot(const Catalog& catalog);
+Result<Catalog> LoadCatalogSnapshot(std::string_view bytes);
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_CATALOG_SNAPSHOT_H_

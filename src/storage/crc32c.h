@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) — the checksum guarding the durable-catalog formats:
+// every write-ahead-log record (storage/wal.h) and the snapshot envelope
+// (catalog/serialize.h) carry one, so a truncated or bit-flipped file is
+// detected instead of being parsed as valid schema state. The Castagnoli
+// polynomial is the storage-industry standard (ext4, RocksDB, LevelDB,
+// iSCSI); this is the portable table-driven form — record payloads are
+// small and snapshots are read once at startup, so hardware acceleration
+// would be noise here.
+
+#ifndef TYDER_STORAGE_CRC32C_H_
+#define TYDER_STORAGE_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tyder::storage {
+
+// Extends `crc` (state from a previous call, 0 for a fresh checksum) with
+// `data`. Chainable: Crc32c(Crc32c(0, a), b) == Crc32c(0, a + b).
+uint32_t Crc32c(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32c(std::string_view data) { return Crc32c(0, data); }
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_CRC32C_H_

@@ -1,0 +1,407 @@
+#include "storage/durable_catalog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "core/transaction.h"
+#include "obs/obs.h"
+#include "storage/catalog_snapshot.h"
+
+namespace tyder::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".tysnap";
+
+std::string SnapshotFileName(uint64_t lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.tysnap",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+// snapshot-<20 digits>.tysnap -> lsn, or false for any other name.
+bool ParseSnapshotFileName(std::string_view name, uint64_t& lsn) {
+  if (name.size() != kSnapshotPrefix.size() + 20 + kSnapshotSuffix.size() ||
+      name.substr(0, kSnapshotPrefix.size()) != kSnapshotPrefix ||
+      name.substr(name.size() - kSnapshotSuffix.size()) != kSnapshotSuffix) {
+    return false;
+  }
+  std::string_view digits = name.substr(kSnapshotPrefix.size(), 20);
+  auto [ptr, ec] = std::from_chars(digits.begin(), digits.end(), lsn);
+  return ec == std::errc() && ptr == digits.end();
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Writes `data` to `path` (truncating) and fsyncs it.
+Status WriteFileSync(const std::string& path, std::string_view data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create snapshot file", path);
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("cannot write snapshot file", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("cannot fsync snapshot file", path);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+// fsyncs the directory so a just-renamed snapshot's directory entry is
+// durable.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open directory for fsync", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("cannot fsync directory", dir);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("cannot read snapshot file", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  if (names.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += names[i];
+  }
+  return out;
+}
+
+std::string VerifyFlag(const ProjectionOptions& options) {
+  return options.verify ? "verify" : "no-verify";
+}
+
+}  // namespace
+
+Status ReplayOp(Catalog& catalog, std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  std::string op;
+  in >> op;
+  auto bad = [&payload]() {
+    return Status::ParseError("malformed WAL op '" + std::string(payload) +
+                              "'");
+  };
+  auto parse_options = [&](ProjectionOptions& options) {
+    std::string flag;
+    in >> flag;
+    if (flag == "verify") {
+      options.verify = true;
+    } else if (flag == "no-verify") {
+      options.verify = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+
+  if (op == "project") {
+    std::string view, source, attrs;
+    in >> view >> source >> attrs;
+    ProjectionOptions options;
+    if (in.fail() || !parse_options(options)) return bad();
+    std::vector<std::string> names =
+        attrs == "-" ? std::vector<std::string>{} : SplitAndTrim(attrs, ',');
+    Result<const ViewDef*> r =
+        catalog.DefineProjectionView(view, source, names, options);
+    return r.ok() ? Status::OK() : r.status();
+  }
+  if (op == "select") {
+    std::string view, source;
+    in >> view >> source;
+    if (in.fail()) return bad();
+    Result<const ViewDef*> r = catalog.DefineSelectionView(view, source);
+    return r.ok() ? Status::OK() : r.status();
+  }
+  if (op == "generalize") {
+    std::string view, a, b;
+    in >> view >> a >> b;
+    ProjectionOptions options;
+    if (in.fail() || !parse_options(options)) return bad();
+    Result<const ViewDef*> r =
+        catalog.DefineGeneralizationView(view, a, b, options);
+    return r.ok() ? Status::OK() : r.status();
+  }
+  if (op == "rename") {
+    std::string view, source, pairs;
+    in >> view >> source >> pairs;
+    ProjectionOptions options;
+    if (in.fail() || !parse_options(options)) return bad();
+    std::vector<AttributeRename> renames;
+    if (pairs != "-") {
+      for (const std::string& pair : SplitAndTrim(pairs, ',')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos) return bad();
+        renames.push_back(
+            AttributeRename{pair.substr(0, eq), pair.substr(eq + 1)});
+      }
+    }
+    Result<const ViewDef*> r =
+        catalog.DefineRenameView(view, source, renames, options);
+    return r.ok() ? Status::OK() : r.status();
+  }
+  if (op == "drop") {
+    std::string view;
+    in >> view;
+    if (in.fail()) return bad();
+    return catalog.DropView(view);
+  }
+  if (op == "collapse") {
+    Result<CollapseReport> r = catalog.Collapse();
+    return r.ok() ? Status::OK() : r.status();
+  }
+  return Status::ParseError("unknown WAL op '" + op + "' in record '" +
+                            std::string(payload) + "'");
+}
+
+Result<DurableCatalog> DurableCatalog::Open(const std::string& dir) {
+  TYDER_SPAN("DurableCatalog.Open");
+  TYDER_TIMED("storage.recovery_ns");
+  auto start = std::chrono::steady_clock::now();
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create database directory '" + dir +
+                            "': " + ec.message());
+  }
+
+  DurableCatalog db;
+  db.dir_ = dir;
+  db.wal_path_ = dir + "/wal.log";
+
+  // 1. Load the newest snapshot that decodes cleanly.
+  std::vector<std::pair<uint64_t, std::string>> snapshots;  // lsn -> path
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t lsn = 0;
+    if (ParseSnapshotFileName(entry.path().filename().string(), lsn)) {
+      snapshots.emplace_back(lsn, entry.path().string());
+    }
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());
+  uint64_t snapshot_lsn = 0;
+  for (const auto& [lsn, path] : snapshots) {
+    Result<std::string> bytes = ReadFile(path);
+    Result<Catalog> loaded =
+        bytes.ok() ? LoadCatalogSnapshot(*bytes) : bytes.status();
+    if (loaded.ok()) {
+      db.catalog_ = std::make_unique<Catalog>(std::move(loaded).value());
+      db.recovery_.snapshot_loaded = true;
+      snapshot_lsn = lsn;
+      break;
+    }
+    db.recovery_.warnings.push_back(
+        "snapshot '" + path + "' is unusable (" + loaded.status().message() +
+        "); falling back to an older snapshot");
+  }
+  if (db.catalog_ == nullptr) {
+    if (!snapshots.empty()) {
+      std::string detail;
+      for (const std::string& w : db.recovery_.warnings) {
+        detail += "\n  " + w;
+      }
+      return Status::Internal(
+          "no snapshot in '" + dir +
+          "' decodes cleanly; refusing to rebuild from the WAL alone (it was "
+          "truncated at the last compaction)" +
+          detail);
+    }
+    Result<Catalog> fresh = Catalog::Create();
+    if (!fresh.ok()) return fresh.status();
+    db.catalog_ = std::make_unique<Catalog>(std::move(fresh).value());
+  }
+  db.recovery_.snapshot_lsn = snapshot_lsn;
+  db.last_lsn_ = snapshot_lsn;
+
+  // 2. Validate the log; repair a torn tail; refuse mid-log corruption.
+  Result<WalReadResult> wal = ReadWal(db.wal_path_);
+  if (!wal.ok()) return wal.status();
+  if (!wal->torn_tail_warning.empty()) {
+    db.recovery_.warnings.push_back(wal->torn_tail_warning);
+    TYDER_RETURN_IF_ERROR(RepairTornTail(db.wal_path_, wal->valid_bytes));
+  }
+
+  // 3. Replay everything the snapshot does not already cover. (Records at or
+  // below the snapshot lsn are left over from a crash between a compaction's
+  // snapshot rename and its WAL truncate.)
+  for (const WalRecord& record : wal->records) {
+    if (record.lsn <= snapshot_lsn) continue;
+    Status replayed = ReplayOp(*db.catalog_, record.payload);
+    if (!replayed.ok()) {
+      return Status::Internal(
+          "WAL replay failed at lsn " + std::to_string(record.lsn) + " ('" +
+          record.payload + "'): " + replayed.message());
+    }
+    TYDER_COUNT("storage.wal_replays");
+    db.last_lsn_ = record.lsn;
+    ++db.recovery_.replayed_records;
+  }
+
+  Result<WalWriter> writer = WalWriter::Open(db.wal_path_);
+  if (!writer.ok()) return writer.status();
+  db.wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+
+  db.recovery_.recovery_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return db;
+}
+
+Status DurableCatalog::AppendRecord(std::string_view payload) {
+  TYDER_RETURN_IF_ERROR(wal_->Append(last_lsn_ + 1, payload));
+  ++last_lsn_;
+  return Status::OK();
+}
+
+Result<const ViewDef*> DurableCatalog::DefineProjectionView(
+    std::string_view name, std::string_view source_type,
+    const std::vector<std::string>& attribute_names,
+    const ProjectionOptions& options) {
+  std::string payload = "project " + std::string(name) + ' ' +
+                        std::string(source_type) + ' ' +
+                        JoinNames(attribute_names) + ' ' + VerifyFlag(options);
+  ScopedCommitHook hook(
+      [this, payload = std::move(payload)] { return AppendRecord(payload); });
+  return catalog_->DefineProjectionView(name, source_type, attribute_names,
+                                        options);
+}
+
+Result<const ViewDef*> DurableCatalog::DefineSelectionView(
+    std::string_view name, std::string_view source_type) {
+  std::string payload =
+      "select " + std::string(name) + ' ' + std::string(source_type);
+  ScopedCommitHook hook(
+      [this, payload = std::move(payload)] { return AppendRecord(payload); });
+  return catalog_->DefineSelectionView(name, source_type);
+}
+
+Result<const ViewDef*> DurableCatalog::DefineGeneralizationView(
+    std::string_view name, std::string_view type_a, std::string_view type_b,
+    const ProjectionOptions& options) {
+  std::string payload = "generalize " + std::string(name) + ' ' +
+                        std::string(type_a) + ' ' + std::string(type_b) + ' ' +
+                        VerifyFlag(options);
+  ScopedCommitHook hook(
+      [this, payload = std::move(payload)] { return AppendRecord(payload); });
+  return catalog_->DefineGeneralizationView(name, type_a, type_b, options);
+}
+
+Result<const ViewDef*> DurableCatalog::DefineRenameView(
+    std::string_view name, std::string_view source_type,
+    const std::vector<AttributeRename>& renames,
+    const ProjectionOptions& options) {
+  std::string pairs;
+  for (size_t i = 0; i < renames.size(); ++i) {
+    if (i > 0) pairs += ',';
+    pairs += renames[i].attribute + '=' + renames[i].alias;
+  }
+  if (pairs.empty()) pairs = "-";
+  std::string payload = "rename " + std::string(name) + ' ' +
+                        std::string(source_type) + ' ' + pairs + ' ' +
+                        VerifyFlag(options);
+  ScopedCommitHook hook(
+      [this, payload = std::move(payload)] { return AppendRecord(payload); });
+  return catalog_->DefineRenameView(name, source_type, renames, options);
+}
+
+Status DurableCatalog::DropView(std::string_view name) {
+  std::string payload = "drop " + std::string(name);
+  ScopedCommitHook hook(
+      [this, payload = std::move(payload)] { return AppendRecord(payload); });
+  return catalog_->DropView(name);
+}
+
+Result<CollapseReport> DurableCatalog::Collapse() {
+  ScopedCommitHook hook([this] { return AppendRecord("collapse"); });
+  return catalog_->Collapse();
+}
+
+Status DurableCatalog::Seed(Catalog catalog) {
+  if (recovery_.snapshot_loaded || last_lsn_ != 0 ||
+      !catalog_->views().empty()) {
+    return Status::FailedPrecondition(
+        "database '" + dir_ +
+        "' already has durable state; refusing to overwrite it with a new "
+        "schema");
+  }
+  *catalog_ = std::move(catalog);
+  return Compact();
+}
+
+Status DurableCatalog::Compact() {
+  TYDER_SPAN("DurableCatalog.Compact");
+  std::string bytes = SaveCatalogSnapshot(*catalog_);
+  std::string file_name = SnapshotFileName(last_lsn_);
+  std::string tmp_path = dir_ + "/" + file_name + ".tmp";
+  std::string final_path = dir_ + "/" + file_name;
+
+  TYDER_RETURN_IF_ERROR(WriteFileSync(tmp_path, bytes));
+  TYDER_FAULT_POINT("storage.compact.before_rename");
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Errno("cannot publish snapshot", final_path);
+  }
+  TYDER_RETURN_IF_ERROR(SyncDir(dir_));
+  TYDER_COUNT("storage.snapshot_writes");
+  // Snapshot live, WAL not yet truncated: recovery must skip the records the
+  // snapshot already covers.
+  TYDER_FAULT_POINT("storage.compact.after_rename");
+  TYDER_RETURN_IF_ERROR(wal_->TruncateAll());
+
+  // Only now is it safe to drop older snapshots: up to this point a crash
+  // could still need them (their WAL suffix was intact). Cleanup failures are
+  // cosmetic — stale files are ignored or reclaimed by the next compaction.
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    uint64_t lsn = 0;
+    bool stale_snapshot = ParseSnapshotFileName(name, lsn) && name != file_name;
+    bool stale_tmp = name.size() > 4 &&
+                     name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (stale_snapshot || stale_tmp) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tyder::storage

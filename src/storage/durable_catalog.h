@@ -1,0 +1,123 @@
+// DurableCatalog: a Catalog whose committed mutations survive process death.
+//
+// Directory layout (`Open(dir)` creates the directory if needed):
+//
+//   dir/wal.log                      append-only mutation log (storage/wal.h)
+//   dir/snapshot-<lsn 20d>.tysnap    checksummed catalog snapshot covering
+//                                    every record with lsn <= <lsn>
+//
+// Durability protocol. Every mutating operation routes through the underlying
+// Catalog inside a SchemaTransaction whose commit hook appends one WAL record
+// — written and fsync'd BEFORE the in-memory commit publishes. If the append
+// fails, the transaction rolls back and the operation reports the failure: an
+// operation is never observable in memory unless its record is on stable
+// storage. Records carry the textual op (including the verify flag, since a
+// no-verify derivation might not replay under verify) and are replayed
+// deterministically at recovery.
+//
+// Compaction. Compact() writes a fresh snapshot to a temp file, fsyncs it,
+// renames it into place, fsyncs the directory, and only then truncates the
+// WAL and deletes older snapshots. A crash between rename and truncate is
+// benign: replay skips records with lsn <= the snapshot's lsn.
+//
+// Recovery (in Open). The newest snapshot that decodes cleanly is loaded —
+// a corrupt newer snapshot falls back to an older one with a warning, and is
+// fatal only when no snapshot loads at all. The WAL is then validated and
+// replayed: a torn tail (crash mid-append) is truncated with a warning and
+// never an error; mid-log corruption is refused with a byte-offset
+// diagnostic. Recovery always yields a catalog byte-identical to the state
+// either before or after the interrupted mutation — never in between.
+//
+// Crash-injection points: storage.wal.* (wal.h) plus
+// storage.compact.before_rename / storage.compact.after_rename.
+
+#ifndef TYDER_STORAGE_DURABLE_CATALOG_H_
+#define TYDER_STORAGE_DURABLE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/wal.h"
+
+namespace tyder::storage {
+
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_lsn = 0;   // meaningful only when snapshot_loaded
+  size_t replayed_records = 0;
+  std::vector<std::string> warnings;  // torn tail, skipped corrupt snapshots
+  uint64_t recovery_ns = 0;
+};
+
+class DurableCatalog {
+ public:
+  // Opens (creating if absent) the database directory and recovers the
+  // catalog from its newest valid snapshot plus the WAL.
+  static Result<DurableCatalog> Open(const std::string& dir);
+
+  DurableCatalog(DurableCatalog&&) = default;
+  DurableCatalog& operator=(DurableCatalog&&) = default;
+
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  // LSN of the newest durable record (snapshot-covered or in the WAL).
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  // --- logged mutations (Catalog API + durability) --------------------------
+  // Same contracts as the Catalog methods; additionally, on OK the operation
+  // is on stable storage, and on failure it is rolled back in memory (the
+  // WAL tail is restored best-effort, see WalWriter::Append).
+
+  Result<const ViewDef*> DefineProjectionView(
+      std::string_view name, std::string_view source_type,
+      const std::vector<std::string>& attribute_names,
+      const ProjectionOptions& options = {});
+  Result<const ViewDef*> DefineSelectionView(std::string_view name,
+                                             std::string_view source_type);
+  Result<const ViewDef*> DefineGeneralizationView(
+      std::string_view name, std::string_view type_a, std::string_view type_b,
+      const ProjectionOptions& options = {});
+  Result<const ViewDef*> DefineRenameView(
+      std::string_view name, std::string_view source_type,
+      const std::vector<AttributeRename>& renames,
+      const ProjectionOptions& options = {});
+  Status DropView(std::string_view name);
+  Result<CollapseReport> Collapse();
+
+  // Writes a checksummed snapshot covering last_lsn() and truncates the WAL.
+  Status Compact();
+
+  // Seeds a freshly created database from an in-memory catalog (typically a
+  // parsed TDL file) by writing the initial snapshot. Fails unless the
+  // database has no durable state at all.
+  Status Seed(Catalog catalog);
+
+ private:
+  DurableCatalog() = default;
+
+  Status AppendRecord(std::string_view payload);
+
+  std::string dir_;
+  std::string wal_path_;
+  // unique_ptrs keep the class movable without hand-written moves (Catalog
+  // holds a Schema; WalWriter owns an fd).
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t last_lsn_ = 0;
+  RecoveryInfo recovery_;
+};
+
+// Applies one WAL payload to `catalog` without logging (recovery replay).
+// Exposed for tests.
+Status ReplayOp(Catalog& catalog, std::string_view payload);
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_DURABLE_CATALOG_H_

@@ -1,0 +1,210 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "obs/obs.h"
+#include "storage/crc32c.h"
+
+namespace tyder::storage {
+
+namespace {
+
+constexpr size_t kRecordHeaderSize = 16;  // u32 len + u32 crc + u64 lsn
+
+void AppendLe32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendLe64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint32_t ReadLe32(std::string_view bytes, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[offset + i]);
+  }
+  return v;
+}
+
+uint64_t ReadLe64(std::string_view bytes, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[offset + i]);
+  }
+  return v;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Writes all of `data` to `fd`, retrying short writes.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("cannot write WAL", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+  std::string lsn_bytes;
+  AppendLe64(lsn_bytes, lsn);
+  uint32_t crc = Crc32c(Crc32c(0, lsn_bytes), payload);
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  AppendLe32(record, static_cast<uint32_t>(payload.size()));
+  AppendLe32(record, crc);
+  record.append(lsn_bytes);
+  record.append(payload);
+  return record;
+}
+
+}  // namespace
+
+Result<WalReadResult> ParseWal(std::string_view bytes) {
+  WalReadResult result;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    size_t remaining = bytes.size() - offset;
+    uint64_t payload_len =
+        remaining >= 4 ? ReadLe32(bytes, offset) : 0;
+    if (remaining < kRecordHeaderSize ||
+        remaining < kRecordHeaderSize + payload_len) {
+      result.torn_tail_warning =
+          "torn WAL tail: dropped " + std::to_string(remaining) +
+          " trailing byte(s) of a partial record at offset " +
+          std::to_string(offset) + " (crash mid-append)";
+      break;
+    }
+    uint32_t stored_crc = ReadLe32(bytes, offset + 4);
+    std::string_view checked =
+        bytes.substr(offset + 8, 8 + payload_len);  // lsn + payload
+    if (Crc32c(checked) != stored_crc) {
+      bool is_last = offset + kRecordHeaderSize + payload_len == bytes.size();
+      if (is_last) {
+        // A bad checksum on the final record is indistinguishable from a
+        // partially persisted append; treat it as the torn tail it almost
+        // certainly is.
+        result.torn_tail_warning =
+            "torn WAL tail: dropped final record at offset " +
+            std::to_string(offset) + " (checksum mismatch on the last record)";
+        break;
+      }
+      std::ostringstream msg;
+      msg << "WAL corrupt at offset " << offset << ": checksum mismatch on a "
+          << payload_len << "-byte record followed by "
+          << bytes.size() - (offset + kRecordHeaderSize + payload_len)
+          << " more byte(s) — not a torn tail; refusing to replay past it";
+      return Status::ParseError(msg.str());
+    }
+    WalRecord record;
+    record.lsn = ReadLe64(bytes, offset + 8);
+    record.payload = std::string(bytes.substr(offset + kRecordHeaderSize,
+                                              payload_len));
+    if (!result.records.empty() && record.lsn <= result.records.back().lsn) {
+      return Status::ParseError(
+          "WAL corrupt at offset " + std::to_string(offset) +
+          ": lsn " + std::to_string(record.lsn) +
+          " does not advance past lsn " +
+          std::to_string(result.records.back().lsn));
+    }
+    result.records.push_back(std::move(record));
+    offset += kRecordHeaderSize + payload_len;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return WalReadResult{};  // absent log == empty log
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseWal(buffer.str());
+}
+
+Status RepairTornTail(const std::string& path, uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Errno("cannot truncate torn WAL tail of", path);
+  }
+  TYDER_COUNT("storage.torn_tail_truncations");
+  return Status::OK();
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("cannot open WAL", path);
+  return WalWriter(fd);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(uint64_t lsn, std::string_view payload) {
+  TYDER_SPAN("Wal.Append");
+  TYDER_TIMED("storage.wal_append_ns");
+  off_t start = ::lseek(fd_, 0, SEEK_END);
+  Status status = AppendUnguarded(lsn, payload);
+  if (!status.ok() && start >= 0) {
+    // Undo whatever prefix of the record reached the file so the tail stays
+    // clean and the caller may retry the (rolled-back) operation. If this
+    // truncate itself fails the tail is torn, which the next recovery
+    // repairs.
+    if (::ftruncate(fd_, start) == 0) (void)::fsync(fd_);
+  }
+  return status;
+}
+
+Status WalWriter::AppendUnguarded(uint64_t lsn, std::string_view payload) {
+  std::string record = EncodeRecord(lsn, payload);
+  if (TYDER_FAULT_CONSUME("storage.wal.torn_write")) {
+    // Simulated crash mid-write: only a prefix of the record persists.
+    std::string_view prefix(record.data(), record.size() / 2);
+    (void)WriteAll(fd_, prefix, "<wal>");
+    return Status::Internal(
+        "fault injected at 'storage.wal.torn_write' (partial record written)");
+  }
+  TYDER_RETURN_IF_ERROR(WriteAll(fd_, record, "<wal>"));
+  TYDER_FAULT_POINT("storage.wal.after_append");
+  TYDER_FAULT_POINT("storage.wal.mid_fsync");
+  if (::fsync(fd_) != 0) return Errno("cannot fsync WAL", "<wal>");
+  TYDER_FAULT_POINT("storage.wal.after_sync");
+  TYDER_COUNT("projection.wal_appends");
+  return Status::OK();
+}
+
+Status WalWriter::TruncateAll() {
+  if (::ftruncate(fd_, 0) != 0) return Errno("cannot truncate WAL", "<wal>");
+  if (::fsync(fd_) != 0) return Errno("cannot fsync truncated WAL", "<wal>");
+  return Status::OK();
+}
+
+}  // namespace tyder::storage

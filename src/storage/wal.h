@@ -1,0 +1,96 @@
+// Append-only, checksummed write-ahead log of committed catalog mutations.
+//
+// Record layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     payload length n
+//   4       4     CRC32C over (lsn bytes + payload)
+//   8       8     log sequence number (lsn)
+//   16      n     payload (one logical mutation, storage/durable_catalog.h)
+//
+// Append semantics: the record is written with a single write(2) and
+// fsync'd before Append returns OK — the durable catalog calls Append from
+// a SchemaTransaction commit hook, so an operation is never published
+// in memory before its record is on stable storage.
+//
+// Read semantics (recovery): records are validated front to back. A torn
+// tail — header or payload cut short, or a checksum mismatch on the final
+// record — is the signature of a crash mid-append: ReadWal reports the
+// valid prefix plus a warning, and RepairTornTail truncates the file so the
+// next append lands cleanly. A checksum mismatch on a record that is *not*
+// the last one cannot be a torn write and is rejected as corruption with a
+// byte-offset diagnostic; recovery must not guess past it.
+//
+// Crash-injection points (all registered in common/failpoint.cc):
+//   storage.wal.torn_write    only a prefix of the record reaches the file
+//   storage.wal.after_append  full record written, fsync never happens
+//   storage.wal.mid_fsync     the fsync itself fails
+//   storage.wal.after_sync    record durable, but Append fails afterwards
+
+#ifndef TYDER_STORAGE_WAL_H_
+#define TYDER_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tyder::storage {
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // Byte length of the valid record prefix (== file size when intact).
+  uint64_t valid_bytes = 0;
+  // Non-empty iff a torn/partial tail record was dropped.
+  std::string torn_tail_warning;
+};
+
+// Parses `bytes` (the full log file contents). Mid-log corruption is an
+// error; a torn tail is reported in the result, never an error.
+Result<WalReadResult> ParseWal(std::string_view bytes);
+
+// Reads and parses the log at `path`. A missing file is an empty log.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+// Truncates the log at `path` to `valid_bytes` (torn-tail repair).
+Status RepairTornTail(const std::string& path, uint64_t valid_bytes);
+
+class WalWriter {
+ public:
+  // Opens (creating if absent) the log for appending.
+  static Result<WalWriter> Open(const std::string& path);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  // Appends one record and fsyncs the file. On any failure the in-memory
+  // operation being logged must not commit; Append truncates the file back
+  // to its pre-call length (best effort) so a retry starts from a clean
+  // tail. If even that undo fails the tail is torn, which the next recovery
+  // repairs.
+  Status Append(uint64_t lsn, std::string_view payload);
+
+  // Empties the log (compaction: the snapshot now covers every record).
+  Status TruncateAll();
+
+ private:
+  explicit WalWriter(int fd) : fd_(fd) {}
+
+  Status AppendUnguarded(uint64_t lsn, std::string_view payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_WAL_H_

@@ -105,5 +105,88 @@ TEST(SerializeTest, MalformedBodyRejected) {
   EXPECT_FALSE(DeserializeBody(fx->schema, "(call no_such_gf)").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Checksummed snapshot envelope (the durable catalog's on-disk framing).
+
+TEST(SnapshotEnvelopeTest, EncodeDecodeRoundTrip) {
+  std::string payload = "tyder-schema v1\ntype Person user\n";
+  auto decoded = DecodeSnapshotEnvelope(EncodeSnapshotEnvelope(payload));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, payload);
+  // Empty payloads frame cleanly too.
+  decoded = DecodeSnapshotEnvelope(EncodeSnapshotEnvelope(""));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, "");
+}
+
+// The hardening contract: EVERY strict prefix of a valid snapshot must fail
+// with a Status — never decode partially, never read out of bounds.
+TEST(SnapshotEnvelopeTest, EveryPrefixOfAValidSnapshotFails) {
+  std::string bytes = EncodeSnapshotEnvelope("payload bytes for the test");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded =
+        DecodeSnapshotEnvelope(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  auto full = DecodeSnapshotEnvelope(bytes);
+  EXPECT_TRUE(full.ok()) << full.status();
+}
+
+TEST(SnapshotEnvelopeTest, WrongMagicFails) {
+  std::string bytes = EncodeSnapshotEnvelope("payload");
+  bytes[0] = 'X';
+  auto decoded = DecodeSnapshotEnvelope(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("bad magic"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(SnapshotEnvelopeTest, FutureFormatVersionFails) {
+  std::string bytes = EncodeSnapshotEnvelope("payload");
+  bytes[8] = 2;  // little-endian u32 version at offset 8
+  auto decoded = DecodeSnapshotEnvelope(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version 2"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(SnapshotEnvelopeTest, PayloadCorruptionFailsTheChecksum) {
+  std::string bytes = EncodeSnapshotEnvelope("payload");
+  bytes[16] ^= 0x01;  // first payload byte
+  auto decoded = DecodeSnapshotEnvelope(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(SnapshotEnvelopeTest, TrailingGarbageFails) {
+  std::string bytes = EncodeSnapshotEnvelope("payload") + "x";
+  auto decoded = DecodeSnapshotEnvelope(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(SnapshotEnvelopeTest, SchemaSnapshotRoundTripsFactoredSchemas) {
+  auto fx = testing::BuildExample1(/*with_z_methods=*/true);
+  ASSERT_TRUE(fx.ok());
+  ProjectionSpec spec;
+  spec.source = fx->a;
+  spec.attributes = {fx->a2, fx->e2, fx->h2};
+  spec.view_name = "ProjA";
+  ASSERT_TRUE(DeriveProjection(fx->schema, spec).ok());
+
+  std::string bytes = SaveSchemaSnapshot(fx->schema);
+  auto restored = LoadSchemaSnapshot(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeSchema(*restored), SerializeSchema(fx->schema));
+  // Every prefix of the framed schema fails loudly as well.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(
+        LoadSchemaSnapshot(std::string_view(bytes).substr(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
 }  // namespace
 }  // namespace tyder

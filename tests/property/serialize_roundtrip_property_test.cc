@@ -1,0 +1,117 @@
+// Save/Load/Save property: over random schemas — including ones factored by
+// random projections, with surrogates and re-homed methods — serialization
+// must be a fixed point: deserializing and re-serializing reproduces the
+// exact bytes, both for the plain text format and through the checksummed
+// snapshot envelope, and for whole catalogs via storage/catalog_snapshot.h.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/serialize.h"
+#include "core/projection.h"
+#include "storage/catalog_snapshot.h"
+#include "testing/random_schema.h"
+
+namespace tyder {
+namespace {
+
+constexpr uint32_t kSeeds = 25;
+
+TEST(SerializeRoundTripProperty, RandomSchemasAreAFixedPoint) {
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    options.with_mutators = (seed % 2) == 0;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+
+    std::string first = SerializeSchema(*schema);
+    auto restored = DeserializeSchema(first);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(SerializeSchema(*restored), first);
+
+    auto unwrapped = LoadSchemaSnapshot(SaveSchemaSnapshot(*schema));
+    ASSERT_TRUE(unwrapped.ok()) << unwrapped.status();
+    EXPECT_EQ(SerializeSchema(*unwrapped), first);
+  }
+}
+
+TEST(SerializeRoundTripProperty, FactoredRandomSchemasAreAFixedPoint) {
+  size_t derived_count = 0;
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+
+    ProjectionSpec spec;
+    if (!testing::PickRandomProjection(*schema, seed * 31 + 7, &spec.source,
+                                       &spec.attributes)) {
+      continue;
+    }
+    spec.view_name = "RandView" + std::to_string(seed);
+    auto derived = DeriveProjection(*schema, spec);
+    if (!derived.ok()) continue;  // legitimately refused projections
+    ++derived_count;
+
+    std::string first = SerializeSchema(*schema);
+    auto restored = DeserializeSchema(first);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    // Byte-identical second serialization: surrogates, precedence-ordered
+    // edges, re-homed method signatures, and rewritten bodies all survive.
+    EXPECT_EQ(SerializeSchema(*restored), first);
+
+    auto unwrapped = LoadSchemaSnapshot(SaveSchemaSnapshot(*schema));
+    ASSERT_TRUE(unwrapped.ok()) << unwrapped.status();
+    EXPECT_EQ(SerializeSchema(*unwrapped), first);
+  }
+  // The property must actually exercise factored schemas, not vacuously skip.
+  EXPECT_GT(derived_count, kSeeds / 3);
+}
+
+TEST(SerializeRoundTripProperty, RandomCatalogSnapshotsAreAFixedPoint) {
+  size_t derived_count = 0;
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    testing::RandomSchemaOptions options;
+    options.seed = seed;
+    auto schema = testing::GenerateRandomSchema(options);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+
+    ProjectionSpec spec;
+    bool has_projection = testing::PickRandomProjection(
+        *schema, seed * 17 + 3, &spec.source, &spec.attributes);
+
+    Catalog catalog(std::move(*schema));
+    if (has_projection) {
+      const Schema& s = catalog.schema();
+      std::vector<std::string> attr_names;
+      for (AttrId a : spec.attributes) {
+        attr_names.push_back(s.types().attribute(a).name.str());
+      }
+      std::string source_name = s.types().TypeName(spec.source);
+      auto view = catalog.DefineProjectionView(
+          "RandView" + std::to_string(seed), source_name, attr_names);
+      if (view.ok()) ++derived_count;
+    }
+
+    std::string first = storage::SerializeCatalog(catalog);
+    auto restored = storage::DeserializeCatalog(first);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(storage::SerializeCatalog(*restored), first);
+
+    auto unwrapped =
+        storage::LoadCatalogSnapshot(storage::SaveCatalogSnapshot(catalog));
+    ASSERT_TRUE(unwrapped.ok()) << unwrapped.status();
+    EXPECT_EQ(storage::SerializeCatalog(*unwrapped), first);
+  }
+  EXPECT_GT(derived_count, kSeeds / 3);
+}
+
+}  // namespace
+}  // namespace tyder

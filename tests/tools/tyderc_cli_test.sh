@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end CLI contract for tyderc: exit statuses, --batch failure
+# diagnostics (the satellite fix: a failing batch item must exit non-zero),
+# and the --db durable lifecycle (seed, mutate, recover, compact).
+#
+# Usage: tyderc_cli_test.sh <path-to-tyderc> <path-to-payroll.tdl>
+set -u
+
+TYDERC="$1"
+TDL="$2"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tyderc_cli_test.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+check() {  # check <description> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# --- in-memory batch exit status ------------------------------------------
+
+cat > "$WORK/good.batch" <<EOF
+Employee SSN,pay_rate PayView
+Person SSN,name ContactView
+EOF
+"$TYDERC" "$TDL" --batch "$WORK/good.batch" > "$WORK/good.out" 2> "$WORK/good.err"
+check "all-good batch exits 0" 0 $?
+
+# Person does not have pay_rate, so BadView fails at derivation (not at name
+# resolution, which is fail-fast) and exercises the per-item diagnostics.
+cat > "$WORK/bad.batch" <<EOF
+Employee SSN,pay_rate PayView
+Person pay_rate BadView
+EOF
+"$TYDERC" "$TDL" --batch "$WORK/bad.batch" > "$WORK/bad.out" 2> "$WORK/bad.err"
+check "batch with a failing item exits non-zero" 1 $?
+grep -q "FAILED BadView" "$WORK/bad.out" \
+  || { echo "FAIL: per-item FAILED line missing from stdout" >&2; failures=$((failures + 1)); }
+grep -q "batch item 'BadView'" "$WORK/bad.err" \
+  || { echo "FAIL: per-item diagnostic missing from stderr" >&2; failures=$((failures + 1)); }
+
+"$TYDERC" "$TDL" --batch "$WORK/missing.batch" > /dev/null 2>&1
+test $? -ne 0; check "missing batch file exits non-zero" 0 $?
+
+# --- durable lifecycle -----------------------------------------------------
+
+DB="$WORK/db"
+"$TYDERC" "$TDL" --db "$DB" > /dev/null 2>&1
+check "seeding a fresh db exits 0" 0 $?
+test -f "$DB/wal.log"
+check "seeded db has a WAL" 0 $?
+
+"$TYDERC" --db "$DB" --project Employee SSN,pay_rate PayView > /dev/null 2>&1
+check "durable --project exits 0" 0 $?
+
+"$TYDERC" --db "$DB" > "$WORK/reopen.out" 2>&1
+check "reopen after mutation exits 0" 0 $?
+grep -q "1 records replayed" "$WORK/reopen.out" \
+  || { echo "FAIL: reopen did not report the replayed record" >&2; failures=$((failures + 1)); }
+
+"$TYDERC" --db "$DB" --compact > /dev/null 2>&1
+check "--compact exits 0" 0 $?
+test "$(wc -c < "$DB/wal.log")" -eq 0
+check "compaction truncated the WAL" 0 $?
+
+"$TYDERC" --db "$DB" --drop PayView > /dev/null 2>&1
+check "durable --drop exits 0" 0 $?
+
+"$TYDERC" --db "$DB" --project Employee no_such_attr BadView > /dev/null 2> "$WORK/dbbad.err"
+test $? -ne 0; check "failing durable op exits non-zero" 0 $?
+"$TYDERC" --db "$DB" > /dev/null 2>&1
+check "db reopens cleanly after a failed op" 0 $?
+
+"$TYDERC" --compact > /dev/null 2>&1
+test $? -ne 0; check "--compact without --db exits non-zero" 0 $?
+
+# --- fault point listing (consumed by run_all.sh crash mode) ---------------
+
+"$TYDERC" --list-faults > "$WORK/faults.out" 2>&1
+check "--list-faults exits 0" 0 $?
+grep -q "^storage.wal.torn_write$" "$WORK/faults.out" \
+  || { echo "FAIL: --list-faults is missing the storage points" >&2; failures=$((failures + 1)); }
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures check(s) failed" >&2
+  exit 1
+fi
+echo "all checks passed"

@@ -17,15 +17,33 @@
 //                                            comments and blank lines are
 //                                            skipped); analysis runs on the
 //                                            --jobs worker pool, commits are
-//                                            serial and per-item atomic
+//                                            serial and per-item atomic; any
+//                                            failed item makes the exit
+//                                            status non-zero, with one
+//                                            diagnostic per failed item on
+//                                            stderr (later ops still run)
+//   tyderc <schema.tdl> --drop <View>        drop a view (revert/detach)
 //   tyderc <schema.tdl> --collapse           collapse empty surrogates
 //   tyderc <schema.tdl> --serialize          dump the (post-ops) schema
 //   tyderc <schema.tdl> --export             re-emit the schema as TDL
 //   tyderc <schema.tdl> --stats              hierarchy metrics
 //
+// Durable mode (src/storage/durable_catalog.h):
+//
+//   tyderc --db <dir> [ops]                  open/recover the database in
+//                                            <dir>; mutating ops (--project,
+//                                            --batch, --drop, --collapse)
+//                                            are WAL-logged and crash-safe
+//   tyderc <schema.tdl> --db <dir>           seed a fresh database from the
+//                                            TDL file (initial snapshot)
+//   tyderc --db <dir> --compact              write a snapshot, truncate the
+//                                            WAL
+//
 // Execution modifiers:
 //
 //   --jobs <N>           analysis threads for --batch (default 1)
+//   --list-faults        print every registered fault point name and exit
+//                        (the crash-injection harness enumerates these)
 //
 // Observability modifiers (composable with everything above; see
 // docs/OBSERVABILITY.md):
@@ -47,6 +65,7 @@
 
 #include "catalog/export_tdl.h"
 #include "catalog/serialize.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/collapse.h"
 #include "core/derive_batch.h"
@@ -58,6 +77,7 @@
 #include "objmodel/schema_printer.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "storage/durable_catalog.h"
 
 namespace tyder {
 namespace {
@@ -68,23 +88,32 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::cerr << "usage: tyderc <schema.tdl> [--print] [--methods] [--dot] "
+  std::cerr << "usage: tyderc [<schema.tdl>] [--db <dir>] [--print] "
+               "[--methods] [--dot] "
                "[--lint] [--no-verify] "
                "[--project <Type> <a,b,c> <ViewName>] [--batch <file>] "
-               "[--collapse] "
+               "[--drop <View>] [--collapse] [--compact] "
                "[--serialize] [--export] [--stats] [--jobs <N>] "
+               "[--list-faults] "
                "[--trace] [--trace-json=<file>] [--metrics]\n";
   return 2;
 }
 
+// One line of a --batch file, before name resolution.
+struct BatchLine {
+  std::string source;
+  std::vector<std::string> attrs;
+  std::string view;
+  int lineno = 0;
+};
+
 // Parses a --batch file: one projection per line, "<Type> <a,b,c> <ViewName>"
 // (the same three operands --project takes). '#' starts a comment; blank
 // lines are skipped.
-Result<std::vector<ProjectionSpec>> LoadBatchFile(const Schema& schema,
-                                                  const std::string& path) {
+Result<std::vector<BatchLine>> ParseBatchFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open batch file '" + path + "'");
-  std::vector<ProjectionSpec> specs;
+  std::vector<BatchLine> lines;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
@@ -92,39 +121,135 @@ Result<std::vector<ProjectionSpec>> LoadBatchFile(const Schema& schema,
     size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream fields(line);
-    std::string source, attrs, view;
-    if (!(fields >> source)) continue;  // blank / comment-only line
+    BatchLine item;
+    item.lineno = lineno;
+    std::string attrs;
+    if (!(fields >> item.source)) continue;  // blank / comment-only line
     std::string garbage;
-    if (!(fields >> attrs >> view) || (fields >> garbage)) {
+    if (!(fields >> attrs >> item.view) || (fields >> garbage)) {
       return Status::ParseError(path + ":" + std::to_string(lineno) +
                                 ": expected '<Type> <a,b,c> <ViewName>'");
     }
-    Result<ProjectionSpec> spec = ResolveProjectionSpec(
-        schema, source, SplitAndTrim(attrs, ','), view);
+    item.attrs = SplitAndTrim(attrs, ',');
+    lines.push_back(std::move(item));
+  }
+  return lines;
+}
+
+void PrintApplicable(const Schema& schema, std::string_view view,
+                     const std::vector<MethodId>& applicable) {
+  std::cout << "derived " << view << "; applicable methods:";
+  for (MethodId m : applicable) {
+    std::cout << " " << schema.method(m).label.view();
+  }
+  std::cout << "\n";
+}
+
+// In-memory --batch: parallel analysis + serial atomic apply via DeriveBatch.
+// Returns the number of failed items.
+Result<size_t> RunBatchInMemory(Schema& schema,
+                                const std::vector<BatchLine>& lines,
+                                const std::string& path, int jobs,
+                                const ProjectionOptions& projection_options) {
+  std::vector<ProjectionSpec> specs;
+  for (const BatchLine& item : lines) {
+    Result<ProjectionSpec> spec =
+        ResolveProjectionSpec(schema, item.source, item.attrs, item.view);
     if (!spec.ok()) {
-      return spec.status().WithContext(path + ":" + std::to_string(lineno));
+      return spec.status().WithContext(path + ":" +
+                                       std::to_string(item.lineno));
     }
     specs.push_back(std::move(*spec));
   }
-  return specs;
+  BatchDeriveOptions batch_options;
+  batch_options.jobs = jobs;
+  batch_options.apply = true;
+  batch_options.verify = projection_options.verify;
+  BatchDeriveReport report = DeriveBatch(schema, specs, batch_options);
+  std::cout << "batch: " << report.items.size() << " projections, "
+            << batch_options.jobs << " jobs\n";
+  for (const BatchItemResult& item : report.items) {
+    if (item.applied) {
+      std::cout << "  ";
+      PrintApplicable(schema, item.spec.view_name, item.applicability.applicable);
+    } else {
+      std::cout << "  FAILED " << item.spec.view_name << "\n";
+      std::cerr << "tyderc: batch item '" << item.spec.view_name
+                << "' failed: " << item.status << "\n";
+    }
+  }
+  std::cout << "batch: " << report.applied << " applied, " << report.failed
+            << " failed\n";
+  return static_cast<size_t>(report.failed);
 }
 
-int RunOps(const std::string& schema_path,
-           const std::vector<std::string>& ops, int jobs) {
+// Durable --batch: every item commits (and is WAL-logged) individually.
+// Returns the number of failed items.
+size_t RunBatchDurable(storage::DurableCatalog& db,
+                       const std::vector<BatchLine>& lines,
+                       const ProjectionOptions& projection_options) {
+  size_t failed = 0;
+  std::cout << "batch: " << lines.size() << " projections (durable, serial)\n";
+  for (const BatchLine& item : lines) {
+    Result<const ViewDef*> view = db.DefineProjectionView(
+        item.view, item.source, item.attrs, projection_options);
+    if (view.ok()) {
+      std::cout << "  ";
+      PrintApplicable(db.catalog().schema(), item.view,
+                      (*view)->derivation.applicability.applicable);
+    } else {
+      ++failed;
+      std::cout << "  FAILED " << item.view << "\n";
+      std::cerr << "tyderc: batch item '" << item.view
+                << "' failed: " << view.status() << "\n";
+    }
+  }
+  std::cout << "batch: " << lines.size() - failed << " applied, " << failed
+            << " failed\n";
+  return failed;
+}
+
+Result<Catalog> LoadTdlFile(const std::string& schema_path) {
   std::ifstream in(schema_path);
   if (!in) {
-    std::cerr << "tyderc: cannot open '" << schema_path << "'\n";
-    return 1;
+    return Status::NotFound("cannot open '" + schema_path + "'");
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+  obs::ScopedSpan span("LoadTdl");
+  span.Attr("path", schema_path);
+  return LoadTdl(buffer.str());
+}
 
-  Result<Catalog> catalog = [&] {
-    obs::ScopedSpan span("LoadTdl");
-    span.Attr("path", schema_path);
-    return LoadTdl(buffer.str());
-  }();
-  if (!catalog.ok()) return Fail(catalog.status());
+int RunOps(const std::string& schema_path, const std::string& db_dir,
+           const std::vector<std::string>& ops, int jobs) {
+  std::optional<Catalog> owned;          // file mode
+  std::optional<storage::DurableCatalog> db;  // --db mode
+  Catalog* catalog = nullptr;
+
+  if (!db_dir.empty()) {
+    Result<storage::DurableCatalog> opened =
+        storage::DurableCatalog::Open(db_dir);
+    if (!opened.ok()) return Fail(opened.status());
+    db.emplace(std::move(opened).value());
+    for (const std::string& warning : db->recovery().warnings) {
+      std::cerr << "tyderc: recovery: " << warning << "\n";
+    }
+    if (!schema_path.empty()) {
+      Result<Catalog> seed = LoadTdlFile(schema_path);
+      if (!seed.ok()) return Fail(seed.status());
+      Status seeded = db->Seed(std::move(*seed));
+      if (!seeded.ok()) return Fail(seeded);
+      std::cout << "seeded db '" << db_dir << "' from " << schema_path << "\n";
+    }
+    catalog = &db->catalog();
+  } else {
+    if (schema_path.empty()) return Usage();
+    Result<Catalog> loaded = LoadTdlFile(schema_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    owned.emplace(std::move(loaded).value());
+    catalog = &*owned;
+  }
   Schema& schema = catalog->schema();
 
   if (ops.empty()) {
@@ -133,9 +258,21 @@ int RunOps(const std::string& schema_path,
               << schema.NumGenericFunctions() << " generic functions, "
               << schema.NumMethods() << " methods, "
               << catalog->views().size() << " views\n";
+    if (db.has_value()) {
+      const storage::RecoveryInfo& rec = db->recovery();
+      std::cout << "db: last lsn " << db->last_lsn() << ", "
+                << rec.replayed_records << " records replayed";
+      if (rec.snapshot_loaded) {
+        std::cout << " over snapshot lsn " << rec.snapshot_lsn;
+      }
+      std::cout << "\n";
+    }
     return 0;
   }
 
+  // Per-item failures (--batch) diagnose-and-continue; everything else is
+  // fail-fast because later ops depend on the op that failed.
+  int exit_code = 0;
   ProjectionOptions projection_options;
   for (size_t i = 0; i < ops.size(); ++i) {
     const std::string& flag = ops[i];
@@ -172,49 +309,54 @@ int RunOps(const std::string& schema_path,
       std::string source = ops[++i];
       std::vector<std::string> attrs = SplitAndTrim(ops[++i], ',');
       std::string view = ops[++i];
-      Result<DerivationResult> result =
-          DeriveProjectionByName(schema, source, attrs, view,
-                                 projection_options);
-      if (!result.ok()) return Fail(result.status());
-      std::cout << "derived " << view << "; applicable methods:";
-      for (MethodId m : result->applicability.applicable) {
-        std::cout << " " << schema.method(m).label.view();
+      if (db.has_value()) {
+        Result<const ViewDef*> result =
+            db->DefineProjectionView(view, source, attrs, projection_options);
+        if (!result.ok()) return Fail(result.status());
+        PrintApplicable(schema, view,
+                        (*result)->derivation.applicability.applicable);
+      } else {
+        Result<DerivationResult> result = DeriveProjectionByName(
+            schema, source, attrs, view, projection_options);
+        if (!result.ok()) return Fail(result.status());
+        PrintApplicable(schema, view, result->applicability.applicable);
       }
-      std::cout << "\n";
     } else if (flag == "--batch") {
       if (i + 1 >= ops.size()) return Usage();
       std::string path = ops[++i];
-      Result<std::vector<ProjectionSpec>> specs =
-          LoadBatchFile(schema, path);
-      if (!specs.ok()) return Fail(specs.status());
-      BatchDeriveOptions batch_options;
-      batch_options.jobs = jobs;
-      batch_options.apply = true;
-      batch_options.verify = projection_options.verify;
-      BatchDeriveReport report = DeriveBatch(schema, *specs, batch_options);
-      std::cout << "batch: " << report.items.size() << " projections, "
-                << batch_options.jobs << " jobs\n";
-      for (const BatchItemResult& item : report.items) {
-        if (item.applied) {
-          std::cout << "  derived " << item.spec.view_name
-                    << "; applicable methods:";
-          for (MethodId m : item.applicability.applicable) {
-            std::cout << " " << schema.method(m).label.view();
-          }
-          std::cout << "\n";
-        } else {
-          std::cout << "  FAILED " << item.spec.view_name << ": "
-                    << item.status << "\n";
-        }
+      Result<std::vector<BatchLine>> lines = ParseBatchFile(path);
+      if (!lines.ok()) return Fail(lines.status());
+      size_t failed = 0;
+      if (db.has_value()) {
+        failed = RunBatchDurable(*db, *lines, projection_options);
+      } else {
+        Result<size_t> in_memory = RunBatchInMemory(schema, *lines, path, jobs,
+                                                    projection_options);
+        if (!in_memory.ok()) return Fail(in_memory.status());
+        failed = *in_memory;
       }
-      std::cout << "batch: " << report.applied << " applied, "
-                << report.failed << " failed\n";
-      if (report.failed > 0) return 1;
+      if (failed > 0) exit_code = 1;
+    } else if (flag == "--drop") {
+      if (i + 1 >= ops.size()) return Usage();
+      std::string view = ops[++i];
+      Status dropped =
+          db.has_value() ? db->DropView(view) : catalog->DropView(view);
+      if (!dropped.ok()) return Fail(dropped);
+      std::cout << "dropped " << view << "\n";
     } else if (flag == "--collapse") {
-      Result<CollapseReport> report = catalog->Collapse();
+      Result<CollapseReport> report =
+          db.has_value() ? db->Collapse() : catalog->Collapse();
       if (!report.ok()) return Fail(report.status());
       std::cout << "collapsed " << report->collapsed.size()
                 << " empty surrogates\n";
+    } else if (flag == "--compact") {
+      if (!db.has_value()) {
+        std::cerr << "tyderc: --compact requires --db\n";
+        return 2;
+      }
+      Status compacted = db->Compact();
+      if (!compacted.ok()) return Fail(compacted);
+      std::cout << "compacted db at lsn " << db->last_lsn() << "\n";
     } else if (flag == "--serialize") {
       std::cout << SerializeSchema(schema);
     } else if (flag == "--export") {
@@ -225,18 +367,32 @@ int RunOps(const std::string& schema_path,
       return Usage();
     }
   }
-  return 0;
+  return exit_code;
+}
+
+// Operand count of each op flag; -1 for "not an op".
+int OpArity(const std::string& flag) {
+  if (flag == "--project") return 3;
+  if (flag == "--batch" || flag == "--drop") return 1;
+  if (flag == "--print" || flag == "--methods" || flag == "--dot" ||
+      flag == "--lint" || flag == "--no-verify" || flag == "--collapse" ||
+      flag == "--compact" || flag == "--serialize" || flag == "--export" ||
+      flag == "--stats") {
+    return 0;
+  }
+  return -1;
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
-  // Peel off the observability modifiers; everything else keeps its
-  // left-to-right op semantics.
+  // Peel off the observability/execution modifiers; everything else keeps
+  // its left-to-right op semantics.
   bool want_trace = false;
   bool want_metrics = false;
   int jobs = 1;
   std::string trace_json_path;
   std::string schema_path;
+  std::string db_dir;
   std::vector<std::string> ops;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -244,26 +400,40 @@ int Run(int argc, char** argv) {
       want_trace = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg == "--list-faults") {
+      for (const std::string& name : failpoint::AllFaultPointNames()) {
+        std::cout << name << "\n";
+      }
+      return 0;
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) return Usage();
       jobs = std::atoi(argv[++i]);
       if (jobs < 1) return Usage();
+    } else if (arg == "--db") {
+      if (i + 1 >= argc) return Usage();
+      db_dir = argv[++i];
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_json_path = arg.substr(std::string("--trace-json=").size());
       if (trace_json_path.empty()) return Usage();
-    } else if (schema_path.empty()) {
+    } else if (int arity = OpArity(arg); arity >= 0) {
+      ops.push_back(arg);
+      for (int n = 0; n < arity; ++n) {
+        if (i + 1 >= argc) return Usage();
+        ops.push_back(argv[++i]);
+      }
+    } else if (schema_path.empty() && arg.rfind("--", 0) != 0) {
       schema_path = arg;
     } else {
-      ops.push_back(arg);
+      return Usage();
     }
   }
-  if (schema_path.empty()) return Usage();
+  if (schema_path.empty() && db_dir.empty()) return Usage();
 
   obs::Tracer tracer;
   std::optional<obs::ScopedTracer> install;
   if (want_trace || !trace_json_path.empty()) install.emplace(&tracer);
 
-  int exit_code = RunOps(schema_path, ops, jobs);
+  int exit_code = RunOps(schema_path, db_dir, ops, jobs);
 
   if (want_trace) {
     std::cout << "=== trace ===\n" << obs::TraceToText(tracer.events());
