@@ -1,0 +1,83 @@
+// Throughput of the testing machinery itself: the differential oracle
+// sweeps (src/oracle) and the operation-sequence fuzzer (tests/fuzz). The
+// oracle's cost bounds how exhaustively each fuzz step can check, so a
+// regression here directly shrinks the coverage a fixed fuzz budget buys.
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/fuzzer.h"
+#include "oracle/differential.h"
+#include "testing/random_schema.h"
+
+namespace tyder::bench {
+namespace {
+
+Result<Schema> OracleSchema(int num_types) {
+  testing::RandomSchemaOptions options;
+  options.seed = 7;
+  options.num_types = num_types;
+  options.methods_per_gf = 2;
+  options.with_mutators = true;
+  return testing::GenerateRandomSchema(options);
+}
+
+void BM_OracleSubtypeCheck(benchmark::State& state) {
+  auto schema = OracleSchema(static_cast<int>(state.range(0)));
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Status s = oracle::CheckSubtypeOracle(*schema);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  size_t n = schema->types().NumTypes();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * n));  // pairs checked
+}
+BENCHMARK(BM_OracleSubtypeCheck)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OracleDispatchCheck(benchmark::State& state) {
+  auto schema = OracleSchema(static_cast<int>(state.range(0)));
+  if (!schema.ok()) {
+    state.SkipWithError(schema.status().ToString().c_str());
+    return;
+  }
+  oracle::DifferentialOptions options;
+  options.seed = 11;
+  options.tuples_per_gf = 4;
+  options.exhaustive_tuple_limit = 64;
+  for (auto _ : state) {
+    Status s = oracle::CheckDispatchOracle(*schema, options);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_OracleDispatchCheck)->Arg(8)->Arg(16);
+
+// One full fuzz trace per iteration — schema generation, the lockstep
+// catalog/model run, and every per-step oracle sweep. items/s is ops/s.
+void BM_FuzzSequence(benchmark::State& state) {
+  fuzz::FuzzProfile profile;
+  profile.with_crash_ops = false;  // keep the benchmark off the filesystem
+  fuzz::FuzzTrace trace = fuzz::GenerateTrace(state.range(0), profile);
+  for (auto _ : state) {
+    fuzz::RunResult result = fuzz::RunTrace(trace);
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.ops.size()));
+  state.counters["ops"] = static_cast<double>(trace.ops.size());
+}
+BENCHMARK(BM_FuzzSequence)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace tyder::bench

@@ -12,6 +12,7 @@
 #        scripts/run_all.sh tsan [build-dir]
 #        scripts/run_all.sh ubsan [build-dir]
 #        scripts/run_all.sh crash [build-dir]
+#        scripts/run_all.sh fuzz [seconds] [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
@@ -37,6 +38,11 @@
 # out-of-process matrix: for every storage.* fault point `tyderc` reports,
 # a real tyderc process is killed mid-operation via TYDER_FAULTS and the
 # database directory must recover on the next open.
+#
+# The `fuzz` mode replays the checked-in regression corpus and then runs a
+# time-boxed differential fuzzing campaign (default 30 s; pass a number of
+# seconds as the first argument) with the operation-sequence fuzzer. See
+# docs/TESTING.md for the seed/replay/shrink workflow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +62,9 @@ elif [ "${1:-}" = "ubsan" ]; then
 elif [ "${1:-}" = "crash" ]; then
   MODE=crash
   shift
+elif [ "${1:-}" = "fuzz" ]; then
+  MODE=fuzz
+  shift
 fi
 
 if [ "$MODE" = "asan" ]; then
@@ -74,7 +83,7 @@ if [ "$MODE" = "tsan" ]; then
   cmake --build "$BUILD"
   echo "=== tests (TSan) ==="
   ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache'
+    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress'
   echo "TSAN GREEN"
   exit 0
 fi
@@ -124,6 +133,19 @@ if [ "$MODE" = "crash" ]; then
     rm -rf "$(dirname "$DB")"
   done
   echo "CRASH GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "fuzz" ]; then
+  SECONDS_BUDGET="${1:-30}"
+  BUILD="${2:-build}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD"
+  echo "=== corpus replay ==="
+  ctest --test-dir "$BUILD" --output-on-failure -R 'FuzzCorpus'
+  echo "=== fuzz campaign (${SECONDS_BUDGET}s) ==="
+  "$BUILD/tests/tyder_fuzz" --seconds "$SECONDS_BUDGET"
+  echo "FUZZ GREEN"
   exit 0
 fi
 

@@ -20,6 +20,9 @@ const char* const kFaultPointNames[] = {
     "augment.mid",               // inside Augmenter recursion, partial edges
     "catalog.define.after_derive",  // view derived but not yet recorded
     "catalog.drop.mid",          // view reverted/detached but not yet erased
+    "chaos.skip_closure_invalidation",  // behavior perturbation, not a
+                                 // failure: AddSupertype keeps the stale
+                                 // subtype closure (tests/fuzz known-bad run)
     "collapse.before",           // CollapseEmptySurrogates entry
     "collapse.mid",              // after a surrogate was spliced out
     "factor_methods.before",     // FactorMethods entry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "obs/obs.h"
 
@@ -136,6 +137,14 @@ Status TypeGraph::AddSupertype(TypeId sub, TypeId super) {
         "' would create a cycle");
   }
   types_[sub].AppendSupertype(super);
+  // Chaos hook for the differential fuzzer (tests/fuzz): when armed, the
+  // edge lands but the stale ancestor-bitset closure stays published — the
+  // exact bug a forgotten Invalidate() would be. Memory-safe by construction
+  // (no types were added, so every row stays in bounds); already-built rows
+  // simply keep their pre-edge ancestor sets until the next real mutation.
+  if (TYDER_FAULT_CONSUME("chaos.skip_closure_invalidation")) {
+    return Status::OK();
+  }
   Invalidate();
   return Status::OK();
 }

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/catalog.h"
+#include "catalog/serialize.h"
 #include "common/failpoint.h"
 #include "core/projection.h"
 #include "methods/dispatch.h"
@@ -183,6 +185,96 @@ TEST(DeriveBatchTest, DegenerateBatchShapes) {
   ASSERT_EQ(solo.items.size(), 1u);
   EXPECT_TRUE(solo.items[0].status.ok());
   EXPECT_EQ(solo.analyzed_ok, 1);
+}
+
+// Duplicate view names inside one batch: analysis sees an unmutated schema,
+// so both items analyze clean; the serial apply phase commits the first and
+// refuses the second with AlreadyExists — without disturbing items after it.
+TEST(DeriveBatchTest, DuplicateViewNameSecondItemFailsCleanly) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ProjectionSpec dup;
+  dup.source = fx->person;
+  dup.attributes = {fx->ssn};
+  dup.view_name = "DupView";
+  ProjectionSpec tail;
+  tail.source = fx->employee;
+  tail.attributes = {fx->pay_rate};
+  tail.view_name = "TailView";
+
+  BatchDeriveOptions options;
+  options.jobs = 3;
+  options.apply = true;
+  BatchDeriveReport report = DeriveBatch(fx->schema, {dup, dup, tail}, options);
+  EXPECT_EQ(report.analyzed_ok, 3);
+  EXPECT_EQ(report.applied, 2);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_TRUE(report.items[0].applied);
+  EXPECT_FALSE(report.items[1].applied);
+  EXPECT_EQ(report.items[1].status.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(report.items[2].applied);
+  // Exactly one DupView exists, and it is the first item's derivation.
+  auto found = fx->schema.types().FindType("DupView");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, report.items[0].derived);
+  EXPECT_TRUE(fx->schema.types().FindType("TailView").ok());
+  EXPECT_TRUE(fx->schema.Validate().ok());
+}
+
+// A batch item whose source was just collapsed (DropView detaches the view's
+// type; ids stay stable) must fail per-item without touching the schema.
+TEST(DeriveBatchTest, ProjectionOfJustCollapsedTypeFailsCleanly) {
+  auto fx = testing::BuildExample1();
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  const TypeGraph& g = fx->schema.types();
+  std::vector<std::string> attr_names;
+  for (AttrId a : fx->Projection()) {
+    attr_names.push_back(g.attribute(a).name.str());
+  }
+  Catalog catalog(std::move(fx->schema));
+  auto view = catalog.DefineProjectionView(
+      "PV", catalog.schema().types().TypeName(fx->a), attr_names);
+  ASSERT_TRUE(view.ok()) << view.status();
+  TypeId stale = (*view)->derived;
+  ASSERT_TRUE(catalog.DropView("PV").ok());
+  ASSERT_TRUE(catalog.schema().types().type(stale).detached());
+
+  Schema& schema = catalog.schema();
+  // The detached type is refused by the derivation pipeline itself.
+  ProjectionSpec direct;
+  direct.source = stale;
+  direct.attributes = {fx->a2};
+  direct.view_name = "Zombie";
+  Result<DerivationResult> refused = DeriveProjection(schema, direct);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // And through the batch driver: the stale item fails in isolation while a
+  // live item in the same batch still commits.
+  ProjectionSpec live;
+  live.source = fx->a;
+  live.attributes = {fx->a2, fx->e2};
+  live.view_name = "LiveView";
+  BatchDeriveOptions options;
+  options.jobs = 2;
+  options.apply = true;
+  BatchDeriveReport report = DeriveBatch(schema, {direct, live}, options);
+  EXPECT_FALSE(report.items[0].status.ok());
+  EXPECT_FALSE(report.items[0].applied);
+  EXPECT_TRUE(report.items[1].applied);
+  EXPECT_EQ(report.applied, 1);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_FALSE(schema.types().FindType("Zombie").ok());
+  EXPECT_TRUE(schema.types().FindType("LiveView").ok());
+
+  // A batch of nothing-but-stale items is a no-op, byte for byte.
+  Schema untouched = schema;
+  std::string pre = SerializeSchema(untouched);
+  BatchDeriveReport stale_only =
+      DeriveBatch(untouched, {direct, direct}, options);
+  EXPECT_EQ(stale_only.applied, 0);
+  EXPECT_EQ(stale_only.failed, 2);
+  EXPECT_EQ(SerializeSchema(untouched), pre);
 }
 
 // The rollback-invalidation satellite: warm every derived cache, force a

@@ -1,0 +1,76 @@
+// Replays the checked-in regression corpus (tests/fuzz/corpus/*.trace)
+// through the fuzzer. Every corpus trace must parse and run clean; the
+// corpus must stay big enough to be worth having.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+#ifndef TYDER_FUZZ_CORPUS_DIR
+#error "TYDER_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace tyder::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TYDER_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".trace") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string Slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(FuzzCorpusTest, CorpusIsLargeEnough) {
+  EXPECT_GE(CorpusFiles().size(), 25u);
+}
+
+TEST(FuzzCorpusTest, CorpusCoversCrashRecoveryAndShrunkTraces) {
+  bool has_crash_op = false;
+  bool has_shrunk = false;
+  for (const auto& path : CorpusFiles()) {
+    std::string text = Slurp(path);
+    Result<FuzzTrace> trace = ParseTrace(text);
+    ASSERT_TRUE(trace.ok()) << path << ": " << trace.status().ToString();
+    for (const FuzzOp& op : trace->ops) {
+      if (op.kind == OpKind::kCrash) has_crash_op = true;
+    }
+    if (text.find("shrink") != std::string::npos) has_shrunk = true;
+  }
+  EXPECT_TRUE(has_crash_op)
+      << "corpus needs at least one crash-recovery trace";
+  EXPECT_TRUE(has_shrunk)
+      << "corpus needs at least one shrink-produced trace";
+}
+
+TEST(FuzzCorpusTest, EveryTraceReplaysClean) {
+  auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    Result<FuzzTrace> trace = ParseTrace(Slurp(path));
+    ASSERT_TRUE(trace.ok()) << path << ": " << trace.status().ToString();
+    RunResult run = RunTrace(*trace);
+    EXPECT_TRUE(run.status.ok())
+        << path << " failed at op " << run.failing_step << ": "
+        << run.status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tyder::fuzz

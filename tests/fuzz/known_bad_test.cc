@@ -1,0 +1,66 @@
+// The acceptance demo from ISSUE 5: seed a known-bad build — the
+// chaos.skip_closure_invalidation fault point makes AddSupertype keep the
+// stale ancestor-bitset closure, exactly the bug a forgotten Invalidate()
+// would be — and prove the fuzzer catches it and shrinks the failure to a
+// minimal trace (<= 10 ops).
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "fuzz/fuzzer.h"
+
+namespace tyder::fuzz {
+namespace {
+
+class KnownBadBuildTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+TEST_F(KnownBadBuildTest, FuzzerCatchesSkippedClosureInvalidation) {
+  failpoint::Activate("chaos.skip_closure_invalidation", -1);
+
+  CampaignOptions options;
+  options.base_seed = 1;
+  options.max_sequences = 200;  // found within the first handful in practice
+  options.budget_seconds = 120.0;
+  options.profile.with_crash_ops = false;  // keep the hunt off the filesystem
+  CampaignResult result = RunCampaign(options);
+
+  ASSERT_TRUE(result.failed)
+      << "the known-bad build survived " << result.sequences << " sequences";
+  EXPECT_FALSE(result.failure.ok());
+
+  // The shrunk trace is small enough to read and to check into the corpus.
+  EXPECT_LE(result.shrunk_trace.ops.size(), 10u)
+      << FormatTrace(result.shrunk_trace);
+  EXPECT_GE(result.shrunk_trace.ops.size(), 1u);
+
+  // The minimal trace still reproduces on the bad build...
+  RunResult bad = RunTrace(result.shrunk_trace);
+  EXPECT_FALSE(bad.status.ok());
+
+  // ...and passes once the bug is gone, so it pinpoints the defect.
+  failpoint::DeactivateAll();
+  RunResult good = RunTrace(result.shrunk_trace);
+  EXPECT_TRUE(good.status.ok()) << good.status.ToString();
+}
+
+TEST_F(KnownBadBuildTest, ShrinkHonorsRunCap) {
+  failpoint::Activate("chaos.skip_closure_invalidation", -1);
+  CampaignOptions options;
+  options.base_seed = 1;
+  options.max_sequences = 200;
+  options.budget_seconds = 120.0;
+  options.profile.with_crash_ops = false;
+  options.shrink_on_failure = false;  // shrink manually with a tiny cap
+  CampaignResult result = RunCampaign(options);
+  ASSERT_TRUE(result.failed);
+  FuzzTrace shrunk = ShrinkTrace(result.failing_trace, /*max_runs=*/8);
+  // Even with a tiny budget the result must still be a failing trace.
+  EXPECT_FALSE(RunTrace(shrunk).status.ok());
+  EXPECT_LE(shrunk.ops.size(), result.failing_trace.ops.size());
+}
+
+}  // namespace
+}  // namespace tyder::fuzz

@@ -1,0 +1,99 @@
+// Concurrency stressor for the frozen-schema query paths: N threads hammer
+// IsSubtype / DispatchOrder / ApplicableMethodsFromTables while one thread
+// runs PrewarmClosure, interleaved with exclusive mutation + Invalidate
+// cycles. The suite name matches the tsan regex in scripts/run_all.sh, so
+// every cycle runs under ThreadSanitizer in that mode; a single-threaded
+// oracle sweep at the end of each cycle proves the answers stayed right,
+// not merely race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "methods/applicability.h"
+#include "methods/dispatch.h"
+#include "methods/dispatch_table.h"
+#include "oracle/differential.h"
+#include "testing/random_schema.h"
+
+namespace tyder {
+namespace {
+
+TEST(OracleStressTest, ConcurrentQueriesDuringPrewarmInvalidateCycles) {
+  testing::RandomSchemaOptions options;
+  options.seed = 99;
+  options.num_types = 10;
+  options.num_general_methods = 6;
+  options.methods_per_gf = 2;
+  auto schema_or = testing::GenerateRandomSchema(options);
+  ASSERT_TRUE(schema_or.ok()) << schema_or.status().ToString();
+  Schema schema = std::move(*schema_or);
+
+  const int kCycles = 24;
+  const unsigned kThreads =
+      std::max(4u, std::min(8u, std::thread::hardware_concurrency()));
+  const int kQueriesPerThread = 400;
+
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    // Exclusive mutation phase: grow the hierarchy, invalidating the closure
+    // and (via the version bump) every dispatch table and cache line.
+    TypeGraph& graph = schema.types();
+    auto t = graph.DeclareType("S" + std::to_string(cycle), TypeKind::kUser);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    TypeId base = static_cast<TypeId>(cycle % options.num_types);
+    ASSERT_TRUE(graph.AddSupertype(*t, base).ok());
+
+    // Frozen phase: concurrent readers plus one prewarmer.
+    const size_t num_types = graph.NumTypes();
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> threads;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      threads.emplace_back([&, tid] {
+        if (tid == 0) {
+          schema.types().PrewarmClosure();
+          return;
+        }
+        std::mt19937 rng(static_cast<uint32_t>(cycle * 131 + tid));
+        std::uniform_int_distribution<size_t> pick_type(0, num_types - 1);
+        std::uniform_int_distribution<size_t> pick_gf(
+            0, schema.NumGenericFunctions() - 1);
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          TypeId a = static_cast<TypeId>(pick_type(rng));
+          TypeId b = static_cast<TypeId>(pick_type(rng));
+          (void)schema.types().IsSubtype(a, b);
+          GfId gf = static_cast<GfId>(pick_gf(rng));
+          std::vector<TypeId> args;
+          for (int i = 0; i < schema.gf(gf).arity; ++i) {
+            args.push_back(static_cast<TypeId>(pick_type(rng)));
+          }
+          std::vector<MethodId> tabled =
+              ApplicableMethodsFromTables(schema, gf, args);
+          std::vector<MethodId> order = DispatchOrder(schema, gf, args);
+          // Cheap cross-thread sanity: the dispatch order is a permutation
+          // of the applicable set, whatever interleaving built the tables.
+          if (tabled.size() != order.size()) ok.store(false);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    ASSERT_TRUE(ok.load()) << "applicable/order size mismatch under threads";
+
+    // Single-threaded truth check: whatever the interleaving did to the
+    // caches, the answers must still match the naive oracle.
+    Status s = oracle::CheckSubtypeOracle(schema);
+    ASSERT_TRUE(s.ok()) << "cycle " << cycle << ": " << s.ToString();
+  }
+
+  // One full differential at the end (dispatch included).
+  oracle::DifferentialOptions dopts;
+  dopts.tuples_per_gf = 4;
+  dopts.exhaustive_tuple_limit = 128;
+  Status s = oracle::CheckSchemaAgainstOracle(schema, dopts);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace tyder

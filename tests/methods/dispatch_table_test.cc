@@ -216,6 +216,145 @@ TEST(DispatchCacheTest, HierarchyEditInvalidatesCachedCallSites) {
   EXPECT_EQ(*after, *f_mid);
 }
 
+// A chain schema with one gf carrying `num_methods` methods, one per chain
+// type (most specific first). Probing with chain[0] makes every method
+// applicable.
+struct ChainGf {
+  Schema schema;
+  GfId gf = kInvalidGf;
+  std::vector<TypeId> chain;
+  std::vector<MethodId> methods;  // registration order == specificity order
+};
+
+Result<ChainGf> BuildChainGf(int num_methods) {
+  ChainGf out;
+  TYDER_ASSIGN_OR_RETURN(out.schema, Schema::Create());
+  TypeGraph& g = out.schema.types();
+  for (int i = 0; i < num_methods; ++i) {
+    TYDER_ASSIGN_OR_RETURN(
+        TypeId t, g.DeclareType("K" + std::to_string(i), TypeKind::kUser));
+    if (i > 0) TYDER_RETURN_IF_ERROR(g.AddSupertype(out.chain.back(), t));
+    out.chain.push_back(t);
+  }
+  TYDER_ASSIGN_OR_RETURN(out.gf, out.schema.DeclareGenericFunction("k", 1));
+  for (int i = 0; i < num_methods; ++i) {
+    Method m;
+    m.label = Symbol::Intern("k_" + std::to_string(i));
+    m.gf = out.gf;
+    m.kind = MethodKind::kGeneral;
+    m.sig = Signature{{out.chain[i]}, out.schema.builtins().void_type};
+    m.param_names = {Symbol::Intern("p")};
+    TYDER_ASSIGN_OR_RETURN(MethodId id, out.schema.AddMethod(std::move(m)));
+    out.methods.push_back(id);
+  }
+  return out;
+}
+
+// The two size regimes around kDirectScanMax: a gf with exactly
+// kDirectScanMax methods always takes the direct scan, one method more makes
+// it table-eligible. Querying 1..kBuildThreshold+2 times walks the same call
+// through cold scan, threshold crossing, and warm tables — every answer must
+// equal the brute-force scan.
+TEST(DispatchTableBoundaryTest, DirectScanAndTableRegimesAgreeAcrossUses) {
+  for (size_t num_methods :
+       {DispatchTables::kDirectScanMax, DispatchTables::kDirectScanMax + 1}) {
+    auto chain = BuildChainGf(static_cast<int>(num_methods));
+    ASSERT_TRUE(chain.ok()) << chain.status();
+    std::vector<TypeId> args = {chain->chain[0]};
+    std::vector<MethodId> brute =
+        BruteForceApplicable(chain->schema, chain->gf, args);
+    ASSERT_EQ(brute.size(), num_methods);
+    for (uint32_t use = 0; use < DispatchTables::kBuildThreshold + 2; ++use) {
+      EXPECT_EQ(ApplicableMethodsFromTables(chain->schema, chain->gf, args),
+                brute)
+          << num_methods << " methods, use " << use;
+      EXPECT_EQ(DispatchOrder(chain->schema, chain->gf, args), brute)
+          << num_methods << " methods, use " << use;
+    }
+    // A type in the middle of the chain prunes the applicable set the same
+    // way on both paths.
+    std::vector<TypeId> mid = {chain->chain[num_methods / 2]};
+    EXPECT_EQ(ApplicableMethodsFromTables(chain->schema, chain->gf, mid),
+              BruteForceApplicable(chain->schema, chain->gf, mid));
+  }
+}
+
+// More methods than one mask word holds (70 > 64): the bit for method 64+
+// lives in the second word, where a word-count bug would truncate or read
+// past the row.
+TEST(DispatchTableBoundaryTest, MultiWordMasksMatchBruteForce) {
+  constexpr int kMethods = 70;
+  auto chain = BuildChainGf(kMethods);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  // Heat the gf past the threshold so the masks actually get built.
+  std::vector<TypeId> leaf = {chain->chain[0]};
+  for (uint32_t use = 0; use <= DispatchTables::kBuildThreshold; ++use) {
+    (void)ApplicableMethodsFromTables(chain->schema, chain->gf, leaf);
+  }
+  for (int i = 0; i < kMethods; ++i) {
+    std::vector<TypeId> args = {chain->chain[static_cast<size_t>(i)]};
+    std::vector<MethodId> brute =
+        BruteForceApplicable(chain->schema, chain->gf, args);
+    ASSERT_EQ(brute.size(), static_cast<size_t>(kMethods - i));
+    EXPECT_EQ(ApplicableMethodsFromTables(chain->schema, chain->gf, args),
+              brute)
+        << "probe at chain position " << i;
+  }
+}
+
+// A mutation right at the build threshold retires the half-heated use
+// counter with the tables: the next query runs against the new version (cold
+// scan again) and must see the new method immediately.
+TEST(DispatchTableBoundaryTest, MutationAtThresholdResetsUseCounter) {
+  auto chain = BuildChainGf(3);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  std::vector<TypeId> args = {chain->chain[0]};
+  // Heat to exactly one use below the threshold.
+  for (uint32_t use = 0; use + 1 < DispatchTables::kBuildThreshold; ++use) {
+    (void)ApplicableMethodsFromTables(chain->schema, chain->gf, args);
+  }
+  // Mutate: one more method at the leaf (most specific, registered last).
+  Method m;
+  m.label = Symbol::Intern("k_leaf");
+  m.gf = chain->gf;
+  m.kind = MethodKind::kGeneral;
+  m.sig = Signature{{chain->chain[0]}, chain->schema.builtins().void_type};
+  m.param_names = {Symbol::Intern("p")};
+  auto added = chain->schema.AddMethod(std::move(m));
+  ASSERT_TRUE(added.ok()) << added.status();
+  // Cross the threshold at the new version: every answer includes the new
+  // method, whichever path serves it.
+  std::vector<MethodId> brute =
+      BruteForceApplicable(chain->schema, chain->gf, args);
+  ASSERT_EQ(brute.back(), *added);
+  for (uint32_t use = 0; use < DispatchTables::kBuildThreshold + 2; ++use) {
+    EXPECT_EQ(ApplicableMethodsFromTables(chain->schema, chain->gf, args),
+              brute)
+        << "use " << use;
+  }
+}
+
+// Arity mismatches must yield the empty set in every size regime — above
+// kDirectScanMax the mask path handles them, at or below it the direct scan
+// does.
+TEST(DispatchTableBoundaryTest, ArityMismatchEmptyOnBothPaths) {
+  for (size_t num_methods :
+       {DispatchTables::kDirectScanMax, DispatchTables::kDirectScanMax + 1}) {
+    auto chain = BuildChainGf(static_cast<int>(num_methods));
+    ASSERT_TRUE(chain.ok()) << chain.status();
+    std::vector<TypeId> wide = {chain->chain[0], chain->chain[0]};
+    for (uint32_t use = 0; use < DispatchTables::kBuildThreshold + 2; ++use) {
+      EXPECT_TRUE(
+          ApplicableMethodsFromTables(chain->schema, chain->gf, {}).empty());
+      EXPECT_TRUE(
+          ApplicableMethodsFromTables(chain->schema, chain->gf, wide).empty());
+      // Heat with a well-formed call so the gf still crosses the threshold.
+      (void)ApplicableMethodsFromTables(chain->schema, chain->gf,
+                                        {chain->chain[0]});
+    }
+  }
+}
+
 // Many threads dispatching over one frozen schema: exercises the lazily
 // built masks, the shared closure, and the mutex-guarded call-site cache.
 // Primarily a ThreadSanitizer target (run_all.sh tsan).

@@ -100,9 +100,40 @@ class Generator {
         m.param_names.push_back(Symbol::Intern("p" + std::to_string(p)));
       }
       m.sig.result = schema_.builtins().void_type;
+      std::vector<TypeId> base_params = m.sig.params;
       m.body = MakeBody(m.sig.params, added_methods_);
       TYDER_ASSIGN_OR_RETURN(MethodId added, schema_.AddMethod(std::move(m)));
       added_methods_.push_back(added);
+      // Extra multi-methods on the same gf: each formal is either lifted to
+      // a random supertype of the base method's formal (keeping the two
+      // methods' applicable sets overlapping, with the base more specific at
+      // that position) or redrawn fresh (disjoint or crosswise overlap).
+      // Draws happen only when methods_per_gf > 1, so the historical seeded
+      // schemas are unchanged.
+      for (int j = 1; j < options_.methods_per_gf; ++j) {
+        Method extra;
+        extra.label = Symbol::Intern("m" + std::to_string(i) + "_impl" +
+                                     std::to_string(j));
+        extra.gf = gf;
+        extra.kind = MethodKind::kGeneral;
+        for (int p = 0; p < schema_.gf(gf).arity; ++p) {
+          TypeId formal;
+          if (Rand(2) == 0) {
+            std::vector<TypeId> supers =
+                schema_.types().SupertypeClosure(base_params[p]);
+            formal = supers[Rand(static_cast<int>(supers.size()))];
+          } else {
+            formal = user_types_[Rand(static_cast<int>(user_types_.size()))];
+          }
+          extra.sig.params.push_back(formal);
+          extra.param_names.push_back(Symbol::Intern("p" + std::to_string(p)));
+        }
+        extra.sig.result = schema_.builtins().void_type;
+        extra.body = MakeBody(extra.sig.params, added_methods_);
+        TYDER_ASSIGN_OR_RETURN(MethodId added_extra,
+                               schema_.AddMethod(std::move(extra)));
+        added_methods_.push_back(added_extra);
+      }
     }
     return Status::OK();
   }

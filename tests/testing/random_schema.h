@@ -22,6 +22,13 @@ struct RandomSchemaOptions {
   int num_general_methods = 10;
   int max_stmts_per_body = 4;
   bool with_mutators = false;
+  // Methods per general generic function. The default (1) reproduces the
+  // historical one-method-per-gf schemas byte-for-byte (seeded draws are
+  // unchanged). Values > 1 add extra multi-methods whose formals are drawn
+  // from the supertype closures of the first method's formals — overlapping
+  // applicability with varied specificity, so dispatch ordering is
+  // non-trivial (multiple applicable methods, CPL-dependent winners).
+  int methods_per_gf = 1;
 };
 
 // Always returns a schema that passes Validate() and TypeCheckSchema().
