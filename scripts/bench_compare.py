@@ -17,6 +17,15 @@ correctness-flag regressions only.
 Benchmarks present in only one file are reported but never fail the
 comparison — new benchmarks appear and old ones retire as the codebase
 grows.
+
+A purely relative threshold is meaningless for benchmarks whose whole body
+is a couple of machine instructions: at ~1ns per iteration a single cycle
+of code/data-placement jitter (guard variable or heap object landing on a
+different line in the new binary — instruction-identical loops, verified by
+objdump) is already ±30%. Deltas where the absolute change is below
+--floor-ns (default 5ns) are therefore reported as "sub-floor" and never
+gate, mirroring the combined relative+absolute thresholds of LNT-style
+harnesses.
 """
 
 import argparse
@@ -47,6 +56,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=25.0,
                         help="regression threshold in percent (default 25)")
+    parser.add_argument("--floor-ns", type=float, default=5.0,
+                        help="absolute deltas below this never gate "
+                             "(default 5ns; see module docstring)")
     args = parser.parse_args()
 
     baseline = load_results(args.baseline)
@@ -76,7 +88,10 @@ def main():
             continue
         delta_pct = 100.0 * (cur_ns - base_ns) / base_ns
         status = f"{delta_pct:+.1f}%"
-        if delta_pct > args.threshold:
+        if abs(cur_ns - base_ns) < args.floor_ns:
+            if abs(delta_pct) > args.threshold:
+                status += " sub-floor"
+        elif delta_pct > args.threshold:
             status += " REGRESSION"
             regressions.append(
                 f"{label}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "

@@ -13,6 +13,7 @@
 #        scripts/run_all.sh ubsan [build-dir]
 #        scripts/run_all.sh crash [build-dir]
 #        scripts/run_all.sh fuzz [seconds] [build-dir]
+#        scripts/run_all.sh obs [build-dir] [off-build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
@@ -43,6 +44,13 @@
 # time-boxed differential fuzzing campaign (default 30 s; pass a number of
 # seconds as the first argument) with the operation-sequence fuzzer. See
 # docs/TESTING.md for the seed/replay/shrink workflow.
+#
+# The `obs` mode is the observability layer's own gate
+# (docs/OBSERVABILITY.md): it builds with -DTYDER_OBS=OFF (default build
+# dir: build-obs-off) and asserts the metrics/flight-recorder symbols are
+# really absent from tyderc, then compares the shared hot-path benches in
+# bench_obs between the OFF and ON builds — the always-on instrumentation
+# must cost less than 5%.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +73,9 @@ elif [ "${1:-}" = "crash" ]; then
 elif [ "${1:-}" = "fuzz" ]; then
   MODE=fuzz
   shift
+elif [ "${1:-}" = "obs" ]; then
+  MODE=obs
+  shift
 fi
 
 if [ "$MODE" = "asan" ]; then
@@ -83,7 +94,7 @@ if [ "$MODE" = "tsan" ]; then
   cmake --build "$BUILD"
   echo "=== tests (TSan) ==="
   ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress'
+    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress|ObsStress'
   echo "TSAN GREEN"
   exit 0
 fi
@@ -111,26 +122,48 @@ if [ "$MODE" = "crash" ]; then
   for point in $("$TYDERC" --list-faults | grep '^storage\.'); do
     echo "--- $point"
     DB="$(mktemp -d)/db"
+    FLIGHT="$(mktemp -d)"
     "$TYDERC" "$TDL" --db "$DB" > /dev/null
     # The armed fault aborts the mutating op (and, for the compact points,
     # the compaction) partway through its disk protocol — the process exits
     # non-zero with the directory in whatever state the "crash" left it.
+    # TYDER_FLIGHT_DIR makes the fault hit ship a flight-recorder dump.
     case "$point" in
       storage.compact.*)
-        if TYDER_FAULTS="$point" "$TYDERC" --db "$DB" --compact > /dev/null 2>&1; then
+        if TYDER_FAULTS="$point" TYDER_FLIGHT_DIR="$FLIGHT" \
+             "$TYDERC" --db "$DB" --compact > /dev/null 2>&1; then
           echo "ERROR: fault $point did not fire" >&2
           exit 1
         fi ;;
       *)
-        if TYDER_FAULTS="$point" "$TYDERC" --db "$DB" \
+        if TYDER_FAULTS="$point" TYDER_FLIGHT_DIR="$FLIGHT" \
+             "$TYDERC" --db "$DB" \
              --project Employee SSN,pay_rate CrashView > /dev/null 2>&1; then
           echo "ERROR: fault $point did not fire" >&2
           exit 1
         fi ;;
     esac
+    # The killed process must have left a parseable tyder-flight-v1 dump
+    # recording the armed point — the crash's black box.
+    python3 - "$FLIGHT" "$point" <<'PY'
+import glob, json, sys
+files = sorted(glob.glob(sys.argv[1] + "/flight-*.json"))
+assert files, "no flight dump written"
+want = "failpoint:" + sys.argv[2]
+found = False
+for path in files:
+    with open(path) as f:
+        dump = json.load(f)  # raises on unparseable JSON
+    assert dump["schema"] == "tyder-flight-v1", (path, dump.get("schema"))
+    if dump["reason"] == want and any(
+            e["kind"] == "failpoint"
+            for t in dump["threads"] for e in t["events"]):
+        found = True
+assert found, "no dump records " + want
+PY
     # Recovery: the next open must succeed and land on a valid catalog.
     "$TYDERC" --db "$DB" > /dev/null
-    rm -rf "$(dirname "$DB")"
+    rm -rf "$(dirname "$DB")" "$FLIGHT"
   done
   echo "CRASH GREEN"
   exit 0
@@ -146,6 +179,53 @@ if [ "$MODE" = "fuzz" ]; then
   echo "=== fuzz campaign (${SECONDS_BUDGET}s) ==="
   "$BUILD/tests/tyder_fuzz" --seconds "$SECONDS_BUDGET"
   echo "FUZZ GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "obs" ]; then
+  BUILD="${1:-build}"
+  OFF_BUILD="${2:-build-obs-off}"
+  echo "=== TYDER_OBS=OFF build ==="
+  cmake -B "$OFF_BUILD" -G Ninja -DTYDER_OBS=OFF
+  cmake --build "$OFF_BUILD" --target tyderc bench_obs
+  # The OFF build must really compile the metrics layer out: tyderc keeps
+  # the tracer (available in both modes) but must reference no counters,
+  # histograms, flight recorder, or snapshotter.
+  if nm -C "$OFF_BUILD/tools/tyderc" \
+       | grep -E 'FlightRecorder|StatsSnapshotter|MetricsRegistry|ShardedCounter'; then
+    echo "ERROR: TYDER_OBS=OFF tyderc still links observability symbols" >&2
+    exit 1
+  fi
+  echo "no observability symbols in OFF tyderc"
+  echo "=== TYDER_OBS=ON build ==="
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD" --target bench_obs
+  # Overhead gate: the hot-path benches bench_obs builds in BOTH modes must
+  # cost at most 5% more with the instrumentation on. The ON-only micro
+  # benches pair with nothing in the OFF report and show up as NEW, which
+  # bench_compare never fails on.
+  # Longer sampling than the recorded-report runs: the gate compares two
+  # fresh measurements against a tight 5% threshold, so both sides need to
+  # sit well inside the scheduler's noise floor.
+  collect_obs_report() {  # <bench-binary> <out-json>
+    "$1" --benchmark_min_time=0.5 \
+      | grep -a 'BENCHJSON: ' \
+      | sed 's/^.*BENCHJSON: //' \
+      | python3 -c 'import json, sys
+benches = [json.loads(l) for l in sys.stdin if l.strip()]
+json.dump({"schema": "tyder-bench-v1", "benches": benches}, sys.stdout)
+print()' > "$2"
+  }
+  OFF_JSON="$(mktemp --suffix=.json)"
+  ON_JSON="$(mktemp --suffix=.json)"
+  echo "--- bench_obs (OFF)"
+  collect_obs_report "$OFF_BUILD/bench/bench_obs" "$OFF_JSON"
+  echo "--- bench_obs (ON)"
+  collect_obs_report "$BUILD/bench/bench_obs" "$ON_JSON"
+  echo "=== overhead (ON vs OFF, 5% gate) ==="
+  python3 scripts/bench_compare.py "$OFF_JSON" "$ON_JSON" --threshold 5
+  rm -f "$OFF_JSON" "$ON_JSON"
+  echo "OBS GREEN"
   exit 0
 fi
 

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/string_util.h"
+#include "obs/obs.h"
 
 namespace tyder::failpoint {
 
@@ -140,6 +141,13 @@ Status Fire(FailPoint* point, const char* name) {
     point->remaining.fetch_sub(1, std::memory_order_relaxed);
   }
   point->fires.fetch_add(1, std::memory_order_relaxed);
+  // Black-box the injection: the event lands in the thread's ring, and if a
+  // dump directory is configured (the crash matrix arms one) the full
+  // flight dump ships alongside the injected failure.
+  TYDER_RECORD_V(kFailpoint, name,
+                 static_cast<int64_t>(
+                     point->fires.load(std::memory_order_relaxed)));
+  TYDER_FLIGHT_DUMP(std::string("failpoint:") + name);
   return Status::Internal("fault injected at '" + std::string(name) + "'");
 }
 

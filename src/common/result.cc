@@ -3,11 +3,19 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
+
 namespace tyder::internal {
 
 void DieOnBadResult(const char* what, const Status& status) {
   std::fprintf(stderr, "tyder: fatal: %s (status: %s)\n", what,
                status.ToString().c_str());
+#if TYDER_OBS_ENABLED
+  // Ship the black box with the abort: a file dump when $TYDER_FLIGHT_DIR is
+  // set, the last events per thread on stderr otherwise.
+  obs::FlightRecorder::Record(obs::FlightEventKind::kAbort, what);
+  obs::FlightRecorder::MaybeDumpForCrash("result_abort");
+#endif
   std::fflush(stderr);
   std::abort();
 }

@@ -99,6 +99,8 @@ BatchDeriveReport DeriveBatch(Schema& schema,
           derived.status().WithContext("apply of '" + item.spec.view_name + "'");
       ++report.failed;
       TYDER_COUNT("batch.item_failures");
+      TYDER_RECORD_V(kOp, "batch.item_failure",
+                     static_cast<int64_t>(report.failed));
       continue;
     }
     item.derived = derived->derived;

@@ -39,6 +39,7 @@ Status SchemaTransaction::Commit() {
 void SchemaTransaction::Rollback() {
   TYDER_COUNT("projection.rollbacks");
   TYDER_TIMED("projection.rollback_ns");
+  TYDER_RECORD_V(kOp, "txn.rollback", depth_);
   obs::Narrate(nullptr, "transaction rollback");
   schema_ = snapshot_;
 }

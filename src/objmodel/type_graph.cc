@@ -201,7 +201,12 @@ Result<AttrId> TypeGraph::FindAttribute(std::string_view name) const {
   return it->second;
 }
 
-const TypeGraph::Closure* TypeGraph::closure() const {
+// Force-inlined into every (same-TU) caller: with the cache-hit counter in
+// the body the compiler stops inlining this on its own, and the warm
+// IsSubtype path — a single word-test — would eat an extra call per query.
+// The `obs` overhead gate watches exactly this path.
+__attribute__((always_inline)) inline const TypeGraph::Closure*
+TypeGraph::closure() const {
   const Closure* c = closure_published_.load(std::memory_order_acquire);
   if (c != nullptr && c->version == version_) {
     TYDER_COUNT("subtype.cache_hit");

@@ -154,40 +154,4 @@ std::vector<std::string> RenderNarration(
   return lines;
 }
 
-std::string MetricsToText(const MetricsRegistry& registry) {
-  std::ostringstream out;
-  for (const auto& [name, value] : registry.CounterSnapshot()) {
-    out << name << " = " << value << "\n";
-  }
-  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
-    out << name << ": count=" << snap.count << " min=" << snap.min
-        << " max=" << snap.max << " sum=" << snap.sum << " p50=" << snap.p50
-        << " p95=" << snap.p95 << "\n";
-  }
-  return out.str();
-}
-
-std::string MetricsToJson(const MetricsRegistry& registry) {
-  std::ostringstream out;
-  out << "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, value] : registry.CounterSnapshot()) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << JsonEscape(name) << "\":" << value;
-  }
-  out << "},\"histograms\":{";
-  first = true;
-  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << JsonEscape(name) << "\":{\"count\":" << snap.count
-        << ",\"min\":" << snap.min << ",\"max\":" << snap.max
-        << ",\"sum\":" << snap.sum << ",\"p50\":" << snap.p50
-        << ",\"p95\":" << snap.p95 << "}";
-  }
-  out << "}}";
-  return out.str();
-}
-
 }  // namespace tyder::obs

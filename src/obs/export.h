@@ -30,12 +30,14 @@ std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
 // exactly the lines the legacy `DerivationResult::trace` vector carried.
 std::vector<std::string> RenderNarration(const std::vector<TraceEvent>& events);
 
-// --- metrics exporters ----------------------------------------------------
+// --- metrics exporters (export_metrics.cc) -------------------------------
 
-// Name-sorted "name = value" lines, histograms with count/min/max/sum/p50/p95.
+// Name-sorted "name = value" lines, histograms with
+// count/min/max/sum/p50/p95/p99.
 std::string MetricsToText(const MetricsRegistry& registry);
 
-// {"counters": {...}, "histograms": {name: {count, min, max, sum, p50, p95}}}
+// {"counters": {...}, "histograms": {name: {count, min, max, sum, p50, p95,
+//  p99}}}
 std::string MetricsToJson(const MetricsRegistry& registry);
 
 // JSON string escaping (shared with the bench reporters).

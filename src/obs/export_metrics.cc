@@ -1,0 +1,48 @@
+// Metrics exporters, in their own translation unit so a binary that never
+// references metrics (tyderc built with -DTYDER_OBS=OFF gates every use)
+// links without pulling in the registry — `scripts/run_all.sh obs` asserts
+// that with nm. Trace exporters + JsonEscape live in export.cc.
+
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace tyder::obs {
+
+std::string MetricsToText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    out << name << " = " << value << "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
+    out << name << ": count=" << snap.count << " min=" << snap.min
+        << " max=" << snap.max << " sum=" << snap.sum << " p50=" << snap.p50
+        << " p95=" << snap.p95 << " p99=" << snap.p99 << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << snap.count
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+        << ",\"sum\":" << snap.sum << ",\"p50\":" << snap.p50
+        << ",\"p95\":" << snap.p95 << ",\"p99\":" << snap.p99 << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace tyder::obs

@@ -1,0 +1,255 @@
+#include "obs/flight_recorder.h"
+
+#if TYDER_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/export.h"
+
+namespace tyder::obs {
+
+namespace {
+
+// One ring slot. Every field is an atomic so a dump racing the owner
+// thread's writes is race-free; relaxed is enough because the reader
+// tolerates torn events at the write frontier (see header).
+struct Slot {
+  std::atomic<int64_t> ts_ns{0};
+  std::atomic<uint32_t> kind{0};
+  std::atomic<int64_t> value{0};
+  // The event name, packed into words (31 chars + NUL).
+  std::atomic<uint64_t> name_words[4] = {};
+};
+
+struct Ring {
+  uint64_t thread_index = 0;
+  std::atomic<bool> retired{false};
+  std::atomic<uint64_t> head{0};  // next sequence number to write
+  Slot slots[FlightRecorder::kRingSize];
+};
+
+// Registry of every ring ever created. Rings are heap-allocated and never
+// freed: a dump after a thread exits must still see its last events, and
+// the leak is bounded by peak thread count x sizeof(Ring).
+class RingRegistry {
+ public:
+  static RingRegistry& Global() {
+    static RingRegistry* instance = new RingRegistry();
+    return *instance;
+  }
+
+  Ring* Register() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring* ring = new Ring();
+    ring->thread_index = rings_.size();
+    rings_.push_back(ring);
+    return ring;
+  }
+
+  std::vector<Ring*> All() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rings_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Ring*> rings_;
+};
+
+// Owns the calling thread's ring for the thread's lifetime; marks it
+// retired (but keeps it registered) when the thread exits.
+struct ThreadRing {
+  Ring* ring = RingRegistry::Global().Register();
+  ~ThreadRing() { ring->retired.store(true, std::memory_order_release); }
+};
+
+Ring& ThisThreadRing() {
+  thread_local ThreadRing owner;
+  return *owner.ring;
+}
+
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void DecodeSlot(const Slot& slot, FlightEvent* out) {
+  out->ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+  out->kind = static_cast<FlightEventKind>(
+      slot.kind.load(std::memory_order_relaxed));
+  out->value = slot.value.load(std::memory_order_relaxed);
+  uint64_t words[4];
+  for (int w = 0; w < 4; ++w) {
+    words[w] = slot.name_words[w].load(std::memory_order_relaxed);
+  }
+  static_assert(sizeof(words) == sizeof(out->name));
+  std::memcpy(out->name, words, sizeof(words));
+  out->name[sizeof(out->name) - 1] = '\0';
+}
+
+}  // namespace
+
+const char* FlightRecorder::KindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kOp:
+      return "op";
+    case FlightEventKind::kSpanBegin:
+      return "span_begin";
+    case FlightEventKind::kSpanEnd:
+      return "span_end";
+    case FlightEventKind::kFailpoint:
+      return "failpoint";
+    case FlightEventKind::kAbort:
+      return "abort";
+    case FlightEventKind::kMark:
+      return "mark";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Record(FlightEventKind kind, std::string_view name,
+                            int64_t value) {
+  Ring& ring = ThisThreadRing();
+  uint64_t seq = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[seq & (kRingSize - 1)];
+  slot.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  uint64_t words[4] = {};
+  size_t n = name.size() < 31 ? name.size() : 31;
+  std::memcpy(words, name.data(), n);
+  for (int w = 0; w < 4; ++w) {
+    slot.name_words[w].store(words[w], std::memory_order_relaxed);
+  }
+  // Publish: a reader that observes head >= seq+1 sees this slot's fields
+  // (unless it has since been overwritten — the documented torn-event case).
+  ring.head.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::ThreadDump> FlightRecorder::Snapshot() {
+  std::vector<ThreadDump> dumps;
+  for (Ring* ring : RingRegistry::Global().All()) {
+    ThreadDump dump;
+    dump.thread_index = ring->thread_index;
+    dump.retired = ring->retired.load(std::memory_order_acquire);
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    dump.total_events = head;
+    uint64_t available = head < kRingSize ? head : kRingSize;
+    dump.events.reserve(available);
+    for (uint64_t seq = head - available; seq < head; ++seq) {
+      FlightEvent event;
+      DecodeSlot(ring->slots[seq & (kRingSize - 1)], &event);
+      dump.events.push_back(event);
+    }
+    dumps.push_back(std::move(dump));
+  }
+  return dumps;
+}
+
+std::string FlightRecorder::DumpJson(std::string_view reason) {
+  std::ostringstream out;
+  out << "{\"schema\":\"tyder-flight-v1\",\"reason\":\""
+      << JsonEscape(reason) << "\",\"ring_size\":" << kRingSize
+      << ",\"threads\":[";
+  bool first_thread = true;
+  for (const ThreadDump& dump : Snapshot()) {
+    if (!first_thread) out << ",";
+    first_thread = false;
+    out << "{\"thread\":" << dump.thread_index << ",\"retired\":"
+        << (dump.retired ? "true" : "false")
+        << ",\"total_events\":" << dump.total_events << ",\"events\":[";
+    bool first_event = true;
+    for (const FlightEvent& e : dump.events) {
+      if (!first_event) out << ",";
+      first_event = false;
+      out << "{\"ts_ns\":" << e.ts_ns << ",\"kind\":\"" << KindName(e.kind)
+          << "\",\"name\":\"" << JsonEscape(e.name) << "\",\"value\":"
+          << e.value << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                std::string_view reason) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << DumpJson(reason) << "\n";
+  out.flush();
+  return out.good();
+}
+
+std::string FlightRecorder::MaybeDumpForCrash(std::string_view reason) {
+  const char* dir = std::getenv("TYDER_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    // No dump directory: put a short per-thread tail on stderr so the black
+    // box still surfaces in interactive failures and test logs.
+    std::fprintf(stderr, "tyder: flight recorder (%.*s):\n",
+                 static_cast<int>(reason.size()), reason.data());
+    for (const ThreadDump& dump : Snapshot()) {
+      size_t n = dump.events.size();
+      size_t from = n > 8 ? n - 8 : 0;
+      for (size_t i = from; i < n; ++i) {
+        const FlightEvent& e = dump.events[i];
+        std::fprintf(stderr, "  [t%llu] %+12lldns %-10s %s (%lld)\n",
+                     static_cast<unsigned long long>(dump.thread_index),
+                     static_cast<long long>(e.ts_ns), KindName(e.kind),
+                     e.name, static_cast<long long>(e.value));
+      }
+    }
+    return "";
+  }
+  return DumpIfConfigured(reason);
+}
+
+std::string FlightRecorder::DumpIfConfigured(std::string_view reason) {
+  const char* dir = std::getenv("TYDER_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  static std::atomic<uint64_t> dump_seq{0};
+  uint64_t seq = dump_seq.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream path;
+  path << dir << "/flight-" << static_cast<unsigned long>(::getpid()) << "-"
+       << seq << ".json";
+  if (!DumpToFile(path.str(), reason)) {
+    std::fprintf(stderr, "tyder: cannot write flight dump '%s'\n",
+                 path.str().c_str());
+    return "";
+  }
+  std::fprintf(stderr, "tyder: flight recorder dumped to %s (%.*s)\n",
+               path.str().c_str(), static_cast<int>(reason.size()),
+               reason.data());
+  return path.str();
+}
+
+size_t FlightRecorder::NumThreads() {
+  return RingRegistry::Global().All().size();
+}
+
+uint64_t FlightRecorder::TotalEvents() {
+  uint64_t total = 0;
+  for (Ring* ring : RingRegistry::Global().All()) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_ENABLED

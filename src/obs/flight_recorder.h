@@ -1,0 +1,116 @@
+// Always-on flight recorder: a per-thread lock-free ring buffer of recent
+// engine events (spans, operations, fault-point hits, rollbacks, aborts),
+// dumpable on demand — the engine's black box.
+//
+// Each thread owns a fixed ring of kRingSize slots; Record() writes only to
+// the calling thread's ring (single writer), so recording is one clock read
+// plus a handful of relaxed atomic stores and a release publish of the head
+// counter — no locks, no allocation after the ring exists. Rings are
+// registered in a process-wide list and kept alive after their thread exits
+// (marked retired), so a dump taken after a worker pool wound down still
+// shows what those workers did last.
+//
+// Dumps (Snapshot / DumpJson / DumpToFile) may run concurrently with
+// recording on other threads. Every slot field is an atomic, so concurrent
+// dumping is race-free (TSan-clean) but best-effort at the ring's write
+// frontier: a slot overwritten mid-read can yield one torn event (fields
+// from two different records). Dump consumers treat events as diagnostics,
+// not ground truth.
+//
+// Dump-on-demand hooks call MaybeDumpForCrash(reason): if TYDER_FLIGHT_DIR
+// is set in the environment, the full JSON dump is written there as
+// flight-<pid>-<seq>.json and the path is reported on stderr; otherwise the
+// last few events per thread go to stderr as text. Hook sites: Result<T>
+// misuse aborts, every armed fault-point fire, and the fuzzer's failure
+// path.
+//
+// The whole unit compiles away under -DTYDER_OBS=OFF: this header is empty,
+// so any call site not behind TYDER_RECORD/TYDER_FLIGHT_DUMP (obs/obs.h) or
+// an explicit TYDER_OBS_ENABLED guard fails the OFF build loudly —
+// `scripts/run_all.sh obs` builds that configuration to catch bitrot.
+
+#ifndef TYDER_OBS_FLIGHT_RECORDER_H_
+#define TYDER_OBS_FLIGHT_RECORDER_H_
+
+#ifndef TYDER_OBS_ENABLED
+#define TYDER_OBS_ENABLED 1
+#endif
+
+#if TYDER_OBS_ENABLED
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tyder::obs {
+
+enum class FlightEventKind : uint32_t {
+  kOp = 0,        // a named engine operation (wal append, rollback, ...)
+  kSpanBegin,     // ScopedSpan opened
+  kSpanEnd,       // ScopedSpan closed (value = duration in ns)
+  kFailpoint,     // an armed fault point fired
+  kAbort,         // Result<T> misuse abort in flight
+  kMark,          // free-form marker (tests, tools)
+};
+
+// Decoded event, as read back out of a ring.
+struct FlightEvent {
+  int64_t ts_ns = 0;  // since the process-wide recorder epoch
+  FlightEventKind kind = FlightEventKind::kMark;
+  int64_t value = 0;
+  char name[32] = {};  // NUL-terminated, truncated to 31 chars
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kRingSize = 256;  // power of two
+
+  // Appends one event to the calling thread's ring. Wait-free after the
+  // thread's first call (which allocates + registers its ring).
+  static void Record(FlightEventKind kind, std::string_view name,
+                     int64_t value = 0);
+
+  struct ThreadDump {
+    uint64_t thread_index = 0;  // stable per-thread registration index
+    bool retired = false;       // the owning thread has exited
+    uint64_t total_events = 0;  // lifetime count (ring keeps the last N)
+    std::vector<FlightEvent> events;  // oldest first
+  };
+
+  // Reads every registered ring (best-effort at live write frontiers).
+  static std::vector<ThreadDump> Snapshot();
+
+  // Full dump as pretty-printed-enough JSON:
+  //   {"schema":"tyder-flight-v1","reason":...,"threads":[...]}
+  static std::string DumpJson(std::string_view reason);
+  // Writes DumpJson to `path`; false on I/O failure.
+  static bool DumpToFile(const std::string& path, std::string_view reason);
+
+  // The dump-on-demand hook: writes a JSON dump into $TYDER_FLIGHT_DIR
+  // (creating it if needed) and returns the path; silent no-op returning ""
+  // when the variable is unset/empty. This is what TYDER_FLIGHT_DUMP and the
+  // fault-point hook call — arbitrarily many fault injections in a test run
+  // stay quiet unless a dump directory was asked for.
+  static std::string DumpIfConfigured(std::string_view reason);
+
+  // DumpIfConfigured, but when no dump directory is configured the last few
+  // events per thread go to stderr instead — for terminal failures (Result
+  // misuse aborts) where losing the black box entirely would be worse than
+  // noisy logs.
+  static std::string MaybeDumpForCrash(std::string_view reason);
+
+  // Number of registered rings / sum of their lifetime event counts.
+  // Exported by the stats snapshotter as the recorder's depth gauge.
+  static size_t NumThreads();
+  static uint64_t TotalEvents();
+
+  static const char* KindName(FlightEventKind kind);
+};
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_ENABLED
+
+#endif  // TYDER_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,103 @@
+#include "obs/histogram.h"
+
+#include <bit>
+
+namespace tyder::obs {
+
+namespace {
+
+// Racy (relaxed) atomic min/max via CAS; contention is rare because the
+// running extremum changes ever less often as the distribution fills in.
+void AtomicMin(std::atomic<int64_t>& target, int64_t value) {
+  int64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& target, int64_t value) {
+  int64_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(int64_t value) {
+  uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  int msb = 63 - std::countl_zero(v);
+  int shift = msb - kSubBits;
+  size_t sub = static_cast<size_t>(v >> shift) & (kSubBuckets - 1);
+  return static_cast<size_t>(shift + 1) * kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return static_cast<int64_t>(index);
+  size_t octave = index >> kSubBits;        // = shift + 1
+  size_t sub = index & (kSubBuckets - 1);
+  return static_cast<int64_t>((kSubBuckets + sub) << (octave - 1));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  // A concurrent Record may have bumped count_ before publishing min_/max_
+  // (all stores are relaxed); clamp so min <= max always holds in a
+  // snapshot, even one taken mid-record.
+  if (snap.min == INT64_MAX) snap.min = 0;
+  if (snap.max < snap.min) snap.max = snap.min;
+  // Walk the buckets once, resolving each quantile's rank to the lower bound
+  // of the bucket it falls in. Matches the PR 1 rank convention
+  // (index = q * (count - 1) + 0.5) so quantile semantics carry over.
+  const double targets[] = {0.50, 0.95, 0.99};
+  int64_t* out[] = {&snap.p50, &snap.p95, &snap.p99};
+  uint64_t ranks[3];
+  for (int i = 0; i < 3; ++i) {
+    ranks[i] = static_cast<uint64_t>(
+        targets[i] * static_cast<double>(snap.count - 1) + 0.5);
+  }
+  uint64_t seen = 0;
+  int next = 0;
+  for (size_t b = 0; b < kNumBuckets && next < 3; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    while (next < 3 && seen > ranks[next]) {
+      *out[next] = BucketLowerBound(b);
+      ++next;
+    }
+  }
+  // Records still in flight (count bumped, bucket not yet) can leave ranks
+  // unresolved; report the max for those, floored at the last resolved
+  // quantile so p50 <= p95 <= p99 holds even when the racy max is stale.
+  for (; next < 3; ++next) {
+    int64_t floor_value = next > 0 ? *out[next - 1] : snap.max;
+    *out[next] = snap.max > floor_value ? snap.max : floor_value;
+  }
+  return snap;
+}
+
+}  // namespace tyder::obs

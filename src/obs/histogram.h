@@ -1,0 +1,81 @@
+// Lock-free log-bucketed duration histogram (HDR-histogram style).
+//
+// Record() is wait-free: one relaxed fetch_add into a log-spaced bucket plus
+// relaxed aggregate updates — no mutex, no sample buffer, safe from any
+// number of threads concurrently. Snap() may run concurrently with Record()
+// and sees an approximately-consistent view (counts that land between the
+// aggregate reads and the bucket walk can skew a snapshot by the handful of
+// in-flight records; every completed Record is eventually visible).
+//
+// Bucket scheme: values 0..31 get one exact bucket each; beyond that, each
+// power of two is split into 32 log-linear sub-buckets, so a bucket's width
+// is at most 1/32 of its lower bound. Quantiles (p50/p95/p99) are computed
+// by rank over the bucket counts and reported as the containing bucket's
+// lower bound: they are *not* exact ranks — the reported value
+// under-estimates the true quantile by at most kMaxRelativeError (3.125%).
+// count, sum, min and max are exact. This replaces the PR 1 design, which
+// kept a mutex-guarded buffer of 65k raw samples and silently degraded
+// percentiles once the buffer filled.
+//
+// The int64 value range is clamped to [0, 2^62): negative values count as 0
+// (durations are non-negative by construction).
+
+#ifndef TYDER_OBS_HISTOGRAM_H_
+#define TYDER_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tyder::obs {
+
+class Histogram {
+ public:
+  // Sub-bucket resolution: 2^kSubBits log-linear buckets per power of two.
+  static constexpr int kSubBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;  // 32
+  // Buckets 0..kSubBuckets-1 are exact; (63 - kSubBits) further octaves of
+  // kSubBuckets sub-buckets each cover the rest of the non-negative range.
+  static constexpr size_t kNumBuckets = (64 - kSubBits) * kSubBuckets;
+  // Quantiles under-estimate the true rank value by at most this fraction.
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Wait-free; safe from any thread.
+  void Record(int64_t value);
+
+  // Zeroes all buckets and aggregates. Not atomic with respect to concurrent
+  // Record() calls: records racing a Reset may be partially dropped. Tests
+  // reset between deterministic phases; production code never resets.
+  void Reset();
+
+  struct Snapshot {
+    uint64_t count = 0;
+    int64_t min = 0;  // exact
+    int64_t max = 0;  // exact
+    int64_t sum = 0;  // exact
+    int64_t p50 = 0;  // bucket lower bound, see kMaxRelativeError
+    int64_t p95 = 0;
+    int64_t p99 = 0;
+  };
+  Snapshot Snap() const;
+
+  // The bucket a value lands in, and a bucket's smallest value. Exposed for
+  // the error-bound tests and the docs' worked examples.
+  static size_t BucketIndex(int64_t value);
+  static int64_t BucketLowerBound(size_t index);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_HISTOGRAM_H_

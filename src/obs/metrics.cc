@@ -1,48 +1,21 @@
 #include "obs/metrics.h"
 
-#include <algorithm>
-
 namespace tyder::obs {
 
-void Histogram::Record(int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  sum_ += value;
-  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+namespace internal {
+
+// Thread-ordinal assignment: the Nth thread to touch any sharded counter
+// gets ordinal N, shared across every counter in the process. Ordinals are
+// never reused, so the first kShards threads each own their slot for the
+// life of the process (ShardedCounter::Add relies on that exclusivity for
+// its non-RMW fast path); later threads share the overflow slot. Called
+// once per thread from the inline ThisThreadShardSlot fast path.
+size_t AssignShardSlot() {
+  static std::atomic<size_t> next_slot{0};
+  return next_slot.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  count_ = 0;
-  min_ = max_ = sum_ = 0;
-  samples_.clear();
-}
-
-Histogram::Snapshot Histogram::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Snapshot snap;
-  snap.count = count_;
-  snap.min = min_;
-  snap.max = max_;
-  snap.sum = sum_;
-  if (!samples_.empty()) {
-    std::vector<int64_t> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    auto quantile = [&sorted](double q) {
-      size_t index = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
-      return sorted[std::min(index, sorted.size() - 1)];
-    };
-    snap.p50 = quantile(0.50);
-    snap.p95 = quantile(0.95);
-  }
-  return snap;
-}
+}  // namespace internal
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();

@@ -1,10 +1,13 @@
 // Process-wide named counters and duration histograms.
 //
-// Counters are lock-free atomics; histograms take a small mutex. Call sites
-// go through the TYDER_COUNT / TYDER_TIMED macros in obs/obs.h, which cache
-// the registry lookup in a function-local static so the steady-state cost of
-// a counter hit is one relaxed atomic increment — and compile to nothing
-// when observability is disabled (-DTYDER_OBS_ENABLED=0).
+// Counters are per-thread-sharded atomics (obs/sharded_counter.h) and
+// histograms are lock-free log-bucketed (obs/histogram.h): a hot-path hit is
+// one uncontended relaxed fetch_add regardless of how many threads are
+// recording, which is what lets the instrumentation stay always-on under
+// concurrent traffic. Call sites go through the TYDER_COUNT / TYDER_TIMED
+// macros in obs/obs.h, which cache the registry lookup in a function-local
+// static — and compile to nothing when observability is disabled
+// (-DTYDER_OBS_ENABLED=0).
 //
 // Metric names are dot-separated, lowest-frequency component first:
 // "dispatch.calls", "subtype.cache_hit", "query.rows_emitted". The full
@@ -13,55 +16,19 @@
 #ifndef TYDER_OBS_METRICS_H_
 #define TYDER_OBS_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/sharded_counter.h"
+
 namespace tyder::obs {
-
-class Counter {
- public:
-  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-// Aggregate + sample-backed histogram. count/min/max/sum are exact; p50/p95
-// are computed from the recorded samples, of which at most kMaxSamples are
-// kept (beyond that only the aggregates keep updating).
-class Histogram {
- public:
-  static constexpr size_t kMaxSamples = 65536;
-
-  void Record(int64_t value);
-  void Reset();
-
-  struct Snapshot {
-    uint64_t count = 0;
-    int64_t min = 0;
-    int64_t max = 0;
-    int64_t sum = 0;
-    int64_t p50 = 0;
-    int64_t p95 = 0;
-  };
-  Snapshot Snap() const;
-
- private:
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
-  int64_t sum_ = 0;
-  std::vector<int64_t> samples_;
-};
 
 class MetricsRegistry {
  public:

@@ -1,20 +1,25 @@
 // Umbrella header + instrumentation macros for tyder's observability layer
-// (tracer + metrics + exporters). Library code instruments hot paths with
-// the macros below; they cache the registry lookup in a function-local
-// static, so a counter hit costs one relaxed atomic increment — and with
-// -DTYDER_OBS_ENABLED=0 (CMake option TYDER_OBS=OFF) every macro compiles
-// to nothing, leaving zero overhead on the hot paths.
+// (tracer + metrics + flight recorder + exporters). Library code instruments
+// hot paths with the macros below; TYDER_COUNT/TYDER_TIMED cache the
+// registry lookup in a function-local static, so a counter hit costs one
+// uncontended relaxed atomic increment (per-thread-sharded, see
+// obs/sharded_counter.h) — and with -DTYDER_OBS_ENABLED=0 (CMake option
+// TYDER_OBS=OFF) every macro compiles to nothing, leaving zero overhead on
+// the hot paths. `scripts/run_all.sh obs` builds the OFF configuration and
+// asserts the symbols are really gone.
 //
 // Tracing (ScopedSpan / Narrate in obs/tracer.h) is NOT compiled out: it is
 // inert unless a Tracer is installed on the thread, and the derivation
 // narration (`ProjectionOptions::record_trace`) must keep working in both
-// build modes.
+// build modes. (Its flight-recorder mirror IS compiled out with the rest.)
 
 #ifndef TYDER_OBS_OBS_H_
 #define TYDER_OBS_OBS_H_
 
+#include <atomic>
 #include <chrono>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -50,13 +55,26 @@ class ScopedTimer {
 #if TYDER_OBS_ENABLED
 
 // Bumps counter `name` by 1 (resp. `n`). `name` must be a string literal.
+// The registry lookup is cached in a constant-initialized atomic pointer
+// rather than a magic static: the steady-state cost is one acquire load
+// (free on x86) + branch + ShardedCounter::Add, with no guard-byte check.
+// A racing first hit resolves GetCounter twice — idempotent, same pointer —
+// and the release/acquire pair publishes the counter's construction.
 #define TYDER_COUNT(name) TYDER_COUNT_N(name, 1)
 #define TYDER_COUNT_N(name, n)                                             \
   do {                                                                     \
-    static ::tyder::obs::Counter* TYDER_OBS_CONCAT(tyder_counter_,         \
-                                                   __LINE__) =             \
-        ::tyder::obs::MetricsRegistry::Global().GetCounter(name);          \
-    TYDER_OBS_CONCAT(tyder_counter_, __LINE__)->Add(n);                    \
+    static constinit ::std::atomic<::tyder::obs::Counter*>                 \
+        TYDER_OBS_CONCAT(tyder_counter_, __LINE__){nullptr};               \
+    ::tyder::obs::Counter* tyder_counter_ptr =                             \
+        TYDER_OBS_CONCAT(tyder_counter_, __LINE__)                         \
+            .load(::std::memory_order_acquire);                            \
+    if (tyder_counter_ptr == nullptr) [[unlikely]] {                       \
+      tyder_counter_ptr =                                                  \
+          ::tyder::obs::MetricsRegistry::Global().GetCounter(name);        \
+      TYDER_OBS_CONCAT(tyder_counter_, __LINE__)                           \
+          .store(tyder_counter_ptr, ::std::memory_order_release);          \
+    }                                                                      \
+    tyder_counter_ptr->Add(n);                                             \
   } while (0)
 
 // Times the enclosing scope into histogram `name` (nanoseconds).
@@ -66,6 +84,18 @@ class ScopedTimer {
       ::tyder::obs::MetricsRegistry::Global().GetHistogram(name);          \
   ::tyder::obs::ScopedTimer TYDER_OBS_CONCAT(tyder_timer_, __LINE__)(      \
       TYDER_OBS_CONCAT(tyder_histogram_, __LINE__))
+
+// Appends an event to the calling thread's flight-recorder ring
+// (obs/flight_recorder.h). `kind` is a FlightEventKind member name.
+#define TYDER_RECORD(kind, name) TYDER_RECORD_V(kind, name, 0)
+#define TYDER_RECORD_V(kind, name, value)                     \
+  ::tyder::obs::FlightRecorder::Record(                       \
+      ::tyder::obs::FlightEventKind::kind, (name), (value))
+
+// Dump-on-demand hook: writes a flight-recorder JSON dump into
+// $TYDER_FLIGHT_DIR when that is set; silent no-op otherwise.
+#define TYDER_FLIGHT_DUMP(reason) \
+  (void)::tyder::obs::FlightRecorder::DumpIfConfigured(reason)
 
 #else  // !TYDER_OBS_ENABLED
 
@@ -77,6 +107,15 @@ class ScopedTimer {
   } while (0)
 #define TYDER_TIMED(name) \
   do {                    \
+  } while (0)
+#define TYDER_RECORD(kind, name) \
+  do {                           \
+  } while (0)
+#define TYDER_RECORD_V(kind, name, value) \
+  do {                                    \
+  } while (0)
+#define TYDER_FLIGHT_DUMP(reason) \
+  do {                            \
   } while (0)
 
 #endif  // TYDER_OBS_ENABLED

@@ -1,0 +1,104 @@
+// Per-thread-sharded monotonic counter.
+//
+// The PR 1 Counter was a single std::atomic<uint64_t>; under concurrent
+// traffic (parallel batch derivation, the oracle stress suites, the future
+// tyderd service) every increment bounced the same cache line between cores.
+// ShardedCounter gives each of the first kShards threads exclusive ownership
+// of one cache-line-sized slot: because nobody else ever writes an owned
+// slot, an increment is a plain relaxed load + store — no atomic
+// read-modify-write, no lock prefix — which is what keeps the always-on
+// counters on the subtype/dispatch hot paths inside the `obs` mode's 5%
+// overhead gate. Threads past the first kShards share one overflow slot via
+// relaxed fetch_add (correct, just slower; short-lived worker pools rarely
+// get there). Reads (value()) lazily aggregate by summing the slots — reads
+// are rare (exporters, snapshotter ticks, tests), writes are the hot path.
+//
+// value() is monotone and eventually consistent: it never under-counts
+// completed Add()s from the calling thread, and racing Add()s from other
+// threads are each either fully visible or not yet visible.
+
+#ifndef TYDER_OBS_SHARDED_COUNTER_H_
+#define TYDER_OBS_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace tyder::obs {
+
+namespace internal {
+// Cold path: assigns the calling thread's ordinal (a process-wide counter,
+// never reused), once per thread. Out of line in metrics.cc.
+size_t AssignShardSlot();
+
+// The calling thread's ordinal. Shared by every ShardedCounter: a thread
+// uses the same slot index in each. Inline so that a hot-path counter bump
+// pays a thread-local read, not a function call — the dispatch/subtype
+// paths count on every query and the `obs` overhead gate holds them to <5%
+// over the uninstrumented build. The +1 sentinel keeps the thread_local
+// constant-initialized (zero), so there is no per-access dynamic-init guard.
+inline size_t ThisThreadShardSlot() {
+  thread_local size_t slot_plus_one = 0;
+  size_t s = slot_plus_one;
+  if (s == 0) [[unlikely]] {
+    s = AssignShardSlot() + 1;
+    slot_plus_one = s;
+  }
+  return s - 1;
+}
+}  // namespace internal
+
+class ShardedCounter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(uint64_t n) {
+    size_t slot = internal::ThisThreadShardSlot();
+    if (slot < kShards) [[likely]] {
+      // This thread owns shards_[slot] exclusively: a plain load + store
+      // cannot lose an update, and both sides being atomic keeps concurrent
+      // value() readers defined.
+      std::atomic<uint64_t>& cell = shards_[slot].value;
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    } else {
+      overflow_.value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t value() const {
+    uint64_t total = overflow_.value.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Not atomic with respect to concurrent Add()s (tests only).
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+    overflow_.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+  Shard overflow_;  // shared by every thread past the first kShards
+};
+
+// The registry's counter type. Call sites cache the Counter* returned by
+// MetricsRegistry::GetCounter, so the name must stay `Counter`.
+using Counter = ShardedCounter;
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_SHARDED_COUNTER_H_

@@ -1,0 +1,91 @@
+#include "obs/snapshotter.h"
+
+#if TYDER_OBS_ENABLED
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace tyder::obs {
+
+StatsSnapshotter::StatsSnapshotter(SnapshotterOptions options)
+    : options_(std::move(options)) {
+  if (options_.period_ms < 1) options_.period_ms = 1;
+}
+
+StatsSnapshotter::~StatsSnapshotter() { Stop(); }
+
+bool StatsSnapshotter::Start() {
+  if (thread_.joinable()) return false;
+  out_.open(options_.path, std::ios::app);
+  if (!out_) return false;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void StatsSnapshotter::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  EmitLine();  // final snapshot so short runs always produce >= 1 line
+  out_.close();
+}
+
+void StatsSnapshotter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    // Emit first, then sleep: a series always opens with a t~0 snapshot.
+    lock.unlock();
+    EmitLine();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                 [this] { return stop_requested_; });
+  }
+}
+
+void StatsSnapshotter::EmitLine() {
+  out_ << SnapshotLine(seq_++) << "\n";
+  out_.flush();
+  lines_written_.fetch_add(1, std::memory_order_release);
+}
+
+std::string StatsSnapshotter::SnapshotLine(uint64_t seq) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::ostringstream out;
+  int64_t ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  out << "{\"schema\":\"tyder-stats-v1\",\"ts_ms\":" << ts_ms
+      << ",\"seq\":" << seq << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << snap.count
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+        << ",\"sum\":" << snap.sum << ",\"p50\":" << snap.p50
+        << ",\"p95\":" << snap.p95 << ",\"p99\":" << snap.p99 << "}";
+  }
+  out << "},\"recorder\":{\"threads\":" << FlightRecorder::NumThreads()
+      << ",\"events\":" << FlightRecorder::TotalEvents() << "}}";
+  return out.str();
+}
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_ENABLED

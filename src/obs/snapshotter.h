@@ -1,0 +1,85 @@
+// Background stats snapshotter: a thread that periodically appends one JSON
+// line to a file — the engine's time series. Each line (schema
+// "tyder-stats-v1") carries a wall-clock timestamp, every counter, every
+// histogram's quantile snapshot, and the flight recorder's depth:
+//
+//   {"schema":"tyder-stats-v1","ts_ms":...,"seq":N,
+//    "counters":{"dispatch.calls":123,...},
+//    "histograms":{"projection.derive_ns":{"count":..,"min":..,"max":..,
+//                  "sum":..,"p50":..,"p95":..,"p99":..},...},
+//    "recorder":{"threads":T,"events":E}}
+//
+// Consumers: `tyder_stat` (tools/) summarizes and diffs series files;
+// `tyderc --stats-jsonl=FILE` runs a snapshotter for the duration of a CLI
+// run. Reading a partially-written last line is the reader's problem (both
+// shipped consumers skip unparseable trailing lines).
+//
+// Like the flight recorder, the unit vanishes under -DTYDER_OBS=OFF (empty
+// header); call sites must sit behind a TYDER_OBS_ENABLED guard.
+
+#ifndef TYDER_OBS_SNAPSHOTTER_H_
+#define TYDER_OBS_SNAPSHOTTER_H_
+
+#ifndef TYDER_OBS_ENABLED
+#define TYDER_OBS_ENABLED 1
+#endif
+
+#if TYDER_OBS_ENABLED
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tyder::obs {
+
+struct SnapshotterOptions {
+  std::string path;      // JSONL output file, appended to
+  int period_ms = 1000;  // snapshot cadence (clamped to >= 1)
+};
+
+class StatsSnapshotter {
+ public:
+  explicit StatsSnapshotter(SnapshotterOptions options);
+  ~StatsSnapshotter();  // stops if running
+  StatsSnapshotter(const StatsSnapshotter&) = delete;
+  StatsSnapshotter& operator=(const StatsSnapshotter&) = delete;
+
+  // Opens the output file and starts the background thread. False if the
+  // file cannot be opened (or Start was already called).
+  bool Start();
+  // Emits one final snapshot line and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+  // Safe to poll while the snapshotter runs (tests wait on it).
+  uint64_t lines_written() const {
+    return lines_written_.load(std::memory_order_acquire);
+  }
+
+  // One snapshot line from the current global registry + recorder state
+  // (no trailing newline). Usable without a running snapshotter.
+  static std::string SnapshotLine(uint64_t seq);
+
+ private:
+  void Loop();
+  void EmitLine();
+
+  SnapshotterOptions options_;
+  std::ofstream out_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  uint64_t seq_ = 0;
+  std::atomic<uint64_t> lines_written_{0};
+};
+
+}  // namespace tyder::obs
+
+#endif  // TYDER_OBS_ENABLED
+
+#endif  // TYDER_OBS_SNAPSHOTTER_H_

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace tyder::obs {
 
 struct TraceEvent {
@@ -91,14 +93,29 @@ class ScopedTracer {
   Tracer* prev_;
 };
 
-// RAII span on the current tracer; inert when no tracer is installed.
+// RAII span on the current tracer; inert when no tracer is installed. In
+// TYDER_OBS_ENABLED builds every span is additionally mirrored into the
+// calling thread's flight-recorder ring (begin + end-with-duration), so the
+// black box always knows which operation was in flight — tracer or not.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name) : tracer_(CurrentTracer()) {
     if (tracer_ != nullptr) tracer_->BeginSpan(std::string(name));
+#if TYDER_OBS_ENABLED
+    name_ = name;
+    start_ = std::chrono::steady_clock::now();
+    FlightRecorder::Record(FlightEventKind::kSpanBegin, name_);
+#endif
   }
   ~ScopedSpan() {
     if (tracer_ != nullptr) tracer_->EndSpan();
+#if TYDER_OBS_ENABLED
+    FlightRecorder::Record(
+        FlightEventKind::kSpanEnd, name_,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+#endif
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -109,6 +126,12 @@ class ScopedSpan {
 
  private:
   Tracer* tracer_;
+#if TYDER_OBS_ENABLED
+  // Valid for the span's scope: every call site passes a literal or a
+  // string that outlives the span.
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+#endif
 };
 
 // Emits an instant event on the current tracer (no-op without one).

@@ -198,6 +198,7 @@ Status WalWriter::AppendUnguarded(uint64_t lsn, std::string_view payload) {
   if (::fsync(fd_) != 0) return Errno("cannot fsync WAL", "<wal>");
   TYDER_FAULT_POINT("storage.wal.after_sync");
   TYDER_COUNT("projection.wal_appends");
+  TYDER_RECORD_V(kOp, "wal.append", static_cast<int64_t>(lsn));
   return Status::OK();
 }
 

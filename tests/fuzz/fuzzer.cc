@@ -815,6 +815,9 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       result.failure = run.status;
       result.shrunk_trace =
           options.shrink_on_failure ? ShrinkTrace(trace) : trace;
+      // Ship the black box with the failing seed: when $TYDER_FLIGHT_DIR is
+      // set the recent-operation rings land next to the repro artifacts.
+      TYDER_FLIGHT_DUMP("fuzz_failure:seed=" + std::to_string(seed));
       break;
     }
   }

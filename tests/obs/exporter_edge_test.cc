@@ -1,0 +1,87 @@
+// Exporter edge cases: empty registries, metrics that were registered but
+// never hit, zero-sample histograms, and traces dumped while spans are
+// still open (a crash dump takes the trace mid-flight).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace tyder::obs {
+namespace {
+
+TEST(ExporterEdge, EmptyRegistryExportsAreWellFormed) {
+  MetricsRegistry registry;  // local: truly empty, unlike Global()
+  EXPECT_EQ(MetricsToText(registry), "");
+  EXPECT_EQ(MetricsToJson(registry), "{\"counters\":{},\"histograms\":{}}");
+}
+
+TEST(ExporterEdge, UntouchedCounterExportsAsZero) {
+  MetricsRegistry registry;
+  registry.GetCounter("edge.never_hit");
+  EXPECT_EQ(MetricsToText(registry), "edge.never_hit = 0\n");
+  EXPECT_EQ(MetricsToJson(registry),
+            "{\"counters\":{\"edge.never_hit\":0},\"histograms\":{}}");
+}
+
+TEST(ExporterEdge, ZeroSampleHistogramExportsAllZeroes) {
+  MetricsRegistry registry;
+  registry.GetHistogram("edge.empty_ns");
+  EXPECT_EQ(MetricsToText(registry),
+            "edge.empty_ns: count=0 min=0 max=0 sum=0 p50=0 p95=0 p99=0\n");
+  EXPECT_EQ(MetricsToJson(registry),
+            "{\"counters\":{},\"histograms\":{\"edge.empty_ns\":"
+            "{\"count\":0,\"min\":0,\"max\":0,\"sum\":0,"
+            "\"p50\":0,\"p95\":0,\"p99\":0}}}");
+}
+
+TEST(ExporterEdge, HistogramExportCarriesP99) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("edge.p99_ns");
+  for (int64_t v = 1; v <= 20; ++v) h->Record(v);
+  std::string text = MetricsToText(registry);
+  EXPECT_NE(text.find(" p95=19 p99=20"), std::string::npos) << text;
+  std::string json = MetricsToJson(registry);
+  EXPECT_NE(json.find("\"p95\":19,\"p99\":20"), std::string::npos) << json;
+}
+
+TEST(ExporterEdge, UnclosedSpansExportWithoutEndEvents) {
+  Tracer tracer;
+  tracer.BeginSpan("outer");
+  tracer.Instant("mid-flight narration");
+  tracer.BeginSpan("inner");
+  // No EndSpan: this is what a trace looks like when dumped from a crash
+  // handler while work is still in flight.
+  EXPECT_EQ(tracer.depth(), 2);
+
+  std::string text = TraceToText(tracer.events());
+  EXPECT_NE(text.find("[outer"), std::string::npos);
+  EXPECT_NE(text.find("mid-flight narration"), std::string::npos);
+  EXPECT_NE(text.find("[inner"), std::string::npos);
+  EXPECT_EQ(text.find("] outer"), std::string::npos);
+
+  std::string json = TraceToJson(tracer.events());
+  EXPECT_NE(json.find("\"kind\":\"begin\",\"name\":\"outer\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"kind\":\"end\""), std::string::npos);
+
+  // Chrome viewers tolerate unbalanced B events; the exporter just must not
+  // fabricate an E or emit broken JSON.
+  std::string chrome = TraceToChromeJson(tracer.events());
+  EXPECT_NE(chrome.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_EQ(chrome.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_EQ(chrome.back(), '}');
+}
+
+TEST(ExporterEdge, EmptyTraceExports) {
+  std::vector<TraceEvent> events;
+  EXPECT_EQ(TraceToText(events), "");
+  EXPECT_EQ(TraceToJson(events), "{\"events\":[]}");
+  EXPECT_EQ(TraceToChromeJson(events), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace tyder::obs

@@ -1,0 +1,161 @@
+// Tests for the per-thread flight recorder (obs/flight_recorder.h): ring
+// semantics (wrap, truncation to the last kRingSize events), retired-thread
+// persistence, JSON dump shape, and the $TYDER_FLIGHT_DIR dump-on-demand
+// hook.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tyder::obs {
+namespace {
+
+// The recorder is process-global and other tests in this binary record
+// events too, so assertions pin down this test's own markers rather than
+// global totals.
+FlightRecorder::ThreadDump* FindThreadWith(
+    std::vector<FlightRecorder::ThreadDump>& dumps, const std::string& name) {
+  for (auto& dump : dumps) {
+    for (const FlightEvent& e : dump.events) {
+      if (name == e.name) return &dump;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FlightRecorder, RecordsAppearInSnapshot) {
+  FlightRecorder::Record(FlightEventKind::kMark, "frt.basic", 41);
+  FlightRecorder::Record(FlightEventKind::kOp, "frt.basic2", 42);
+  auto dumps = FlightRecorder::Snapshot();
+  auto* dump = FindThreadWith(dumps, "frt.basic");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_FALSE(dump->retired);
+  bool found = false;
+  for (const FlightEvent& e : dump->events) {
+    if (std::string("frt.basic2") == e.name) {
+      found = true;
+      EXPECT_EQ(e.kind, FlightEventKind::kOp);
+      EXPECT_EQ(e.value, 42);
+      EXPECT_GE(e.ts_ns, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlightRecorder, LongNamesAreTruncatedNotCorrupted) {
+  std::string long_name(100, 'x');
+  FlightRecorder::Record(FlightEventKind::kMark, long_name, 1);
+  auto dumps = FlightRecorder::Snapshot();
+  auto* dump = FindThreadWith(dumps, std::string(31, 'x'));
+  ASSERT_NE(dump, nullptr);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastEventsAfterWrap) {
+  const int kTotal = static_cast<int>(FlightRecorder::kRingSize) * 3 + 17;
+  // A dedicated thread gets a fresh ring, so total_events is exact.
+  std::thread writer([&] {
+    for (int i = 0; i < kTotal; ++i) {
+      FlightRecorder::Record(FlightEventKind::kMark, "frt.wrap", i);
+    }
+  });
+  writer.join();
+  auto dumps = FlightRecorder::Snapshot();
+  auto* dump = FindThreadWith(dumps, "frt.wrap");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_TRUE(dump->retired);
+  EXPECT_EQ(dump->total_events, static_cast<uint64_t>(kTotal));
+  ASSERT_EQ(dump->events.size(), FlightRecorder::kRingSize);
+  // Oldest-first: the surviving window is the last kRingSize values.
+  int64_t expect = kTotal - static_cast<int>(FlightRecorder::kRingSize);
+  for (const FlightEvent& e : dump->events) {
+    EXPECT_EQ(e.value, expect) << "ring order broken";
+    ++expect;
+  }
+}
+
+TEST(FlightRecorder, RetiredThreadRingSurvives) {
+  std::thread worker([] {
+    FlightRecorder::Record(FlightEventKind::kOp, "frt.retired", 7);
+  });
+  worker.join();
+  auto dumps = FlightRecorder::Snapshot();
+  auto* dump = FindThreadWith(dumps, "frt.retired");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_TRUE(dump->retired);
+}
+
+TEST(FlightRecorder, DumpJsonCarriesSchemaReasonAndEvents) {
+  FlightRecorder::Record(FlightEventKind::kFailpoint, "frt.json", 3);
+  std::string json = FlightRecorder::DumpJson("unit \"test\"");
+  EXPECT_NE(json.find("\"schema\":\"tyder-flight-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"ring_size\":256"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"failpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"frt.json\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser
+  // (scripts/run_all.sh crash json.load()s real dump files).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(FlightRecorder, DumpIfConfiguredIsSilentWithoutEnv) {
+  ::unsetenv("TYDER_FLIGHT_DIR");
+  EXPECT_EQ(FlightRecorder::DumpIfConfigured("no_dir"), "");
+}
+
+TEST(FlightRecorder, DumpIfConfiguredWritesIntoFlightDir) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tyder_frt_dumps";
+  std::filesystem::remove_all(dir);
+  ::setenv("TYDER_FLIGHT_DIR", dir.c_str(), 1);
+  FlightRecorder::Record(FlightEventKind::kMark, "frt.envdump", 9);
+  std::string path = FlightRecorder::DumpIfConfigured("env_test");
+  ::unsetenv("TYDER_FLIGHT_DIR");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"schema\":\"tyder-flight-v1\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"reason\":\"env_test\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorder, ThreadAndEventGaugesGrow) {
+  size_t threads_before = FlightRecorder::NumThreads();
+  uint64_t events_before = FlightRecorder::TotalEvents();
+  std::thread worker([] {
+    FlightRecorder::Record(FlightEventKind::kMark, "frt.gauge", 0);
+  });
+  worker.join();
+  EXPECT_GE(FlightRecorder::NumThreads(), threads_before + 1);
+  EXPECT_GE(FlightRecorder::TotalEvents(), events_before + 1);
+}
+
+}  // namespace
+}  // namespace tyder::obs

@@ -1,0 +1,141 @@
+// Tests for the lock-free log-bucketed histogram (obs/histogram.h): bucket
+// scheme exactness, the documented quantile error bound against exact
+// sorted samples, aggregate exactness, and reset semantics.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tyder::obs {
+namespace {
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (int64_t v = 0; v < static_cast<int64_t>(Histogram::kSubBuckets); ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<size_t>(v)), v);
+  }
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  EXPECT_EQ(Histogram::BucketIndex(-1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MIN), 0u);
+}
+
+TEST(Histogram, BucketLowerBoundsAreMonotone) {
+  int64_t prev = -1;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    int64_t lb = Histogram::BucketLowerBound(b);
+    EXPECT_GT(lb, prev) << "bucket " << b;
+    prev = lb;
+  }
+}
+
+// Core scheme property: a value lands in a bucket whose lower bound is at
+// most the value, and whose width is at most max(1, lower_bound / 32) — the
+// source of the documented 1/32 max relative quantile error.
+TEST(Histogram, BucketWidthObeysRelativeErrorBound) {
+  std::vector<int64_t> probes;
+  for (int64_t v = 0; v < 2000; ++v) probes.push_back(v);
+  for (int shift = 11; shift < 62; ++shift) {
+    int64_t base = int64_t{1} << shift;
+    probes.insert(probes.end(),
+                  {base - 1, base, base + 1, base + base / 3, 2 * base - 1});
+  }
+  for (int64_t v : probes) {
+    size_t index = Histogram::BucketIndex(v);
+    int64_t lb = Histogram::BucketLowerBound(index);
+    int64_t next_lb = Histogram::BucketLowerBound(index + 1);
+    EXPECT_LE(lb, v) << "value " << v;
+    EXPECT_LT(v, next_lb) << "value " << v;
+    int64_t width = next_lb - lb;
+    int64_t allowed = std::max<int64_t>(int64_t{1}, lb / 32);
+    EXPECT_LE(width, allowed) << "value " << v << " bucket " << index;
+  }
+}
+
+TEST(Histogram, AggregatesAreExact) {
+  Histogram h;
+  int64_t sum = 0;
+  for (int64_t v : {7, 123, 9999, 0, 31, 32, 1 << 20}) {
+    h.Record(v);
+    sum += v;
+  }
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 1 << 20);
+  EXPECT_EQ(snap.sum, sum);
+}
+
+// The quantile contract: reported quantiles are the containing bucket's
+// lower bound, so reported <= exact and exact - reported is within one
+// bucket width (max(1, reported/32)).
+TEST(Histogram, QuantilesWithinDocumentedErrorOfExact) {
+  Histogram h;
+  std::vector<int64_t> samples;
+  uint64_t lcg = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    lcg = lcg * 6364136223846793005u + 1442695040888963407u;
+    // Mix magnitudes: microsecond-ish to second-ish "durations".
+    int64_t v = static_cast<int64_t>((lcg >> 33) % 1000000000);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  Histogram::Snapshot snap = h.Snap();
+  const double targets[] = {0.50, 0.95, 0.99};
+  const int64_t reported[] = {snap.p50, snap.p95, snap.p99};
+  for (int i = 0; i < 3; ++i) {
+    size_t rank = static_cast<size_t>(
+        targets[i] * static_cast<double>(samples.size() - 1) + 0.5);
+    int64_t exact = samples[rank];
+    EXPECT_LE(reported[i], exact) << "q" << targets[i];
+    int64_t allowed = std::max<int64_t>(int64_t{1}, reported[i] / 32);
+    EXPECT_LE(exact - reported[i], allowed) << "q" << targets[i];
+  }
+}
+
+TEST(Histogram, QuantilesExactForSmallValues) {
+  // Values below kSubBuckets have exact single-value buckets, so quantiles
+  // over them are exact under the rank = q*(count-1)+0.5 convention.
+  Histogram h;
+  for (int64_t v = 1; v <= 20; ++v) h.Record(v);
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.p50, 11);  // rank 10 of 1..20
+  EXPECT_EQ(snap.p95, 19);
+  EXPECT_EQ(snap.p99, 20);
+}
+
+TEST(Histogram, ZeroSampleSnapshotIsAllZero) {
+  Histogram h;
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.p50, 0);
+  EXPECT_EQ(snap.p95, 0);
+  EXPECT_EQ(snap.p99, 0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  for (int64_t v = 0; v < 1000; ++v) h.Record(v);
+  h.Reset();
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0);
+  h.Record(42);
+  snap = h.Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 42);
+  EXPECT_EQ(snap.max, 42);
+  EXPECT_EQ(snap.p50, 42);
+}
+
+}  // namespace
+}  // namespace tyder::obs

@@ -170,7 +170,9 @@ TEST(InstrumentationTest, DerivationSpansMatchThePaperPhases) {
   for (const TraceEvent& e : result->events) {
     if (e.kind == TraceEvent::Kind::kBegin) ++open;
     if (e.kind == TraceEvent::Kind::kEnd) --open;
-    if (e.kind == TraceEvent::Kind::kInstant) EXPECT_GE(e.depth, 1);
+    if (e.kind == TraceEvent::Kind::kInstant) {
+      EXPECT_GE(e.depth, 1);
+    }
     EXPECT_GE(open, 0);
   }
   EXPECT_EQ(open, 0);

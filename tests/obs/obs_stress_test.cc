@@ -1,0 +1,135 @@
+// Concurrency stress for the lock-free observability primitives. These
+// suites are named ObsStress* so `scripts/run_all.sh tsan` picks them up:
+// the sharded counter, the bucketed histogram, the flight recorder, and the
+// stats snapshot line must all be clean under ThreadSanitizer while readers
+// and writers overlap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/sharded_counter.h"
+#include "obs/snapshotter.h"
+
+namespace tyder::obs {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kIters = 20000;
+
+TEST(ObsStressCounter, ConcurrentAddsAllLand) {
+  ShardedCounter counter;
+  std::atomic<bool> stop{false};
+  // A racing reader: value() must be safe (and monotone) mid-traffic.
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t now = counter.value();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&] {
+        for (int i = 0; i < kIters; ++i) counter.Add(1);
+      });
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsStressHistogram, ConcurrentRecordsWithRacingSnap) {
+  Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::thread snapper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Histogram::Snapshot snap = histogram.Snap();
+      EXPECT_LE(snap.min, snap.max);
+      EXPECT_LE(snap.p50, snap.p95);
+      EXPECT_LE(snap.p95, snap.p99);
+    }
+  });
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          histogram.Record((i + t * 37) & 0xFFFF);
+        }
+      });
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  snapper.join();
+  Histogram::Snapshot final_snap = histogram.Snap();
+  EXPECT_EQ(final_snap.count, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsStressFlightRecorder, ConcurrentRecordsWithRacingDump) {
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto dumps = FlightRecorder::Snapshot();
+      for (const auto& dump : dumps) {
+        EXPECT_LE(dump.events.size(), FlightRecorder::kRingSize);
+      }
+      std::string json = FlightRecorder::DumpJson("stress");
+      EXPECT_NE(json.find("tyder-flight-v1"), std::string::npos);
+    }
+  });
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kIters / 4; ++i) {
+          FlightRecorder::Record(FlightEventKind::kMark, "stress.flight",
+                                 t * kIters + i);
+        }
+      });
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  dumper.join();
+}
+
+TEST(ObsStressSnapshotLine, ConcurrentWithRegistryTraffic) {
+  std::atomic<bool> stop{false};
+  std::thread snapper([&] {
+    uint64_t seq = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string line = StatsSnapshotter::SnapshotLine(seq++);
+      EXPECT_NE(line.find("tyder-stats-v1"), std::string::npos);
+    }
+  });
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&] {
+        MetricsRegistry& registry = MetricsRegistry::Global();
+        Counter* counter = registry.GetCounter("stress.line_counter");
+        Histogram* histogram = registry.GetHistogram("stress.line_ns");
+        for (int i = 0; i < kIters / 4; ++i) {
+          counter->Add(1);
+          histogram->Record(i);
+          FlightRecorder::Record(FlightEventKind::kOp, "stress.line", i);
+        }
+      });
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  snapper.join();
+}
+
+}  // namespace
+}  // namespace tyder::obs

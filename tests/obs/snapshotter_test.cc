@@ -1,0 +1,102 @@
+// Tests for the background stats snapshotter (obs/snapshotter.h): JSONL
+// emission cadence, line schema, and the static SnapshotLine builder.
+
+#include "obs/snapshotter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tyder::obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(StatsSnapshotter, SnapshotLineCarriesSchemaCountersAndRecorder) {
+  TYDER_COUNT("snap_test.counter");
+  TYDER_COUNT("snap_test.counter");
+  {
+    TYDER_TIMED("snap_test.ns");
+  }
+  std::string line = StatsSnapshotter::SnapshotLine(7);
+  EXPECT_NE(line.find("\"schema\":\"tyder-stats-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"snap_test.counter\":"), std::string::npos);
+  EXPECT_NE(line.find("\"snap_test.ns\":{\"count\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(line.find("\"recorder\":{\"threads\":"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(StatsSnapshotter, EmitsPeriodicLinesAndFinalLineOnStop) {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "tyder_snap_test.jsonl";
+  std::filesystem::remove(path);
+
+  SnapshotterOptions options;
+  options.path = path.string();
+  options.period_ms = 10;
+  StatsSnapshotter snapshotter(options);
+  ASSERT_TRUE(snapshotter.Start());
+  EXPECT_TRUE(snapshotter.running());
+  EXPECT_FALSE(snapshotter.Start());  // already running
+
+  TYDER_COUNT("snap_test.periodic");
+  // Single-CPU CI: generous but bounded wait for at least two ticks.
+  for (int i = 0; i < 200 && snapshotter.lines_written() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  snapshotter.Stop();
+  EXPECT_FALSE(snapshotter.running());
+  uint64_t written = snapshotter.lines_written();
+  EXPECT_GE(written, 2u);
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), written);
+  uint64_t seq = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("{\"schema\":\"tyder-stats-v1\"", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(seq) + ","),
+              std::string::npos)
+        << line;
+    ++seq;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StatsSnapshotter, StopWithoutStartIsANoOp) {
+  SnapshotterOptions options;
+  options.path = "/nonexistent-dir/never-opened.jsonl";
+  StatsSnapshotter snapshotter(options);
+  snapshotter.Stop();  // must not crash or hang
+  EXPECT_EQ(snapshotter.lines_written(), 0u);
+}
+
+TEST(StatsSnapshotter, StartFailsOnUnwritablePath) {
+  SnapshotterOptions options;
+  options.path = "/nonexistent-dir/never-opened.jsonl";
+  StatsSnapshotter snapshotter(options);
+  EXPECT_FALSE(snapshotter.Start());
+  EXPECT_FALSE(snapshotter.running());
+}
+
+}  // namespace
+}  // namespace tyder::obs

@@ -1,0 +1,322 @@
+// tyder-stat — summarize and diff tyder-stats-v1 JSONL time series (the
+// files `tyderc --stats-jsonl=FILE` and obs::StatsSnapshotter append to).
+//
+//   tyder-stat <series.jsonl>             summary: counter deltas and rates
+//                                         over the series, final histogram
+//                                         quantiles, recorder depth
+//   tyder-stat --tail <series.jsonl>      print the last snapshot, pretty
+//   tyder-stat --diff <a.jsonl> <b.jsonl> compare the final snapshots of two
+//                                         series (counter deltas b - a)
+//
+// The parser accepts exactly the JSON subset the snapshotter emits (objects,
+// strings, integer numbers); an unparseable *trailing* line is skipped — a
+// snapshotter killed mid-write leaves one — but a file with no valid line at
+// all is an error. Exit status: 0 ok, 1 bad input, 2 usage.
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// --- the tyder-stats-v1 JSON subset ---------------------------------------
+
+struct StatsLine {
+  int64_t ts_ms = 0;
+  int64_t seq = 0;
+  std::map<std::string, int64_t> counters;
+  // histogram name -> {count,min,max,sum,p50,p95,p99}
+  std::map<std::string, std::map<std::string, int64_t>> histograms;
+  int64_t recorder_threads = 0;
+  int64_t recorder_events = 0;
+};
+
+// Minimal recursive-descent parser over one line. Fails (returns false) on
+// anything outside the emitted subset rather than guessing.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(StatsLine* out) {
+    if (!Expect('{')) return false;
+    bool saw_schema = false;
+    if (!ParseMembers([&](const std::string& key) {
+          if (key == "schema") {
+            std::string schema;
+            if (!ParseString(&schema)) return false;
+            saw_schema = schema == "tyder-stats-v1";
+            return saw_schema;
+          }
+          if (key == "ts_ms") return ParseInt(&out->ts_ms);
+          if (key == "seq") return ParseInt(&out->seq);
+          if (key == "counters") return ParseIntMap(&out->counters);
+          if (key == "histograms") return ParseHistograms(&out->histograms);
+          if (key == "recorder") {
+            return ParseObject([&](const std::string& inner) {
+              if (inner == "threads") return ParseInt(&out->recorder_threads);
+              if (inner == "events") return ParseInt(&out->recorder_events);
+              return SkipValue();
+            });
+          }
+          return SkipValue();
+        })) {
+      return false;
+    }
+    SkipSpace();
+    return saw_schema && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: return false;  // \uXXXX etc.: not in the emitted subset
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+    return true;
+  }
+
+  // { "key": <member(key)>, ... } — `member` consumes each value.
+  template <typename Fn>
+  bool ParseMembers(Fn member) {
+    if (Peek('}')) return Expect('}');
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Expect(':') || !member(key)) return false;
+      if (Peek(',')) {
+        if (!Expect(',')) return false;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  template <typename Fn>
+  bool ParseObject(Fn member) {
+    return Expect('{') && ParseMembers(member);
+  }
+
+  bool ParseIntMap(std::map<std::string, int64_t>* out) {
+    return ParseObject([&](const std::string& key) {
+      return ParseInt(&(*out)[key]);
+    });
+  }
+
+  bool ParseHistograms(
+      std::map<std::string, std::map<std::string, int64_t>>* out) {
+    return ParseObject([&](const std::string& name) {
+      return ParseIntMap(&(*out)[name]);
+    });
+  }
+
+  // Skips one value of the subset (string, integer, or nested object).
+  bool SkipValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (text_[pos_] == '{') {
+      return ParseObject([&](const std::string&) { return SkipValue(); });
+    }
+    int64_t ignored;
+    return ParseInt(&ignored);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Reads every parseable line; reports (on stderr) lines that fail. Only the
+// final line may fail silently — a crashed writer tears at most the tail.
+std::optional<std::vector<StatsLine>> ReadSeries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tyder-stat: cannot open '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<StatsLine> lines;
+  std::string line;
+  int lineno = 0;
+  int bad_interior = 0;
+  int last_bad_lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    StatsLine parsed;
+    if (Parser(line).Parse(&parsed)) {
+      lines.push_back(std::move(parsed));
+    } else {
+      if (last_bad_lineno != 0) ++bad_interior;
+      last_bad_lineno = lineno;
+    }
+  }
+  if (last_bad_lineno != 0 && last_bad_lineno != lineno) ++bad_interior;
+  if (bad_interior > 0) {
+    std::fprintf(stderr,
+                 "tyder-stat: %s: %d unparseable non-trailing line(s)\n",
+                 path.c_str(), bad_interior);
+    return std::nullopt;
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "tyder-stat: %s: no tyder-stats-v1 lines\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  return lines;
+}
+
+void PrintSnapshot(const StatsLine& snap) {
+  std::printf("seq %" PRId64 " at ts_ms %" PRId64 "\n", snap.seq, snap.ts_ms);
+  std::printf("counters:\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("  %-40s %12" PRId64 "\n", name.c_str(), value);
+  }
+  std::printf("histograms:\n");
+  for (const auto& [name, h] : snap.histograms) {
+    auto field = [&](const char* key) {
+      auto it = h.find(key);
+      return it == h.end() ? int64_t{0} : it->second;
+    };
+    std::printf("  %-40s count=%" PRId64 " min=%" PRId64 " max=%" PRId64
+                " p50=%" PRId64 " p95=%" PRId64 " p99=%" PRId64 "\n",
+                name.c_str(), field("count"), field("min"), field("max"),
+                field("p50"), field("p95"), field("p99"));
+  }
+  std::printf("recorder: %" PRId64 " thread(s), %" PRId64 " event(s)\n",
+              snap.recorder_threads, snap.recorder_events);
+}
+
+int Summarize(const std::string& path) {
+  auto series = ReadSeries(path);
+  if (!series) return 1;
+  const StatsLine& first = series->front();
+  const StatsLine& last = series->back();
+  double span_s =
+      static_cast<double>(last.ts_ms - first.ts_ms) / 1000.0;
+  std::printf("%s: %zu snapshot(s) over %.3fs (seq %" PRId64 "..%" PRId64
+              ")\n",
+              path.c_str(), series->size(), span_s, first.seq, last.seq);
+  std::printf("%-40s %12s %12s %12s\n", "counter", "first", "last", "rate/s");
+  for (const auto& [name, end_value] : last.counters) {
+    auto it = first.counters.find(name);
+    int64_t start_value = it == first.counters.end() ? 0 : it->second;
+    double rate = span_s > 0
+                      ? static_cast<double>(end_value - start_value) / span_s
+                      : 0.0;
+    std::printf("%-40s %12" PRId64 " %12" PRId64 " %12.1f\n", name.c_str(),
+                start_value, end_value, rate);
+  }
+  std::printf("--- final snapshot ---\n");
+  PrintSnapshot(last);
+  return 0;
+}
+
+int Tail(const std::string& path) {
+  auto series = ReadSeries(path);
+  if (!series) return 1;
+  PrintSnapshot(series->back());
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  auto series_a = ReadSeries(path_a);
+  auto series_b = ReadSeries(path_b);
+  if (!series_a || !series_b) return 1;
+  const StatsLine& a = series_a->back();
+  const StatsLine& b = series_b->back();
+  std::printf("%-40s %12s %12s %12s\n", "counter", path_a.c_str(),
+              path_b.c_str(), "delta");
+  std::map<std::string, int64_t> names = a.counters;
+  names.insert(b.counters.begin(), b.counters.end());
+  for (const auto& [name, ignored] : names) {
+    auto find = [&](const StatsLine& line) {
+      auto it = line.counters.find(name);
+      return it == line.counters.end() ? int64_t{0} : it->second;
+    };
+    int64_t va = find(a);
+    int64_t vb = find(b);
+    std::printf("%-40s %12" PRId64 " %12" PRId64 " %+12" PRId64 "\n",
+                name.c_str(), va, vb, vb - va);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tyder-stat <series.jsonl>\n"
+               "       tyder-stat --tail <series.jsonl>\n"
+               "       tyder-stat --diff <a.jsonl> <b.jsonl>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0].rfind("--", 0) != 0) {
+    return Summarize(args[0]);
+  }
+  if (args.size() == 2 && args[0] == "--tail") return Tail(args[1]);
+  if (args.size() == 3 && args[0] == "--diff") return Diff(args[1], args[2]);
+  return Usage();
+}

@@ -52,6 +52,14 @@
 //   --trace-json=<file>  write the trace in Chrome trace_event format
 //                        (load via chrome://tracing or ui.perfetto.dev)
 //   --metrics            print process counters/histograms after the run
+//   --stats-jsonl=<file> append periodic tyder-stats-v1 JSON lines to <file>
+//                        for the duration of the run (`tyder-stat`
+//                        summarizes the series)
+//   --stats-period-ms=<n>  snapshot cadence for --stats-jsonl (default 1000)
+//
+// --metrics and --stats-* need the metrics layer compiled in; a tyderc built
+// with -DTYDER_OBS=OFF rejects them with a clear error rather than silently
+// printing nothing.
 //
 // Flags compose left to right; transforms apply before later inspections.
 
@@ -77,6 +85,7 @@
 #include "objmodel/schema_printer.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/snapshotter.h"
 #include "storage/durable_catalog.h"
 
 namespace tyder {
@@ -95,7 +104,8 @@ int Usage() {
                "[--drop <View>] [--collapse] [--compact] "
                "[--serialize] [--export] [--stats] [--jobs <N>] "
                "[--list-faults] "
-               "[--trace] [--trace-json=<file>] [--metrics]\n";
+               "[--trace] [--trace-json=<file>] [--metrics] "
+               "[--stats-jsonl=<file>] [--stats-period-ms=<n>]\n";
   return 2;
 }
 
@@ -388,18 +398,38 @@ int Run(int argc, char** argv) {
   // Peel off the observability/execution modifiers; everything else keeps
   // its left-to-right op semantics.
   bool want_trace = false;
-  bool want_metrics = false;
   int jobs = 1;
   std::string trace_json_path;
   std::string schema_path;
   std::string db_dir;
   std::vector<std::string> ops;
+#if TYDER_OBS_ENABLED
+  bool want_metrics = false;
+  std::string stats_jsonl_path;
+  int stats_period_ms = 1000;
+#endif
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace") {
       want_trace = true;
+#if TYDER_OBS_ENABLED
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg.rfind("--stats-jsonl=", 0) == 0) {
+      stats_jsonl_path = arg.substr(std::string("--stats-jsonl=").size());
+      if (stats_jsonl_path.empty()) return Usage();
+    } else if (arg.rfind("--stats-period-ms=", 0) == 0) {
+      stats_period_ms =
+          std::atoi(arg.substr(std::string("--stats-period-ms=").size()).c_str());
+      if (stats_period_ms < 1) return Usage();
+#else
+    } else if (arg == "--metrics" || arg.rfind("--stats-jsonl=", 0) == 0 ||
+               arg.rfind("--stats-period-ms=", 0) == 0) {
+      std::cerr << "tyderc: " << arg.substr(0, arg.find('='))
+                << " requires the metrics layer, but this tyderc was built "
+                   "with -DTYDER_OBS=OFF\n";
+      return 2;
+#endif
     } else if (arg == "--list-faults") {
       for (const std::string& name : failpoint::AllFaultPointNames()) {
         std::cout << name << "\n";
@@ -433,7 +463,23 @@ int Run(int argc, char** argv) {
   std::optional<obs::ScopedTracer> install;
   if (want_trace || !trace_json_path.empty()) install.emplace(&tracer);
 
+#if TYDER_OBS_ENABLED
+  std::optional<obs::StatsSnapshotter> snapshotter;
+  if (!stats_jsonl_path.empty()) {
+    snapshotter.emplace(
+        obs::SnapshotterOptions{stats_jsonl_path, stats_period_ms});
+    if (!snapshotter->Start()) {
+      std::cerr << "tyderc: cannot write '" << stats_jsonl_path << "'\n";
+      return 1;
+    }
+  }
+#endif
+
   int exit_code = RunOps(schema_path, db_dir, ops, jobs);
+
+#if TYDER_OBS_ENABLED
+  if (snapshotter.has_value()) snapshotter->Stop();
+#endif
 
   if (want_trace) {
     std::cout << "=== trace ===\n" << obs::TraceToText(tracer.events());
@@ -446,10 +492,12 @@ int Run(int argc, char** argv) {
     }
     out << obs::TraceToChromeJson(tracer.events()) << "\n";
   }
+#if TYDER_OBS_ENABLED
   if (want_metrics) {
     std::cout << "=== metrics ===\n"
               << obs::MetricsToText(obs::MetricsRegistry::Global());
   }
+#endif
   return exit_code;
 }
 
