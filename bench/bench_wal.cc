@@ -6,11 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "storage/durable_catalog.h"
+#include "storage/env.h"
 #include "storage/wal.h"
 #include "testing/fixtures.h"
 
@@ -70,6 +75,86 @@ void BM_LoggedDerivation(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_LoggedDerivation);
+
+// --- Env indirection cost (PR 7) ------------------------------------------
+//
+// Every WAL byte now routes through the virtual storage::Env interface. This
+// pair isolates what that indirection adds to an un-synced append: both
+// variants issue the same write(2) into the page cache (no fsync, so sync
+// latency cannot mask the dispatch), in batches of kAppendBatch with the file
+// truncated between batches so the benchmark does not fill /tmp. Dispatch
+// must stay within 2% of Raw — docs/PERFORMANCE.md quotes the pair.
+
+constexpr int kAppendBatch = 4096;
+constexpr std::string_view kAppendPayload =
+    "project EmployeeView Employee SSN,pay_rate verify";
+
+// Through the interface: guard checks + failpoint probe + virtual hop.
+void BM_EnvAppendDispatch(benchmark::State& state) {
+  std::string dir = FreshDir("env_dispatch");
+  auto file = storage::Env::Posix().OpenAppendable(dir + "/wal.log");
+  if (!file.ok()) {
+    state.SkipWithError(file.status().ToString().c_str());
+    return;
+  }
+  while (state.KeepRunningBatch(kAppendBatch)) {
+    for (int i = 0; i < kAppendBatch; ++i) {
+      benchmark::DoNotOptimize((*file)->Append(kAppendPayload).ok());
+    }
+    state.PauseTiming();
+    if (!(*file)->Truncate(0).ok()) {
+      state.SkipWithError("truncate failed");
+      return;
+    }
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kAppendPayload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_EnvAppendDispatch);
+
+// The floor: a bare write(2) loop with the same EINTR/short-write handling
+// PosixEnv uses, minus the interface.
+void BM_EnvAppendRaw(benchmark::State& state) {
+  std::string dir = FreshDir("env_raw");
+  int fd = ::open((dir + "/wal.log").c_str(),
+                  O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  while (state.KeepRunningBatch(kAppendBatch)) {
+    for (int i = 0; i < kAppendBatch; ++i) {
+      const char* p = kAppendPayload.data();
+      size_t left = kAppendPayload.size();
+      while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          state.SkipWithError("write failed");
+          ::close(fd);
+          return;
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+      }
+      benchmark::DoNotOptimize(left);
+    }
+    state.PauseTiming();
+    if (::ftruncate(fd, 0) != 0) {
+      state.SkipWithError("ftruncate failed");
+      ::close(fd);
+      return;
+    }
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kAppendPayload.size()));
+  ::close(fd);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_EnvAppendRaw);
 
 // Snapshot + log truncation: the amortized cost of bounding recovery time.
 void BM_Compact(benchmark::State& state) {

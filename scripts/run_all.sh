@@ -12,6 +12,7 @@
 #        scripts/run_all.sh tsan [build-dir]
 #        scripts/run_all.sh ubsan [build-dir]
 #        scripts/run_all.sh crash [build-dir]
+#        scripts/run_all.sh iofault [seconds] [build-dir]
 #        scripts/run_all.sh fuzz [seconds] [build-dir]
 #        scripts/run_all.sh obs [build-dir] [off-build-dir]
 #
@@ -39,6 +40,13 @@
 # out-of-process matrix: for every storage.* fault point `tyderc` reports,
 # a real tyderc process is killed mid-operation via TYDER_FAULTS and the
 # database directory must recover on the next open.
+#
+# The `iofault` mode is the storage robustness gate (docs/ROBUSTNESS.md):
+# the Env contract tests, the degraded-mode suite, and the exhaustive
+# FaultyEnv call-site × fault-kind × power-loss matrix, followed by an
+# out-of-process check that a WAL fsync failure drops tyderc into degraded
+# mode with exit code 3, and a time-boxed fuzz campaign (default 60 s) whose
+# op mix includes the envfault op.
 #
 # The `fuzz` mode replays the checked-in regression corpus and then runs a
 # time-boxed differential fuzzing campaign (default 30 s; pass a number of
@@ -69,6 +77,9 @@ elif [ "${1:-}" = "ubsan" ]; then
   shift
 elif [ "${1:-}" = "crash" ]; then
   MODE=crash
+  shift
+elif [ "${1:-}" = "iofault" ]; then
+  MODE=iofault
   shift
 elif [ "${1:-}" = "fuzz" ]; then
   MODE=fuzz
@@ -129,7 +140,10 @@ if [ "$MODE" = "crash" ]; then
     # non-zero with the directory in whatever state the "crash" left it.
     # TYDER_FLIGHT_DIR makes the fault hit ship a flight-recorder dump.
     case "$point" in
-      storage.compact.*)
+      # storage.env.rename / sync_dir / truncate sit on Compact's publish
+      # protocol and never fire during a WAL append (see the scenario map in
+      # tests/storage/crash_matrix_test.cc).
+      storage.compact.*|storage.env.rename|storage.env.sync_dir|storage.env.truncate)
         if TYDER_FAULTS="$point" TYDER_FLIGHT_DIR="$FLIGHT" \
              "$TYDERC" --db "$DB" --compact > /dev/null 2>&1; then
           echo "ERROR: fault $point did not fire" >&2
@@ -166,6 +180,42 @@ PY
     rm -rf "$(dirname "$DB")" "$FLIGHT"
   done
   echo "CRASH GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "iofault" ]; then
+  SECONDS_BUDGET="${1:-60}"
+  BUILD="${2:-build}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD"
+  echo "=== Env contract + degraded mode + I/O fault matrix ==="
+  ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'PosixEnv|WritableFile|FaultyEnv|DegradedMode|IoFaultMatrix|CrashMatrix'
+  echo "=== out-of-process degraded exit code ==="
+  TYDERC="$BUILD/tools/tyderc"
+  DB="$(mktemp -d)/db"
+  "$TYDERC" examples/payroll.tdl --db "$DB" > /dev/null
+  # A WAL fsync failure must refuse the mutation, report degraded mode, and
+  # exit with the dedicated code 3 (0 and 1 both mean something else).
+  set +e
+  TYDER_FAULTS="storage.env.sync=1" \
+    "$TYDERC" --db "$DB" --project Employee SSN,pay_rate FaultView \
+    > /dev/null 2>&1
+  rc=$?
+  set -e
+  if [ "$rc" -ne 3 ]; then
+    echo "ERROR: degraded mutation exited $rc, want 3" >&2
+    exit 1
+  fi
+  # The fsync lie is per-process: a fresh open re-validates the directory.
+  "$TYDERC" --db "$DB" --health | grep -q "state: healthy" || {
+    echo "ERROR: db did not re-validate to healthy after the faulted run" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$DB")"
+  echo "=== env-fault fuzz campaign (${SECONDS_BUDGET}s) ==="
+  "$BUILD/tests/tyder_fuzz" --seconds "$SECONDS_BUDGET"
+  echo "IOFAULT GREEN"
   exit 0
 fi
 

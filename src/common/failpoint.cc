@@ -36,6 +36,12 @@ const char* const kFaultPointNames[] = {
     "revert.mid",                // signatures restored, attributes not yet
     "storage.compact.after_rename",   // snapshot live, WAL not yet truncated
     "storage.compact.before_rename",  // temp snapshot written, not renamed
+    "storage.env.append",        // write(2) fails, nothing persisted
+    "storage.env.rename",        // rename(2) fails
+    "storage.env.short_write",   // a prefix persists, then the write fails
+    "storage.env.sync",          // fsync(fd) fails -> handle poisoned
+    "storage.env.sync_dir",      // directory fsync fails
+    "storage.env.truncate",      // ftruncate/truncate fails
     "storage.wal.after_append",  // record bytes written, before fsync
     "storage.wal.after_sync",    // record durable, commit not yet published
     "storage.wal.mid_fsync",     // the record's fsync itself fails

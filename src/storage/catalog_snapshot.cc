@@ -364,4 +364,10 @@ Result<Catalog> LoadCatalogSnapshot(std::string_view bytes) {
   return DeserializeCatalog(*payload);
 }
 
+Result<Catalog> ReadCatalogSnapshotFile(Env& env, const std::string& path) {
+  Result<std::string> bytes = env.ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return LoadCatalogSnapshot(*bytes);
+}
+
 }  // namespace tyder::storage

@@ -39,6 +39,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "storage/env.h"
 
 namespace tyder::storage {
 
@@ -53,6 +54,9 @@ Result<Catalog> DeserializeCatalog(std::string_view text);
 // Catalog <-> checksummed snapshot envelope (serialize.h framing).
 std::string SaveCatalogSnapshot(const Catalog& catalog);
 Result<Catalog> LoadCatalogSnapshot(std::string_view bytes);
+
+// Reads the file at `path` through `env` and decodes the envelope.
+Result<Catalog> ReadCatalogSnapshotFile(Env& env, const std::string& path);
 
 }  // namespace tyder::storage
 

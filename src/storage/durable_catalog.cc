@@ -1,16 +1,9 @@
 #include "storage/durable_catalog.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -23,8 +16,6 @@
 namespace tyder::storage {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 constexpr std::string_view kSnapshotPrefix = "snapshot-";
 constexpr std::string_view kSnapshotSuffix = ".tysnap";
@@ -46,53 +37,6 @@ bool ParseSnapshotFileName(std::string_view name, uint64_t& lsn) {
   std::string_view digits = name.substr(kSnapshotPrefix.size(), 20);
   auto [ptr, ec] = std::from_chars(digits.begin(), digits.end(), lsn);
   return ec == std::errc() && ptr == digits.end();
-}
-
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
-}
-
-// Writes `data` to `path` (truncating) and fsyncs it.
-Status WriteFileSync(const std::string& path, std::string_view data) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("cannot create snapshot file", path);
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Errno("cannot write snapshot file", path);
-    }
-    done += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Errno("cannot fsync snapshot file", path);
-  }
-  ::close(fd);
-  return Status::OK();
-}
-
-// fsyncs the directory so a just-renamed snapshot's directory entry is
-// durable.
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Errno("cannot open directory for fsync", dir);
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Errno("cannot fsync directory", dir);
-  }
-  ::close(fd);
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Errno("cannot read snapshot file", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
 }
 
 std::string JoinNames(const std::vector<std::string>& names) {
@@ -191,36 +135,32 @@ Status ReplayOp(Catalog& catalog, std::string_view payload) {
                             std::string(payload) + "'");
 }
 
-Result<DurableCatalog> DurableCatalog::Open(const std::string& dir) {
+Result<DurableCatalog> DurableCatalog::Open(const std::string& dir, Env* env) {
   TYDER_SPAN("DurableCatalog.Open");
   TYDER_TIMED("storage.recovery_ns");
   auto start = std::chrono::steady_clock::now();
 
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create database directory '" + dir +
-                            "': " + ec.message());
-  }
-
   DurableCatalog db;
   db.dir_ = dir;
   db.wal_path_ = dir + "/wal.log";
+  db.env_ = env != nullptr ? env : &Env::Posix();
+
+  TYDER_RETURN_IF_ERROR(db.env_->CreateDirs(dir));
 
   // 1. Load the newest snapshot that decodes cleanly.
+  Result<std::vector<std::string>> entries = db.env_->ListDir(dir);
+  if (!entries.ok()) return entries.status();
   std::vector<std::pair<uint64_t, std::string>> snapshots;  // lsn -> path
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+  for (const std::string& name : *entries) {
     uint64_t lsn = 0;
-    if (ParseSnapshotFileName(entry.path().filename().string(), lsn)) {
-      snapshots.emplace_back(lsn, entry.path().string());
+    if (ParseSnapshotFileName(name, lsn)) {
+      snapshots.emplace_back(lsn, dir + "/" + name);
     }
   }
   std::sort(snapshots.rbegin(), snapshots.rend());
   uint64_t snapshot_lsn = 0;
   for (const auto& [lsn, path] : snapshots) {
-    Result<std::string> bytes = ReadFile(path);
-    Result<Catalog> loaded =
-        bytes.ok() ? LoadCatalogSnapshot(*bytes) : bytes.status();
+    Result<Catalog> loaded = ReadCatalogSnapshotFile(*db.env_, path);
     if (loaded.ok()) {
       db.catalog_ = std::make_unique<Catalog>(std::move(loaded).value());
       db.recovery_.snapshot_loaded = true;
@@ -251,11 +191,12 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& dir) {
   db.last_lsn_ = snapshot_lsn;
 
   // 2. Validate the log; repair a torn tail; refuse mid-log corruption.
-  Result<WalReadResult> wal = ReadWal(db.wal_path_);
+  Result<WalReadResult> wal = ReadWal(db.wal_path_, db.env_);
   if (!wal.ok()) return wal.status();
   if (!wal->torn_tail_warning.empty()) {
     db.recovery_.warnings.push_back(wal->torn_tail_warning);
-    TYDER_RETURN_IF_ERROR(RepairTornTail(db.wal_path_, wal->valid_bytes));
+    TYDER_RETURN_IF_ERROR(
+        RepairTornTail(db.wal_path_, wal->valid_bytes, db.env_));
   }
 
   // 3. Replay everything the snapshot does not already cover. (Records at or
@@ -274,7 +215,7 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& dir) {
     ++db.recovery_.replayed_records;
   }
 
-  Result<WalWriter> writer = WalWriter::Open(db.wal_path_);
+  Result<WalWriter> writer = WalWriter::Open(db.wal_path_, db.env_);
   if (!writer.ok()) return writer.status();
   db.wal_ = std::make_unique<WalWriter>(std::move(writer).value());
 
@@ -285,8 +226,41 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& dir) {
   return db;
 }
 
+void DurableCatalog::EnterDegraded(const std::string& reason) {
+  if (!degraded_.ok()) return;  // keep the first cause
+  degraded_ = Status::FailedPrecondition(
+      "database '" + dir_ + "' is in read-only degraded mode: " + reason +
+      "; reads keep serving the last consistent state, mutations are "
+      "refused until Reopen() re-validates the on-disk state");
+  TYDER_COUNT("storage.degraded_entries");
+  TYDER_RECORD_V(kMark, "storage.degraded", static_cast<int64_t>(last_lsn_));
+  TYDER_FLIGHT_DUMP("storage.degraded:" + dir_);
+}
+
+Status DurableCatalog::Reopen() {
+  TYDER_SPAN("DurableCatalog.Reopen");
+  Result<DurableCatalog> fresh = Open(dir_, env_);
+  if (!fresh.ok()) {
+    return Status::FailedPrecondition(
+        "Reopen of '" + dir_ + "' failed; staying in " +
+        std::string(degraded() ? "degraded" : "current") +
+        " mode: " + fresh.status().message());
+  }
+  TYDER_RECORD_V(kMark, "storage.reopen", static_cast<int64_t>(fresh->last_lsn_));
+  *this = std::move(*fresh);
+  return Status::OK();
+}
+
 Status DurableCatalog::AppendRecord(std::string_view payload) {
-  TYDER_RETURN_IF_ERROR(wal_->Append(last_lsn_ + 1, payload));
+  if (!degraded_.ok()) return degraded_;
+  Status status = wal_->Append(last_lsn_ + 1, payload);
+  if (!status.ok()) {
+    if (wal_->poisoned()) {
+      EnterDegraded("the WAL can no longer vouch for durability (" +
+                    status.message() + ")");
+    }
+    return status;
+  }
   ++last_lsn_;
   return Status::OK();
 }
@@ -295,6 +269,7 @@ Result<const ViewDef*> DurableCatalog::DefineProjectionView(
     std::string_view name, std::string_view source_type,
     const std::vector<std::string>& attribute_names,
     const ProjectionOptions& options) {
+  if (!degraded_.ok()) return degraded_;
   std::string payload = "project " + std::string(name) + ' ' +
                         std::string(source_type) + ' ' +
                         JoinNames(attribute_names) + ' ' + VerifyFlag(options);
@@ -306,6 +281,7 @@ Result<const ViewDef*> DurableCatalog::DefineProjectionView(
 
 Result<const ViewDef*> DurableCatalog::DefineSelectionView(
     std::string_view name, std::string_view source_type) {
+  if (!degraded_.ok()) return degraded_;
   std::string payload =
       "select " + std::string(name) + ' ' + std::string(source_type);
   ScopedCommitHook hook(
@@ -316,6 +292,7 @@ Result<const ViewDef*> DurableCatalog::DefineSelectionView(
 Result<const ViewDef*> DurableCatalog::DefineGeneralizationView(
     std::string_view name, std::string_view type_a, std::string_view type_b,
     const ProjectionOptions& options) {
+  if (!degraded_.ok()) return degraded_;
   std::string payload = "generalize " + std::string(name) + ' ' +
                         std::string(type_a) + ' ' + std::string(type_b) + ' ' +
                         VerifyFlag(options);
@@ -328,6 +305,7 @@ Result<const ViewDef*> DurableCatalog::DefineRenameView(
     std::string_view name, std::string_view source_type,
     const std::vector<AttributeRename>& renames,
     const ProjectionOptions& options) {
+  if (!degraded_.ok()) return degraded_;
   std::string pairs;
   for (size_t i = 0; i < renames.size(); ++i) {
     if (i > 0) pairs += ',';
@@ -343,6 +321,7 @@ Result<const ViewDef*> DurableCatalog::DefineRenameView(
 }
 
 Status DurableCatalog::DropView(std::string_view name) {
+  if (!degraded_.ok()) return degraded_;
   std::string payload = "drop " + std::string(name);
   ScopedCommitHook hook(
       [this, payload = std::move(payload)] { return AppendRecord(payload); });
@@ -350,11 +329,13 @@ Status DurableCatalog::DropView(std::string_view name) {
 }
 
 Result<CollapseReport> DurableCatalog::Collapse() {
+  if (!degraded_.ok()) return degraded_;
   ScopedCommitHook hook([this] { return AppendRecord("collapse"); });
   return catalog_->Collapse();
 }
 
 Status DurableCatalog::Seed(Catalog catalog) {
+  if (!degraded_.ok()) return degraded_;
   if (recovery_.snapshot_loaded || last_lsn_ != 0 ||
       !catalog_->views().empty()) {
     return Status::FailedPrecondition(
@@ -366,39 +347,74 @@ Status DurableCatalog::Seed(Catalog catalog) {
   return Compact();
 }
 
+// Writes the snapshot bytes to `tmp_path` and fsyncs them. A failed fsync
+// degrades the database: the file's durability can no longer be proven and
+// a rename would publish a snapshot that might evaporate in a crash.
+Status DurableCatalog::WriteSnapshot(const std::string& tmp_path,
+                                     std::string_view bytes) {
+  Result<std::unique_ptr<WritableFile>> file = env_->OpenTruncated(tmp_path);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(bytes);
+  if (status.ok()) {
+    status = (*file)->Sync();
+    if (!status.ok() && (*file)->poisoned()) {
+      EnterDegraded("snapshot fsync failed (" + status.message() + ")");
+    }
+  }
+  return status;
+}
+
 Status DurableCatalog::Compact() {
   TYDER_SPAN("DurableCatalog.Compact");
+  if (!degraded_.ok()) return degraded_;
   std::string bytes = SaveCatalogSnapshot(*catalog_);
   std::string file_name = SnapshotFileName(last_lsn_);
   std::string tmp_path = dir_ + "/" + file_name + ".tmp";
   std::string final_path = dir_ + "/" + file_name;
 
-  TYDER_RETURN_IF_ERROR(WriteFileSync(tmp_path, bytes));
-  TYDER_FAULT_POINT("storage.compact.before_rename");
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return Errno("cannot publish snapshot", final_path);
+  // Until the WAL truncate below, any failure leaves the previous snapshot
+  // plus the intact WAL as the recovery source: clean up the temp file,
+  // report the failure, stay live (unless an fsync failure degraded us).
+  Status status = WriteSnapshot(tmp_path, bytes);
+  if (status.ok() && TYDER_FAULT_CONSUME("storage.compact.before_rename")) {
+    // Simulated crash: temp snapshot written, never renamed. No cleanup —
+    // the "process" is gone; the next successful compaction reclaims it.
+    return Status::Internal(
+        "fault injected at 'storage.compact.before_rename'");
   }
-  TYDER_RETURN_IF_ERROR(SyncDir(dir_));
+  if (status.ok()) status = env_->RenameFile(tmp_path, final_path);
+  if (status.ok()) status = env_->SyncDir(dir_);
+  if (!status.ok()) {
+    (void)env_->RemoveFile(tmp_path);
+    return status;
+  }
   TYDER_COUNT("storage.snapshot_writes");
   // Snapshot live, WAL not yet truncated: recovery must skip the records the
   // snapshot already covers.
   TYDER_FAULT_POINT("storage.compact.after_rename");
-  TYDER_RETURN_IF_ERROR(wal_->TruncateAll());
+  status = wal_->TruncateAll();
+  if (!status.ok()) {
+    if (wal_->poisoned()) {
+      EnterDegraded("the WAL truncation after compaction could not be made "
+                    "durable (" + status.message() + ")");
+    }
+    return status;
+  }
 
   // Only now is it safe to drop older snapshots: up to this point a crash
   // could still need them (their WAL suffix was intact). Cleanup failures are
   // cosmetic — stale files are ignored or reclaimed by the next compaction.
-  std::error_code ec;
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(dir_, ec)) {
-    std::string name = entry.path().filename().string();
-    uint64_t lsn = 0;
-    bool stale_snapshot = ParseSnapshotFileName(name, lsn) && name != file_name;
-    bool stale_tmp = name.size() > 4 &&
-                     name.compare(name.size() - 4, 4, ".tmp") == 0;
-    if (stale_snapshot || stale_tmp) {
-      std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
+  Result<std::vector<std::string>> entries = env_->ListDir(dir_);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      uint64_t lsn = 0;
+      bool stale_snapshot =
+          ParseSnapshotFileName(name, lsn) && name != file_name;
+      bool stale_tmp = name.size() > 4 &&
+                       name.compare(name.size() - 4, 4, ".tmp") == 0;
+      if (stale_snapshot || stale_tmp) {
+        (void)env_->RemoveFile(dir_ + "/" + name);
+      }
     }
   }
   return Status::OK();

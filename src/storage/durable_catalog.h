@@ -1,4 +1,6 @@
-// DurableCatalog: a Catalog whose committed mutations survive process death.
+// DurableCatalog: a Catalog whose committed mutations survive process death
+// — and whose durability guarantees degrade loudly, not silently, when the
+// disk itself misbehaves.
 //
 // Directory layout (`Open(dir)` creates the directory if needed):
 //
@@ -13,12 +15,30 @@
 // operation is never observable in memory unless its record is on stable
 // storage. Records carry the textual op (including the verify flag, since a
 // no-verify derivation might not replay under verify) and are replayed
-// deterministically at recovery.
+// deterministically at recovery. All I/O goes through a storage::Env
+// (env.h), injectable per database for fault testing.
 //
 // Compaction. Compact() writes a fresh snapshot to a temp file, fsyncs it,
 // renames it into place, fsyncs the directory, and only then truncates the
 // WAL and deletes older snapshots. A crash between rename and truncate is
-// benign: replay skips records with lsn <= the snapshot's lsn.
+// benign: replay skips records with lsn <= the snapshot's lsn. On any
+// failure before the WAL truncate the old snapshot + intact WAL remain the
+// recovery source and the temp file is removed, so the catalog stays live.
+//
+// Degraded mode. A failed fsync — of the WAL file, of a failed append's
+// truncation undo, or of a snapshot temp file — means the store can no
+// longer prove its durability claims (see env.h on why fsync must never be
+// retried). The catalog then enters READ-ONLY DEGRADED MODE: every logged
+// mutation, Compact and Seed refuse with a FailedPrecondition naming the
+// original failure; reads (catalog(), recovery(), last_lsn()) keep serving
+// the last consistent in-memory state, which matches the last state whose
+// record was durably acknowledged. The transition bumps the
+// storage.degraded_entries counter and ships a flight-recorder dump.
+// Plain write errors (ENOSPC, EIO, short writes) whose undo holds do NOT
+// degrade: the operation fails, state is unchanged, and a retry may
+// succeed once the disk recovers. Reopen() leaves degraded mode by
+// re-running full recovery from disk; it succeeds only if the on-disk
+// state validates cleanly.
 //
 // Recovery (in Open). The newest snapshot that decodes cleanly is loaded —
 // a corrupt newer snapshot falls back to an older one with a warning, and is
@@ -28,8 +48,8 @@
 // diagnostic. Recovery always yields a catalog byte-identical to the state
 // either before or after the interrupted mutation — never in between.
 //
-// Crash-injection points: storage.wal.* (wal.h) plus
-// storage.compact.before_rename / storage.compact.after_rename.
+// Crash-injection points: storage.wal.* (wal.h), storage.env.* (env.h),
+// plus storage.compact.before_rename / storage.compact.after_rename.
 
 #ifndef TYDER_STORAGE_DURABLE_CATALOG_H_
 #define TYDER_STORAGE_DURABLE_CATALOG_H_
@@ -42,6 +62,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "storage/env.h"
 #include "storage/wal.h"
 
 namespace tyder::storage {
@@ -57,8 +78,10 @@ struct RecoveryInfo {
 class DurableCatalog {
  public:
   // Opens (creating if absent) the database directory and recovers the
-  // catalog from its newest valid snapshot plus the WAL.
-  static Result<DurableCatalog> Open(const std::string& dir);
+  // catalog from its newest valid snapshot plus the WAL. All I/O goes
+  // through `env` (nullptr == Env::Posix()) for the life of the database.
+  static Result<DurableCatalog> Open(const std::string& dir,
+                                     Env* env = nullptr);
 
   DurableCatalog(DurableCatalog&&) = default;
   DurableCatalog& operator=(DurableCatalog&&) = default;
@@ -70,10 +93,23 @@ class DurableCatalog {
   // LSN of the newest durable record (snapshot-covered or in the WAL).
   uint64_t last_lsn() const { return last_lsn_; }
 
+  // True once a durability failure has forced read-only degraded mode.
+  bool degraded() const { return !degraded_.ok(); }
+  // The refusal every mutation gets while degraded; OK when healthy.
+  const Status& degraded_status() const { return degraded_; }
+
+  // Leaves degraded mode by re-running full recovery from disk: the
+  // in-memory catalog, WAL handle and lsn are replaced by what the on-disk
+  // state validates to (pre- or post- the interrupted mutation). On failure
+  // the database stays degraded and untouched. Safe (a no-op recovery) when
+  // healthy.
+  Status Reopen();
+
   // --- logged mutations (Catalog API + durability) --------------------------
   // Same contracts as the Catalog methods; additionally, on OK the operation
   // is on stable storage, and on failure it is rolled back in memory (the
-  // WAL tail is restored best-effort, see WalWriter::Append).
+  // WAL tail is restored durably, see WalWriter::Append). All refuse with
+  // degraded_status() while degraded.
 
   Result<const ViewDef*> DefineProjectionView(
       std::string_view name, std::string_view source_type,
@@ -103,15 +139,19 @@ class DurableCatalog {
   DurableCatalog() = default;
 
   Status AppendRecord(std::string_view payload);
+  Status WriteSnapshot(const std::string& tmp_path, std::string_view bytes);
+  void EnterDegraded(const std::string& reason);
 
   std::string dir_;
   std::string wal_path_;
+  Env* env_ = nullptr;
   // unique_ptrs keep the class movable without hand-written moves (Catalog
-  // holds a Schema; WalWriter owns an fd).
+  // holds a Schema; WalWriter owns a file handle).
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t last_lsn_ = 0;
   RecoveryInfo recovery_;
+  Status degraded_;  // non-OK == read-only degraded mode
 };
 
 // Applies one WAL payload to `catalog` without logging (recovery replay).

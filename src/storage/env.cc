@@ -1,0 +1,309 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "obs/obs.h"
+
+namespace tyder::storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Counts every surfaced I/O failure. NotFound from ReadFile is excluded: a
+// missing WAL or snapshot is a normal state, not a disk error.
+void CountIoError(const Status& status) {
+  if (status.ok() || status.code() == StatusCode::kNotFound) return;
+  TYDER_COUNT("storage.io_errors");
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, size_t max_write_bytes)
+      : fd_(fd), path_(std::move(path)), max_write_bytes_(max_write_bytes) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ protected:
+  Status DoAppend(std::string_view data) override {
+    TYDER_FAULT_POINT("storage.env.append");
+    if (TYDER_FAULT_CONSUME("storage.env.short_write")) {
+      // Simulated failing write that persisted a prefix first: the caller
+      // must treat the record as torn and undo it.
+      (void)WriteLoop(data.substr(0, data.size() / 2));
+      return Status::Internal(
+          "fault injected at 'storage.env.short_write' (partial write "
+          "persisted)");
+    }
+    return WriteLoop(data);
+  }
+
+  Status DoSync() override {
+    TYDER_FAULT_POINT("storage.env.sync");
+    if (::fsync(fd_) != 0) return Errno("cannot fsync", path_);
+    return Status::OK();
+  }
+
+  Status DoTruncate(uint64_t size) override {
+    TYDER_FAULT_POINT("storage.env.truncate");
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("cannot truncate", path_);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> DoSize() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("cannot stat", path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  // write(2) may persist fewer bytes than asked without any error — a
+  // single-shot write would silently corrupt the record. Loop until every
+  // byte is down, retrying EINTR.
+  Status WriteLoop(std::string_view data) {
+    size_t done = 0;
+    while (done < data.size()) {
+      size_t len = data.size() - done;
+      if (max_write_bytes_ > 0) len = std::min(len, max_write_bytes_);
+      ssize_t n = ::write(fd_, data.data() + done, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("cannot write", path_);
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string path_;
+  size_t max_write_bytes_;
+};
+
+}  // namespace
+
+Status WritableFile::Poisoned(const char* op) const {
+  return Status::FailedPrecondition(
+      std::string(op) +
+      " refused: file handle is poisoned by an earlier fsync failure (" +
+      poison_.message() + "); reopen and re-validate on-disk state");
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (!poison_.ok()) return Poisoned("append");
+  Status status = DoAppend(data);
+  CountIoError(status);
+  return status;
+}
+
+Status WritableFile::Sync() {
+  if (!poison_.ok()) return Poisoned("fsync");
+  Status status = DoSync();
+  if (!status.ok()) {
+    CountIoError(status);
+    // fsyncgate: the kernel may have dropped the dirty pages and marked
+    // them clean — a retry that "succeeds" would claim durability for data
+    // that never reached the platter. Refuse this handle forever.
+    poison_ = status;
+    TYDER_RECORD_V(kMark, "env.sync_poisoned", 0);
+  }
+  return status;
+}
+
+Status WritableFile::Truncate(uint64_t size) {
+  if (!poison_.ok()) return Poisoned("truncate");
+  Status status = DoTruncate(size);
+  CountIoError(status);
+  return status;
+}
+
+Result<uint64_t> WritableFile::Size() {
+  Result<uint64_t> size = DoSize();
+  if (!size.ok()) CountIoError(size.status());
+  return size;
+}
+
+Result<std::unique_ptr<WritableFile>> Env::OpenAppendable(
+    const std::string& path) {
+  Result<std::unique_ptr<WritableFile>> file = DoOpenAppendable(path);
+  if (!file.ok()) CountIoError(file.status());
+  return file;
+}
+
+Result<std::unique_ptr<WritableFile>> Env::OpenTruncated(
+    const std::string& path) {
+  Result<std::unique_ptr<WritableFile>> file = DoOpenTruncated(path);
+  if (!file.ok()) CountIoError(file.status());
+  return file;
+}
+
+Result<std::string> Env::ReadFile(const std::string& path) {
+  Result<std::string> bytes = DoReadFile(path);
+  if (!bytes.ok()) CountIoError(bytes.status());
+  return bytes;
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  Status status = DoRenameFile(from, to);
+  CountIoError(status);
+  return status;
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  Status status = DoRemoveFile(path);
+  CountIoError(status);
+  return status;
+}
+
+Status Env::TruncateFile(const std::string& path, uint64_t size) {
+  Status status = DoTruncateFile(path, size);
+  CountIoError(status);
+  return status;
+}
+
+Status Env::SyncDir(const std::string& dir) {
+  Status status = DoSyncDir(dir);
+  CountIoError(status);
+  return status;
+}
+
+Status Env::CreateDirs(const std::string& dir) {
+  Status status = DoCreateDirs(dir);
+  CountIoError(status);
+  return status;
+}
+
+Result<std::vector<std::string>> Env::ListDir(const std::string& dir) {
+  Result<std::vector<std::string>> names = DoListDir(dir);
+  if (!names.ok()) CountIoError(names.status());
+  return names;
+}
+
+Env& Env::Posix() {
+  static PosixEnv* instance = new PosixEnv();
+  return *instance;
+}
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::DoOpenAppendable(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("cannot open for append", path);
+  return std::unique_ptr<WritableFile>(
+      new PosixWritableFile(fd, path, max_write_bytes_));
+}
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::DoOpenTruncated(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", path);
+  return std::unique_ptr<WritableFile>(
+      new PosixWritableFile(fd, path, max_write_bytes_));
+}
+
+Result<std::string> PosixEnv::DoReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file '" + path + "'");
+    }
+    return Errno("cannot open for read", path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Errno("cannot read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Status PosixEnv::DoRenameFile(const std::string& from, const std::string& to) {
+  TYDER_FAULT_POINT("storage.env.rename");
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("cannot rename to", to);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::DoRemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("cannot remove", path);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::DoTruncateFile(const std::string& path, uint64_t size) {
+  TYDER_FAULT_POINT("storage.env.truncate");
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("cannot truncate", path);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::DoSyncDir(const std::string& dir) {
+  TYDER_FAULT_POINT("storage.env.sync_dir");
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open directory for fsync", dir);
+  if (::fsync(fd) != 0) {
+    Status status = Errno("cannot fsync directory", dir);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status PosixEnv::DoCreateDirs(const std::string& dir) {
+  // mkdir -p, front to back; EEXIST along the way is fine.
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    prefix = dir.substr(0, slash);
+    pos = slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("cannot create directory", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::DoListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("cannot list directory", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace tyder::storage

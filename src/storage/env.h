@@ -1,0 +1,160 @@
+// Pluggable storage environment: every syscall the durable catalog issues
+// (open/append/fsync/rename/ftruncate/fsync-dir/read/list/remove) routes
+// through this interface, so tests can swap the disk out from under the
+// store without touching the durability protocol.
+//
+// Implementations:
+//   PosixEnv   (env.cc)        the real disk; EINTR + partial-write retry
+//                              loops, storage.env.* fault points.
+//   FaultyEnv  (faulty_env.h)  test-only wrapper injecting ENOSPC (byte
+//                              quota), EIO, short writes, fsync failure and
+//                              simulated power loss.
+//
+// fsync-failure semantics (the "fsyncgate" rule). A failed Sync() POISONS
+// the handle: after fsync reports an error the kernel may have dropped the
+// dirty pages and marked them clean, so a later fsync returning OK proves
+// nothing — the base class refuses every subsequent Append/Sync/Truncate
+// with the original failure instead of re-fsyncing and claiming durability.
+// Callers that need the data must reopen and re-validate on-disk state
+// (DurableCatalog::Reopen does exactly that).
+//
+// Crash-simulation vs error-return fault points. The storage.wal.* points
+// (wal.h) simulate the *process dying* at a protocol step — no error is
+// returned, the bytes are just abandoned. The storage.env.* points below
+// simulate the *syscall failing* with an error the code must handle:
+//
+//   storage.env.append       the write itself fails, nothing persists
+//   storage.env.short_write  only a prefix persists, then the write fails
+//   storage.env.sync         fsync(fd) fails (poisons the handle)
+//   storage.env.truncate     ftruncate/truncate fails
+//   storage.env.rename       rename(2) fails
+//   storage.env.sync_dir     fsync of a directory fd fails
+
+#ifndef TYDER_STORAGE_ENV_H_
+#define TYDER_STORAGE_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tyder::storage {
+
+// A writable file handle. Public methods are non-virtual guards that
+// enforce the poison rule and count storage.io_errors; implementations
+// override the Do* hooks.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  // Writes all of `data` at the end of the file. Implementations retry
+  // EINTR and short writes; on failure an unknown prefix of `data` may have
+  // reached the file (the WAL undoes it with Truncate + Sync).
+  Status Append(std::string_view data);
+
+  // Makes everything written so far durable. A failure poisons the handle.
+  Status Sync();
+
+  // Truncates the file to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  // Current file size in bytes (allowed even when poisoned).
+  Result<uint64_t> Size();
+
+  // True once a Sync (or an injected sync fault) has failed on this handle.
+  bool poisoned() const { return !poison_.ok(); }
+  // The original failure, non-OK iff poisoned.
+  const Status& poison_status() const { return poison_; }
+
+ protected:
+  virtual Status DoAppend(std::string_view data) = 0;
+  virtual Status DoSync() = 0;
+  virtual Status DoTruncate(uint64_t size) = 0;
+  virtual Result<uint64_t> DoSize() = 0;
+
+ private:
+  Status Poisoned(const char* op) const;
+
+  Status poison_;  // non-OK once a Sync has failed; never cleared
+};
+
+// The environment: file-system operations by path. Public methods are
+// non-virtual guards counting storage.io_errors; implementations override
+// the Do* hooks. All paths are plain strings; directories use '/'.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Opens `path` for appending, creating it (0644) if absent.
+  Result<std::unique_ptr<WritableFile>> OpenAppendable(const std::string& path);
+  // Opens `path` truncated to empty, creating it (0644) if absent.
+  Result<std::unique_ptr<WritableFile>> OpenTruncated(const std::string& path);
+  // Reads the whole file. NotFound iff the file does not exist.
+  Result<std::string> ReadFile(const std::string& path);
+  // Renames `from` onto `to` (atomic replace, rename(2) semantics). The new
+  // directory entry is durable only after SyncDir of the parent directory.
+  Status RenameFile(const std::string& from, const std::string& to);
+  // Removes the file; OK if it did not exist.
+  Status RemoveFile(const std::string& path);
+  // Truncates the file at `path` to `size` bytes (no open handle needed).
+  Status TruncateFile(const std::string& path, uint64_t size);
+  // fsyncs the directory so renamed/created entries are durable.
+  Status SyncDir(const std::string& dir);
+  // mkdir -p.
+  Status CreateDirs(const std::string& dir);
+  // File names (not paths) of the directory's entries, sorted.
+  Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+  // The process-wide default environment (a PosixEnv).
+  static Env& Posix();
+
+ protected:
+  virtual Result<std::unique_ptr<WritableFile>> DoOpenAppendable(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<WritableFile>> DoOpenTruncated(
+      const std::string& path) = 0;
+  virtual Result<std::string> DoReadFile(const std::string& path) = 0;
+  virtual Status DoRenameFile(const std::string& from,
+                              const std::string& to) = 0;
+  virtual Status DoRemoveFile(const std::string& path) = 0;
+  virtual Status DoTruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status DoSyncDir(const std::string& dir) = 0;
+  virtual Status DoCreateDirs(const std::string& dir) = 0;
+  virtual Result<std::vector<std::string>> DoListDir(
+      const std::string& dir) = 0;
+};
+
+// The real disk. Instantiable so tests can configure a private instance;
+// production code uses the Env::Posix() singleton.
+class PosixEnv : public Env {
+ public:
+  PosixEnv() = default;
+
+  // Caps each write(2) at `n` bytes so tests can force the partial-write
+  // retry loop through real short writes. 0 (default) = no cap.
+  void set_max_write_bytes_for_testing(size_t n) { max_write_bytes_ = n; }
+
+ protected:
+  Result<std::unique_ptr<WritableFile>> DoOpenAppendable(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> DoOpenTruncated(
+      const std::string& path) override;
+  Result<std::string> DoReadFile(const std::string& path) override;
+  Status DoRenameFile(const std::string& from, const std::string& to) override;
+  Status DoRemoveFile(const std::string& path) override;
+  Status DoTruncateFile(const std::string& path, uint64_t size) override;
+  Status DoSyncDir(const std::string& dir) override;
+  Status DoCreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> DoListDir(const std::string& dir) override;
+
+ private:
+  size_t max_write_bytes_ = 0;
+};
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_ENV_H_

@@ -1,0 +1,267 @@
+#include "storage/faulty_env.h"
+
+#include <utility>
+
+namespace tyder::storage {
+
+namespace {
+
+Status Injected(const std::string& what, const std::string& path) {
+  return Status::Internal("injected " + what + " on '" + path + "'");
+}
+
+}  // namespace
+
+// Delegates to the wrapped file, letting the parent env veto each call.
+// Derives the env.h guard, so an injected sync failure poisons this handle
+// exactly like a real one.
+class FaultyEnv::FaultyFile : public WritableFile {
+ public:
+  FaultyFile(FaultyEnv* parent, std::string path,
+             std::unique_ptr<WritableFile> inner)
+      : parent_(parent), path_(std::move(path)), inner_(std::move(inner)) {}
+
+ protected:
+  Status DoAppend(std::string_view data) override {
+    return parent_->OnAppend(path_, data, *inner_);
+  }
+  Status DoSync() override { return parent_->OnSync(path_, *inner_); }
+  Status DoTruncate(uint64_t size) override {
+    return parent_->OnTruncate(path_, size, *inner_);
+  }
+  Result<uint64_t> DoSize() override { return inner_->Size(); }
+
+ private:
+  FaultyEnv* parent_;
+  std::string path_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+void FaultyEnv::InjectAt(FaultKind kind, int nth) {
+  armed_ = true;
+  armed_kind_ = kind;
+  armed_nth_ = nth;
+  fault_fired_ = false;
+}
+
+void FaultyEnv::SetByteQuota(uint64_t bytes) {
+  quota_armed_ = true;
+  quota_bytes_ = bytes;
+  quota_used_ = 0;
+}
+
+void FaultyEnv::ClearFaults() {
+  armed_ = false;
+  quota_armed_ = false;
+}
+
+void FaultyEnv::ResetCounters() {
+  total_calls_ = 0;
+  append_calls_ = 0;
+  sync_calls_ = 0;
+}
+
+bool FaultyEnv::ShouldFire(FaultKind kind, int idx) {
+  if (!armed_ || armed_kind_ != kind || idx != armed_nth_) return false;
+  armed_ = false;  // one shot
+  fault_fired_ = true;
+  return true;
+}
+
+std::string FaultyEnv::ParentDir(const std::string& path) const {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+void FaultyEnv::Touch(const std::string& path) {
+  if (durable_.count(path) != 0) return;
+  Result<std::string> existing = base_->ReadFile(path);
+  if (existing.ok()) {
+    durable_[path] = std::move(*existing);
+  } else {
+    durable_[path] = std::nullopt;
+  }
+}
+
+Status FaultyEnv::OnAppend(const std::string& path, std::string_view data,
+                           WritableFile& inner) {
+  int total = total_calls_++;
+  int nth_append = append_calls_++;
+  if (ShouldFire(FaultKind::kError, total) ||
+      ShouldFire(FaultKind::kEnospc, nth_append)) {
+    return Injected("EIO/ENOSPC write failure", path);
+  }
+  if (ShouldFire(FaultKind::kShortWrite, nth_append)) {
+    (void)inner.Append(data.substr(0, data.size() / 2));
+    return Injected("short write (half the bytes persisted)", path);
+  }
+  if (quota_armed_) {
+    uint64_t remaining =
+        quota_bytes_ > quota_used_ ? quota_bytes_ - quota_used_ : 0;
+    if (data.size() > remaining) {
+      // Disk full mid-write: exactly the bytes that fit reach the file.
+      quota_used_ = quota_bytes_;
+      fault_fired_ = true;
+      (void)inner.Append(data.substr(0, remaining));
+      return Injected("ENOSPC (byte quota exhausted mid-write)", path);
+    }
+    quota_used_ += data.size();
+  }
+  return inner.Append(data);
+}
+
+Status FaultyEnv::OnSync(const std::string& path, WritableFile& inner) {
+  int total = total_calls_++;
+  int nth_sync = sync_calls_++;
+  if (ShouldFire(FaultKind::kError, total) ||
+      ShouldFire(FaultKind::kSyncFail, nth_sync)) {
+    return Injected("fsync failure", path);
+  }
+  TYDER_RETURN_IF_ERROR(inner.Sync());
+  // Durable: the inode's current content, reachable under this name.
+  Result<std::string> content = base_->ReadFile(path);
+  if (content.ok()) durable_[path] = std::move(*content);
+  return Status::OK();
+}
+
+Status FaultyEnv::OnTruncate(const std::string& path, uint64_t size,
+                             WritableFile& inner) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO truncate failure", path);
+  }
+  // Unsynced metadata: durable content unchanged until the next Sync.
+  return inner.Truncate(size);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::DoOpenAppendable(
+    const std::string& path) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO open failure", path);
+  }
+  Touch(path);
+  Result<std::unique_ptr<WritableFile>> inner = base_->OpenAppendable(path);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultyFile(this, path, std::move(*inner)));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::DoOpenTruncated(
+    const std::string& path) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO open failure", path);
+  }
+  Touch(path);
+  Result<std::unique_ptr<WritableFile>> inner = base_->OpenTruncated(path);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultyFile(this, path, std::move(*inner)));
+}
+
+Result<std::string> FaultyEnv::DoReadFile(const std::string& path) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO read failure", path);
+  }
+  Touch(path);
+  return base_->ReadFile(path);
+}
+
+Status FaultyEnv::DoRenameFile(const std::string& from,
+                               const std::string& to) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO rename failure", to);
+  }
+  Touch(from);
+  Touch(to);
+  TYDER_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  // Real effect now, durable effect only after SyncDir: power loss before
+  // that undoes the rename, resurrecting `from` with its durable content.
+  pending_.push_back(
+      PendingOp{PendingOp::kRename, from, to, durable_[from]});
+  return Status::OK();
+}
+
+Status FaultyEnv::DoRemoveFile(const std::string& path) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO remove failure", path);
+  }
+  Touch(path);
+  TYDER_RETURN_IF_ERROR(base_->RemoveFile(path));
+  pending_.push_back(PendingOp{PendingOp::kRemove, "", path, std::nullopt});
+  return Status::OK();
+}
+
+Status FaultyEnv::DoTruncateFile(const std::string& path, uint64_t size) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO truncate failure", path);
+  }
+  Touch(path);
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultyEnv::DoSyncDir(const std::string& dir) {
+  int total = total_calls_++;
+  int nth_sync = sync_calls_++;
+  if (ShouldFire(FaultKind::kError, total) ||
+      ShouldFire(FaultKind::kSyncFail, nth_sync)) {
+    return Injected("directory fsync failure", dir);
+  }
+  TYDER_RETURN_IF_ERROR(base_->SyncDir(dir));
+  // Commit pending metadata ops inside `dir`, in order.
+  std::vector<PendingOp> keep;
+  for (PendingOp& op : pending_) {
+    if (ParentDir(op.path) != dir) {
+      keep.push_back(std::move(op));
+      continue;
+    }
+    if (op.kind == PendingOp::kRename) {
+      durable_[op.path] = std::move(op.moved_durable);
+      durable_[op.from] = std::nullopt;
+    } else {
+      durable_[op.path] = std::nullopt;
+    }
+  }
+  pending_ = std::move(keep);
+  return Status::OK();
+}
+
+Status FaultyEnv::DoCreateDirs(const std::string& dir) {
+  // Directories are assumed durable (see header); never fault-eligible.
+  return base_->CreateDirs(dir);
+}
+
+Result<std::vector<std::string>> FaultyEnv::DoListDir(const std::string& dir) {
+  int total = total_calls_++;
+  if (ShouldFire(FaultKind::kError, total)) {
+    return Injected("EIO list failure", dir);
+  }
+  Result<std::vector<std::string>> names = base_->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) Touch(dir + "/" + name);
+  }
+  return names;
+}
+
+void FaultyEnv::PowerLoss() {
+  // Everything not fsync'd evaporates; uncommitted renames/removes undo.
+  pending_.clear();
+  for (const auto& [path, content] : durable_) {
+    if (content.has_value()) {
+      Result<std::unique_ptr<WritableFile>> file = base_->OpenTruncated(path);
+      if (file.ok()) {
+        (void)(*file)->Append(*content);
+        (void)(*file)->Sync();
+      }
+    } else {
+      (void)base_->RemoveFile(path);
+    }
+  }
+}
+
+}  // namespace tyder::storage

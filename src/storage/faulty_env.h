@@ -1,0 +1,146 @@
+// FaultyEnv: a deterministic fault-injecting storage::Env for tests.
+//
+// Wraps a base Env (the real disk by default) and misbehaves on command:
+//
+//   InjectAt(kind, n)   the n-th (0-based) eligible call from now fails:
+//                         kError       the n-th call of ANY kind fails (EIO)
+//                         kShortWrite  the n-th APPEND persists only half
+//                                      its bytes, then fails
+//                         kSyncFail    the n-th fsync (file or directory)
+//                                      fails — poisoning the handle per the
+//                                      env.h contract
+//                         kEnospc     the n-th APPEND fails with ENOSPC,
+//                                      nothing persisted
+//   SetByteQuota(b)     cumulative append budget: the append that would
+//                       cross `b` bytes persists exactly the prefix that
+//                       fits, then fails with ENOSPC (disk-full mid-write)
+//   PowerLoss()         rewinds the real file system to the DURABLE state:
+//                       every tracked file reverts to its last-fsync'd
+//                       content (or vanishes if never fsync'd), and
+//                       renames/removes not yet committed by a directory
+//                       fsync are undone. Call after dropping all open
+//                       handles; then recover with a fresh env.
+//
+// The durability model backing PowerLoss:
+//   - a file's content becomes durable when its handle is Sync'd;
+//     fsync of a new file also makes its directory entry durable
+//     (ext4/xfs-style);
+//   - RenameFile/RemoveFile take real effect immediately but stay PENDING —
+//     power loss undoes them — until SyncDir of the containing directory
+//     commits them;
+//   - files that already existed when FaultyEnv first touched them are
+//     assumed durable with their on-disk content;
+//   - directories themselves are assumed durable (the store cannot fsync
+//     the parent of its own root).
+//
+// Call counters (total/append/sync) tick on every call whether or not a
+// fault is armed, so a clean run measures the sweep space for the I/O fault
+// matrix: run once cleanly, then re-run once per (kind, n) combination.
+// Single-threaded use only, like the tests that drive it.
+
+#ifndef TYDER_STORAGE_FAULTY_ENV_H_
+#define TYDER_STORAGE_FAULTY_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace tyder::storage {
+
+class FaultyEnv : public Env {
+ public:
+  enum class FaultKind { kError, kShortWrite, kSyncFail, kEnospc };
+
+  // `base` == nullptr means Env::Posix().
+  explicit FaultyEnv(Env* base = nullptr)
+      : base_(base != nullptr ? base : &Env::Posix()) {}
+
+  // Arms a one-shot fault at the n-th eligible call from now (see the
+  // kind's counter above). Replaces any previously armed fault.
+  void InjectAt(FaultKind kind, int nth);
+
+  // Arms the cumulative append byte budget; appends past it fail ENOSPC.
+  void SetByteQuota(uint64_t bytes);
+
+  // Disarms the injected fault and the quota. Counters keep running.
+  void ClearFaults();
+
+  // True once an armed fault or the quota has actually fired.
+  bool fault_fired() const { return fault_fired_; }
+
+  int total_calls() const { return total_calls_; }
+  int append_calls() const { return append_calls_; }
+  int sync_calls() const { return sync_calls_; }
+  void ResetCounters();
+
+  // Simulated power loss: rewinds the real filesystem to the durable state.
+  // Drop every file handle opened through this env first.
+  void PowerLoss();
+
+ protected:
+  Result<std::unique_ptr<WritableFile>> DoOpenAppendable(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> DoOpenTruncated(
+      const std::string& path) override;
+  Result<std::string> DoReadFile(const std::string& path) override;
+  Status DoRenameFile(const std::string& from, const std::string& to) override;
+  Status DoRemoveFile(const std::string& path) override;
+  Status DoTruncateFile(const std::string& path, uint64_t size) override;
+  Status DoSyncDir(const std::string& dir) override;
+  Status DoCreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> DoListDir(const std::string& dir) override;
+
+ private:
+  class FaultyFile;
+
+  struct PendingOp {
+    enum Kind { kRename, kRemove } kind;
+    std::string from;  // rename source; unused for removes
+    std::string path;  // rename target / removed file
+    // The durable content the renamed inode carries to its new name.
+    std::optional<std::string> moved_durable;
+  };
+
+  // First-touch tracking: pre-existing files are durable as-is.
+  void Touch(const std::string& path);
+  std::string ParentDir(const std::string& path) const;
+
+  // Fires iff the armed fault matches `kind` at index `idx`.
+  bool ShouldFire(FaultKind kind, int idx);
+
+  // Hooks called by FaultyFile.
+  Status OnAppend(const std::string& path, std::string_view data,
+                  WritableFile& inner);
+  Status OnSync(const std::string& path, WritableFile& inner);
+  Status OnTruncate(const std::string& path, uint64_t size,
+                    WritableFile& inner);
+
+  Env* base_;
+
+  bool armed_ = false;
+  FaultKind armed_kind_ = FaultKind::kError;
+  int armed_nth_ = 0;
+  bool fault_fired_ = false;
+
+  bool quota_armed_ = false;
+  uint64_t quota_bytes_ = 0;
+  uint64_t quota_used_ = 0;
+
+  int total_calls_ = 0;
+  int append_calls_ = 0;
+  int sync_calls_ = 0;
+
+  // nullopt == durably absent.
+  std::map<std::string, std::optional<std::string>> durable_;
+  std::vector<PendingOp> pending_;
+};
+
+}  // namespace tyder::storage
+
+#endif  // TYDER_STORAGE_FAULTY_ENV_H_

@@ -1,12 +1,7 @@
 #include "storage/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "obs/obs.h"
@@ -42,23 +37,7 @@ uint64_t ReadLe64(std::string_view bytes, size_t offset) {
   return v;
 }
 
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
-}
-
-// Writes all of `data` to `fd`, retrying short writes.
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("cannot write WAL", path);
-    }
-    done += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
+Env& EnvOrPosix(Env* env) { return env != nullptr ? *env : Env::Posix(); }
 
 std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
   std::string lsn_bytes;
@@ -129,56 +108,64 @@ Result<WalReadResult> ParseWal(std::string_view bytes) {
   return result;
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return WalReadResult{};  // absent log == empty log
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseWal(buffer.str());
+Result<WalReadResult> ReadWal(const std::string& path, Env* env) {
+  Result<std::string> bytes = EnvOrPosix(env).ReadFile(path);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return WalReadResult{};  // absent log == empty log
+    }
+    return bytes.status();
+  }
+  return ParseWal(*bytes);
 }
 
-Status RepairTornTail(const std::string& path, uint64_t valid_bytes) {
-  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
-    return Errno("cannot truncate torn WAL tail of", path);
-  }
+Status RepairTornTail(const std::string& path, uint64_t valid_bytes,
+                      Env* env) {
+  TYDER_RETURN_IF_ERROR(EnvOrPosix(env).TruncateFile(path, valid_bytes));
   TYDER_COUNT("storage.torn_tail_truncations");
   return Status::OK();
 }
 
-Result<WalWriter> WalWriter::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) return Errno("cannot open WAL", path);
-  return WalWriter(fd);
+Result<WalWriter> WalWriter::Open(const std::string& path, Env* env) {
+  Result<std::unique_ptr<WritableFile>> file =
+      EnvOrPosix(env).OpenAppendable(path);
+  if (!file.ok()) return file.status();
+  return WalWriter(std::move(*file));
 }
 
-WalWriter::WalWriter(WalWriter&& other) noexcept : fd_(other.fd_) {
-  other.fd_ = -1;
-}
-
-WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-WalWriter::~WalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+void WalWriter::Poison(const Status& cause) {
+  if (!poison_.ok()) return;  // keep the first cause
+  poison_ = Status::FailedPrecondition(
+      "WAL is poisoned: " + cause.message() +
+      "; the log can no longer vouch for durability — reopen the database "
+      "to re-validate on-disk state");
+  TYDER_RECORD_V(kMark, "wal.poisoned", 0);
 }
 
 Status WalWriter::Append(uint64_t lsn, std::string_view payload) {
   TYDER_SPAN("Wal.Append");
   TYDER_TIMED("storage.wal_append_ns");
-  off_t start = ::lseek(fd_, 0, SEEK_END);
+  if (!poison_.ok()) return poison_;
+  Result<uint64_t> start = file_->Size();
+  if (!start.ok()) return start.status();
   Status status = AppendUnguarded(lsn, payload);
-  if (!status.ok() && start >= 0) {
+  if (!status.ok()) {
+    if (file_->poisoned()) {
+      // The record's own fsync failed: the bytes may or may not be durable
+      // and the handle can never prove it either way.
+      Poison(status);
+      return status;
+    }
     // Undo whatever prefix of the record reached the file so the tail stays
-    // clean and the caller may retry the (rolled-back) operation. If this
-    // truncate itself fails the tail is torn, which the next recovery
-    // repairs.
-    if (::ftruncate(fd_, start) == 0) (void)::fsync(fd_);
+    // clean and the caller may retry the (rolled-back) operation. The undo
+    // must itself be durable: a truncation that only lives in the page cache
+    // can resurrect the torn tail after a crash.
+    Status undo = file_->Truncate(*start);
+    if (undo.ok()) undo = file_->Sync();
+    if (!undo.ok()) {
+      Poison(Status::Internal("failed append could not be durably undone (" +
+                              undo.message() + ")"));
+    }
   }
   return status;
 }
@@ -188,14 +175,14 @@ Status WalWriter::AppendUnguarded(uint64_t lsn, std::string_view payload) {
   if (TYDER_FAULT_CONSUME("storage.wal.torn_write")) {
     // Simulated crash mid-write: only a prefix of the record persists.
     std::string_view prefix(record.data(), record.size() / 2);
-    (void)WriteAll(fd_, prefix, "<wal>");
+    (void)file_->Append(prefix);
     return Status::Internal(
         "fault injected at 'storage.wal.torn_write' (partial record written)");
   }
-  TYDER_RETURN_IF_ERROR(WriteAll(fd_, record, "<wal>"));
+  TYDER_RETURN_IF_ERROR(file_->Append(record));
   TYDER_FAULT_POINT("storage.wal.after_append");
   TYDER_FAULT_POINT("storage.wal.mid_fsync");
-  if (::fsync(fd_) != 0) return Errno("cannot fsync WAL", "<wal>");
+  TYDER_RETURN_IF_ERROR(file_->Sync());
   TYDER_FAULT_POINT("storage.wal.after_sync");
   TYDER_COUNT("projection.wal_appends");
   TYDER_RECORD_V(kOp, "wal.append", static_cast<int64_t>(lsn));
@@ -203,9 +190,17 @@ Status WalWriter::AppendUnguarded(uint64_t lsn, std::string_view payload) {
 }
 
 Status WalWriter::TruncateAll() {
-  if (::ftruncate(fd_, 0) != 0) return Errno("cannot truncate WAL", "<wal>");
-  if (::fsync(fd_) != 0) return Errno("cannot fsync truncated WAL", "<wal>");
-  return Status::OK();
+  if (!poison_.ok()) return poison_;
+  Status status = file_->Truncate(0);
+  if (status.ok()) status = file_->Sync();
+  if (!status.ok() && file_->poisoned()) {
+    // The truncation happened but its durability is unknowable: after a
+    // crash the log could reappear with records the snapshot also covers
+    // (benign) — or with a tail the handle already disowned. Refuse further
+    // appends until recovery re-validates.
+    Poison(status);
+  }
+  return status;
 }
 
 }  // namespace tyder::storage

@@ -8,10 +8,20 @@
 //   8       8     log sequence number (lsn)
 //   16      n     payload (one logical mutation, storage/durable_catalog.h)
 //
-// Append semantics: the record is written with a single write(2) and
-// fsync'd before Append returns OK — the durable catalog calls Append from
-// a SchemaTransaction commit hook, so an operation is never published
-// in memory before its record is on stable storage.
+// Append semantics: the record is written and fsync'd (through storage::Env)
+// before Append returns OK — the durable catalog calls Append from a
+// SchemaTransaction commit hook, so an operation is never published in
+// memory before its record is on stable storage.
+//
+// Failure semantics: on a failed append the writer truncates the file back
+// to its pre-call length and fsyncs the truncation, so a retry starts from
+// a clean, durable tail. If the undo itself cannot be made durable — the
+// ftruncate fails, or its fsync fails — the writer is POISONED: the on-disk
+// tail may be torn and the handle can no longer vouch for durability, so
+// every later Append/TruncateAll refuses with the original failure. Same if
+// the record's own fsync fails (see env.h on why a failed fsync must never
+// be retried). A poisoned WAL puts the owning DurableCatalog into read-only
+// degraded mode; recovery repairs the tail at the next open.
 //
 // Read semantics (recovery): records are validated front to back. A torn
 // tail — header or payload cut short, or a checksum mismatch on the final
@@ -24,18 +34,21 @@
 // Crash-injection points (all registered in common/failpoint.cc):
 //   storage.wal.torn_write    only a prefix of the record reaches the file
 //   storage.wal.after_append  full record written, fsync never happens
-//   storage.wal.mid_fsync     the fsync itself fails
+//   storage.wal.mid_fsync     crash during fsync (no error returned)
 //   storage.wal.after_sync    record durable, but Append fails afterwards
+// plus the error-return storage.env.* points (env.h).
 
 #ifndef TYDER_STORAGE_WAL_H_
 #define TYDER_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "storage/env.h"
 
 namespace tyder::storage {
 
@@ -57,38 +70,48 @@ struct WalReadResult {
 Result<WalReadResult> ParseWal(std::string_view bytes);
 
 // Reads and parses the log at `path`. A missing file is an empty log.
-Result<WalReadResult> ReadWal(const std::string& path);
+// `env` == nullptr means Env::Posix().
+Result<WalReadResult> ReadWal(const std::string& path, Env* env = nullptr);
 
 // Truncates the log at `path` to `valid_bytes` (torn-tail repair).
-Status RepairTornTail(const std::string& path, uint64_t valid_bytes);
+Status RepairTornTail(const std::string& path, uint64_t valid_bytes,
+                      Env* env = nullptr);
 
 class WalWriter {
  public:
-  // Opens (creating if absent) the log for appending.
-  static Result<WalWriter> Open(const std::string& path);
+  // Opens (creating if absent) the log for appending through `env`
+  // (nullptr == Env::Posix()).
+  static Result<WalWriter> Open(const std::string& path, Env* env = nullptr);
 
-  WalWriter(WalWriter&& other) noexcept;
-  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
-  ~WalWriter();
 
   // Appends one record and fsyncs the file. On any failure the in-memory
   // operation being logged must not commit; Append truncates the file back
-  // to its pre-call length (best effort) so a retry starts from a clean
-  // tail. If even that undo fails the tail is torn, which the next recovery
-  // repairs.
+  // to its pre-call length and fsyncs the truncation so a retry starts from
+  // a clean durable tail. If the undo cannot be made durable the writer is
+  // poisoned (see file comment).
   Status Append(uint64_t lsn, std::string_view payload);
 
   // Empties the log (compaction: the snapshot now covers every record).
   Status TruncateAll();
 
+  // True once this writer can no longer vouch for durability (failed fsync
+  // or failed append undo). A poisoned writer refuses all mutation.
+  bool poisoned() const { return !poison_.ok(); }
+  const Status& poison_status() const { return poison_; }
+
  private:
-  explicit WalWriter(int fd) : fd_(fd) {}
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
 
   Status AppendUnguarded(uint64_t lsn, std::string_view payload);
+  void Poison(const Status& cause);
 
-  int fd_ = -1;
+  std::unique_ptr<WritableFile> file_;
+  Status poison_;
 };
 
 }  // namespace tyder::storage

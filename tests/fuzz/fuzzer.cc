@@ -19,6 +19,7 @@
 #include "oracle/reference.h"
 #include "storage/catalog_snapshot.h"
 #include "storage/durable_catalog.h"
+#include "storage/faulty_env.h"
 
 namespace tyder::fuzz {
 
@@ -129,6 +130,7 @@ const char* OpName(OpKind kind) {
     case OpKind::kSave:     return "save";
     case OpKind::kLoad:     return "load";
     case OpKind::kCrash:    return "crash";
+    case OpKind::kEnvFault: return "envfault";
   }
   return "?";
 }
@@ -137,7 +139,7 @@ bool OpKindFromName(std::string_view name, OpKind* kind) {
   for (OpKind k : {OpKind::kDerive, OpKind::kCollapse, OpKind::kDrop,
                    OpKind::kQuery, OpKind::kNewType, OpKind::kNewAttr,
                    OpKind::kNewEdge, OpKind::kSave, OpKind::kLoad,
-                   OpKind::kCrash}) {
+                   OpKind::kCrash, OpKind::kEnvFault}) {
     if (name == OpName(k)) {
       *kind = k;
       return true;
@@ -187,6 +189,7 @@ class TraceRunner {
       case OpKind::kSave:     return DoSave();
       case OpKind::kLoad:     return DoLoad();
       case OpKind::kCrash:    return DoCrash(op);
+      case OpKind::kEnvFault: return DoEnvFault(op);
     }
     return Fail("unknown op kind");
   }
@@ -463,6 +466,87 @@ class TraceRunner {
     return Status::OK();
   }
 
+  // The mutation a kCrash / kEnvFault op interrupts, resolved against the
+  // model's current candidate lists at execution time.
+  struct InterruptedOp {
+    int variant = 0;  // 0 derive, 1 drop, 2 collapse, 3 compact
+    std::string vname, src;
+    std::vector<std::string> attrs;
+    std::set<std::string> attr_set;
+    bool skip = false;  // nothing projectable: the op is a no-op
+  };
+
+  InterruptedOp ResolveInterrupted(const FuzzOp& op) {
+    InterruptedOp iop;
+    iop.variant = static_cast<int>(op.a % 4);  // derive/drop/collapse/compact
+    if (iop.variant == 1 && model_.view_order.empty()) iop.variant = 0;
+    if (iop.variant == 0) {
+      std::vector<std::string> names = model_.TrackedNames();
+      iop.src = names[op.b % names.size()];
+      std::set<std::string> cum_set = model_.Cumulative(iop.src);
+      if (cum_set.empty()) {
+        iop.skip = true;
+        return iop;
+      }
+      std::vector<std::string> cum(cum_set.begin(), cum_set.end());
+      size_t count = 1 + op.b % cum.size();
+      for (size_t k = 0; k < count; ++k) {
+        iop.attrs.push_back(cum[k % cum.size()]);
+      }
+      iop.attr_set.insert(iop.attrs.begin(), iop.attrs.end());
+      iop.vname = "FZV" + std::to_string(next_view_++);
+    } else if (iop.variant == 1) {
+      iop.vname = model_.view_order[op.b % model_.view_order.size()];
+    }
+    return iop;
+  }
+
+  template <typename T>
+  static bool ApplyInterrupted(const InterruptedOp& iop, T& target) {
+    switch (iop.variant) {
+      case 0:
+        return target.DefineProjectionView(iop.vname, iop.src, iop.attrs).ok();
+      case 1:
+        return target.DropView(iop.vname).ok();
+      default:
+        return target.Collapse().ok();
+    }
+  }
+
+  // What the catalog serializes to if the interrupted op commits (== `pre`
+  // for compaction and for ops the engine refuses outright).
+  std::string PostState(const InterruptedOp& iop, const std::string& pre,
+                        bool* would_commit) {
+    *would_commit = iop.variant == 3;
+    if (iop.variant == 3) return pre;  // compaction never changes the catalog
+    Catalog copy = catalog_;
+    *would_commit = ApplyInterrupted(iop, copy);
+    return *would_commit ? storage::SerializeCatalog(copy) : pre;
+  }
+
+  std::filesystem::path EphemeralDir(const char* tag) {
+    static std::atomic<uint64_t> dir_counter{0};
+    return std::filesystem::temp_directory_path() /
+           ("tyder-fuzz-" + std::string(tag) + std::to_string(::getpid()) +
+            "-" + std::to_string(dir_counter.fetch_add(1)));
+  }
+
+  // Recovery landed on `recovered`: adopt it and sync the model to
+  // whichever side of the interrupted op it is.
+  Status AdoptRecovered(const InterruptedOp& iop, storage::DurableCatalog& re,
+                        const std::string& recovered, const std::string& pre,
+                        const std::string& post) {
+    catalog_ = re.catalog();
+    if (recovered == post && recovered != pre) {
+      if (iop.variant == 0) {
+        ApplyDeriveToModel(iop.vname, iop.src, iop.attr_set);
+      } else if (iop.variant == 1) {
+        TYDER_RETURN_IF_ERROR(ApplyDropToModel(iop.vname));
+      }
+    }
+    return Status::OK();
+  }
+
   Status DoCrash(const FuzzOp& op) {
     static const char* const kWalFaults[] = {
         "storage.wal.after_append", "storage.wal.after_sync",
@@ -470,53 +554,16 @@ class TraceRunner {
     static const char* const kCompactFaults[] = {
         "storage.compact.before_rename", "storage.compact.after_rename"};
 
-    int variant = static_cast<int>(op.a % 4);  // derive/drop/collapse/compact
-    if (variant == 1 && model_.view_order.empty()) variant = 0;
-
-    // Resolve the interrupted operation's parameters against the model now.
-    std::string vname, src;
-    std::vector<std::string> attrs;
-    std::set<std::string> attr_set;
-    if (variant == 0) {
-      std::vector<std::string> names = model_.TrackedNames();
-      src = names[op.b % names.size()];
-      std::set<std::string> cum_set = model_.Cumulative(src);
-      if (cum_set.empty()) return Status::OK();
-      std::vector<std::string> cum(cum_set.begin(), cum_set.end());
-      size_t count = 1 + op.b % cum.size();
-      for (size_t k = 0; k < count; ++k) {
-        attrs.push_back(cum[k % cum.size()]);
-      }
-      attr_set.insert(attrs.begin(), attrs.end());
-      vname = "FZV" + std::to_string(next_view_++);
-    } else if (variant == 1) {
-      vname = model_.view_order[op.b % model_.view_order.size()];
-    }
-    const char* fault = variant == 3 ? kCompactFaults[op.c % 2]
-                                     : kWalFaults[op.c % 4];
-
-    auto apply = [&](auto& target) -> bool {
-      switch (variant) {
-        case 0: return target.DefineProjectionView(vname, src, attrs).ok();
-        case 1: return target.DropView(vname).ok();
-        default: return target.Collapse().ok();
-      }
-    };
+    InterruptedOp iop = ResolveInterrupted(op);
+    if (iop.skip) return Status::OK();
+    const char* fault = iop.variant == 3 ? kCompactFaults[op.c % 2]
+                                         : kWalFaults[op.c % 4];
 
     std::string pre = Serialized();
-    std::string post = pre;
-    bool op_ok = false;
-    if (variant != 3) {  // compaction never changes catalog state
-      Catalog copy = catalog_;
-      op_ok = apply(copy);
-      post = op_ok ? storage::SerializeCatalog(copy) : pre;
-    }
+    bool would_commit = false;
+    std::string post = PostState(iop, pre, &would_commit);
 
-    static std::atomic<uint64_t> dir_counter{0};
-    std::filesystem::path dir =
-        std::filesystem::temp_directory_path() /
-        ("tyder-fuzz-" + std::to_string(::getpid()) + "-" +
-         std::to_string(dir_counter.fetch_add(1)));
+    std::filesystem::path dir = EphemeralDir("");
     {
       Result<storage::DurableCatalog> db =
           storage::DurableCatalog::Open(dir.string());
@@ -528,10 +575,10 @@ class TraceRunner {
         return Fail("DurableCatalog::Seed failed: " + seeded.ToString());
       }
       failpoint::Activate(fault, 1);
-      if (variant == 3) {
+      if (iop.variant == 3) {
         (void)db->Compact();
       } else {
-        (void)apply(*db);
+        (void)ApplyInterrupted(iop, *db);
       }
       failpoint::Deactivate(fault);
     }  // drop the handle: the "crash"
@@ -551,17 +598,99 @@ class TraceRunner {
                   "' landed on neither the pre- nor the post-state of the "
                   "interrupted op");
     }
-    // Adopt the recovered catalog and sync the model to whichever side
-    // recovery landed on.
-    catalog_ = re->catalog();
-    if (recovered == post && recovered != pre) {
-      if (variant == 0) {
-        ApplyDeriveToModel(vname, src, std::move(attr_set));
-      } else if (variant == 1) {
-        TYDER_RETURN_IF_ERROR(ApplyDropToModel(vname));
+    return AdoptRecovered(iop, *re, recovered, pre, post);
+  }
+
+  // An injected I/O error (rather than a simulated crash): the operation
+  // runs against an ephemeral DurableCatalog whose Env fails one call.
+  // Afterwards the instance must be consistent (pre- or post-state) or
+  // provably read-only in degraded mode; then the instance "crashes"
+  // (optionally with a power loss that drops everything unsynced) and
+  // recovery must land byte-identical to pre or post — with an acknowledged
+  // op surviving the power loss.
+  Status DoEnvFault(const FuzzOp& op) {
+    InterruptedOp iop = ResolveInterrupted(op);
+    if (iop.skip) return Status::OK();
+
+    static const storage::FaultyEnv::FaultKind kKinds[] = {
+        storage::FaultyEnv::FaultKind::kError,
+        storage::FaultyEnv::FaultKind::kShortWrite,
+        storage::FaultyEnv::FaultKind::kSyncFail,
+        storage::FaultyEnv::FaultKind::kEnospc};
+    storage::FaultyEnv::FaultKind kind = kKinds[op.c % 4];
+    // Compaction makes ~9 Env calls, a WAL append 2: indexes past the op's
+    // last call simply never fire, which is a legitimate (clean) cell.
+    int index = static_cast<int>((op.c / 4) % 10);
+    bool power_loss = (op.b % 2) != 0;
+
+    std::string pre = Serialized();
+    bool would_commit = false;
+    std::string post = PostState(iop, pre, &would_commit);
+
+    std::filesystem::path dir = EphemeralDir("env-");
+    storage::FaultyEnv env;
+    bool op_ok = false;
+    std::error_code ec;
+    {
+      Result<storage::DurableCatalog> db =
+          storage::DurableCatalog::Open(dir.string(), &env);
+      if (!db.ok()) {
+        return Fail("DurableCatalog::Open failed: " + db.status().ToString());
       }
+      Status seeded = db->Seed(catalog_);
+      if (!seeded.ok()) {
+        return Fail("DurableCatalog::Seed failed: " + seeded.ToString());
+      }
+      env.ResetCounters();
+      env.InjectAt(kind, index);
+      if (iop.variant == 3) {
+        op_ok = db->Compact().ok();
+      } else {
+        op_ok = ApplyInterrupted(iop, *db);
+      }
+      env.ClearFaults();
+
+      std::string in_memory = storage::SerializeCatalog(db->catalog());
+      if (db->degraded()) {
+        // Provably read-only: reads serve the pre-state, mutations refuse.
+        if (op_ok) {
+          return Fail("degraded database reported the env-faulted op OK");
+        }
+        if (in_memory != pre) {
+          return Fail("degraded database is not serving the pre-state");
+        }
+        Status refused = db->DropView("NoSuchView");
+        if (refused.code() != StatusCode::kFailedPrecondition ||
+            refused.message().find("degraded") == std::string::npos) {
+          return Fail("degraded database accepted (or mislabeled) a "
+                      "mutation: " + refused.ToString());
+        }
+      } else if (in_memory != (op_ok ? post : pre)) {
+        return Fail(std::string("env-faulted op ") +
+                    (op_ok ? "committed" : "failed") +
+                    " but the live catalog matches neither side");
+      }
+    }  // crash: drop the handle
+    if (power_loss) env.PowerLoss();
+
+    Result<storage::DurableCatalog> re =
+        storage::DurableCatalog::Open(dir.string());
+    if (!re.ok()) {
+      std::filesystem::remove_all(dir, ec);
+      return Fail("recovery after an injected env fault failed: " +
+                  re.status().ToString());
     }
-    return Status::OK();
+    std::string recovered = storage::SerializeCatalog(re->catalog());
+    std::filesystem::remove_all(dir, ec);
+    if (recovered != pre && recovered != post) {
+      return Fail("recovery after an injected env fault landed on neither "
+                  "the pre- nor the post-state of the interrupted op");
+    }
+    if (op_ok && power_loss && recovered != post) {
+      return Fail("acknowledged op did not survive the power loss "
+                  "(durability violated)");
+    }
+    return AdoptRecovered(iop, *re, recovered, pre, post);
   }
 
   Catalog catalog_;
@@ -696,6 +825,7 @@ FuzzTrace GenerateTrace(uint64_t seed, const FuzzProfile& profile) {
       {OpKind::kNewType, 10}, {OpKind::kNewAttr, 10}, {OpKind::kCollapse, 8},
       {OpKind::kDrop, 8},     {OpKind::kSave, 5},     {OpKind::kLoad, 4},
       {OpKind::kCrash, profile.with_crash_ops ? 1 : 0},
+      {OpKind::kEnvFault, profile.with_crash_ops ? 1 : 0},
   };
   int total = 0;
   for (const Weighted& w : kWeights) total += w.weight;

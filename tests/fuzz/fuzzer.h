@@ -2,8 +2,8 @@
 //
 // A *trace* is a seeded random schema recipe plus a list of operations —
 // DeriveProjection / Collapse / DropView (revert) / differential query /
-// schema mutations / snapshot Save & Load / a fault-injected crash-recover
-// round trip. RunTrace drives the trace against a real Catalog and, in
+// schema mutations / snapshot Save & Load / fault-injected crash-recover
+// and env-I/O-fault round trips. RunTrace drives the trace against a real Catalog and, in
 // lockstep, a deliberately-naive in-memory model that tracks nothing but
 // type names, direct-supertype names, local attribute names, and each
 // view's projected attribute set. After every step it asserts:
@@ -51,6 +51,11 @@ enum class OpKind {
   kLoad,      // restore catalog + model from the buffer (no-op before save)
   kCrash,     // fault-injected mutation on an ephemeral DurableCatalog in a
               // temp dir; recovery must land byte-identical to pre or post
+  kEnvFault,  // FaultyEnv-injected I/O error (EIO / ENOSPC / short write /
+              // fsync failure) on an ephemeral DurableCatalog, optionally
+              // followed by a simulated power loss; the instance must be
+              // consistent or provably read-only (degraded), and recovery
+              // must land byte-identical to pre or post
 };
 
 struct FuzzOp {

@@ -4,7 +4,17 @@
 // catalog byte-identical to the state either before or after the interrupted
 // mutation — never anything in between. Complements the in-memory rollback
 // matrix in tests/core/transaction_test.cc, which intentionally skips the
-// storage.* points.
+// storage.* points, and the FaultyEnv-driven per-call-site sweep in
+// io_fault_matrix_test.cc.
+//
+// Each point maps to a scenario:
+//   kWalLive      fires during a WAL append whose durable undo holds — the
+//                 op fails, state is unchanged, a retry succeeds.
+//   kWalDegraded  a (simulated) fsync failure — the op fails AND the
+//                 database drops into read-only degraded mode until
+//                 Reopen() re-validates the on-disk state.
+//   kCompact      fires during Compact() — compaction fails, the old
+//                 snapshot + WAL remain the recovery source, retry works.
 
 #include <gtest/gtest.h>
 
@@ -58,6 +68,35 @@ struct CrashOutcome {
   std::string recovered;
 };
 
+enum class Scenario { kWalLive, kWalDegraded, kCompact };
+
+// Every storage point must pick a scenario here; a new registry entry that
+// is missing from this map fails the matrix loudly.
+Result<Scenario> ScenarioFor(const std::string& point) {
+  if (point == "storage.wal.torn_write" ||
+      point == "storage.wal.after_append" ||
+      point == "storage.wal.mid_fsync" ||    // crash DURING fsync, no error
+      point == "storage.wal.after_sync" ||
+      point == "storage.env.append" ||       // undo holds -> live
+      point == "storage.env.short_write") {
+    return Scenario::kWalLive;
+  }
+  if (point == "storage.env.sync") {         // fsync returns failure
+    return Scenario::kWalDegraded;
+  }
+  if (point == "storage.compact.before_rename" ||
+      point == "storage.compact.after_rename" ||
+      point == "storage.env.rename" ||       // fires in Compact's publish
+      point == "storage.env.sync_dir" ||     // fires in Compact's dir fsync
+      point == "storage.env.truncate") {     // fires in Compact's WAL trunc
+    return Scenario::kCompact;
+  }
+  return Status::Internal(
+      "new storage fault point '" + point +
+      "'? add it to ScenarioFor, io_fault_matrix_test.cc and the "
+      "run_all.sh crash/iofault modes");
+}
+
 // Arms `point`, runs a WAL-logged mutation that must fail, "crashes" (drops
 // the instance), recovers, and returns the three states. Catalog
 // construction is deterministic, so the pre/post reference states can be
@@ -108,6 +147,74 @@ CrashOutcome RunWalCrash(const std::string& point) {
   return outcome;
 }
 
+// A simulated fsync failure: the op fails, the database degrades to
+// read-only, and Reopen() re-validates the on-disk state before mutations
+// are allowed again.
+CrashOutcome RunWalCrashDegraded(const std::string& point) {
+  CrashOutcome outcome;
+  {
+    // Reference: what the state would be had the mutation committed.
+    std::string dir = FreshDir(point + ".post");
+    auto db = OpenSeeded(dir);
+    EXPECT_TRUE(db.ok()) << db.status();
+    auto applied = db->DefineProjectionView("CrashView", "Person", {"SSN"});
+    EXPECT_TRUE(applied.ok()) << point << ": " << applied.status();
+    outcome.post = SerializeCatalog(db->catalog());
+  }
+  {
+    std::string dir = FreshDir(point + ".live");
+    auto db = OpenSeeded(dir);
+    EXPECT_TRUE(db.ok()) << db.status();
+    outcome.pre = SerializeCatalog(db->catalog());
+
+    failpoint::Activate(point, 1);
+    auto faulted = db->DefineProjectionView("CrashView", "Person", {"SSN"});
+    failpoint::DeactivateAll();
+    EXPECT_FALSE(faulted.ok()) << "fault '" << point << "' did not fire";
+
+    // The store can no longer prove durability: read-only degraded mode.
+    EXPECT_TRUE(db->degraded()) << point;
+    EXPECT_EQ(SerializeCatalog(db->catalog()), outcome.pre) << point;
+    auto refused = db->DefineProjectionView("CrashView", "Person", {"SSN"});
+    EXPECT_FALSE(refused.ok()) << point;
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(refused.status().message().find("degraded"), std::string::npos);
+    EXPECT_FALSE(db->Compact().ok()) << point;
+    EXPECT_EQ(SerializeCatalog(db->catalog()), outcome.pre) << point;
+
+    // Reopen re-validates from disk. The record's bytes landed before the
+    // injected fsync failure, so the re-validated state may be pre or post.
+    Status reopened = db->Reopen();
+    EXPECT_TRUE(reopened.ok()) << point << ": " << reopened;
+    EXPECT_FALSE(db->degraded()) << point;
+    std::string revalidated = SerializeCatalog(db->catalog());
+    EXPECT_TRUE(revalidated == outcome.pre || revalidated == outcome.post)
+        << point;
+    if (revalidated == outcome.pre) {
+      auto retried = db->DefineProjectionView("CrashView", "Person", {"SSN"});
+      EXPECT_TRUE(retried.ok()) << point << ": " << retried.status();
+    }
+    EXPECT_EQ(SerializeCatalog(db->catalog()), outcome.post) << point;
+  }
+
+  // Crash: instance abandoned while degraded.
+  std::string dir = FreshDir(point);
+  {
+    auto db = OpenSeeded(dir);
+    EXPECT_TRUE(db.ok()) << db.status();
+    failpoint::Activate(point, 1);
+    (void)db->DefineProjectionView("CrashView", "Person", {"SSN"});
+    failpoint::DeactivateAll();
+  }  // crash
+
+  auto recovered = DurableCatalog::Open(dir);
+  EXPECT_TRUE(recovered.ok()) << point << ": " << recovered.status();
+  if (recovered.ok()) {
+    outcome.recovered = SerializeCatalog(recovered->catalog());
+  }
+  return outcome;
+}
+
 CrashOutcome RunCompactCrash(const std::string& point) {
   CrashOutcome outcome;
   std::string dir = FreshDir(point);
@@ -149,9 +256,20 @@ TEST(CrashMatrixTest, EveryStorageFaultPointRecoversToPreOrPost) {
   std::set<std::string> covered;
   for (const std::string& point : StoragePoints()) {
     SCOPED_TRACE(point);
-    CrashOutcome outcome = point.rfind("storage.compact.", 0) == 0
-                               ? RunCompactCrash(point)
-                               : RunWalCrash(point);
+    Result<Scenario> scenario = ScenarioFor(point);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    CrashOutcome outcome;
+    switch (*scenario) {
+      case Scenario::kWalLive:
+        outcome = RunWalCrash(point);
+        break;
+      case Scenario::kWalDegraded:
+        outcome = RunWalCrashDegraded(point);
+        break;
+      case Scenario::kCompact:
+        outcome = RunCompactCrash(point);
+        break;
+    }
     ASSERT_FALSE(outcome.pre.empty());
     EXPECT_TRUE(outcome.recovered == outcome.pre ||
                 outcome.recovered == outcome.post)
@@ -161,9 +279,9 @@ TEST(CrashMatrixTest, EveryStorageFaultPointRecoversToPreOrPost) {
   }
   // The matrix must cover exactly the storage points the registry declares.
   EXPECT_EQ(covered, StoragePoints());
-  EXPECT_EQ(covered.size(), 6u) << "new storage fault point? extend the "
-                                   "crash scenarios above and run_all.sh "
-                                   "crash mode";
+  EXPECT_EQ(covered.size(), 12u) << "new storage fault point? extend "
+                                    "ScenarioFor above and run_all.sh "
+                                    "crash/iofault modes";
 }
 
 // A doubly-injected crash: the append tears AND the process dies before the

@@ -78,6 +78,43 @@ check "db reopens cleanly after a failed op" 0 $?
 "$TYDERC" --compact > /dev/null 2>&1
 test $? -ne 0; check "--compact without --db exits non-zero" 0 $?
 
+# --- health report and the degraded exit code ------------------------------
+
+"$TYDERC" --db "$DB" --health > "$WORK/health.out" 2>&1
+check "--health on a healthy db exits 0" 0 $?
+grep -q "state: healthy" "$WORK/health.out" \
+  || { echo "FAIL: --health did not report a healthy state" >&2; failures=$((failures + 1)); }
+
+"$TYDERC" --health > /dev/null 2>&1
+test $? -eq 2; check "--health without --db exits 2" 0 $?
+
+# An injected WAL fsync failure (armed through the environment) must drop
+# the database into degraded mode and exit with the dedicated code 3.
+TYDER_FAULTS="storage.env.sync=1" \
+  "$TYDERC" --db "$DB" --project Employee SSN DegView > /dev/null 2> "$WORK/degraded.err"
+check "mutation under an fsync fault exits 3 (degraded)" 3 $?
+grep -q "degraded" "$WORK/degraded.err" \
+  || { echo "FAIL: degraded diagnostic missing from stderr" >&2; failures=$((failures + 1)); }
+
+# Degraded mode is per-process state rooted in the fsync lie: a fresh
+# process re-validates the directory and serves again.
+"$TYDERC" --db "$DB" --health > "$WORK/health2.out" 2>&1
+check "db re-validates cleanly after the degraded run" 0 $?
+grep -q "state: healthy" "$WORK/health2.out" \
+  || { echo "FAIL: post-fault --health did not report healthy" >&2; failures=$((failures + 1)); }
+
+# In-process: a failing mutation followed by --health in the SAME invocation
+# reports DEGRADED and exits 3 (ops compose left to right, fail-fast returns
+# the degraded code before --health runs, so use --batch which continues).
+cat > "$WORK/deg.batch" <<EOF
+Employee SSN Deg2View
+EOF
+TYDER_FAULTS="storage.env.sync=1" \
+  "$TYDERC" --db "$DB" --batch "$WORK/deg.batch" --health > "$WORK/health3.out" 2>&1
+check "--batch + --health under an fsync fault exits 3" 3 $?
+grep -q "state: DEGRADED" "$WORK/health3.out" \
+  || { echo "FAIL: --health did not report DEGRADED in-process" >&2; failures=$((failures + 1)); }
+
 # --- fault point listing (consumed by run_all.sh crash mode) ---------------
 
 "$TYDERC" --list-faults > "$WORK/faults.out" 2>&1

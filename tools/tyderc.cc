@@ -38,6 +38,16 @@
 //                                            TDL file (initial snapshot)
 //   tyderc --db <dir> --compact              write a snapshot, truncate the
 //                                            WAL
+//   tyderc --db <dir> --health               durability health report: state
+//                                            (healthy / DEGRADED read-only,
+//                                            with the cause), last lsn,
+//                                            recovery summary, I/O error
+//                                            counters. Exits 3 when the
+//                                            database is degraded.
+//
+// Exit codes: 0 success, 1 operation failure, 2 usage error, 3 the database
+// is in read-only degraded mode (a failed fsync made durability unprovable;
+// see docs/ROBUSTNESS.md "Degraded mode").
 //
 // Execution modifiers:
 //
@@ -96,12 +106,26 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Durable-mode failures check for degraded mode, which gets its own exit
+// code (3) so scripts can tell "this operation failed" from "the database
+// refuses all mutations until Reopen re-validates the on-disk state".
+int FailDb(const std::optional<storage::DurableCatalog>& db,
+           const Status& status) {
+  std::cerr << "tyderc: " << status << "\n";
+  if (db.has_value() && db->degraded()) {
+    std::cerr << "tyderc: database is in read-only degraded mode; run "
+                 "`tyderc --db <dir> --health` for details\n";
+    return 3;
+  }
+  return 1;
+}
+
 int Usage() {
   std::cerr << "usage: tyderc [<schema.tdl>] [--db <dir>] [--print] "
                "[--methods] [--dot] "
                "[--lint] [--no-verify] "
                "[--project <Type> <a,b,c> <ViewName>] [--batch <file>] "
-               "[--drop <View>] [--collapse] [--compact] "
+               "[--drop <View>] [--collapse] [--compact] [--health] "
                "[--serialize] [--export] [--stats] [--jobs <N>] "
                "[--list-faults] "
                "[--trace] [--trace-json=<file>] [--metrics] "
@@ -322,7 +346,7 @@ int RunOps(const std::string& schema_path, const std::string& db_dir,
       if (db.has_value()) {
         Result<const ViewDef*> result =
             db->DefineProjectionView(view, source, attrs, projection_options);
-        if (!result.ok()) return Fail(result.status());
+        if (!result.ok()) return FailDb(db, result.status());
         PrintApplicable(schema, view,
                         (*result)->derivation.applicability.applicable);
       } else {
@@ -345,18 +369,20 @@ int RunOps(const std::string& schema_path, const std::string& db_dir,
         if (!in_memory.ok()) return Fail(in_memory.status());
         failed = *in_memory;
       }
-      if (failed > 0) exit_code = 1;
+      if (failed > 0) {
+        exit_code = db.has_value() && db->degraded() ? 3 : 1;
+      }
     } else if (flag == "--drop") {
       if (i + 1 >= ops.size()) return Usage();
       std::string view = ops[++i];
       Status dropped =
           db.has_value() ? db->DropView(view) : catalog->DropView(view);
-      if (!dropped.ok()) return Fail(dropped);
+      if (!dropped.ok()) return FailDb(db, dropped);
       std::cout << "dropped " << view << "\n";
     } else if (flag == "--collapse") {
       Result<CollapseReport> report =
           db.has_value() ? db->Collapse() : catalog->Collapse();
-      if (!report.ok()) return Fail(report.status());
+      if (!report.ok()) return FailDb(db, report.status());
       std::cout << "collapsed " << report->collapsed.size()
                 << " empty surrogates\n";
     } else if (flag == "--compact") {
@@ -365,8 +391,36 @@ int RunOps(const std::string& schema_path, const std::string& db_dir,
         return 2;
       }
       Status compacted = db->Compact();
-      if (!compacted.ok()) return Fail(compacted);
+      if (!compacted.ok()) return FailDb(db, compacted);
       std::cout << "compacted db at lsn " << db->last_lsn() << "\n";
+    } else if (flag == "--health") {
+      if (!db.has_value()) {
+        std::cerr << "tyderc: --health requires --db\n";
+        return 2;
+      }
+      const storage::RecoveryInfo& rec = db->recovery();
+      std::cout << "health: db '" << db->dir() << "'\n"
+                << "  state: "
+                << (db->degraded() ? "DEGRADED (read-only)" : "healthy")
+                << "\n";
+      if (db->degraded()) {
+        std::cout << "  cause: " << db->degraded_status().message() << "\n";
+      }
+      std::cout << "  last lsn: " << db->last_lsn() << "\n"
+                << "  recovery: " << rec.replayed_records
+                << " records replayed";
+      if (rec.snapshot_loaded) {
+        std::cout << " over snapshot lsn " << rec.snapshot_lsn;
+      }
+      std::cout << ", " << rec.warnings.size() << " warnings\n";
+#if TYDER_OBS_ENABLED
+      const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      std::cout << "  io errors: "
+                << registry.CounterValue("storage.io_errors") << "\n"
+                << "  degraded entries: "
+                << registry.CounterValue("storage.degraded_entries") << "\n";
+#endif
+      if (db->degraded()) exit_code = 3;
     } else if (flag == "--serialize") {
       std::cout << SerializeSchema(schema);
     } else if (flag == "--export") {
@@ -386,8 +440,8 @@ int OpArity(const std::string& flag) {
   if (flag == "--batch" || flag == "--drop") return 1;
   if (flag == "--print" || flag == "--methods" || flag == "--dot" ||
       flag == "--lint" || flag == "--no-verify" || flag == "--collapse" ||
-      flag == "--compact" || flag == "--serialize" || flag == "--export" ||
-      flag == "--stats") {
+      flag == "--compact" || flag == "--health" || flag == "--serialize" ||
+      flag == "--export" || flag == "--stats") {
     return 0;
   }
   return -1;
