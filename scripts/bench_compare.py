@@ -26,6 +26,14 @@ objdump) is already ±30%. Deltas where the absolute change is below
 --floor-ns (default 5ns) are therefore reported as "sub-floor" and never
 gate, mirroring the combined relative+absolute thresholds of LNT-style
 harnesses.
+
+Multi-threaded benchmarks (name contains "/threads:") are compared by
+throughput (items_per_second) instead of cpu_time_ns: with N contending
+threads, aggregate CPU time measures contention overhead, not progress —
+a group-commit batch that doubles commit throughput also burns more total
+CPU in the leader. A drop in items/sec beyond the threshold is the
+regression; the ns floor does not apply (throughput benches are never
+instruction-scale).
 """
 
 import argparse
@@ -79,6 +87,24 @@ def main():
             if isinstance(base_value, bool) and base_value \
                     and cur.get(flag) is False:
                 regressions.append(f"{label}: {flag} flipped true -> false")
+        if "/threads:" in key[1] and "items_per_second" in base \
+                and "items_per_second" in cur:
+            base_tp, cur_tp = base["items_per_second"], cur["items_per_second"]
+            if base_tp <= 0:
+                rows.append((label, None, None, "zero-baseline"))
+                continue
+            drop_pct = 100.0 * (base_tp - cur_tp) / base_tp
+            status = f"{-drop_pct:+.1f}% items/s"
+            if drop_pct > args.threshold:
+                status += " REGRESSION"
+                regressions.append(
+                    f"{label}: {base_tp:.0f} -> {cur_tp:.0f} items/s "
+                    f"({-drop_pct:+.1f}% < -{args.threshold:.0f}%)")
+            elif drop_pct < -args.threshold:
+                status += " improved"
+                improvements.append(label)
+            rows.append((label, f"{base_tp:.0f}/s", f"{cur_tp:.0f}/s", status))
+            continue
         if "cpu_time_ns" not in base or "cpu_time_ns" not in cur:
             rows.append((label, None, None, "no-timing"))
             continue
@@ -107,9 +133,19 @@ def main():
 
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    def fmt(v):
+        # Throughput rows carry pre-formatted "N/s" strings; timing rows
+        # carry raw nanoseconds (float, or int when the JSON value happened
+        # to be integral).
+        if isinstance(v, str):
+            return v
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            return f"{v:.0f}ns"
+        return "-"
+
     for label, base_ns, cur_ns, status in rows:
-        base_s = f"{base_ns:.0f}ns" if isinstance(base_ns, float) else "-"
-        cur_s = f"{cur_ns:.0f}ns" if isinstance(cur_ns, float) else "-"
+        base_s = fmt(base_ns)
+        cur_s = fmt(cur_ns)
         print(f"{label:<{width}}  {base_s:>12}  {cur_s:>12}  {status}")
 
     print(f"\n{len(rows)} compared, {len(improvements)} improved >"

@@ -15,6 +15,7 @@
 #        scripts/run_all.sh iofault [seconds] [build-dir]
 #        scripts/run_all.sh fuzz [seconds] [build-dir]
 #        scripts/run_all.sh obs [build-dir] [off-build-dir]
+#        scripts/run_all.sh epoch [seconds] [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
@@ -59,6 +60,13 @@
 # really absent from tyderc, then compares the shared hot-path benches in
 # bench_obs between the OFF and ON builds — the always-on instrumentation
 # must cost less than 5%.
+#
+# The `epoch` mode is the MVCC + group-commit concurrency gate
+# (docs/PERFORMANCE.md "Schema epochs and group commit"): it builds with
+# ThreadSanitizer and runs the epoch reclamation suite, the epoch-churn
+# oracle stress (readers pin snapshots while a writer commits past them),
+# the concurrent group-commit corpus trace, and a time-boxed fuzz campaign
+# whose op mix includes the concommit op — all under TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,6 +95,9 @@ elif [ "${1:-}" = "fuzz" ]; then
 elif [ "${1:-}" = "obs" ]; then
   MODE=obs
   shift
+elif [ "${1:-}" = "epoch" ]; then
+  MODE=epoch
+  shift
 fi
 
 if [ "$MODE" = "asan" ]; then
@@ -105,8 +116,23 @@ if [ "$MODE" = "tsan" ]; then
   cmake --build "$BUILD"
   echo "=== tests (TSan) ==="
   ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress|ObsStress'
+    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress|ObsStress|EpochCatalog'
   echo "TSAN GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "epoch" ]; then
+  SECONDS_BUDGET="${1:-30}"
+  BUILD="${2:-build-tsan}"
+  cmake -B "$BUILD" -G Ninja -DTYDER_SANITIZE=thread
+  cmake --build "$BUILD"
+  echo "=== epoch lifecycle + churn stress (TSan) ==="
+  ctest --test-dir "$BUILD" --output-on-failure -R 'EpochCatalog|OracleStress'
+  echo "=== concurrent group-commit corpus (TSan) ==="
+  "$BUILD/tests/tyder_fuzz" --replay tests/fuzz/corpus/seq-026-concommit.trace
+  echo "=== concommit fuzz campaign (TSan, ${SECONDS_BUDGET}s) ==="
+  "$BUILD/tests/tyder_fuzz" --seconds "$SECONDS_BUDGET"
+  echo "EPOCH GREEN"
   exit 0
 fi
 
@@ -254,9 +280,11 @@ if [ "$MODE" = "obs" ]; then
   # cost at most 5% more with the instrumentation on. The ON-only micro
   # benches pair with nothing in the OFF report and show up as NEW, which
   # bench_compare never fails on.
-  # Longer sampling than the recorded-report runs: the gate compares two
-  # fresh measurements against a tight 5% threshold, so both sides need to
-  # sit well inside the scheduler's noise floor.
+  # Same alternating min-of-N protocol as the recorded reports: a single
+  # shot of each side against a tight 5% threshold is at the mercy of host
+  # noise (one bad scheduler window on a shared vCPU swings a 90us bench
+  # 10-30%), so each side is measured five times, interleaved OFF/ON so
+  # drift hits both sides, and the per-benchmark min goes to the gate.
   collect_obs_report() {  # <bench-binary> <out-json>
     "$1" --benchmark_min_time=0.5 \
       | grep -a 'BENCHJSON: ' \
@@ -266,15 +294,41 @@ benches = [json.loads(l) for l in sys.stdin if l.strip()]
 json.dump({"schema": "tyder-bench-v1", "benches": benches}, sys.stdout)
 print()' > "$2"
   }
+  merge_min() {  # <run1-json> <run2-json> <out-json>
+    python3 -c 'import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+other = {(bench["bench"], r["name"]): r
+         for bench in b["benches"] for r in bench["results"]}
+for bench in a["benches"]:
+    for r in bench["results"]:
+        o = other.get((bench["bench"], r["name"]))
+        if o is None:
+            continue
+        rt, ot = r.get("cpu_time_ns"), o.get("cpu_time_ns")
+        if isinstance(rt, (int, float)) and isinstance(ot, (int, float)) \
+                and ot < rt:
+            r.update(o)
+json.dump(a, sys.stdout)
+print()' "$1" "$2" > "$3"
+  }
   OFF_JSON="$(mktemp --suffix=.json)"
   ON_JSON="$(mktemp --suffix=.json)"
-  echo "--- bench_obs (OFF)"
-  collect_obs_report "$OFF_BUILD/bench/bench_obs" "$OFF_JSON"
-  echo "--- bench_obs (ON)"
-  collect_obs_report "$BUILD/bench/bench_obs" "$ON_JSON"
-  echo "=== overhead (ON vs OFF, 5% gate) ==="
+  OFF_RUN="$(mktemp --suffix=.json)"
+  ON_RUN="$(mktemp --suffix=.json)"
+  for sweep in 1 2 3 4 5; do
+    echo "--- bench_obs (OFF, sweep $sweep/5)"
+    collect_obs_report "$OFF_BUILD/bench/bench_obs" "$OFF_RUN"
+    if [ "$sweep" = 1 ]; then cp "$OFF_RUN" "$OFF_JSON"
+    else merge_min "$OFF_JSON" "$OFF_RUN" "$OFF_JSON.next" && mv "$OFF_JSON.next" "$OFF_JSON"; fi
+    echo "--- bench_obs (ON, sweep $sweep/5)"
+    collect_obs_report "$BUILD/bench/bench_obs" "$ON_RUN"
+    if [ "$sweep" = 1 ]; then cp "$ON_RUN" "$ON_JSON"
+    else merge_min "$ON_JSON" "$ON_RUN" "$ON_JSON.next" && mv "$ON_JSON.next" "$ON_JSON"; fi
+  done
+  echo "=== overhead (ON vs OFF, min-of-5, 5% gate) ==="
   python3 scripts/bench_compare.py "$OFF_JSON" "$ON_JSON" --threshold 5
-  rm -f "$OFF_JSON" "$ON_JSON"
+  rm -f "$OFF_RUN" "$ON_RUN" "$OFF_JSON" "$ON_JSON"
   echo "OBS GREEN"
   exit 0
 fi

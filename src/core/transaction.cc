@@ -8,11 +8,10 @@ namespace tyder {
 
 namespace {
 
-// Per-thread transaction nesting depth and armed durability hook. Plain
-// thread_locals: transactions are strictly scope-nested, so a stack is
-// implicit in the SchemaTransaction/ScopedCommitHook objects themselves.
+// Per-thread transaction nesting depth. A plain thread_local: transactions
+// are strictly scope-nested, so a stack is implicit in the
+// SchemaTransaction objects themselves.
 thread_local int g_txn_depth = 0;
-thread_local ScopedCommitHook* g_commit_hook = nullptr;
 
 }  // namespace
 
@@ -28,10 +27,6 @@ SchemaTransaction::~SchemaTransaction() {
 
 Status SchemaTransaction::Commit() {
   if (committed_) return Status::OK();
-  if (depth_ == 1 && g_commit_hook != nullptr && !g_commit_hook->fired_) {
-    g_commit_hook->fired_ = true;
-    TYDER_RETURN_IF_ERROR(g_commit_hook->fn_());
-  }
   committed_ = true;
   return Status::OK();
 }
@@ -43,12 +38,5 @@ void SchemaTransaction::Rollback() {
   obs::Narrate(nullptr, "transaction rollback");
   schema_ = snapshot_;
 }
-
-ScopedCommitHook::ScopedCommitHook(Fn fn)
-    : prev_(g_commit_hook), fn_(std::move(fn)) {
-  g_commit_hook = this;
-}
-
-ScopedCommitHook::~ScopedCommitHook() { g_commit_hook = prev_; }
 
 }  // namespace tyder

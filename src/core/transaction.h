@@ -18,17 +18,20 @@
 // definition) simply restores over whatever an inner one (DeriveProjection)
 // already rolled back.
 //
-// Durability (src/storage/): a ScopedCommitHook armed on the thread is
-// invoked by the *outermost* live transaction's Commit() before the commit
-// takes effect — the durable catalog uses this to fsync a write-ahead-log
-// record before the in-memory state is published. A failing hook leaves the
-// transaction uncommitted, so the destructor rolls back and the operation
-// fails exactly like any mid-pipeline error.
+// Durability (src/storage/): a SchemaTransaction is purely in-memory — it
+// commits the writer TIP. The durable catalog sequences the committed op's
+// WAL record into the group-commit queue (storage/wal.h) afterwards, and
+// only a durable batch fsync publishes the state as a reader-visible schema
+// epoch (core/epoch.h). A commit whose record fails to persist is rolled
+// back wholesale by resetting the tip to the last durable epoch — the
+// transaction layer never needs to know. (Earlier revisions fired a
+// per-thread commit hook from the outermost Commit() so the WAL fsync
+// preceded the in-memory publish; the epoch layer made that inversion
+// unnecessary, since "published" now means the epoch pointer swap, which
+// already happens strictly after the fsync.)
 
 #ifndef TYDER_CORE_TRANSACTION_H_
 #define TYDER_CORE_TRANSACTION_H_
-
-#include <functional>
 
 #include "common/status.h"
 #include "methods/schema.h"
@@ -45,10 +48,8 @@ class SchemaTransaction {
   SchemaTransaction& operator=(const SchemaTransaction&) = delete;
 
   // Keeps the mutations made since construction; the destructor becomes a
-  // no-op. If this is the outermost live transaction on the thread and a
-  // ScopedCommitHook is armed, the hook runs first; a non-OK hook result is
-  // returned, the transaction stays uncommitted, and the destructor rolls
-  // back — the mutation is never published without its durability record.
+  // no-op. Commit is in-memory only (see the file comment on how the
+  // storage layer sequences durability after it).
   [[nodiscard]] Status Commit();
   bool committed() const { return committed_; }
 
@@ -63,40 +64,11 @@ class SchemaTransaction {
   Schema& schema_;
   Schema snapshot_;
   // 1 for the outermost live transaction on this thread, 2 for one nested
-  // inside it, ... Only the outermost fires the commit hook: an inner
-  // transaction (e.g. DeriveProjection inside a Catalog view definition) is
-  // an implementation detail of an operation that is durable as a whole.
+  // inside it, ... An inner transaction (e.g. DeriveProjection inside a
+  // Catalog view definition) is an implementation detail of an operation
+  // that commits — and becomes durable — as a whole.
   int depth_;
   bool committed_ = false;
-};
-
-// Arms `fn` as the thread's durability hook for the enclosing scope. The
-// next outermost SchemaTransaction::Commit() on this thread invokes it
-// (one-shot: a second top-level commit in the same scope is not hooked) and
-// refuses to commit if it fails. Scopes nest; the previous hook is restored
-// on destruction.
-//
-// Used by storage::DurableCatalog to append + fsync the WAL record for a
-// logged operation at the exact point the operation's mutations become
-// visible.
-class ScopedCommitHook {
- public:
-  using Fn = std::function<Status()>;
-  explicit ScopedCommitHook(Fn fn);
-  ~ScopedCommitHook();
-
-  ScopedCommitHook(const ScopedCommitHook&) = delete;
-  ScopedCommitHook& operator=(const ScopedCommitHook&) = delete;
-
-  // True once a commit has (successfully or not) invoked the hook.
-  bool fired() const { return fired_; }
-
- private:
-  friend class SchemaTransaction;
-
-  ScopedCommitHook* prev_;
-  Fn fn_;
-  bool fired_ = false;
 };
 
 }  // namespace tyder

@@ -85,6 +85,26 @@ class ScopedTimer {
   ::tyder::obs::ScopedTimer TYDER_OBS_CONCAT(tyder_timer_, __LINE__)(      \
       TYDER_OBS_CONCAT(tyder_histogram_, __LINE__))
 
+// Records one explicit sample into histogram `name` (same cached-lookup
+// pattern as TYDER_COUNT; `name` must be a string literal). For values that
+// are not scope durations — batch sizes, queue depths, externally measured
+// waits (e.g. storage.group_commit.batch_size / .stall_ns).
+#define TYDER_RECORD_HIST(name, value)                                     \
+  do {                                                                     \
+    static constinit ::std::atomic<::tyder::obs::Histogram*>               \
+        TYDER_OBS_CONCAT(tyder_rhist_, __LINE__){nullptr};                 \
+    ::tyder::obs::Histogram* tyder_rhist_ptr =                             \
+        TYDER_OBS_CONCAT(tyder_rhist_, __LINE__)                           \
+            .load(::std::memory_order_acquire);                            \
+    if (tyder_rhist_ptr == nullptr) [[unlikely]] {                         \
+      tyder_rhist_ptr =                                                    \
+          ::tyder::obs::MetricsRegistry::Global().GetHistogram(name);      \
+      TYDER_OBS_CONCAT(tyder_rhist_, __LINE__)                             \
+          .store(tyder_rhist_ptr, ::std::memory_order_release);            \
+    }                                                                      \
+    tyder_rhist_ptr->Record(value);                                        \
+  } while (0)
+
 // Appends an event to the calling thread's flight-recorder ring
 // (obs/flight_recorder.h). `kind` is a FlightEventKind member name.
 #define TYDER_RECORD(kind, name) TYDER_RECORD_V(kind, name, 0)
@@ -107,6 +127,9 @@ class ScopedTimer {
   } while (0)
 #define TYDER_TIMED(name) \
   do {                    \
+  } while (0)
+#define TYDER_RECORD_HIST(name, value) \
+  do {                                 \
   } while (0)
 #define TYDER_RECORD(kind, name) \
   do {                           \

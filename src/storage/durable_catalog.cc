@@ -9,7 +9,6 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
-#include "core/transaction.h"
 #include "obs/obs.h"
 #include "storage/catalog_snapshot.h"
 
@@ -135,7 +134,8 @@ Status ReplayOp(Catalog& catalog, std::string_view payload) {
                             std::string(payload) + "'");
 }
 
-Result<DurableCatalog> DurableCatalog::Open(const std::string& dir, Env* env) {
+Result<DurableCatalog> DurableCatalog::Open(const std::string& dir, Env* env,
+                                            GroupCommitOptions group) {
   TYDER_SPAN("DurableCatalog.Open");
   TYDER_TIMED("storage.recovery_ns");
   auto start = std::chrono::steady_clock::now();
@@ -188,7 +188,7 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& dir, Env* env) {
     db.catalog_ = std::make_unique<Catalog>(std::move(fresh).value());
   }
   db.recovery_.snapshot_lsn = snapshot_lsn;
-  db.last_lsn_ = snapshot_lsn;
+  uint64_t recovered_lsn = snapshot_lsn;
 
   // 2. Validate the log; repair a torn tail; refuse mid-log corruption.
   Result<WalReadResult> wal = ReadWal(db.wal_path_, db.env_);
@@ -211,13 +211,39 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& dir, Env* env) {
           record.payload + "'): " + replayed.message());
     }
     TYDER_COUNT("storage.wal_replays");
-    db.last_lsn_ = record.lsn;
+    recovered_lsn = record.lsn;
     ++db.recovery_.replayed_records;
   }
 
   Result<WalWriter> writer = WalWriter::Open(db.wal_path_, db.env_);
   if (!writer.ok()) return writer.status();
   db.wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+
+  // Commit state: the group-commit queue over the WAL, and the epoch layer
+  // seeded with the recovered catalog so readers can pin from the start.
+  // CommitState is address-stable (unique_ptr), so the leader callback and
+  // in-flight waiters survive DurableCatalog moves.
+  db.state_ = std::make_unique<CommitState>();
+  db.state_->tip_lsn = recovered_lsn;
+  db.state_->durable_lsn.store(recovered_lsn, std::memory_order_relaxed);
+  db.state_->epochs.Publish(*db.catalog_, recovered_lsn);
+  db.state_->group_options = group;
+  db.state_->group = std::make_unique<GroupWal>(db.wal_.get(), group);
+  db.state_->group->set_on_batch_durable([cs = db.state_.get()](
+                                             uint64_t last_lsn) {
+    // Leader side, batch fsync'd, no waiter awake yet: publish the batch's
+    // final snapshot as the new epoch and advance the acknowledged lsn.
+    // Intermediate per-record snapshots of the same batch are dropped —
+    // they were never individually acknowledged.
+    std::lock_guard<std::mutex> lock(cs->publish_mu);
+    auto it = cs->pending_publish.find(last_lsn);
+    if (it != cs->pending_publish.end()) {
+      cs->epochs.Publish(std::move(it->second), last_lsn);
+    }
+    cs->pending_publish.erase(cs->pending_publish.begin(),
+                              cs->pending_publish.upper_bound(last_lsn));
+    cs->durable_lsn.store(last_lsn, std::memory_order_release);
+  });
 
   db.recovery_.recovery_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -233,79 +259,145 @@ void DurableCatalog::EnterDegraded(const std::string& reason) {
       "; reads keep serving the last consistent state, mutations are "
       "refused until Reopen() re-validates the on-disk state");
   TYDER_COUNT("storage.degraded_entries");
-  TYDER_RECORD_V(kMark, "storage.degraded", static_cast<int64_t>(last_lsn_));
+  TYDER_RECORD_V(kMark, "storage.degraded",
+                 static_cast<int64_t>(last_lsn()));
   TYDER_FLIGHT_DUMP("storage.degraded:" + dir_);
 }
 
 Status DurableCatalog::Reopen() {
   TYDER_SPAN("DurableCatalog.Reopen");
-  Result<DurableCatalog> fresh = Open(dir_, env_);
+  Result<DurableCatalog> fresh = Open(dir_, env_, state_->group_options);
   if (!fresh.ok()) {
     return Status::FailedPrecondition(
         "Reopen of '" + dir_ + "' failed; staying in " +
         std::string(degraded() ? "degraded" : "current") +
         " mode: " + fresh.status().message());
   }
-  TYDER_RECORD_V(kMark, "storage.reopen", static_cast<int64_t>(fresh->last_lsn_));
+  TYDER_RECORD_V(kMark, "storage.reopen",
+                 static_cast<int64_t>(fresh->last_lsn()));
   *this = std::move(*fresh);
   return Status::OK();
 }
 
-Status DurableCatalog::AppendRecord(std::string_view payload) {
-  if (!degraded_.ok()) return degraded_;
-  Status status = wal_->Append(last_lsn_ + 1, payload);
-  if (!status.ok()) {
-    if (wal_->poisoned()) {
-      EnterDegraded("the WAL can no longer vouch for durability (" +
-                    status.message() + ")");
-    }
-    return status;
+// Rolls the writer tip back to the last durable (published) epoch and drops
+// every pending publish past it. Requires writer_mu, and no batch in flight
+// (true whenever a stall is pending: the leader stalls the queue before any
+// waiter can reach this path, and new enqueues are refused until the stall
+// is consumed).
+void DurableCatalog::ResetTipToDurableLocked() {
+  EpochCatalog::Pin pin(state_->epochs);
+  *catalog_ = *pin.get();  // Open always publishes, so the pin is never null
+  uint64_t durable = state_->durable_lsn.load(std::memory_order_acquire);
+  state_->tip_lsn = durable;
+  std::lock_guard<std::mutex> lock(state_->publish_mu);
+  state_->pending_publish.erase(state_->pending_publish.upper_bound(durable),
+                                state_->pending_publish.end());
+}
+
+// Failure path shared by every committer that observed a commit failure
+// (its own batch failing, a drain-fail, or an enqueue refusal) — and by
+// entry points that may run before any failed waiter reacquired the lock.
+// Exactly one caller consumes the stall and rolls the tip back; a poisoned
+// WAL additionally degrades the database, exactly as a failed single-record
+// fsync always has (first cause wins, so every waiter converges on the same
+// degraded status).
+void DurableCatalog::AbsorbFailureLocked(const Status& cause) {
+  if (state_->group->ConsumeStallIfPending()) {
+    ResetTipToDurableLocked();
   }
-  ++last_lsn_;
-  return Status::OK();
+  if (wal_->poisoned()) {
+    EnterDegraded("the WAL can no longer vouch for durability (" +
+                  cause.message() + ")");
+  }
+}
+
+// The group-commit path every logged mutation rides:
+//
+//   lock writer_mu → absorb any unconsumed failure → refuse if degraded
+//   → apply the op to the tip (all-or-nothing via its SchemaTransaction)
+//   → assign the next lsn, stash the tip snapshot for the leader to publish
+//   → enqueue the record, UNLOCK, wait for the batch fsync
+//
+// On a durable ack the op returns success — its epoch is already published
+// (the leader publishes before waking waiters). On any commit failure the
+// op re-locks, rolls the tip back to the last durable epoch (unless another
+// failed committer already did) and returns the failure: the caller
+// observes pre-call state, and may retry once the disk recovers unless the
+// failure poisoned the WAL (→ degraded).
+template <typename ResultT, typename OpFn>
+ResultT DurableCatalog::CommitLogged(std::string payload, OpFn&& op) {
+  std::unique_lock<std::mutex> lock(state_->writer_mu);
+  if (state_->group->stalled()) {
+    AbsorbFailureLocked(Status::Internal("an earlier group commit failed"));
+  }
+  if (!degraded_.ok()) return degraded_;
+
+  ResultT applied = op();
+  if (!applied.ok()) return applied;  // refused by the catalog: tip untouched
+
+  uint64_t lsn = ++state_->tip_lsn;
+  {
+    // Stash before enqueue: the leader may seal, fsync and publish this
+    // record the instant it is queued.
+    std::lock_guard<std::mutex> plock(state_->publish_mu);
+    state_->pending_publish.emplace(lsn, *catalog_);
+  }
+  GroupWal::Ticket ticket;
+  Status enqueued = state_->group->Enqueue(ticket, lsn, std::move(payload));
+  if (!enqueued.ok()) {
+    // A concurrent batch failed between our entry check and here; our op was
+    // applied on a tip that can no longer become durable.
+    AbsorbFailureLocked(enqueued);
+    return enqueued;
+  }
+
+  lock.unlock();
+  Status durable = state_->group->Wait(ticket);
+  if (!durable.ok()) {
+    std::lock_guard<std::mutex> relock(state_->writer_mu);
+    AbsorbFailureLocked(durable);
+    return durable;
+  }
+  return applied;
 }
 
 Result<const ViewDef*> DurableCatalog::DefineProjectionView(
     std::string_view name, std::string_view source_type,
     const std::vector<std::string>& attribute_names,
     const ProjectionOptions& options) {
-  if (!degraded_.ok()) return degraded_;
   std::string payload = "project " + std::string(name) + ' ' +
                         std::string(source_type) + ' ' +
                         JoinNames(attribute_names) + ' ' + VerifyFlag(options);
-  ScopedCommitHook hook(
-      [this, payload = std::move(payload)] { return AppendRecord(payload); });
-  return catalog_->DefineProjectionView(name, source_type, attribute_names,
-                                        options);
+  return CommitLogged<Result<const ViewDef*>>(std::move(payload), [&] {
+    return catalog_->DefineProjectionView(name, source_type, attribute_names,
+                                          options);
+  });
 }
 
 Result<const ViewDef*> DurableCatalog::DefineSelectionView(
     std::string_view name, std::string_view source_type) {
-  if (!degraded_.ok()) return degraded_;
   std::string payload =
       "select " + std::string(name) + ' ' + std::string(source_type);
-  ScopedCommitHook hook(
-      [this, payload = std::move(payload)] { return AppendRecord(payload); });
-  return catalog_->DefineSelectionView(name, source_type);
+  return CommitLogged<Result<const ViewDef*>>(std::move(payload), [&] {
+    return catalog_->DefineSelectionView(name, source_type);
+  });
 }
 
 Result<const ViewDef*> DurableCatalog::DefineGeneralizationView(
     std::string_view name, std::string_view type_a, std::string_view type_b,
     const ProjectionOptions& options) {
-  if (!degraded_.ok()) return degraded_;
   std::string payload = "generalize " + std::string(name) + ' ' +
                         std::string(type_a) + ' ' + std::string(type_b) + ' ' +
                         VerifyFlag(options);
-  ScopedCommitHook hook(
-      [this, payload = std::move(payload)] { return AppendRecord(payload); });
-  return catalog_->DefineGeneralizationView(name, type_a, type_b, options);
+  return CommitLogged<Result<const ViewDef*>>(std::move(payload), [&] {
+    return catalog_->DefineGeneralizationView(name, type_a, type_b, options);
+  });
 }
 
 Result<const ViewDef*> DurableCatalog::DefineRenameView(
     std::string_view name, std::string_view source_type,
     const std::vector<AttributeRename>& renames,
     const ProjectionOptions& options) {
-  if (!degraded_.ok()) return degraded_;
   std::string pairs;
   for (size_t i = 0; i < renames.size(); ++i) {
     if (i > 0) pairs += ',';
@@ -315,28 +407,28 @@ Result<const ViewDef*> DurableCatalog::DefineRenameView(
   std::string payload = "rename " + std::string(name) + ' ' +
                         std::string(source_type) + ' ' + pairs + ' ' +
                         VerifyFlag(options);
-  ScopedCommitHook hook(
-      [this, payload = std::move(payload)] { return AppendRecord(payload); });
-  return catalog_->DefineRenameView(name, source_type, renames, options);
+  return CommitLogged<Result<const ViewDef*>>(std::move(payload), [&] {
+    return catalog_->DefineRenameView(name, source_type, renames, options);
+  });
 }
 
 Status DurableCatalog::DropView(std::string_view name) {
-  if (!degraded_.ok()) return degraded_;
   std::string payload = "drop " + std::string(name);
-  ScopedCommitHook hook(
-      [this, payload = std::move(payload)] { return AppendRecord(payload); });
-  return catalog_->DropView(name);
+  return CommitLogged<Status>(std::move(payload),
+                              [&] { return catalog_->DropView(name); });
 }
 
 Result<CollapseReport> DurableCatalog::Collapse() {
-  if (!degraded_.ok()) return degraded_;
-  ScopedCommitHook hook([this] { return AppendRecord("collapse"); });
-  return catalog_->Collapse();
+  return CommitLogged<Result<CollapseReport>>(
+      "collapse", [&] { return catalog_->Collapse(); });
 }
 
 Status DurableCatalog::Seed(Catalog catalog) {
+  std::lock_guard<std::mutex> lock(state_->writer_mu);
+  state_->group->Quiesce();
+  if (state_->group->ConsumeStallIfPending()) ResetTipToDurableLocked();
   if (!degraded_.ok()) return degraded_;
-  if (recovery_.snapshot_loaded || last_lsn_ != 0 ||
+  if (recovery_.snapshot_loaded || last_lsn() != 0 ||
       !catalog_->views().empty()) {
     return Status::FailedPrecondition(
         "database '" + dir_ +
@@ -344,7 +436,13 @@ Status DurableCatalog::Seed(Catalog catalog) {
         "schema");
   }
   *catalog_ = std::move(catalog);
-  return Compact();
+  Status compacted = CompactLocked();
+  if (compacted.ok()) {
+    // The seed never rode the WAL, so publish it directly — the snapshot
+    // write above made it durable.
+    state_->epochs.Publish(*catalog_, last_lsn());
+  }
+  return compacted;
 }
 
 // Writes the snapshot bytes to `tmp_path` and fsyncs them. A failed fsync
@@ -366,9 +464,24 @@ Status DurableCatalog::WriteSnapshot(const std::string& tmp_path,
 
 Status DurableCatalog::Compact() {
   TYDER_SPAN("DurableCatalog.Compact");
+  std::lock_guard<std::mutex> lock(state_->writer_mu);
+  // Quiesce the commit pipeline: every enqueued record reaches its batch
+  // fsync (and its epoch publish) or fails before we read the lsn the
+  // snapshot will claim to cover. A stall surfaced during the drain is
+  // absorbed here — tip back to the durable epoch, degraded if poisoned —
+  // rather than deadlocking against failed waiters that also want the
+  // writer lock (we hold it; they re-check after us).
+  state_->group->Quiesce();
+  if (state_->group->stalled()) {
+    AbsorbFailureLocked(Status::Internal("a group commit failed"));
+  }
   if (!degraded_.ok()) return degraded_;
+  return CompactLocked();
+}
+
+Status DurableCatalog::CompactLocked() {
   std::string bytes = SaveCatalogSnapshot(*catalog_);
-  std::string file_name = SnapshotFileName(last_lsn_);
+  std::string file_name = SnapshotFileName(last_lsn());
   std::string tmp_path = dir_ + "/" + file_name + ".tmp";
   std::string final_path = dir_ + "/" + file_name;
 

@@ -8,12 +8,26 @@
 //   dir/snapshot-<lsn 20d>.tysnap    checksummed catalog snapshot covering
 //                                    every record with lsn <= <lsn>
 //
-// Durability protocol. Every mutating operation routes through the underlying
-// Catalog inside a SchemaTransaction whose commit hook appends one WAL record
-// — written and fsync'd BEFORE the in-memory commit publishes. If the append
-// fails, the transaction rolls back and the operation reports the failure: an
-// operation is never observable in memory unless its record is on stable
-// storage. Records carry the textual op (including the verify flag, since a
+// Durability protocol (MVCC + group commit). Mutations are serialized on a
+// writer lock and applied to a mutable writer TIP (`catalog()`); the op's
+// WAL record is then sequenced into a group-commit queue (storage/wal.h
+// GroupWal) where one leader writes a whole batch of concurrent commits with
+// a single fsync. Only after the batch is durable does the leader PUBLISH
+// the corresponding snapshot as a new schema epoch (core/epoch.h) — so the
+// published, reader-visible state never runs ahead of stable storage, and an
+// operation is acknowledged only once its record is fsync'd. Readers that
+// must never block on writers use PinSnapshot(): a wait-free guard on the
+// latest published epoch, valid (with all its analysis caches) until
+// unpinned regardless of concurrent commits. `catalog()` remains the
+// single-threaded view: with no concurrent committers it is always the last
+// acknowledged state (any failed op's tip mutations are rolled back to the
+// last durable epoch before the op returns).
+//
+// If a batch append fails, NONE of its operations commit: every waiter
+// observes the failure, the group stalls, and the first failing committer to
+// reacquire the writer lock rolls the tip back to the last durable epoch
+// (so records sequenced against never-durable state are never written).
+// Records carry the textual op (including the verify flag, since a
 // no-verify derivation might not replay under verify) and are replayed
 // deterministically at recovery. All I/O goes through a storage::Env
 // (env.h), injectable per database for fault testing.
@@ -54,14 +68,18 @@
 #ifndef TYDER_STORAGE_DURABLE_CATALOG_H_
 #define TYDER_STORAGE_DURABLE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "core/epoch.h"
 #include "storage/env.h"
 #include "storage/wal.h"
 
@@ -80,18 +98,38 @@ class DurableCatalog {
   // Opens (creating if absent) the database directory and recovers the
   // catalog from its newest valid snapshot plus the WAL. All I/O goes
   // through `env` (nullptr == Env::Posix()) for the life of the database.
+  // `group` tunes the group-commit window (benchmarks set max_batch = 1 for
+  // the serial fsync-per-commit baseline).
   static Result<DurableCatalog> Open(const std::string& dir,
-                                     Env* env = nullptr);
+                                     Env* env = nullptr,
+                                     GroupCommitOptions group = {});
 
+  // Moving (and Reopen, which move-assigns) requires external quiescence:
+  // no concurrent operation, and no live Pin from PinSnapshot().
   DurableCatalog(DurableCatalog&&) = default;
   DurableCatalog& operator=(DurableCatalog&&) = default;
 
+  // The writer tip. Safe only without concurrent committers; concurrent
+  // readers use PinSnapshot() instead.
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
+
+  // Wait-free pin of the newest PUBLISHED epoch: the last state whose WAL
+  // records were durably acknowledged. Never blocks on (and is never torn
+  // by) concurrent committers; the snapshot stays valid until the pin dies.
+  EpochCatalog::Pin PinSnapshot() const {
+    return EpochCatalog::Pin(state_->epochs);
+  }
+  // The epoch layer itself (reclamation counters, TryReclaim — tests).
+  EpochCatalog& epochs() { return state_->epochs; }
+
   const RecoveryInfo& recovery() const { return recovery_; }
   const std::string& dir() const { return dir_; }
-  // LSN of the newest durable record (snapshot-covered or in the WAL).
-  uint64_t last_lsn() const { return last_lsn_; }
+  // LSN of the newest durably ACKNOWLEDGED record (snapshot-covered, or in
+  // the WAL and fsync'd with its commit published).
+  uint64_t last_lsn() const {
+    return state_->durable_lsn.load(std::memory_order_acquire);
+  }
 
   // True once a durability failure has forced read-only degraded mode.
   bool degraded() const { return !degraded_.ok(); }
@@ -138,18 +176,48 @@ class DurableCatalog {
  private:
   DurableCatalog() = default;
 
-  Status AppendRecord(std::string_view payload);
+  // Shared, address-stable commit state: the group-commit leader callback
+  // and in-flight waiters hold pointers into it across DurableCatalog moves.
+  struct CommitState {
+    // Serializes mutations: tip apply + lsn assignment + enqueue order.
+    std::mutex writer_mu;
+    // LSN of the last op applied to the tip (>= durable_lsn; they are equal
+    // whenever no commit is in flight). Guarded by writer_mu.
+    uint64_t tip_lsn = 0;
+    // LSN of the last durably acknowledged (and published) record.
+    std::atomic<uint64_t> durable_lsn{0};
+    // Tip snapshots keyed by lsn, awaiting their batch fsync; the leader
+    // publishes the entry matching the batch's last lsn. Guarded by
+    // publish_mu (never writer_mu: the leader publishes while another
+    // committer may hold writer_mu applying the next op).
+    std::mutex publish_mu;
+    std::map<uint64_t, Catalog> pending_publish;
+    EpochCatalog epochs;
+    GroupCommitOptions group_options;  // preserved across Reopen
+    std::unique_ptr<GroupWal> group;
+  };
+
+  // The group-commit path shared by every logged mutation; see .cc.
+  template <typename ResultT, typename OpFn>
+  ResultT CommitLogged(std::string payload, OpFn&& op);
+  // Under writer_mu: consume a pending stall (rolling the tip back to the
+  // last durable epoch) and mirror a poisoned WAL into degraded mode.
+  void AbsorbFailureLocked(const Status& cause);
+  void ResetTipToDurableLocked();
+
   Status WriteSnapshot(const std::string& tmp_path, std::string_view bytes);
+  Status CompactLocked();  // snapshot + WAL truncate; requires writer_mu
   void EnterDegraded(const std::string& reason);
 
   std::string dir_;
   std::string wal_path_;
   Env* env_ = nullptr;
   // unique_ptrs keep the class movable without hand-written moves (Catalog
-  // holds a Schema; WalWriter owns a file handle).
+  // holds a Schema; WalWriter owns a file handle; CommitState holds mutexes
+  // and must stay address-stable for the leader callback).
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<WalWriter> wal_;
-  uint64_t last_lsn_ = 0;
+  std::unique_ptr<CommitState> state_;
   RecoveryInfo recovery_;
   Status degraded_;  // non-OK == read-only degraded mode
 };

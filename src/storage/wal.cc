@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -144,20 +145,29 @@ void WalWriter::Poison(const Status& cause) {
 
 Status WalWriter::Append(uint64_t lsn, std::string_view payload) {
   TYDER_SPAN("Wal.Append");
+  std::vector<WalRecord> one(1);
+  one[0].lsn = lsn;
+  one[0].payload = std::string(payload);
+  return AppendBatch(one);
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  TYDER_SPAN("Wal.AppendBatch");
   TYDER_TIMED("storage.wal_append_ns");
+  if (records.empty()) return Status::OK();
   if (!poison_.ok()) return poison_;
   Result<uint64_t> start = file_->Size();
   if (!start.ok()) return start.status();
-  Status status = AppendUnguarded(lsn, payload);
+  Status status = AppendUnguarded(records);
   if (!status.ok()) {
     if (file_->poisoned()) {
-      // The record's own fsync failed: the bytes may or may not be durable
+      // The batch's own fsync failed: the bytes may or may not be durable
       // and the handle can never prove it either way.
       Poison(status);
       return status;
     }
-    // Undo whatever prefix of the record reached the file so the tail stays
-    // clean and the caller may retry the (rolled-back) operation. The undo
+    // Undo whatever prefix of the batch reached the file so the tail stays
+    // clean and the caller may retry the (rolled-back) operations. The undo
     // must itself be durable: a truncation that only lives in the page cache
     // can resurrect the torn tail after a crash.
     Status undo = file_->Truncate(*start);
@@ -170,22 +180,27 @@ Status WalWriter::Append(uint64_t lsn, std::string_view payload) {
   return status;
 }
 
-Status WalWriter::AppendUnguarded(uint64_t lsn, std::string_view payload) {
-  std::string record = EncodeRecord(lsn, payload);
+Status WalWriter::AppendUnguarded(const std::vector<WalRecord>& records) {
+  std::string bytes;
+  for (const WalRecord& record : records) {
+    bytes += EncodeRecord(record.lsn, record.payload);
+  }
   if (TYDER_FAULT_CONSUME("storage.wal.torn_write")) {
-    // Simulated crash mid-write: only a prefix of the record persists.
-    std::string_view prefix(record.data(), record.size() / 2);
+    // Simulated crash mid-write: only a prefix of the batch persists. (For a
+    // multi-record batch that prefix may contain whole leading records —
+    // recovery then replays that prefix; none of the batch was acknowledged.)
+    std::string_view prefix(bytes.data(), bytes.size() / 2);
     (void)file_->Append(prefix);
     return Status::Internal(
         "fault injected at 'storage.wal.torn_write' (partial record written)");
   }
-  TYDER_RETURN_IF_ERROR(file_->Append(record));
+  TYDER_RETURN_IF_ERROR(file_->Append(bytes));
   TYDER_FAULT_POINT("storage.wal.after_append");
   TYDER_FAULT_POINT("storage.wal.mid_fsync");
   TYDER_RETURN_IF_ERROR(file_->Sync());
   TYDER_FAULT_POINT("storage.wal.after_sync");
-  TYDER_COUNT("projection.wal_appends");
-  TYDER_RECORD_V(kOp, "wal.append", static_cast<int64_t>(lsn));
+  TYDER_COUNT_N("projection.wal_appends", records.size());
+  TYDER_RECORD_V(kOp, "wal.append", static_cast<int64_t>(records.back().lsn));
   return Status::OK();
 }
 
@@ -201,6 +216,146 @@ Status WalWriter::TruncateAll() {
     Poison(status);
   }
   return status;
+}
+
+// --- GroupWal --------------------------------------------------------------
+
+GroupWal::GroupWal(WalWriter* wal, GroupCommitOptions options)
+    : wal_(wal), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+Status GroupWal::Enqueue(Ticket& ticket, uint64_t lsn, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stall_pending_) {
+    return Status::FailedPrecondition(
+        "group commit is stalled by an earlier batch failure (" +
+        stall_cause_.message() +
+        "); roll the in-memory tip back to the last durable state before "
+        "sequencing new records");
+  }
+  ticket.record_.lsn = lsn;
+  ticket.record_.payload = std::move(payload);
+  ticket.result_ = Status::OK();
+  ticket.done_ = false;
+  ticket.enqueued_at_ = std::chrono::steady_clock::now();
+  queue_.push_back(&ticket);
+  // A leader lingering for stragglers (max_wait_us > 0) is waiting on cv_.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status GroupWal::Wait(Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!ticket.done_) {
+    if (!leader_active_) {
+      // First waiter to see an idle log leads; it returns only once its own
+      // record is done (possibly after writing several batches).
+      LeadBatches(lock, ticket);
+      break;
+    }
+    cv_.wait(lock);
+  }
+  int64_t stall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - ticket.enqueued_at_)
+                         .count();
+  TYDER_RECORD_HIST("storage.group_commit.stall_ns", stall_ns);
+  return ticket.result_;
+}
+
+Status GroupWal::Commit(uint64_t lsn, std::string payload) {
+  Ticket ticket;
+  TYDER_RETURN_IF_ERROR(Enqueue(ticket, lsn, std::move(payload)));
+  return Wait(ticket);
+}
+
+void GroupWal::LeadBatches(std::unique_lock<std::mutex>& lock, Ticket& own) {
+  leader_active_ = true;
+  while (!own.done_ && !queue_.empty()) {
+    if (options_.max_wait_us > 0 && queue_.size() < options_.max_batch) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(options_.max_wait_us);
+      while (queue_.size() < options_.max_batch &&
+             cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
+    }
+    std::vector<Ticket*> batch;
+    batch.reserve(std::min(queue_.size(), options_.max_batch));
+    while (!queue_.empty() && batch.size() < options_.max_batch) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    std::vector<WalRecord> records;
+    records.reserve(batch.size());
+    for (Ticket* t : batch) records.push_back(t->record_);
+
+    // One write + one fsync for the whole batch. The queue keeps filling
+    // behind us meanwhile — that pile-up is the next batch.
+    lock.unlock();
+    Status status = wal_->AppendBatch(records);
+    if (status.ok() && on_batch_durable_) {
+      // Publish before any waiter wakes: a committer whose Wait returns OK
+      // must be able to observe its own write in the published epoch.
+      on_batch_durable_(records.back().lsn);
+    }
+    lock.lock();
+
+    TYDER_RECORD_HIST("storage.group_commit.batch_size",
+                      static_cast<int64_t>(batch.size()));
+    TYDER_COUNT("storage.group_commit.batches");
+    TYDER_COUNT_N("storage.group_commit.records", batch.size());
+    if (status.ok()) {
+      TYDER_COUNT("storage.group_commit.syncs");
+      for (Ticket* t : batch) {
+        t->result_ = Status::OK();
+        t->done_ = true;
+      }
+      cv_.notify_all();
+      continue;
+    }
+
+    // Batch failure: stall the group BEFORE anyone wakes. Every waiter of
+    // this batch gets the real failure; everything still queued was
+    // sequenced against in-memory state that never became durable, so it is
+    // drain-failed rather than written (persisting it would create records
+    // whose predecessors do not exist).
+    TYDER_COUNT("storage.group_commit.failed_batches");
+    stall_pending_ = true;
+    stall_cause_ = status;
+    for (Ticket* t : batch) {
+      t->result_ = status;
+      t->done_ = true;
+    }
+    for (Ticket* t : queue_) {
+      t->result_ = Status::Internal(
+          "commit group aborted: an earlier record in the batch window "
+          "failed to persist (" +
+          status.message() + "); this record was never written");
+      t->done_ = true;
+    }
+    queue_.clear();
+    break;
+  }
+  leader_active_ = false;
+  cv_.notify_all();
+}
+
+bool GroupWal::stalled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_pending_;
+}
+
+bool GroupWal::ConsumeStallIfPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stall_pending_) return false;
+  stall_pending_ = false;
+  stall_cause_ = Status::OK();
+  return true;
+}
+
+void GroupWal::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && !leader_active_; });
 }
 
 }  // namespace tyder::storage

@@ -41,8 +41,13 @@
 #ifndef TYDER_STORAGE_WAL_H_
 #define TYDER_STORAGE_WAL_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -95,6 +100,16 @@ class WalWriter {
   // poisoned (see file comment).
   Status Append(uint64_t lsn, std::string_view payload);
 
+  // Appends `records` as one contiguous write followed by ONE fsync — the
+  // group-commit primitive: N commits, one sync. Failure semantics are
+  // identical to Append's, for the batch as a whole: on any failure none of
+  // the records is acknowledged, the file is durably truncated back to its
+  // pre-call length (so recovery sees a clean prefix of *whole batches*, and
+  // a torn mid-batch write repairs like any torn tail), and an un-undoable
+  // failure or a failed fsync poisons the writer. The storage.wal.* fault
+  // points fire exactly as on the single-record path.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
   // Empties the log (compaction: the snapshot now covers every record).
   Status TruncateAll();
 
@@ -107,11 +122,119 @@ class WalWriter {
   explicit WalWriter(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
 
-  Status AppendUnguarded(uint64_t lsn, std::string_view payload);
+  Status AppendUnguarded(const std::vector<WalRecord>& records);
   void Poison(const Status& cause);
 
   std::unique_ptr<WritableFile> file_;
   Status poison_;
+};
+
+// --- Group commit ----------------------------------------------------------
+//
+// GroupWal amortizes fsync cost across concurrent committers. Each committer
+// Enqueue()s its already-sequenced record (under the owner's writer lock, so
+// lsns enter the queue in order), releases the lock, and Wait()s. The first
+// waiter to find no leader active becomes the LEADER: it seals up to
+// max_batch queued records, optionally lingers max_wait_us for stragglers,
+// writes them through WalWriter::AppendBatch — one write, one fsync — then
+// invokes on_batch_durable (the owner publishes the batch's epoch snapshot
+// here) BEFORE waking any waiter, so a committer that returns OK can
+// immediately observe its own write in the published epoch. While the leader
+// is inside fsync, new committers pile into the queue; the next leader takes
+// them all in one batch. That opportunistic window means a lone committer
+// pays exactly one fsync (no added latency), while N contending committers
+// converge on ~2 fsyncs per N commits.
+//
+// Failure: a failed batch STALLS the group. Every waiter of the failed batch
+// observes the failure, every record still queued behind it is drain-failed
+// (it was sequenced against in-memory state that never became durable —
+// letting it reach the WAL would persist a record whose predecessors do not
+// exist), and new Enqueues are refused until the owner calls
+// ConsumeStallIfPending() under its writer lock and rolls its in-memory tip
+// back to the last durable state. If the failure poisoned the WalWriter
+// (failed fsync / un-undoable undo), the owner additionally degrades —
+// exactly the single-record fsyncgate rule, observed by every waiter.
+//
+// Instrumented with storage.group_commit.{batch_size,stall_ns} histograms
+// and storage.group_commit.{batches,records,syncs,failed_batches} counters.
+
+struct GroupCommitOptions {
+  // Max records sealed into one batch.
+  size_t max_batch = 64;
+  // How long a leader lingers for stragglers once it holds a non-full
+  // batch. 0 (default) is pure opportunistic batching: never wait — the
+  // queue that builds up behind an in-flight fsync IS the next batch.
+  uint32_t max_wait_us = 0;
+};
+
+class GroupWal {
+ public:
+  // `wal` must outlive the GroupWal and is written only by batch leaders.
+  explicit GroupWal(WalWriter* wal, GroupCommitOptions options = {});
+
+  // Leader-side hook, invoked with the last lsn of each durable batch after
+  // its fsync and before any of its waiters wake. Must not call back into
+  // Enqueue/Wait. Set once, before the first Enqueue.
+  void set_on_batch_durable(std::function<void(uint64_t last_lsn)> fn) {
+    on_batch_durable_ = std::move(fn);
+  }
+
+  // A committer's handle on its queued record. Must stay alive (and at a
+  // stable address) until Wait() returns.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    friend class GroupWal;
+    WalRecord record_;
+    Status result_;
+    bool done_ = false;
+    std::chrono::steady_clock::time_point enqueued_at_;
+  };
+
+  // Queues the record. Caller must hold its own writer lock (serializing lsn
+  // assignment) and must call Wait(ticket) after releasing it. Refuses while
+  // stalled: the in-memory state this record was sequenced against is not
+  // durable.
+  Status Enqueue(Ticket& ticket, uint64_t lsn, std::string payload);
+
+  // Blocks until the ticket's record is durable or its batch failed; the
+  // calling thread may serve as leader for one or more batches meanwhile.
+  Status Wait(Ticket& ticket);
+
+  // Single-record convenience: Enqueue + Wait. Only safe when the caller's
+  // writer lock is NOT held (lone-committer paths and tests).
+  Status Commit(uint64_t lsn, std::string payload);
+
+  bool stalled() const;
+  // If a batch failure is pending, clears it and returns true — the caller
+  // (holding its writer lock) must then roll its tip back to the last
+  // durable state before sequencing any new record. Exactly one caller
+  // observes true per failure.
+  bool ConsumeStallIfPending();
+
+  // Blocks until the queue is empty and no leader is in flight (all
+  // on_batch_durable callbacks returned). With the owner's writer lock held
+  // this quiesces the log for compaction/seeding. A pending stall is NOT
+  // consumed — check ConsumeStallIfPending afterwards.
+  void Quiesce();
+
+ private:
+  void LeadBatches(std::unique_lock<std::mutex>& lock, Ticket& own);
+
+  WalWriter* wal_;
+  GroupCommitOptions options_;
+  std::function<void(uint64_t)> on_batch_durable_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket*> queue_;
+  bool leader_active_ = false;
+  bool stall_pending_ = false;  // set on batch failure, cleared by consume
+  Status stall_cause_;
 };
 
 }  // namespace tyder::storage

@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -131,6 +132,7 @@ const char* OpName(OpKind kind) {
     case OpKind::kLoad:     return "load";
     case OpKind::kCrash:    return "crash";
     case OpKind::kEnvFault: return "envfault";
+    case OpKind::kConCommit: return "concommit";
   }
   return "?";
 }
@@ -139,7 +141,7 @@ bool OpKindFromName(std::string_view name, OpKind* kind) {
   for (OpKind k : {OpKind::kDerive, OpKind::kCollapse, OpKind::kDrop,
                    OpKind::kQuery, OpKind::kNewType, OpKind::kNewAttr,
                    OpKind::kNewEdge, OpKind::kSave, OpKind::kLoad,
-                   OpKind::kCrash, OpKind::kEnvFault}) {
+                   OpKind::kCrash, OpKind::kEnvFault, OpKind::kConCommit}) {
     if (name == OpName(k)) {
       *kind = k;
       return true;
@@ -190,6 +192,7 @@ class TraceRunner {
       case OpKind::kLoad:     return DoLoad();
       case OpKind::kCrash:    return DoCrash(op);
       case OpKind::kEnvFault: return DoEnvFault(op);
+      case OpKind::kConCommit: return DoConCommit(op);
     }
     return Fail("unknown op kind");
   }
@@ -693,6 +696,146 @@ class TraceRunner {
     return AdoptRecovered(iop, *re, recovered, pre, post);
   }
 
+  // Concurrent group commit: K threads each commit one projection view
+  // through the group-committed WAL of an ephemeral DurableCatalog seeded
+  // with the trace's catalog, optionally with an I/O fault injected into
+  // the batch window and a power loss after the crash. The commit-ack
+  // contract is checked from both sides:
+  //
+  //   acknowledged  => the view is visible in-memory AND survives
+  //                    crash + power loss (durability),
+  //   unacknowledged => the view is never visible, live or recovered
+  //                    (all-or-nothing, even when the record died only
+  //                    because an earlier record in its batch did).
+  //
+  // Recovery may additionally land on any subset of the attempted batch
+  // that contains every acknowledged op (a whole-record WAL prefix of the
+  // group append). The trace's own catalog and model are untouched: which
+  // ops get acknowledged under a fault is timing-dependent, and adopting a
+  // nondeterministic state would break trace determinism for the shrinker.
+  Status DoConCommit(const FuzzOp& op) {
+    const int k = 2 + static_cast<int>(op.a % 3);  // 2..4 committers
+    const bool with_fault = (op.b % 4) == 0;
+    const bool power_loss = (op.b % 2) != 0;
+
+    // Resolve the K derivations up front against the model (deterministic;
+    // the threads below only replay them).
+    struct PlannedDerive {
+      std::string vname, src;
+      std::vector<std::string> attrs;
+    };
+    std::vector<PlannedDerive> plan;
+    std::vector<std::string> names = model_.TrackedNames();
+    for (int t = 0; t < k; ++t) {
+      const std::string& src = names[(op.c + t) % names.size()];
+      std::set<std::string> cum_set = model_.Cumulative(src);
+      if (cum_set.empty()) continue;  // nothing to project from this source
+      std::vector<std::string> cum(cum_set.begin(), cum_set.end());
+      PlannedDerive d;
+      d.src = src;
+      d.vname = "FZV" + std::to_string(next_view_++);
+      size_t count = 1 + (op.b + t) % cum.size();
+      for (size_t i = 0; i < count; ++i) d.attrs.push_back(cum[i % cum.size()]);
+      plan.push_back(std::move(d));
+    }
+    if (plan.empty()) return Status::OK();
+
+    std::filesystem::path dir = EphemeralDir("con-");
+    storage::FaultyEnv env;
+    std::vector<char> acked(plan.size(), 0);
+    std::error_code ec;
+    bool degraded = false;
+    {
+      // A real batch window: max_batch covers the whole fleet and a short
+      // linger lets late enqueuers join the leader's batch.
+      storage::GroupCommitOptions group;
+      group.max_batch = static_cast<size_t>(plan.size());
+      group.max_wait_us = 200;
+      Result<storage::DurableCatalog> db =
+          storage::DurableCatalog::Open(dir.string(), &env, group);
+      if (!db.ok()) {
+        return Fail("DurableCatalog::Open failed: " + db.status().ToString());
+      }
+      Status seeded = db->Seed(catalog_);
+      if (!seeded.ok()) {
+        return Fail("DurableCatalog::Seed failed: " + seeded.ToString());
+      }
+      if (with_fault) {
+        // All Env calls are serialized through the batch leader, so the
+        // (single-threaded) FaultyEnv is safe under concurrent committers.
+        env.ResetCounters();
+        env.InjectAt(
+            op.c % 2 == 0 ? storage::FaultyEnv::FaultKind::kSyncFail
+                          : storage::FaultyEnv::FaultKind::kError,
+            static_cast<int>(op.c % 6));
+      }
+      std::vector<std::thread> committers;
+      for (size_t t = 0; t < plan.size(); ++t) {
+        committers.emplace_back([&, t] {
+          const PlannedDerive& d = plan[t];
+          acked[t] =
+              db->DefineProjectionView(d.vname, d.src, d.attrs).ok() ? 1 : 0;
+        });
+      }
+      for (std::thread& thread : committers) thread.join();
+      env.ClearFaults();
+      degraded = db->degraded();
+
+      // Converged in-memory state: visible exactly iff acknowledged.
+      for (size_t t = 0; t < plan.size(); ++t) {
+        bool visible = db->catalog().FindView(plan[t].vname).ok();
+        if (visible != (acked[t] != 0)) {
+          return Fail(std::string("concurrent commit '") + plan[t].vname +
+                      "' is " + (visible ? "visible" : "missing") +
+                      " in-memory but was " +
+                      (acked[t] ? "acknowledged" : "refused"));
+        }
+      }
+      if (with_fault && degraded) {
+        Status refused = db->DropView("NoSuchView");
+        if (refused.code() != StatusCode::kFailedPrecondition ||
+            refused.message().find("degraded") == std::string::npos) {
+          return Fail("degraded database accepted (or mislabeled) a "
+                      "mutation after a group-commit fault: " +
+                      refused.ToString());
+        }
+      }
+    }  // crash: drop the handle
+    if (power_loss) env.PowerLoss();
+
+    Result<storage::DurableCatalog> re =
+        storage::DurableCatalog::Open(dir.string());
+    if (!re.ok()) {
+      std::filesystem::remove_all(dir, ec);
+      return Fail("recovery after a concurrent group commit failed: " +
+                  re.status().ToString());
+    }
+    Status recovered_valid = re->catalog().schema().Validate();
+    std::string detail;
+    for (size_t t = 0; t < plan.size(); ++t) {
+      bool recovered = re->catalog().FindView(plan[t].vname).ok();
+      if (acked[t] && !recovered) {
+        detail = "acknowledged commit '" + plan[t].vname +
+                 "' was lost by crash recovery (durability violated)";
+        break;
+      }
+      if (!with_fault && !power_loss && recovered != (acked[t] != 0)) {
+        // No fault and no power loss: recovery must replay the batch
+        // exactly — nothing beyond the acknowledged set can appear.
+        detail = "clean recovery disagrees with the acknowledged set on '" +
+                 plan[t].vname + "'";
+        break;
+      }
+    }
+    std::filesystem::remove_all(dir, ec);
+    if (!recovered_valid.ok()) {
+      return Fail("recovery after a concurrent group commit produced an "
+                  "invalid schema: " + recovered_valid.ToString());
+    }
+    if (!detail.empty()) return Fail(std::move(detail));
+    return Status::OK();
+  }
+
   Catalog catalog_;
   Model model_;
   std::string saved_bytes_;
@@ -826,6 +969,7 @@ FuzzTrace GenerateTrace(uint64_t seed, const FuzzProfile& profile) {
       {OpKind::kDrop, 8},     {OpKind::kSave, 5},     {OpKind::kLoad, 4},
       {OpKind::kCrash, profile.with_crash_ops ? 1 : 0},
       {OpKind::kEnvFault, profile.with_crash_ops ? 1 : 0},
+      {OpKind::kConCommit, profile.with_crash_ops ? 1 : 0},
   };
   int total = 0;
   for (const Weighted& w : kWeights) total += w.weight;

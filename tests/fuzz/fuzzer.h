@@ -56,6 +56,12 @@ enum class OpKind {
               // followed by a simulated power loss; the instance must be
               // consistent or provably read-only (degraded), and recovery
               // must land byte-identical to pre or post
+  kConCommit, // K threads commit concurrently through the group-committed
+              // WAL on an ephemeral DurableCatalog (optionally with an
+              // injected I/O fault mid-batch and a power loss); an
+              // acknowledged commit is always durable, an unacknowledged
+              // one is never visible, and recovery lands on a subset of
+              // the attempted batch that contains every acknowledged op
 };
 
 struct FuzzOp {

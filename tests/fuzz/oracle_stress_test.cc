@@ -9,14 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "methods/applicability.h"
 #include "methods/dispatch.h"
 #include "methods/dispatch_table.h"
 #include "oracle/differential.h"
+#include "storage/durable_catalog.h"
+#include "testing/fixtures.h"
 #include "testing/random_schema.h"
 
 namespace tyder {
@@ -93,6 +98,91 @@ TEST(OracleStressTest, ConcurrentQueriesDuringPrewarmInvalidateCycles) {
   dopts.exhaustive_tuple_limit = 128;
   Status s = oracle::CheckSchemaAgainstOracle(schema, dopts);
   EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// Epoch-churn variant: readers never coordinate with the writer at all.
+// Each reader loop pins the current schema epoch (DurableCatalog::
+// PinSnapshot) and queries the frozen snapshot while a writer commits
+// derive / collapse / revert cycles through the group-committed WAL,
+// publishing a new epoch per commit. Every pinned snapshot must agree
+// with the naive oracle — a reader can observe any committed epoch, but
+// never a torn or half-mutated one.
+TEST(OracleStressTest, EpochChurnReadersMatchOracleOnPinnedSnapshots) {
+  auto fx = testing::BuildPersonEmployee();
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tyder_epoch_churn_stress";
+  std::filesystem::remove_all(dir);
+  auto db = storage::DurableCatalog::Open(dir.string());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(db->Seed(Catalog(std::move(fx->schema))).ok());
+
+  const int kWriterCycles = 40;
+  const unsigned kReaders =
+      std::max(3u, std::min(7u, std::thread::hardware_concurrency() - 1));
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> ok{true};
+
+  std::vector<std::thread> readers;
+  for (unsigned tid = 0; tid < kReaders; ++tid) {
+    readers.emplace_back([&, tid] {
+      std::mt19937 rng(1000 + tid);
+      int sweeps = 0;
+      while (!writer_done.load(std::memory_order_acquire)) {
+        auto pin = db->PinSnapshot();
+        const Schema& schema = pin->schema();
+        const size_t num_types = schema.types().NumTypes();
+        std::uniform_int_distribution<size_t> pick_type(0, num_types - 1);
+        std::uniform_int_distribution<size_t> pick_gf(
+            0, schema.NumGenericFunctions() - 1);
+        for (int q = 0; q < 64; ++q) {
+          TypeId a = static_cast<TypeId>(pick_type(rng));
+          TypeId b = static_cast<TypeId>(pick_type(rng));
+          (void)schema.types().IsSubtype(a, b);
+          GfId gf = static_cast<GfId>(pick_gf(rng));
+          std::vector<TypeId> args;
+          for (int i = 0; i < schema.gf(gf).arity; ++i) {
+            args.push_back(static_cast<TypeId>(pick_type(rng)));
+          }
+          if (ApplicableMethodsFromTables(schema, gf, args).size() !=
+              DispatchOrder(schema, gf, args).size()) {
+            ok.store(false);
+          }
+        }
+        // Engine == oracle on the pinned (frozen) snapshot, concurrently
+        // with the writer publishing newer epochs past it.
+        Status s = oracle::CheckSubtypeOracle(schema);
+        if (!s.ok()) ok.store(false);
+        ++sweeps;
+      }
+      EXPECT_GT(sweeps, 0);
+    });
+  }
+
+  // The writer: each iteration is one derive / revert (+ periodic collapse)
+  // cycle, i.e. two to three group-committed epoch publishes.
+  for (int cycle = 0; cycle < kWriterCycles && ok.load(); ++cycle) {
+    std::string name = "Churn" + std::to_string(cycle);
+    auto view = db->DefineProjectionView(name, "Employee",
+                                         {"SSN", "date_of_birth"});
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    ASSERT_TRUE(db->DropView(name).ok());
+    if (cycle % 8 == 7) {
+      auto report = db->Collapse();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(ok.load()) << "a pinned epoch disagreed with the oracle";
+
+  // Quiesced: everything the churn retired is now reclaimable, and the tip
+  // still matches the oracle.
+  db->epochs().TryReclaim();
+  EXPECT_EQ(db->epochs().retired_pending(), 0u);
+  EXPECT_TRUE(oracle::CheckSubtypeOracle(db->catalog().schema()).ok());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -21,10 +21,13 @@
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "storage/catalog_snapshot.h"
 #include "storage/durable_catalog.h"
+#include "storage/wal.h"
 #include "testing/fixtures.h"
 
 namespace tyder::storage {
@@ -282,6 +285,67 @@ TEST(CrashMatrixTest, EveryStorageFaultPointRecoversToPreOrPost) {
   EXPECT_EQ(covered.size(), 12u) << "new storage fault point? extend "
                                     "ScenarioFor above and run_all.sh "
                                     "crash/iofault modes";
+}
+
+// The crash matrix extended to the group-commit path: four concurrent
+// committers share fsync batches while storage.env.sync is armed to fail
+// once. The faulted batch must nack EVERY committer it carried (no partial
+// acks inside a batch), the database degrades, and after the crash every
+// acknowledged commit — from batches durable before the fault — is
+// recovered. Which committers land in the faulted batch is scheduling-
+// dependent, so the assertions are the ack-set contract rather than a fixed
+// pre/post pair.
+TEST(CrashMatrixTest, GroupCommitFsyncFailureNacksTheWholeBatch) {
+  std::string dir = FreshDir("group_sync_fail");
+  constexpr int kCommitters = 4;
+  std::vector<char> acked(kCommitters, 0);
+  {
+    auto fx = testing::BuildPersonEmployee();
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    GroupCommitOptions group;
+    group.max_batch = kCommitters;
+    group.max_wait_us = 200;
+    auto db = DurableCatalog::Open(dir, nullptr, group);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->Seed(Catalog(std::move(fx->schema))).ok());
+
+    failpoint::Activate("storage.env.sync", 1);
+    std::vector<std::thread> committers;
+    for (int t = 0; t < kCommitters; ++t) {
+      committers.emplace_back([&, t] {
+        auto r = db->DefineProjectionView("Grp" + std::to_string(t),
+                                          "Employee", {"SSN"});
+        acked[t] = r.ok() ? 1 : 0;
+      });
+    }
+    for (auto& th : committers) th.join();
+    failpoint::DeactivateAll();
+
+    // The armed fsync failure hit some batch: its committers all failed and
+    // the store degraded to read-only.
+    int acks = 0;
+    for (char a : acked) acks += a;
+    EXPECT_LT(acks, kCommitters) << "the fsync fault nacked no committer";
+    EXPECT_TRUE(db->degraded());
+
+    // Ack and visibility agree per committer, even mid-degradation.
+    for (int t = 0; t < kCommitters; ++t) {
+      auto found = db->catalog().FindView("Grp" + std::to_string(t));
+      EXPECT_EQ(found.ok(), acked[t] != 0) << "committer " << t;
+    }
+    auto refused = db->DefineProjectionView("Probe", "Person", {"SSN"});
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  }  // crash: instance abandoned while degraded
+
+  auto recovered = DurableCatalog::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  for (int t = 0; t < kCommitters; ++t) {
+    if (acked[t] == 0) continue;
+    auto found = recovered->catalog().FindView("Grp" + std::to_string(t));
+    EXPECT_TRUE(found.ok())
+        << "acknowledged commit Grp" << t << " lost across the crash";
+  }
 }
 
 // A doubly-injected crash: the append tears AND the process dies before the

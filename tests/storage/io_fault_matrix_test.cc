@@ -24,11 +24,14 @@
 
 #include <filesystem>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "storage/catalog_snapshot.h"
 #include "storage/durable_catalog.h"
 #include "storage/faulty_env.h"
+#include "storage/wal.h"
 #include "testing/fixtures.h"
 
 namespace tyder::storage {
@@ -206,6 +209,124 @@ TEST(IoFaultMatrixTest, CollapseSurvivesEveryEnvFault) {
 
 TEST(IoFaultMatrixTest, CompactionSurvivesEveryEnvFault) {
   RunMatrix({"compact", RunCompact});
+}
+
+// --- Group-commit batch append ---------------------------------------------
+//
+// The same exhaustive per-Env-call sweep for WalWriter::AppendBatch, the
+// group-commit primitive. The batch must be all-or-nothing at every fault:
+// a live writer after a failed batch holds exactly the pre-batch records
+// and retries cleanly; a poisoned writer refuses further mutation; and
+// power-loss recovery sees either no batch record or the whole batch —
+// never a partial one.
+
+std::vector<WalRecord> BatchRecords() {
+  return {{2, "project V1 Employee SSN verify"},
+          {3, "project V2 Employee pay_rate verify"},
+          {4, "drop V1"}};
+}
+
+void RunBatchCell(const FaultCell& cell) {
+  SCOPED_TRACE(std::string(cell.kind_name) + "@" +
+               std::to_string(cell.index) +
+               (cell.power_loss ? "+powerloss" : ""));
+  std::string dir =
+      FreshDir(std::string("batch_") + cell.kind_name + "_" +
+               std::to_string(cell.index) + (cell.power_loss ? "_pl" : ""));
+  fs::create_directories(dir);
+  std::string path = dir + "/wal.log";
+  FaultyEnv env;
+  std::optional<WalWriter> writer;
+  {
+    auto opened = WalWriter::Open(path, &env);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    writer.emplace(std::move(*opened));
+  }
+  ASSERT_TRUE(writer->Append(1, "seed").ok());
+
+  env.ResetCounters();
+  env.InjectAt(cell.kind, cell.index);
+  Status status = writer->AppendBatch(BatchRecords());
+  env.ClearFaults();
+  EXPECT_TRUE(env.fault_fired());
+
+  bool acked = status.ok();
+  if (status.ok()) {
+    EXPECT_FALSE(writer->poisoned());
+    auto live = ReadWal(path, &env);
+    ASSERT_TRUE(live.ok()) << live.status();
+    EXPECT_EQ(live->records.size(), 4u);
+  } else if (!writer->poisoned()) {
+    // Durable undo held: the live file is exactly the pre-batch log and the
+    // whole batch lands on retry — no committer is half-acknowledged.
+    auto live = ReadWal(path, &env);
+    ASSERT_TRUE(live.ok()) << live.status();
+    EXPECT_EQ(live->records.size(), 1u);
+    Status retried = writer->AppendBatch(BatchRecords());
+    ASSERT_TRUE(retried.ok()) << retried;
+    acked = true;
+  } else {
+    // Poisoned (the batch fsync or its undo failed): the writer can no
+    // longer vouch for durability and must refuse every further mutation.
+    EXPECT_FALSE(writer->Append(9, "probe").ok());
+    EXPECT_FALSE(writer->AppendBatch(BatchRecords()).ok());
+  }
+
+  if (cell.power_loss) {
+    writer.reset();  // drop the file handle before rewinding
+    env.PowerLoss();
+    auto recovered = ReadWal(path);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ASSERT_TRUE(recovered->records.size() == 1u ||
+                recovered->records.size() == 4u)
+        << "power loss exposed a partial batch ("
+        << recovered->records.size() << " records)";
+    if (acked) {
+      // An acknowledged batch is durable as a unit.
+      EXPECT_EQ(recovered->records.size(), 4u);
+      EXPECT_EQ(recovered->records.back().lsn, 4u);
+    }
+  }
+}
+
+TEST(IoFaultMatrixTest, GroupCommitBatchSurvivesEveryEnvFault) {
+  // Size the sweep from a clean instrumented batch append.
+  int total_calls = 0, append_calls = 0, sync_calls = 0;
+  {
+    std::string dir = FreshDir("batch_count");
+    fs::create_directories(dir);
+    FaultyEnv env;
+    auto writer = WalWriter::Open(dir + "/wal.log", &env);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(writer->Append(1, "seed").ok());
+    env.ResetCounters();
+    Status clean = writer->AppendBatch(BatchRecords());
+    ASSERT_TRUE(clean.ok()) << clean;
+    total_calls = env.total_calls();
+    append_calls = env.append_calls();
+    sync_calls = env.sync_calls();
+  }
+  ASSERT_GT(total_calls, 0);
+  ASSERT_GT(append_calls, 0);
+  ASSERT_GT(sync_calls, 0);
+  // One contiguous write, one fsync: the whole point of the batch path.
+  EXPECT_EQ(append_calls, 1);
+  EXPECT_EQ(sync_calls, 1);
+
+  for (bool power_loss : {false, true}) {
+    for (int i = 0; i < total_calls; ++i) {
+      RunBatchCell({FaultyEnv::FaultKind::kError, "eio", i, power_loss});
+    }
+    for (int i = 0; i < append_calls; ++i) {
+      RunBatchCell({FaultyEnv::FaultKind::kEnospc, "enospc", i, power_loss});
+      RunBatchCell(
+          {FaultyEnv::FaultKind::kShortWrite, "short_write", i, power_loss});
+    }
+    for (int i = 0; i < sync_calls; ++i) {
+      RunBatchCell(
+          {FaultyEnv::FaultKind::kSyncFail, "sync_fail", i, power_loss});
+    }
+  }
 }
 
 }  // namespace

@@ -78,6 +78,29 @@ check "db reopens cleanly after a failed op" 0 $?
 "$TYDERC" --compact > /dev/null 2>&1
 test $? -ne 0; check "--compact without --db exits non-zero" 0 $?
 
+# --- concurrent durable batch (group commit) -------------------------------
+
+# --jobs N routes the durable batch through N concurrent committers sharing
+# group-commit fsync batches; every item must land and replay on reopen.
+cat > "$WORK/con.batch" <<EOF
+Employee SSN,pay_rate ConViewA
+Employee SSN ConViewB
+Person SSN,name ConViewC
+Person name ConViewD
+EOF
+"$TYDERC" --db "$DB" --jobs 4 --batch "$WORK/con.batch" > "$WORK/con.out" 2> "$WORK/con.err"
+check "durable --batch with --jobs 4 exits 0" 0 $?
+grep -q "4 applied, 0 failed" "$WORK/con.out" \
+  || { echo "FAIL: concurrent durable batch did not apply every item" >&2; failures=$((failures + 1)); }
+grep -q "4 concurrent committers" "$WORK/con.out" \
+  || { echo "FAIL: concurrent durable batch did not report its committers" >&2; failures=$((failures + 1)); }
+"$TYDERC" --db "$DB" --export > "$WORK/con-reopen.out" 2>&1
+check "reopen after a concurrent batch exits 0" 0 $?
+for v in ConViewA ConViewB ConViewC ConViewD; do
+  grep -q "view $v = " "$WORK/con-reopen.out" \
+    || { echo "FAIL: recovery lost concurrently committed view $v" >&2; failures=$((failures + 1)); }
+done
+
 # --- health report and the degraded exit code ------------------------------
 
 "$TYDERC" --db "$DB" --health > "$WORK/health.out" 2>&1
