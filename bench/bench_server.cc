@@ -1,0 +1,234 @@
+// Serving-path benchmarks (src/net): request round trips through a real
+// loopback tyderd serving core — framing, CRC, request parsing, admission
+// control, worker execution, and (for mutations) the group-commit WAL — as
+// a function of concurrent client count. The ping series prices the pure
+// serving overhead, the query series the epoch-pinned read path, and the
+// project/drop series the full durable mutation pipeline; throughput
+// scaling across /threads is the admission-control + group-commit win.
+// docs/ROBUSTNESS.md "Serving and overload" quotes these numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "storage/durable_catalog.h"
+#include "testing/fixtures.h"
+
+namespace tyder::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (fs::temp_directory_path() / ("tyder_bench_server_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Shared fixture: one server per benchmark run, one client per benchmark
+// thread. Thread 0 boots the server before its iteration loop; the other
+// threads connect lazily on their first iteration (benchmark's start
+// barrier guarantees the server exists by then).
+struct SharedServer {
+  std::string dir;
+  std::optional<storage::DurableCatalog> db;
+  std::unique_ptr<net::Server> server;
+};
+SharedServer* g_server = nullptr;
+std::atomic<uint64_t> g_name_seq{0};
+
+thread_local std::optional<net::Client> tl_client;
+
+bool BootServer(benchmark::State& state, const std::string& name) {
+  auto* shared = new SharedServer;
+  shared->dir = FreshDir(name + "_t" + std::to_string(state.threads()));
+  auto fx = testing::BuildPersonEmployee();
+  auto db = storage::DurableCatalog::Open(shared->dir);
+  if (!fx.ok() || !db.ok()) {
+    state.SkipWithError("setup failed");
+    delete shared;
+    return false;
+  }
+  shared->db.emplace(std::move(*db));
+  if (!shared->db->Seed(Catalog(std::move(fx->schema))).ok()) {
+    state.SkipWithError("seed failed");
+    delete shared;
+    return false;
+  }
+  net::ServerOptions options;
+  auto server = net::Server::Start(&*shared->db, options);
+  if (!server.ok()) {
+    state.SkipWithError("server start failed");
+    delete shared;
+    return false;
+  }
+  shared->server = std::move(*server);
+  g_server = shared;
+  return true;
+}
+
+bool EnsureClient(benchmark::State& state) {
+  if (tl_client.has_value() && tl_client->connected()) return true;
+  auto client = net::Client::Connect(g_server->server->port(), 5'000);
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return false;
+  }
+  tl_client.emplace(std::move(*client));
+  return true;
+}
+
+void TearDown(benchmark::State& state) {
+  tl_client.reset();
+  if (state.thread_index() == 0 && g_server != nullptr) {
+    g_server->server->Stop();
+    fs::remove_all(g_server->dir);
+    delete g_server;
+    g_server = nullptr;
+  }
+}
+
+void RunRoundTripLoop(benchmark::State& state, const std::string& name,
+                      const std::string& command,
+                      const std::vector<std::string>& args) {
+  if (state.thread_index() == 0 && !BootServer(state, name)) return;
+  for (auto _ : state) {
+    if (!EnsureClient(state)) break;
+    auto answer = tl_client->Call(command, args, 5'000);
+    if (!answer.ok() || !answer->ok()) {
+      state.SkipWithError("round trip failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  TearDown(state);
+}
+
+// One ping round trip per iteration: frame encode + CRC + accept-side read
+// + dispatch + response write, no catalog work. The serving floor.
+void BM_ServerPingThroughput(benchmark::State& state) {
+  RunRoundTripLoop(state, "ping", "ping", {});
+}
+BENCHMARK(BM_ServerPingThroughput)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Read path under concurrency: each request pins the current epoch and
+// walks the view list. Scaling across /threads shows reads never serialize
+// behind the writer lock.
+void BM_ServerQueryViewsThroughput(benchmark::State& state) {
+  RunRoundTripLoop(state, "query", "query", {"views"});
+}
+BENCHMARK(BM_ServerQueryViewsThroughput)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Full durable mutation pipeline under concurrency: define a selection
+// view, commit through the group WAL, then drop it (a second commit).
+// Selection views build no shared surrogate structure, so drops from
+// different clients stay independent; contending /threads clients share
+// batch fsyncs — the group-commit amortization seen from the wire.
+// (Concurrent projections of the same attribute set deliberately entangle —
+// later derivations reuse the earlier factoring — which makes their drop
+// order-dependent and wrong for a throughput loop.)
+void BM_ServerSelectDropThroughput(benchmark::State& state) {
+  if (state.thread_index() == 0 && !BootServer(state, "mutate")) return;
+  for (auto _ : state) {
+    if (!EnsureClient(state)) break;
+    std::string name =
+        "B" + std::to_string(g_name_seq.fetch_add(1, std::memory_order_relaxed));
+    auto defined = tl_client->Call("select", {name, "Employee"}, 10'000);
+    if (!defined.ok() || !defined->ok()) {
+      state.SkipWithError("select failed");
+      break;
+    }
+    auto dropped = tl_client->Call("drop", {name}, 10'000);
+    if (!dropped.ok() || !dropped->ok()) {
+      state.SkipWithError("drop failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  TearDown(state);
+}
+BENCHMARK(BM_ServerSelectDropThroughput)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// The derivation pipeline over the wire, single client: project (verify
+// on), then drop. Single-threaded because identical concurrent projections
+// share structure by design.
+void BM_ServerProjectDropThroughput(benchmark::State& state) {
+  if (!BootServer(state, "derive")) return;
+  for (auto _ : state) {
+    if (!EnsureClient(state)) break;
+    std::string name =
+        "P" + std::to_string(g_name_seq.fetch_add(1, std::memory_order_relaxed));
+    auto defined = tl_client->Call(
+        "project", {name, "Employee", "SSN,pay_rate"}, 10'000);
+    if (!defined.ok() || !defined->ok()) {
+      state.SkipWithError("project failed");
+      break;
+    }
+    auto dropped = tl_client->Call("drop", {name}, 10'000);
+    if (!dropped.ok() || !dropped->ok()) {
+      state.SkipWithError("drop failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  TearDown(state);
+}
+BENCHMARK(BM_ServerProjectDropThroughput)->UseRealTime();
+
+// Per-request wall latency of the serving floor, single client: p50/p99 of
+// a ping round trip on an otherwise idle server.
+void BM_ServerPingLatency(benchmark::State& state) {
+  if (!BootServer(state, "latency")) return;
+  std::vector<uint64_t> latencies;
+  latencies.reserve(1 << 20);
+  for (auto _ : state) {
+    if (!EnsureClient(state)) break;
+    auto t0 = std::chrono::steady_clock::now();
+    auto answer = tl_client->Call("ping", {}, 5'000);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!answer.ok() || !answer->ok()) {
+      state.SkipWithError("ping failed");
+      break;
+    }
+    latencies.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+      return static_cast<double>(latencies[idx]);
+    };
+    state.counters["p50_ns"] = pct(0.50);
+    state.counters["p99_ns"] = pct(0.99);
+  }
+  state.SetItemsProcessed(state.iterations());
+  TearDown(state);
+}
+BENCHMARK(BM_ServerPingLatency)->UseRealTime();
+
+}  // namespace
+}  // namespace tyder::bench

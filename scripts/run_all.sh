@@ -16,6 +16,7 @@
 #        scripts/run_all.sh fuzz [seconds] [build-dir]
 #        scripts/run_all.sh obs [build-dir] [off-build-dir]
 #        scripts/run_all.sh epoch [seconds] [build-dir]
+#        scripts/run_all.sh serve [seconds] [build-dir]
 #
 # The `bench` mode runs every bench binary, collects the one-line JSON each
 # emits on its BENCHJSON channel (see bench/repro_util.h), validates it, and
@@ -61,6 +62,16 @@
 # bench_obs between the OFF and ON builds — the always-on instrumentation
 # must cost less than 5%.
 #
+# The `serve` mode is the serving-layer robustness gate
+# (docs/ROBUSTNESS.md "Serving and overload"): it runs the net unit and
+# fault-matrix suites, boots a real tyderd with --admin on an ephemeral
+# port, drives a time-boxed chaos campaign (default 30 s) against it with
+# the full net.* fault family plus storage.env.sync faults, and requires
+# the acked/nacked ledger and the differential oracle to verify clean over
+# the wire; after the campaign the daemon must still answer health and shut
+# down cleanly on SIGTERM, and the database directory must reopen healthy.
+# A second leg re-runs the net concurrency suites under ThreadSanitizer.
+#
 # The `epoch` mode is the MVCC + group-commit concurrency gate
 # (docs/PERFORMANCE.md "Schema epochs and group commit"): it builds with
 # ThreadSanitizer and runs the epoch reclamation suite, the epoch-churn
@@ -98,6 +109,9 @@ elif [ "${1:-}" = "obs" ]; then
 elif [ "${1:-}" = "epoch" ]; then
   MODE=epoch
   shift
+elif [ "${1:-}" = "serve" ]; then
+  MODE=serve
+  shift
 fi
 
 if [ "$MODE" = "asan" ]; then
@@ -116,8 +130,77 @@ if [ "$MODE" = "tsan" ]; then
   cmake --build "$BUILD"
   echo "=== tests (TSan) ==="
   ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress|ObsStress|EpochCatalog'
+    -R 'DeriveBatch|DispatchTable|DispatchCache|SubtypeCache|OracleStress|ObsStress|EpochCatalog|ServerTest|NetFaultMatrix|ChaosTest'
   echo "TSAN GREEN"
+  exit 0
+fi
+
+if [ "$MODE" = "serve" ]; then
+  SECONDS_BUDGET="${1:-30}"
+  BUILD="${2:-build}"
+  TSAN_BUILD="${3:-build-tsan}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD"
+  echo "=== net unit + fault-matrix suites ==="
+  ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'FrameTest|ProtocolTest|ServerTest|NetFaultMatrix|ChaosTest'
+  echo "=== out-of-process chaos campaign ($((SECONDS_BUDGET))s) ==="
+  DB="$(mktemp -d)/db"
+  DAEMON_LOG="$(mktemp)"
+  "$BUILD/tools/tyderd" --db "$DB" examples/payroll.tdl --admin \
+    > "$DAEMON_LOG" 2>&1 &
+  DAEMON_PID=$!
+  # tyderd prints "LISTENING <port>" once the accept loop is up; an
+  # ephemeral port means parallel CI runs never collide.
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(grep -aoE '^LISTENING [0-9]+' "$DAEMON_LOG" | awk '{print $2}' || true)"
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "ERROR: tyderd died before listening" >&2
+      cat "$DAEMON_LOG" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "ERROR: tyderd never reported LISTENING" >&2
+    kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+  fi
+  set +e
+  "$BUILD/tests/tyder_chaos" --port "$PORT" --duration-ms \
+    $((SECONDS_BUDGET * 1000)) --net-faults --storage-faults
+  rc=$?
+  set -e
+  if [ "$rc" -ne 0 ]; then
+    echo "ERROR: chaos campaign exited $rc" >&2
+    kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # Graceful shutdown: SIGTERM must take the daemon down cleanly (exit 0)
+  # within its poll tick, not leave it to be KILLed.
+  kill -TERM "$DAEMON_PID"
+  DAEMON_RC=0
+  wait "$DAEMON_PID" || DAEMON_RC=$?
+  if [ "$DAEMON_RC" -ne 0 ]; then
+    echo "ERROR: tyderd exited $DAEMON_RC on SIGTERM, want 0" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+  fi
+  # Everything the campaign acked must have survived the restart boundary:
+  # the directory reopens healthy (recovery replays the WAL tail).
+  "$BUILD/tools/tyderc" --db "$DB" --health | grep -q "state: healthy" || {
+    echo "ERROR: db did not reopen healthy after the campaign" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$DB")" "$DAEMON_LOG"
+  echo "=== net concurrency suites (TSan) ==="
+  cmake -B "$TSAN_BUILD" -G Ninja -DTYDER_SANITIZE=thread
+  cmake --build "$TSAN_BUILD"
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+    -R 'ServerTest|NetFaultMatrix|ChaosTest'
+  echo "SERVE GREEN"
   exit 0
 fi
 

@@ -32,6 +32,11 @@ const char* const kFaultPointNames[] = {
     "factor_state.mid",          // mid-recursion, surrogates partially created
     "is_applicable.before",      // ComputeApplicableMethods entry
     "is_applicable.mid",         // inside the per-method applicability check
+    "net.accept",                // accepted socket dies before service
+    "net.conn.drop_mid_request", // connection killed post-read, pre-execute
+    "net.read.eintr",            // one synthetic EINTR on the read path
+    "net.read.short",            // peer closes mid-frame
+    "net.write.response",        // response write fails AFTER the commit
     "revert.before",             // RevertDerivation after preconditions
     "revert.mid",                // signatures restored, attributes not yet
     "storage.compact.after_rename",   // snapshot live, WAL not yet truncated

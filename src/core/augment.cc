@@ -18,10 +18,19 @@ Result<std::set<TypeId>> ComputeAugmentSet(
   // made no surrogate for it. The derived type must still inherit the method
   // through S̃ — add such formals so Augment creates state-less surrogates
   // for them (the paper's example has no such formal; the general case does).
+  TypeId view = surrogates.Of(source);
   for (MethodId m : applicable_methods) {
     for (TypeId formal : schema.method(m).sig.params) {
       if (schema.types().IsSubtype(source, formal) &&
           !surrogates.Has(formal)) {
+        // When FactorState reused an earlier factoring, the derived type
+        // already sits below such formals (they are surrogates from the
+        // prior derivation) — the method reaches it without a fresh
+        // state-less surrogate, and surrogating them again would strand
+        // their attributes below the retyped signatures.
+        if (view != kInvalidType && schema.types().IsSubtype(view, formal)) {
+          continue;
+        }
         y.insert(formal);
       }
     }

@@ -42,6 +42,31 @@ class Factorizer {
                              : schema_.types().TypeName(h)) +
           ", " + std::to_string(rank) + ")");
 
+    // Idempotent re-factoring: an earlier projection of the same attribute
+    // set left a surrogate directly above t whose cumulative state is exactly
+    // `attrs`. Hang this derivation off that structure instead of factoring a
+    // fresh copy — re-surrogating the already-factored region doubles the
+    // type graph on every repetition of the same projection.
+    if (surrogates_->Of(t) == kInvalidType) {
+      TypeId reusable = ExactSurrogateAbove(t, attrs);
+      if (reusable != kInvalidType) {
+        if (h == kInvalidType) {
+          // The top level still owes the caller a named view type.
+          TYDER_ASSIGN_OR_RETURN(TypeId view, CreateSurrogate(t));
+          InsertSupertypeRanked(schema_, surrogates_, view, reusable, 0);
+          Trace("reuse " + schema_.types().TypeName(reusable) +
+                " [already factors " + AttrSetToString(schema_, attrs) + "]");
+          return view;
+        }
+        if (!schema_.types().type(h).HasDirectSupertype(reusable)) {
+          InsertSupertypeRanked(schema_, surrogates_, h, reusable, rank);
+        }
+        Trace("reuse " + schema_.types().TypeName(reusable) +
+              " [already factors " + AttrSetToString(schema_, attrs) + "]");
+        return reusable;
+      }
+    }
+
     bool created = false;
     TypeId surrogate = surrogates_->Of(t);
     if (surrogate == kInvalidType) {
@@ -90,6 +115,23 @@ class Factorizer {
 
  private:
   void Trace(std::string line) { obs::Narrate(trace_, std::move(line)); }
+
+  // A direct supertype of t (from an earlier factoring) whose cumulative
+  // attributes are exactly `attrs`, or kInvalidType. Only surrogate-kind
+  // types qualify so first-time factorings over author-declared hierarchies
+  // are never rerouted.
+  TypeId ExactSurrogateAbove(TypeId t, const std::set<AttrId>& attrs) const {
+    for (TypeId s : schema_.types().type(t).supertypes()) {
+      if (schema_.types().type(s).kind() != TypeKind::kSurrogate) continue;
+      if (schema_.types().type(s).detached()) continue;
+      std::vector<AttrId> cumulative = schema_.types().CumulativeAttributes(s);
+      if (cumulative.size() != attrs.size()) continue;
+      if (std::set<AttrId>(cumulative.begin(), cumulative.end()) == attrs) {
+        return s;
+      }
+    }
+    return kInvalidType;
+  }
 
   Result<TypeId> CreateSurrogate(TypeId t) {
     std::string name;

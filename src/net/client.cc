@@ -1,0 +1,61 @@
+#include "net/client.h"
+
+namespace tyder::net {
+
+namespace {
+// Extra response-side budget past the server-side deadline: enough for the
+// answer (possibly DEADLINE_EXCEEDED, decided at the server) to cross the
+// loopback, small enough that a wedged server still fails the call fast.
+constexpr uint64_t kResponseGraceMs = 2'000;
+}  // namespace
+
+Result<Client> Client::Connect(uint16_t port, uint64_t connect_timeout_ms) {
+  TYDER_ASSIGN_OR_RETURN(
+      Fd fd, ConnectLoopback(port, Deadline::AfterMs(connect_timeout_ms)));
+  return Client(std::move(fd));
+}
+
+Result<Response> Client::Call(const Request& request,
+                              uint64_t fallback_timeout_ms) {
+  sent_without_answer_ = false;
+  if (!fd_.valid())
+    return Status::FailedPrecondition("client is not connected");
+  uint64_t budget_ms = request.deadline_ms == 0
+                           ? fallback_timeout_ms
+                           : request.deadline_ms + kResponseGraceMs;
+  Deadline deadline = Deadline::AfterMs(budget_ms);
+
+  Status sent = WriteFrame(fd_.get(), EncodeRequest(request), deadline);
+  if (!sent.ok()) {
+    // The request may have partially left the socket buffer; from here on
+    // every failure is indeterminate.
+    sent_without_answer_ = true;
+    fd_.Close();
+    return sent;
+  }
+  sent_without_answer_ = true;
+  Result<std::string> frame = ReadFrame(fd_.get(), deadline);
+  if (!frame.ok()) {
+    fd_.Close();
+    return frame.status();
+  }
+  Result<Response> response = ParseResponse(*frame);
+  if (!response.ok()) {
+    fd_.Close();
+    return response.status();
+  }
+  sent_without_answer_ = false;
+  return response;
+}
+
+Result<Response> Client::Call(std::string command,
+                              std::vector<std::string> args,
+                              uint64_t deadline_ms) {
+  Request request;
+  request.command = std::move(command);
+  request.deadline_ms = deadline_ms;
+  request.args = std::move(args);
+  return Call(request);
+}
+
+}  // namespace tyder::net

@@ -1,0 +1,64 @@
+// Blocking tyder1 client: one connection, one outstanding request.
+//
+// Call() frames the request, ships it, and waits for exactly one response
+// frame; the request's deadline_ms (plus a small grace window for the
+// response to cross the wire) bounds the whole round trip. Transport
+// failures are surfaced as statuses distinct from protocol-level outcomes:
+// a Response is returned whenever the server ANSWERED — even if the answer
+// is ERR / RETRY_AFTER / DEADLINE_EXCEEDED / DEGRADED — and a non-OK
+// Result means the connection itself failed, in which case the caller
+// cannot know whether the request executed (see SentWithoutAnswer). The
+// chaos harness builds its acked/nacked/indeterminate ledger on exactly
+// this distinction.
+
+#ifndef TYDER_NET_CLIENT_H_
+#define TYDER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace tyder::net {
+
+class Client {
+ public:
+  // Connects to tyderd on 127.0.0.1:`port`.
+  static Result<Client> Connect(uint16_t port,
+                                uint64_t connect_timeout_ms = 5'000);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // Sends `request` and waits for its response. An unbounded request
+  // (deadline_ms == 0) waits up to `fallback_timeout_ms` for the answer so
+  // a dead server can never hang the caller.
+  Result<Response> Call(const Request& request,
+                        uint64_t fallback_timeout_ms = 30'000);
+
+  // Convenience: Call with command + args and no deadline.
+  Result<Response> Call(std::string command,
+                        std::vector<std::string> args = {},
+                        uint64_t deadline_ms = 0);
+
+  // True iff the last Call wrote its request but got no response frame —
+  // the indeterminate window (the server may or may not have applied it).
+  bool SentWithoutAnswer() const { return sent_without_answer_; }
+
+  void Close() { fd_.Close(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  bool sent_without_answer_ = false;
+};
+
+}  // namespace tyder::net
+
+#endif  // TYDER_NET_CLIENT_H_

@@ -1,0 +1,141 @@
+#include "net/frame.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "obs/obs.h"
+#include "storage/crc32c.h"
+
+namespace tyder::net {
+
+namespace {
+
+constexpr const char* kCleanClose = "net: connection closed";
+
+void PutLe32(uint32_t v, char* out) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t GetLe32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+// Reads exactly `n` bytes. `any_read` reports whether at least one byte
+// arrived (EOF at offset 0 is a clean close; EOF later is a torn frame).
+Status ReadFull(int fd, char* buf, size_t n, Deadline deadline,
+                bool* any_read) {
+  size_t got = 0;
+  bool eintr_injected = false;
+  while (got < n) {
+    TYDER_RETURN_IF_ERROR(WaitReadable(fd, deadline));
+    if (!eintr_injected && TYDER_FAULT_CONSUME("net.read.eintr")) {
+      // One synthetic signal interruption: fall through the loop exactly the
+      // way a real EINTR from read(2) would.
+      eintr_injected = true;
+      TYDER_COUNT("net.eintr_retries");
+      continue;
+    }
+    ssize_t rc = ::read(fd, buf + got, n - got);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      if (any_read != nullptr) *any_read = true;
+      if (TYDER_FAULT_CONSUME("net.read.short")) {
+        // The peer dies mid-frame: everything past this byte is lost.
+        return Status::Internal(
+            "net: peer closed mid-frame (injected short read)");
+      }
+      continue;
+    }
+    if (rc == 0) {
+      if (got == 0 && (any_read == nullptr || !*any_read))
+        return Status::NotFound(kCleanClose);
+      return Status::Internal("net: peer closed mid-frame (" +
+                              std::to_string(got) + "/" + std::to_string(n) +
+                              " bytes)");
+    }
+    if (errno == EINTR) {
+      TYDER_COUNT("net.eintr_retries");
+      continue;
+    }
+    return Status::Internal(std::string("net: read failed: ") +
+                            strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const char* buf, size_t n, Deadline deadline) {
+  size_t sent = 0;
+  while (sent < n) {
+    TYDER_RETURN_IF_ERROR(WaitWritable(fd, deadline));
+    // MSG_DONTWAIT, not a blocking write: a blocking write of more bytes
+    // than the socket buffer holds parks until the peer drains it — past
+    // any deadline. Partial sends loop back through the poll. MSG_NOSIGNAL
+    // turns a peer-closed pipe into EPIPE instead of a process-wide SIGPIPE.
+    ssize_t rc = ::send(fd, buf + sent, n - sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EINTR || errno == EAGAIN ||
+                   errno == EWOULDBLOCK))
+      continue;
+    return Status::Internal(std::string("net: write failed: ") +
+                            (rc < 0 ? strerror(errno) : "zero write"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload, Deadline deadline) {
+  char header[8];
+  PutLe32(static_cast<uint32_t>(payload.size()), header);
+  PutLe32(storage::Crc32c(payload), header + 4);
+  // One buffer, one write path: a frame is never visible half-built unless
+  // the transport itself tears it (which the peer's CRC then catches).
+  std::string wire;
+  wire.reserve(sizeof(header) + payload.size());
+  wire.append(header, sizeof(header));
+  wire.append(payload);
+  return WriteFull(fd, wire.data(), wire.size(), deadline);
+}
+
+Result<std::string> ReadFrame(int fd, Deadline deadline, size_t max_frame) {
+  char header[8];
+  bool any_read = false;
+  TYDER_RETURN_IF_ERROR(
+      ReadFull(fd, header, sizeof(header), deadline, &any_read));
+  uint32_t len = GetLe32(header);
+  uint32_t crc = GetLe32(header + 4);
+  if (len > max_frame) {
+    TYDER_COUNT("net.frame_errors");
+    return Status::InvalidArgument("net: frame of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_frame) + "-byte limit");
+  }
+  std::string payload(len, '\0');
+  if (len > 0)
+    TYDER_RETURN_IF_ERROR(
+        ReadFull(fd, payload.data(), len, deadline, &any_read));
+  if (storage::Crc32c(payload) != crc) {
+    TYDER_COUNT("net.frame_errors");
+    return Status::Internal("net: frame checksum mismatch (" +
+                            std::to_string(len) + " bytes)");
+  }
+  return payload;
+}
+
+bool IsCleanClose(const Status& s) {
+  return s.code() == StatusCode::kNotFound && s.message() == kCleanClose;
+}
+
+}  // namespace tyder::net

@@ -1,0 +1,59 @@
+// Length-prefixed, checksummed request/response framing for tyderd.
+//
+// Wire layout (integers little-endian, matching the WAL record header):
+//
+//   offset  size  field
+//   0       4     payload length n  (must be <= the reader's max_frame)
+//   4       4     CRC32C over the payload (storage/crc32c.h)
+//   8       n     payload
+//
+// The checksum turns "the kernel gave us bytes" into "the peer sent these
+// bytes": a truncated write, a desynchronized stream, or corruption on the
+// way through a proxy all surface as a hard frame error rather than a
+// half-parsed request mutating the catalog. Frame errors are CONNECTION
+// FATAL — after one, the stream offset can no longer be trusted, so both
+// sides close rather than resynchronize by guesswork.
+//
+// Reads and writes are loops over poll+read/write with an absolute Deadline
+// (net/socket.h): a peer that stops mid-frame costs one timeout, not a
+// parked thread. EINTR is always retried.
+//
+// Fault points (registered in common/failpoint.cc):
+//   net.read.short   the peer dies mid-frame: ReadFrame returns the same
+//                    error a real truncated stream produces
+//   net.read.eintr   one synthetic EINTR on the read path, proving the
+//                    retry loop (and not errno luck) absorbs signals
+
+#ifndef TYDER_NET_FRAME_H_
+#define TYDER_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace tyder::net {
+
+// Frames larger than this are refused on both sides (a schema request is
+// text; megabytes of it is a protocol error or an attack, not a workload).
+constexpr size_t kDefaultMaxFrame = 1 << 20;
+
+// Writes one frame. On any failure the stream must be considered
+// desynchronized and the connection closed.
+Status WriteFrame(int fd, std::string_view payload, Deadline deadline);
+
+// Reads one frame; empty-payload frames are legal. An EOF before the first
+// header byte is reported as kNotFound ("clean close") so servers can tell
+// an orderly disconnect from a mid-frame death (kInternal).
+Result<std::string> ReadFrame(int fd, Deadline deadline,
+                              size_t max_frame = kDefaultMaxFrame);
+
+// True iff `s` is ReadFrame's clean-close signal.
+bool IsCleanClose(const Status& s);
+
+}  // namespace tyder::net
+
+#endif  // TYDER_NET_FRAME_H_

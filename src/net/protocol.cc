@@ -1,0 +1,183 @@
+#include "net/protocol.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace tyder::net {
+
+namespace {
+
+// Splits on '\n'; a trailing newline does not produce a final empty line.
+std::vector<std::string> SplitLines(std::string_view payload) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= payload.size()) {
+    size_t nl = payload.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < payload.size())
+        lines.emplace_back(payload.substr(start));
+      break;
+    }
+    lines.emplace_back(payload.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  std::string out(kProtocolMagic);
+  out += ' ';
+  out += request.command;
+  out += ' ';
+  out += std::to_string(request.deadline_ms);
+  for (const std::string& arg : request.args) {
+    out += '\n';
+    out += arg;
+  }
+  return out;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty())
+    return Status::InvalidArgument("empty request frame");
+  const std::string& head = lines[0];
+  size_t sp1 = head.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? sp1 : head.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos)
+    return Status::InvalidArgument(
+        "malformed request line (want 'tyder1 <command> <deadline_ms>')");
+  if (std::string_view(head).substr(0, sp1) != kProtocolMagic)
+    return Status::InvalidArgument(
+        "unknown protocol magic '" + head.substr(0, sp1) + "'");
+  Request request;
+  request.command = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (request.command.empty())
+    return Status::InvalidArgument("empty command");
+  if (!ParseU64(std::string_view(head).substr(sp2 + 1),
+                &request.deadline_ms))
+    return Status::InvalidArgument("malformed deadline '" +
+                                   head.substr(sp2 + 1) + "'");
+  request.args.assign(lines.begin() + 1, lines.end());
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  switch (response.kind) {
+    case ResponseKind::kOk:
+      out = "OK";
+      break;
+    case ResponseKind::kErr:
+      out = "ERR ";
+      out += StatusCodeName(response.code);
+      break;
+    case ResponseKind::kRetryAfter:
+      out = "RETRY_AFTER " + std::to_string(response.retry_after_ms);
+      break;
+    case ResponseKind::kDeadlineExceeded:
+      out = "DEADLINE_EXCEEDED";
+      break;
+    case ResponseKind::kDegraded:
+      out = "DEGRADED";
+      break;
+  }
+  for (const std::string& line : response.body) {
+    out += '\n';
+    out += line;
+  }
+  return out;
+}
+
+Result<Response> ParseResponse(std::string_view payload) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty())
+    return Status::InvalidArgument("empty response frame");
+  const std::string& head = lines[0];
+  Response response;
+  if (head == "OK") {
+    response.kind = ResponseKind::kOk;
+  } else if (head.rfind("ERR ", 0) == 0) {
+    response.kind = ResponseKind::kErr;
+    response.code = StatusCodeFromName(std::string_view(head).substr(4));
+  } else if (head.rfind("RETRY_AFTER ", 0) == 0) {
+    response.kind = ResponseKind::kRetryAfter;
+    if (!ParseU64(std::string_view(head).substr(12),
+                  &response.retry_after_ms))
+      return Status::InvalidArgument("malformed RETRY_AFTER line '" + head +
+                                     "'");
+  } else if (head == "DEADLINE_EXCEEDED") {
+    response.kind = ResponseKind::kDeadlineExceeded;
+  } else if (head == "DEGRADED") {
+    response.kind = ResponseKind::kDegraded;
+  } else {
+    return Status::InvalidArgument("unknown response status line '" + head +
+                                   "'");
+  }
+  response.body.assign(lines.begin() + 1, lines.end());
+  return response;
+}
+
+Response OkResponse(std::vector<std::string> body) {
+  Response r;
+  r.kind = ResponseKind::kOk;
+  r.body = std::move(body);
+  return r;
+}
+
+Response ErrResponse(const Status& status) {
+  Response r;
+  r.kind = ResponseKind::kErr;
+  r.code = status.code();
+  r.body.push_back(status.message());
+  return r;
+}
+
+Response RetryAfterResponse(uint64_t ms) {
+  Response r;
+  r.kind = ResponseKind::kRetryAfter;
+  r.retry_after_ms = ms;
+  return r;
+}
+
+Response DeadlineExceededResponse() {
+  Response r;
+  r.kind = ResponseKind::kDeadlineExceeded;
+  return r;
+}
+
+Response DegradedResponse(std::string cause) {
+  Response r;
+  r.kind = ResponseKind::kDegraded;
+  r.body.push_back(std::move(cause));
+  return r;
+}
+
+StatusCode StatusCodeFromName(std::string_view name) {
+  static constexpr std::array<StatusCode, 8> kCodes = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kTypeError,
+      StatusCode::kParseError,   StatusCode::kInternal,
+  };
+  for (StatusCode code : kCodes) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace tyder::net

@@ -258,6 +258,7 @@ void DurableCatalog::EnterDegraded(const std::string& reason) {
       "database '" + dir_ + "' is in read-only degraded mode: " + reason +
       "; reads keep serving the last consistent state, mutations are "
       "refused until Reopen() re-validates the on-disk state");
+  state_->degraded_flag.store(true, std::memory_order_release);
   TYDER_COUNT("storage.degraded_entries");
   TYDER_RECORD_V(kMark, "storage.degraded",
                  static_cast<int64_t>(last_lsn()));
@@ -266,6 +267,16 @@ void DurableCatalog::EnterDegraded(const std::string& reason) {
 
 Status DurableCatalog::Reopen() {
   TYDER_SPAN("DurableCatalog.Reopen");
+  std::lock_guard<std::mutex> lock(state_->writer_mu);
+  // Drain the commit pipeline first: every record already queued in the
+  // GroupWal reaches its batch — a durable ack or a definitive nack — before
+  // recovery replaces the WAL handle, so no committer's fate is decided by a
+  // writer that no longer exists. New committers block on writer_mu until
+  // the reopen completes (and then see either the recovered healthy state or
+  // the original degraded refusal).
+  state_->group->Quiesce();
+  if (state_->group->ConsumeStallIfPending()) ResetTipToDurableLocked();
+
   Result<DurableCatalog> fresh = Open(dir_, env_, state_->group_options);
   if (!fresh.ok()) {
     return Status::FailedPrecondition(
@@ -273,9 +284,33 @@ Status DurableCatalog::Reopen() {
         std::string(degraded() ? "degraded" : "current") +
         " mode: " + fresh.status().message());
   }
-  TYDER_RECORD_V(kMark, "storage.reopen",
-                 static_cast<int64_t>(fresh->last_lsn()));
-  *this = std::move(*fresh);
+
+  // Adopt the recovered state IN PLACE. CommitState (the writer lock, the
+  // epoch layer, the group-commit queue) must stay address-stable: nacked
+  // committers may still be blocked on writer_mu behind us, readers may hold
+  // live Pins into the epoch layer, and a waiter may still be returning from
+  // the old queue's Wait(). Only the catalog, the WAL handle, and the lsn
+  // bookkeeping are replaced; `fresh`'s private CommitState dies unused.
+  uint64_t lsn = fresh->last_lsn();
+  *catalog_ = std::move(*fresh->catalog_);
+  wal_ = std::move(fresh->wal_);
+  state_->group->ResetWal(wal_.get());
+  recovery_ = fresh->recovery_;
+  {
+    std::lock_guard<std::mutex> plock(state_->publish_mu);
+    state_->pending_publish.clear();
+    // Re-publish the recovered catalog. Recovery lands pre- or post- the
+    // interrupted mutation: at a version past the published one this
+    // advances the epoch; at the same version replay is deterministic, so
+    // the published snapshot is already byte-identical and the stale
+    // publish is dropped.
+    state_->epochs.Publish(*catalog_, lsn);
+    state_->durable_lsn.store(lsn, std::memory_order_release);
+  }
+  state_->tip_lsn = lsn;
+  degraded_ = Status::OK();
+  state_->degraded_flag.store(false, std::memory_order_release);
+  TYDER_RECORD_V(kMark, "storage.reopen", static_cast<int64_t>(lsn));
   return Status::OK();
 }
 

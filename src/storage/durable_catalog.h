@@ -104,8 +104,9 @@ class DurableCatalog {
                                      Env* env = nullptr,
                                      GroupCommitOptions group = {});
 
-  // Moving (and Reopen, which move-assigns) requires external quiescence:
-  // no concurrent operation, and no live Pin from PinSnapshot().
+  // Moving requires external quiescence: no concurrent operation, and no
+  // live Pin from PinSnapshot(). (Reopen does NOT move — it adopts recovered
+  // state in place precisely so it stays safe under concurrency.)
   DurableCatalog(DurableCatalog&&) = default;
   DurableCatalog& operator=(DurableCatalog&&) = default;
 
@@ -134,13 +135,26 @@ class DurableCatalog {
   // True once a durability failure has forced read-only degraded mode.
   bool degraded() const { return !degraded_.ok(); }
   // The refusal every mutation gets while degraded; OK when healthy.
+  // Like catalog(), degraded()/degraded_status() belong to the writer side:
+  // they are written under the writer lock and safe to read only from a
+  // thread that serializes with mutations.
   const Status& degraded_status() const { return degraded_; }
+  // Thread-safe snapshot of the degraded flag for concurrent observers
+  // (tyderd's health endpoint polls this off arbitrary worker threads).
+  bool degraded_now() const {
+    return state_->degraded_flag.load(std::memory_order_acquire);
+  }
 
   // Leaves degraded mode by re-running full recovery from disk: the
   // in-memory catalog, WAL handle and lsn are replaced by what the on-disk
   // state validates to (pre- or post- the interrupted mutation). On failure
   // the database stays degraded and untouched. Safe (a no-op recovery) when
-  // healthy.
+  // healthy — and safe under concurrency: Reopen serializes on the writer
+  // lock, drains the group-commit queue so every already-queued committer
+  // gets its definitive ack/nack first, and adopts the recovered state into
+  // the address-stable CommitState (live reader Pins and committers blocked
+  // on the writer lock survive it). tyderd's admin `reopen` command calls
+  // this with traffic in flight.
   Status Reopen();
 
   // --- logged mutations (Catalog API + durability) --------------------------
@@ -192,6 +206,8 @@ class DurableCatalog {
     // committer may hold writer_mu applying the next op).
     std::mutex publish_mu;
     std::map<uint64_t, Catalog> pending_publish;
+    // Mirrors degraded_ for lock-free observers (degraded_now()).
+    std::atomic<bool> degraded_flag{false};
     EpochCatalog epochs;
     GroupCommitOptions group_options;  // preserved across Reopen
     std::unique_ptr<GroupWal> group;

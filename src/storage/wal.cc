@@ -358,4 +358,11 @@ void GroupWal::Quiesce() {
   cv_.wait(lock, [this] { return queue_.empty() && !leader_active_; });
 }
 
+void GroupWal::ResetWal(WalWriter* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Contract: the owner holds its writer lock (no new Enqueue) and has
+  // Quiesce()d — nothing can be mid-batch on the old writer.
+  wal_ = wal;
+}
+
 }  // namespace tyder::storage

@@ -216,6 +216,15 @@ class GroupWal {
   // observes true per failure.
   bool ConsumeStallIfPending();
 
+  // Points future batches at a fresh WalWriter (DurableCatalog::Reopen
+  // replaces a poisoned handle with the recovered one). Caller must hold its
+  // writer lock AND have Quiesce()d first: the queue must be empty and no
+  // leader in flight. The GroupWal object itself — its mutex, cv and any
+  // waiter still returning from Wait() — stays alive across the swap, which
+  // is exactly why Reopen adopts recovered state in place instead of
+  // destroying the commit pipeline under queued committers.
+  void ResetWal(WalWriter* wal);
+
   // Blocks until the queue is empty and no leader is in flight (all
   // on_batch_durable callbacks returned). With the owner's writer lock held
   // this quiesces the log for compaction/seeding. A pending stall is NOT

@@ -263,10 +263,14 @@ TEST(AllOrNothingTest, EveryRegisteredFaultPointRollsBackCleanly) {
   // contract is proved by tests/storage/crash_matrix_test.cc. The chaos.*
   // points are behavior perturbations, not failures — nothing returns
   // non-OK, so there is no rollback to prove; the differential fuzzer's
-  // known-bad test (tests/fuzz/known_bad_test.cc) is their coverage.
+  // known-bad test (tests/fuzz/known_bad_test.cc) is their coverage. The
+  // net.* points fire on the transport, above the schema transaction; their
+  // ack/nack/indeterminate contract is proved by
+  // tests/net/net_fault_matrix_test.cc and the chaos harness.
   for (const std::string& name : failpoint::AllFaultPointNames()) {
     if (name.rfind("storage.", 0) == 0) continue;
     if (name.rfind("chaos.", 0) == 0) continue;
+    if (name.rfind("net.", 0) == 0) continue;
     EXPECT_TRUE(covered.count(name) > 0)
         << "fault point '" << name
         << "' is registered but has no rollback coverage in this test";

@@ -1,0 +1,94 @@
+// Chaos client harness for tyderd (net/server.h).
+//
+// A campaign points N client threads at a running server (in-process for the
+// gtest suite, out-of-process for the standalone tyder_chaos driver) and has
+// them define and drop uniquely-named views while a saboteur thread arms
+// net.* and storage.env.* fault points over the admin channel. Every
+// operation's outcome is recorded in a three-state ledger:
+//
+//   acked          the server answered OK — the mutation MUST survive
+//   nacked         the server answered ERR / RETRY_AFTER / DEADLINE_EXCEEDED
+//                  / DEGRADED before execution — the mutation MUST NOT exist
+//   indeterminate  the connection died after the request was written but
+//                  before a response arrived (net.write.response,
+//                  net.conn.drop_mid_request, a mid-campaign disconnect), or
+//                  a mutation failed while a durability fault was armed (a
+//                  poisoned group-commit batch leaves its bytes in the WAL,
+//                  so recovery may legitimately replay it) — either outcome
+//                  is acceptable
+//
+// Verification then asserts, against the served catalog (VerifyOverWire) or
+// a freshly recovered one (VerifyAgainstCatalog), that the final view set is
+// exactly a serial application of the acked mutations, modulo the
+// indeterminate ones — the over-the-wire twin of the PR 5 differential
+// oracle, which it also invokes (`verify`) for schema-level consistency.
+
+#ifndef TYDER_TESTS_NET_CHAOS_H_
+#define TYDER_TESTS_NET_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace tyder::net {
+
+struct ChaosOptions {
+  uint16_t port = 0;
+  int clients = 4;
+  int ops_per_client = 500;     // hard cap; duration_ms usually stops first
+  uint64_t duration_ms = 5'000;
+  uint64_t deadline_ms = 2'000;  // per-request budget (0 = unbounded)
+  unsigned seed = 1;
+  // net.* points the saboteur arms round-robin (count 1 each) every tick.
+  std::vector<std::string> fault_points;
+  // Additionally cycle storage.env.sync faults: drive the store degraded,
+  // observe DEGRADED refusals, admin-reopen it, repeat.
+  bool storage_faults = false;
+  // What the workers project from (must exist in the served schema).
+  std::string source_type = "Person";
+  std::string attributes = "SSN";
+  // Name prefix, so concurrent campaigns in one process stay disjoint.
+  std::string name_prefix = "Chaos";
+};
+
+// Expected durable state of one chaos-created view name.
+enum class Expect : char {
+  kPresent,  // acked create (not later acked-dropped)
+  kAbsent,   // definitively nacked create, or acked drop
+  kUnknown,  // some step of its history was indeterminate
+};
+
+struct ChaosReport {
+  uint64_t attempted = 0;
+  uint64_t acked = 0;
+  uint64_t nacked = 0;
+  uint64_t indeterminate = 0;
+  uint64_t shed = 0;                // RETRY_AFTER answers observed
+  uint64_t deadline_exceeded = 0;   // DEADLINE_EXCEEDED answers observed
+  uint64_t degraded_refusals = 0;   // DEGRADED answers observed
+  uint64_t reconnects = 0;
+  uint64_t degrade_cycles = 0;      // degraded -> reopen round trips
+  std::map<std::string, Expect> ledger;
+};
+
+// Runs the campaign against an already-serving tyderd with --admin. On
+// return all armed fault points are disarmed and the store has been
+// reopened out of any degraded state (campaigns that cannot settle fail).
+Result<ChaosReport> RunChaosCampaign(const ChaosOptions& options);
+
+// Asserts the served catalog matches the ledger: health ok, the PR 5 oracle
+// (`verify`) is clean, every kPresent name is served, every kAbsent name is
+// not. kUnknown names may be either.
+Status VerifyOverWire(uint16_t port, const ChaosReport& report);
+
+// Same ledger check against a Catalog recovered locally after the server
+// shut down — proves acks were DURABLE, not just visible.
+Status VerifyAgainstCatalog(const Catalog& catalog, const ChaosReport& report);
+
+}  // namespace tyder::net
+
+#endif  // TYDER_TESTS_NET_CHAOS_H_

@@ -1,0 +1,123 @@
+// tyder_chaos: standalone chaos driver for an out-of-process tyderd.
+//
+//   tyder_chaos --port <n> [--clients <n>] [--duration-ms <n>] [--ops <n>]
+//               [--deadline-ms <n>] [--seed <n>] [--net-faults]
+//               [--storage-faults] [--prefix <Name>] [--source <Type>]
+//               [--attrs <a,b,c>]
+//
+// Runs a time-boxed campaign (tests/net/chaos.h) against a tyderd started
+// with --admin, then verifies the acked/nacked ledger and the differential
+// oracle over the wire. scripts/run_all.sh serve drives this.
+//
+// Exit codes: 0 campaign ran and the ledger verified; 1 campaign or
+// verification failure; 2 usage error.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/chaos.h"
+
+namespace tyder::net {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: tyder_chaos --port <n> [--clients <n>] "
+               "[--duration-ms <n>] [--ops <n>]\n"
+               "                   [--deadline-ms <n>] [--seed <n>] "
+               "[--net-faults] [--storage-faults]\n"
+               "                   [--prefix <Name>] [--source <Type>] "
+               "[--attrs <a,b,c>]\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  ChaosOptions options;
+  int port = 0;
+
+  auto int_flag = [&](int& i, int* out) {
+    if (i + 1 >= argc) return false;
+    *out = std::atoi(argv[++i]);
+    return *out >= 0;
+  };
+  auto string_flag = [&](int& i, std::string* out) {
+    if (i + 1 >= argc) return false;
+    *out = argv[++i];
+    return !out->empty();
+  };
+
+  int clients = options.clients, ops = options.ops_per_client;
+  int duration = static_cast<int>(options.duration_ms);
+  int deadline = static_cast<int>(options.deadline_ms);
+  int seed = static_cast<int>(options.seed);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port") {
+      if (!int_flag(i, &port) || port < 1 || port > 65535) return Usage();
+    } else if (arg == "--clients") {
+      if (!int_flag(i, &clients) || clients < 1) return Usage();
+    } else if (arg == "--duration-ms") {
+      if (!int_flag(i, &duration) || duration < 1) return Usage();
+    } else if (arg == "--ops") {
+      if (!int_flag(i, &ops) || ops < 1) return Usage();
+    } else if (arg == "--deadline-ms") {
+      if (!int_flag(i, &deadline)) return Usage();
+    } else if (arg == "--seed") {
+      if (!int_flag(i, &seed)) return Usage();
+    } else if (arg == "--net-faults") {
+      options.fault_points = {"net.accept", "net.conn.drop_mid_request",
+                              "net.read.eintr", "net.read.short",
+                              "net.write.response"};
+    } else if (arg == "--storage-faults") {
+      options.storage_faults = true;
+    } else if (arg == "--prefix") {
+      if (!string_flag(i, &options.name_prefix)) return Usage();
+    } else if (arg == "--source") {
+      if (!string_flag(i, &options.source_type)) return Usage();
+    } else if (arg == "--attrs") {
+      if (!string_flag(i, &options.attributes)) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  if (port == 0) return Usage();
+  options.port = static_cast<uint16_t>(port);
+  options.clients = clients;
+  options.ops_per_client = ops;
+  options.duration_ms = static_cast<uint64_t>(duration);
+  options.deadline_ms = static_cast<uint64_t>(deadline);
+  options.seed = static_cast<unsigned>(seed);
+
+  std::cerr << "tyder_chaos: " << options.clients << " clients x "
+            << options.duration_ms << "ms against 127.0.0.1:" << port
+            << (options.fault_points.empty() ? "" : ", net faults")
+            << (options.storage_faults ? ", storage faults" : "") << "\n";
+
+  Result<ChaosReport> report = RunChaosCampaign(options);
+  if (!report.ok()) {
+    std::cerr << "tyder_chaos: campaign failed: " << report.status() << "\n";
+    return 1;
+  }
+  std::cerr << "tyder_chaos: attempted " << report->attempted << " (acked "
+            << report->acked << ", nacked " << report->nacked
+            << ", indeterminate " << report->indeterminate << "), shed "
+            << report->shed << ", deadline_exceeded "
+            << report->deadline_exceeded << ", degraded_refusals "
+            << report->degraded_refusals << ", reconnects "
+            << report->reconnects << ", degrade_cycles "
+            << report->degrade_cycles << ", ledger "
+            << report->ledger.size() << " names\n";
+
+  Status verified = VerifyOverWire(options.port, *report);
+  if (!verified.ok()) {
+    std::cerr << "tyder_chaos: VERIFICATION FAILED: " << verified << "\n";
+    return 1;
+  }
+  std::cerr << "tyder_chaos: ledger and oracle verified clean\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tyder::net
+
+int main(int argc, char** argv) { return tyder::net::Run(argc, argv); }

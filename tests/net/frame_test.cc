@@ -1,0 +1,133 @@
+// Framing-layer contract (net/frame.h): length + CRC32C framing over a
+// byte stream, deadline-bounded blocking I/O, and the injected transport
+// faults (short read, EINTR).
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "net/socket.h"
+#include "storage/crc32c.h"
+
+namespace tyder::net {
+namespace {
+
+class FrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = Fd(fds[0]);
+    b_ = Fd(fds[1]);
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  Fd a_, b_;
+};
+
+TEST_F(FrameTest, RoundTripsPayloads) {
+  for (const std::string& payload :
+       {std::string("tyder1 ping 0"), std::string(""),
+        std::string(4096, 'x'), std::string("line1\nline2\n\nline4")}) {
+    ASSERT_TRUE(WriteFrame(a_.get(), payload, Deadline::Infinite()).ok());
+    auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, payload);
+  }
+}
+
+TEST_F(FrameTest, BackToBackFramesStaySeparated) {
+  ASSERT_TRUE(WriteFrame(a_.get(), "first", Deadline::Infinite()).ok());
+  ASSERT_TRUE(WriteFrame(a_.get(), "second", Deadline::Infinite()).ok());
+  auto one = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  auto two = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_EQ(*one, "first");
+  EXPECT_EQ(*two, "second");
+}
+
+TEST_F(FrameTest, DetectsCorruptedPayload) {
+  // Hand-build a frame whose CRC covers different bytes than it carries.
+  std::string payload = "tyder1 ping 0";
+  char header[8];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = storage::Crc32c(payload);
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    header[4 + i] = static_cast<char>(crc >> (8 * i));
+  payload[3] ^= 0x40;  // flip a bit after the CRC was computed
+  ASSERT_EQ(write(a_.get(), header, 8), 8);
+  ASSERT_EQ(write(a_.get(), payload.data(),
+                  static_cast<ssize_t>(payload.size())),
+            static_cast<ssize_t>(payload.size()));
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(FrameTest, CleanCloseBeforeAnyByteIsNotFound) {
+  a_.Close();
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsCleanClose(got.status()));
+}
+
+TEST_F(FrameTest, EofMidFrameIsATornFrameNotACleanClose) {
+  char partial[3] = {'x', 'y', 'z'};  // 3 of the 8 header bytes
+  ASSERT_EQ(write(a_.get(), partial, 3), 3);
+  a_.Close();
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_FALSE(got.ok());
+  EXPECT_FALSE(IsCleanClose(got.status()));
+  EXPECT_NE(got.status().message().find("mid-frame"), std::string::npos);
+}
+
+TEST_F(FrameTest, RefusesOversizedFrames) {
+  std::string big(128, 'x');
+  ASSERT_TRUE(WriteFrame(a_.get(), big, Deadline::Infinite()).ok());
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000), /*max_frame=*/64);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FrameTest, ReadDeadlineExpiresInsteadOfBlocking) {
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(50));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsTimeout(got.status()));
+}
+
+TEST_F(FrameTest, InjectedShortReadFailsTheFrame) {
+  ASSERT_TRUE(WriteFrame(a_.get(), "doomed", Deadline::Infinite()).ok());
+  failpoint::Activate("net.read.short", 1);
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("mid-frame"), std::string::npos);
+}
+
+TEST_F(FrameTest, InjectedEintrIsRetriedTransparently) {
+  ASSERT_TRUE(WriteFrame(a_.get(), "survives", Deadline::Infinite()).ok());
+  failpoint::Activate("net.read.eintr", 1);
+  auto got = ReadFrame(b_.get(), Deadline::AfterMs(1000));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, "survives");
+}
+
+TEST_F(FrameTest, WriteObservesDeadlineOnFullSocket) {
+  // Shrink the send buffer and never read from the peer; a large-enough
+  // write must hit the deadline rather than block forever.
+  int small = 4096;
+  setsockopt(a_.get(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  std::string flood(1 << 22, 'x');
+  Status status = WriteFrame(a_.get(), flood, Deadline::AfterMs(100));
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(IsTimeout(status));
+}
+
+}  // namespace
+}  // namespace tyder::net

@@ -1,0 +1,120 @@
+// tyder1 protocol codec contract (net/protocol.h): request/response
+// round-trips and hard rejection of malformed payloads.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tyder::net {
+namespace {
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Request request;
+  request.command = "project";
+  request.deadline_ms = 250;
+  request.args = {"EmployeeView", "Employee", "SSN,pay_rate"};
+  auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->command, "project");
+  EXPECT_EQ(parsed->deadline_ms, 250u);
+  EXPECT_EQ(parsed->args, request.args);
+}
+
+TEST(ProtocolTest, RequestWithNoArgsAndNoDeadline) {
+  Request request;
+  request.command = "ping";
+  auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->command, "ping");
+  EXPECT_EQ(parsed->deadline_ms, 0u);
+  EXPECT_TRUE(parsed->args.empty());
+}
+
+TEST(ProtocolTest, ArgumentsMayContainSpaces) {
+  Request request;
+  request.command = "query";
+  request.args = {"dispatch", "income", "Employee, Person"};
+  auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->args[2], "Employee, Person");
+}
+
+TEST(ProtocolTest, RejectsWrongMagic) {
+  EXPECT_FALSE(ParseRequest("tyder9 ping 0").ok());
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.1").ok());
+  EXPECT_FALSE(ParseRequest("").ok());
+}
+
+TEST(ProtocolTest, RejectsMalformedHeadLine) {
+  EXPECT_FALSE(ParseRequest("tyder1").ok());            // no command
+  EXPECT_FALSE(ParseRequest("tyder1 ping").ok());       // no deadline
+  EXPECT_FALSE(ParseRequest("tyder1 ping abc").ok());   // non-numeric
+  EXPECT_FALSE(ParseRequest("tyder1 ping -5").ok());    // negative
+}
+
+TEST(ProtocolTest, OkResponseRoundTrips) {
+  Response response = OkResponse({"EmployeeView", "PayView"});
+  auto parsed = ParseResponse(EncodeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ResponseKind::kOk);
+  EXPECT_TRUE(parsed->ok());
+  ASSERT_EQ(parsed->body.size(), 2u);
+  EXPECT_EQ(parsed->body[0], "EmployeeView");
+  EXPECT_EQ(parsed->body[1], "PayView");
+}
+
+TEST(ProtocolTest, ErrResponseCarriesCodeAndMessage) {
+  Response response =
+      ErrResponse(Status::NotFound("no view named 'Ghost'"));
+  auto parsed = ParseResponse(EncodeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ResponseKind::kErr);
+  EXPECT_EQ(parsed->code, StatusCode::kNotFound);
+  EXPECT_EQ(parsed->message(), "no view named 'Ghost'");
+}
+
+TEST(ProtocolTest, RetryAfterRoundTrips) {
+  auto parsed = ParseResponse(EncodeResponse(RetryAfterResponse(75)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ResponseKind::kRetryAfter);
+  EXPECT_EQ(parsed->retry_after_ms, 75u);
+}
+
+TEST(ProtocolTest, DeadlineExceededRoundTrips) {
+  auto parsed = ParseResponse(EncodeResponse(DeadlineExceededResponse()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ResponseKind::kDeadlineExceeded);
+}
+
+TEST(ProtocolTest, DegradedResponseNamesTheCause) {
+  auto parsed = ParseResponse(
+      EncodeResponse(DegradedResponse("wal fsync failed: EIO")));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ResponseKind::kDegraded);
+  EXPECT_EQ(parsed->message(), "wal fsync failed: EIO");
+}
+
+TEST(ProtocolTest, RejectsMalformedResponses) {
+  EXPECT_FALSE(ParseResponse("").ok());
+  EXPECT_FALSE(ParseResponse("MAYBE").ok());
+  EXPECT_FALSE(ParseResponse("ERR").ok());          // missing code name
+  EXPECT_FALSE(ParseResponse("RETRY_AFTER").ok());  // missing hint
+  EXPECT_FALSE(ParseResponse("RETRY_AFTER soon").ok());
+}
+
+TEST(ProtocolTest, UnknownCodeNameMapsToInternal) {
+  EXPECT_EQ(StatusCodeFromName("NotFound"), StatusCode::kNotFound);
+  EXPECT_EQ(StatusCodeFromName("TypeError"), StatusCode::kTypeError);
+  EXPECT_EQ(StatusCodeFromName("SomethingNew"), StatusCode::kInternal);
+  // A forward-compatible parse: the response still decodes.
+  auto parsed = ParseResponse("ERR SomethingNew\nfuture failure");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->code, StatusCode::kInternal);
+  EXPECT_EQ(parsed->message(), "future failure");
+}
+
+}  // namespace
+}  // namespace tyder::net

@@ -1,0 +1,130 @@
+// Unit tests for the tyder-stat JSON-subset parser — in particular the
+// \uXXXX escape support (BMP code points, surrogate pairs, and the malformed
+// escapes that must fail the line instead of guessing).
+
+#include "tyder_stat_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using tyder_stat::Parser;
+using tyder_stat::StatsLine;
+
+std::string kMinimalPrefix = "{\"schema\":\"tyder-stats-v1\",";
+
+bool ParseLine(const std::string& line, StatsLine* out) {
+  return Parser(line).Parse(out);
+}
+
+// Parses one standalone JSON string; empty optional-style result via bool.
+bool ParseJsonString(const std::string& json, std::string* out) {
+  Parser parser(json);
+  return parser.ParseString(out);
+}
+
+TEST(TyderStatParser, ParsesSnapshotterOutputShape) {
+  StatsLine line;
+  ASSERT_TRUE(ParseLine(
+      kMinimalPrefix +
+          "\"ts_ms\":123,\"seq\":7,"
+          "\"counters\":{\"net.requests\":42,\"net.shed\":1},"
+          "\"histograms\":{\"net.request_ns\":{\"count\":5,\"p50\":100}},"
+          "\"recorder\":{\"threads\":2,\"events\":9}}",
+      &line));
+  EXPECT_EQ(line.ts_ms, 123);
+  EXPECT_EQ(line.seq, 7);
+  EXPECT_EQ(line.counters.at("net.requests"), 42);
+  EXPECT_EQ(line.histograms.at("net.request_ns").at("p50"), 100);
+  EXPECT_EQ(line.recorder_threads, 2);
+  EXPECT_EQ(line.recorder_events, 9);
+}
+
+TEST(TyderStatParser, DecodesBmpUnicodeEscapes) {
+  std::string out;
+  ASSERT_TRUE(ParseJsonString("\"\\u0041\\u00e9\\u20ac\"", &out));
+  // U+0041 'A' (1 byte), U+00E9 'é' (2 bytes), U+20AC '€' (3 bytes).
+  EXPECT_EQ(out, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(TyderStatParser, DecodesAsciiEscapeMixedWithPlainText) {
+  std::string out;
+  ASSERT_TRUE(ParseJsonString("\"net\\u002erequests\"", &out));
+  EXPECT_EQ(out, "net.requests");
+}
+
+TEST(TyderStatParser, HexDigitsAreCaseInsensitive) {
+  std::string lower, upper;
+  ASSERT_TRUE(ParseJsonString("\"\\u20ac\"", &lower));
+  ASSERT_TRUE(ParseJsonString("\"\\u20AC\"", &upper));
+  EXPECT_EQ(lower, upper);
+}
+
+TEST(TyderStatParser, DecodesSurrogatePairs) {
+  std::string out;
+  // U+1F600 GRINNING FACE as the pair D83D/DE00 -> 4-byte UTF-8.
+  ASSERT_TRUE(ParseJsonString("\"\\ud83d\\ude00\"", &out));
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+}
+
+TEST(TyderStatParser, SurrogatePairBoundaryCodePoints) {
+  std::string out;
+  // U+10000, the first supplementary code point (D800/DC00).
+  ASSERT_TRUE(ParseJsonString("\"\\ud800\\udc00\"", &out));
+  EXPECT_EQ(out, "\xf0\x90\x80\x80");
+  // U+10FFFF, the last code point (DBFF/DFFF).
+  ASSERT_TRUE(ParseJsonString("\"\\udbff\\udfff\"", &out));
+  EXPECT_EQ(out, "\xf4\x8f\xbf\xbf");
+}
+
+TEST(TyderStatParser, RejectsLoneHighSurrogate) {
+  std::string out;
+  EXPECT_FALSE(ParseJsonString("\"\\ud83d\"", &out));
+  EXPECT_FALSE(ParseJsonString("\"\\ud83dx\"", &out));
+  EXPECT_FALSE(ParseJsonString("\"\\ud83d\\n\"", &out));
+}
+
+TEST(TyderStatParser, RejectsLoneLowSurrogate) {
+  std::string out;
+  EXPECT_FALSE(ParseJsonString("\"\\ude00\"", &out));
+}
+
+TEST(TyderStatParser, RejectsHighSurrogateFollowedByNonLow) {
+  std::string out;
+  EXPECT_FALSE(ParseJsonString("\"\\ud83d\\u0041\"", &out));
+}
+
+TEST(TyderStatParser, RejectsMalformedHex) {
+  std::string out;
+  EXPECT_FALSE(ParseJsonString("\"\\u12\"", &out));      // too short
+  EXPECT_FALSE(ParseJsonString("\"\\u12g4\"", &out));    // non-hex digit
+  EXPECT_FALSE(ParseJsonString("\"\\u\"", &out));        // nothing at all
+}
+
+TEST(TyderStatParser, UnicodeEscapeInsideCounterKey) {
+  StatsLine line;
+  ASSERT_TRUE(ParseLine(
+      kMinimalPrefix + "\"counters\":{\"caf\\u00e9\":3}}", &line));
+  EXPECT_EQ(line.counters.at("caf\xc3\xa9"), 3);
+}
+
+TEST(TyderStatParser, MalformedEscapeFailsTheWholeLine) {
+  StatsLine line;
+  EXPECT_FALSE(ParseLine(
+      kMinimalPrefix + "\"counters\":{\"bad\\ud800key\":3}}", &line));
+}
+
+TEST(TyderStatParser, StillRejectsUnknownSimpleEscapes) {
+  std::string out;
+  EXPECT_FALSE(ParseJsonString("\"\\b\"", &out));
+  EXPECT_FALSE(ParseJsonString("\"\\f\"", &out));
+}
+
+TEST(TyderStatParser, RejectsNonStatsSchema) {
+  StatsLine line;
+  EXPECT_FALSE(ParseLine("{\"schema\":\"other-v1\",\"seq\":1}", &line));
+}
+
+}  // namespace

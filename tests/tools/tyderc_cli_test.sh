@@ -21,6 +21,23 @@ check() {  # check <description> <expected-exit> <actual-exit>
   fi
 }
 
+# --- usage errors (the dedicated exit code 2) ------------------------------
+
+# Exit 2 is reserved for "the command line never made sense": nothing ran,
+# nothing was touched, retrying without fixing the invocation is pointless.
+# Scripts branch on it (run_all.sh, the serve gate) to tell their own bugs
+# apart from real operation failures (1) and degraded mode (3).
+"$TYDERC" --no-such-flag > /dev/null 2> "$WORK/usage.err"
+check "unknown flag exits 2 (usage)" 2 $?
+grep -q "^usage:" "$WORK/usage.err" \
+  || { echo "FAIL: usage error did not print the usage text" >&2; failures=$((failures + 1)); }
+
+"$TYDERC" > /dev/null 2>&1
+check "no schema and no --db exits 2 (usage)" 2 $?
+
+"$TYDERC" "$TDL" --project Employee > /dev/null 2>&1
+check "--project with missing operands exits 2 (usage)" 2 $?
+
 # --- in-memory batch exit status ------------------------------------------
 
 cat > "$WORK/good.batch" <<EOF

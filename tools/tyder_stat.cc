@@ -8,183 +8,27 @@
 //   tyder-stat --diff <a.jsonl> <b.jsonl> compare the final snapshots of two
 //                                         series (counter deltas b - a)
 //
-// The parser accepts exactly the JSON subset the snapshotter emits (objects,
-// strings, integer numbers); an unparseable *trailing* line is skipped — a
-// snapshotter killed mid-write leaves one — but a file with no valid line at
-// all is an error. Exit status: 0 ok, 1 bad input, 2 usage.
+// The parser (tools/tyder_stat_parser.h) accepts exactly the JSON subset the
+// snapshotter emits (objects, strings — including \uXXXX escapes, decoded to
+// UTF-8 — and integer numbers); an unparseable *trailing* line is skipped —
+// a snapshotter killed mid-write leaves one — but a file with no valid line
+// at all is an error. Exit status: 0 ok, 1 bad input, 2 usage.
 
-#include <cctype>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "tyder_stat_parser.h"
 
 namespace {
 
-// --- the tyder-stats-v1 JSON subset ---------------------------------------
-
-struct StatsLine {
-  int64_t ts_ms = 0;
-  int64_t seq = 0;
-  std::map<std::string, int64_t> counters;
-  // histogram name -> {count,min,max,sum,p50,p95,p99}
-  std::map<std::string, std::map<std::string, int64_t>> histograms;
-  int64_t recorder_threads = 0;
-  int64_t recorder_events = 0;
-};
-
-// Minimal recursive-descent parser over one line. Fails (returns false) on
-// anything outside the emitted subset rather than guessing.
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  bool Parse(StatsLine* out) {
-    if (!Expect('{')) return false;
-    bool saw_schema = false;
-    if (!ParseMembers([&](const std::string& key) {
-          if (key == "schema") {
-            std::string schema;
-            if (!ParseString(&schema)) return false;
-            saw_schema = schema == "tyder-stats-v1";
-            return saw_schema;
-          }
-          if (key == "ts_ms") return ParseInt(&out->ts_ms);
-          if (key == "seq") return ParseInt(&out->seq);
-          if (key == "counters") return ParseIntMap(&out->counters);
-          if (key == "histograms") return ParseHistograms(&out->histograms);
-          if (key == "recorder") {
-            return ParseObject([&](const std::string& inner) {
-              if (inner == "threads") return ParseInt(&out->recorder_threads);
-              if (inner == "events") return ParseInt(&out->recorder_events);
-              return SkipValue();
-            });
-          }
-          return SkipValue();
-        })) {
-      return false;
-    }
-    SkipSpace();
-    return saw_schema && pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Expect(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool Peek(char c) {
-    SkipSpace();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Expect('"')) return false;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          default: return false;  // \uXXXX etc.: not in the emitted subset
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool ParseInt(int64_t* out) {
-    SkipSpace();
-    size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    *out = std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
-                        nullptr, 10);
-    return true;
-  }
-
-  // { "key": <member(key)>, ... } — `member` consumes each value.
-  template <typename Fn>
-  bool ParseMembers(Fn member) {
-    if (Peek('}')) return Expect('}');
-    while (true) {
-      std::string key;
-      if (!ParseString(&key) || !Expect(':') || !member(key)) return false;
-      if (Peek(',')) {
-        if (!Expect(',')) return false;
-        continue;
-      }
-      return Expect('}');
-    }
-  }
-
-  template <typename Fn>
-  bool ParseObject(Fn member) {
-    return Expect('{') && ParseMembers(member);
-  }
-
-  bool ParseIntMap(std::map<std::string, int64_t>* out) {
-    return ParseObject([&](const std::string& key) {
-      return ParseInt(&(*out)[key]);
-    });
-  }
-
-  bool ParseHistograms(
-      std::map<std::string, std::map<std::string, int64_t>>* out) {
-    return ParseObject([&](const std::string& name) {
-      return ParseIntMap(&(*out)[name]);
-    });
-  }
-
-  // Skips one value of the subset (string, integer, or nested object).
-  bool SkipValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    if (text_[pos_] == '"') {
-      std::string ignored;
-      return ParseString(&ignored);
-    }
-    if (text_[pos_] == '{') {
-      return ParseObject([&](const std::string&) { return SkipValue(); });
-    }
-    int64_t ignored;
-    return ParseInt(&ignored);
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+using tyder_stat::Parser;
+using tyder_stat::StatsLine;
 
 // Reads every parseable line; reports (on stderr) lines that fail. Only the
 // final line may fail silently — a crashed writer tears at most the tail.

@@ -1,0 +1,249 @@
+// The tyder-stats-v1 JSON-subset parser behind tyder-stat, extracted so the
+// unit tests (tests/tools/tyder_stat_parser_test.cc) can drive it directly.
+// Header-only and dependency-free on purpose: tyder-stat links no libtyder
+// and must stay buildable against a -DTYDER_OBS=OFF tree.
+//
+// Accepted subset: objects, strings (with the JSON escapes \" \\ \/ \n \t
+// \r and \uXXXX), and integer numbers — exactly what the snapshotter emits,
+// plus \uXXXX so stats series that pass through standard JSON re-emitters
+// (python -m json.tool, jq) still parse. \uXXXX decodes to UTF-8: BMP code
+// points directly, surrogate pairs combined into their supplementary code
+// point. A lone/unpaired surrogate or a malformed escape fails the line
+// (the parser never guesses).
+
+#ifndef TYDER_TOOLS_TYDER_STAT_PARSER_H_
+#define TYDER_TOOLS_TYDER_STAT_PARSER_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tyder_stat {
+
+struct StatsLine {
+  int64_t ts_ms = 0;
+  int64_t seq = 0;
+  std::map<std::string, int64_t> counters;
+  // histogram name -> {count,min,max,sum,p50,p95,p99}
+  std::map<std::string, std::map<std::string, int64_t>> histograms;
+  int64_t recorder_threads = 0;
+  int64_t recorder_events = 0;
+};
+
+// Minimal recursive-descent parser over one line. Fails (returns false) on
+// anything outside the emitted subset rather than guessing.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(StatsLine* out) {
+    if (!Expect('{')) return false;
+    bool saw_schema = false;
+    if (!ParseMembers([&](const std::string& key) {
+          if (key == "schema") {
+            std::string schema;
+            if (!ParseString(&schema)) return false;
+            saw_schema = schema == "tyder-stats-v1";
+            return saw_schema;
+          }
+          if (key == "ts_ms") return ParseInt(&out->ts_ms);
+          if (key == "seq") return ParseInt(&out->seq);
+          if (key == "counters") return ParseIntMap(&out->counters);
+          if (key == "histograms") return ParseHistograms(&out->histograms);
+          if (key == "recorder") {
+            return ParseObject([&](const std::string& inner) {
+              if (inner == "threads") return ParseInt(&out->recorder_threads);
+              if (inner == "events") return ParseInt(&out->recorder_events);
+              return SkipValue();
+            });
+          }
+          return SkipValue();
+        })) {
+      return false;
+    }
+    SkipSpace();
+    return saw_schema && pos_ == text_.size();
+  }
+
+  // Exposed for the unit tests: parses one JSON string at the cursor.
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (!ParseUnicodeEscape(out)) return false;
+            break;
+          }
+          default: return false;  // \b, \f etc.: not in the emitted subset
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  // The four hex digits following a consumed "\u"; false on anything that is
+  // not exactly four hex digits.
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  // Decodes one \uXXXX escape (the "\u" is already consumed) into UTF-8.
+  // A high surrogate must be followed by "\uXXXX" holding the low half —
+  // the pair combines into its supplementary code point; a lone or
+  // out-of-order surrogate is an error, never silently emitted.
+  bool ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    if (!ParseHex4(&code)) return false;
+    if (code >= 0xDC00 && code <= 0xDFFF) return false;  // lone low surrogate
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return false;  // high surrogate with no partner
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      if (!ParseHex4(&low)) return false;
+      if (low < 0xDC00 || low > 0xDFFF) return false;
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    AppendUtf8(code, out);
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+    return true;
+  }
+
+  // { "key": <member(key)>, ... } — `member` consumes each value.
+  template <typename Fn>
+  bool ParseMembers(Fn member) {
+    if (Peek('}')) return Expect('}');
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Expect(':') || !member(key)) return false;
+      if (Peek(',')) {
+        if (!Expect(',')) return false;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  template <typename Fn>
+  bool ParseObject(Fn member) {
+    return Expect('{') && ParseMembers(member);
+  }
+
+  bool ParseIntMap(std::map<std::string, int64_t>* out) {
+    return ParseObject([&](const std::string& key) {
+      return ParseInt(&(*out)[key]);
+    });
+  }
+
+  bool ParseHistograms(
+      std::map<std::string, std::map<std::string, int64_t>>* out) {
+    return ParseObject([&](const std::string& name) {
+      return ParseIntMap(&(*out)[name]);
+    });
+  }
+
+  // Skips one value of the subset (string, integer, or nested object).
+  bool SkipValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (text_[pos_] == '{') {
+      return ParseObject([&](const std::string&) { return SkipValue(); });
+    }
+    int64_t ignored;
+    return ParseInt(&ignored);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tyder_stat
+
+#endif  // TYDER_TOOLS_TYDER_STAT_PARSER_H_
