@@ -27,13 +27,22 @@ objdump) is already ±30%. Deltas where the absolute change is below
 gate, mirroring the combined relative+absolute thresholds of LNT-style
 harnesses.
 
-Multi-threaded benchmarks (name contains "/threads:") are compared by
-throughput (items_per_second) instead of cpu_time_ns: with N contending
-threads, aggregate CPU time measures contention overhead, not progress —
-a group-commit batch that doubles commit throughput also burns more total
-CPU in the leader. A drop in items/sec beyond the threshold is the
+Multi-threaded benchmarks (name contains "/threads:") and any result that
+reports items_per_second on both sides are compared by throughput instead
+of cpu_time_ns: with N contending threads, aggregate CPU time measures
+contention overhead, not progress — a group-commit batch that doubles
+commit throughput also burns more total CPU in the leader — and the
+scenario replays (BENCH_scenario_*.json) report steps/mutations/reads per
+second the same way. A drop in items/sec beyond the threshold is the
 regression; the ns floor does not apply (throughput benches are never
 instruction-scale).
+
+Scenario reports are newer than most recorded baselines: a baseline file
+that predates `run_all.sh scenarios` simply has no scenario_* entries, so
+every scenario result shows as "NEW (not compared)" and the gate still
+passes. --allow-missing-baseline extends the same tolerance to a wholly
+absent baseline FILE (first run on a fresh checkout): everything reports
+as new and the exit status is 0.
 """
 
 import argparse
@@ -41,12 +50,20 @@ import json
 import sys
 
 
-def load_results(path):
-    """-> {(bench, name): result-dict}, preserving insertion order."""
+def load_results(path, missing_ok=False):
+    """-> {(bench, name): result-dict}, preserving insertion order.
+
+    With missing_ok, an unreadable file is treated as an empty report (every
+    current result becomes NEW) instead of a fatal error.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
+        if missing_ok:
+            print(f"bench_compare: no baseline at {path} ({e.__class__.__name__}); "
+                  "everything will report as NEW")
+            return {}
         sys.exit(f"bench_compare: cannot read {path}: {e}")
     if doc.get("schema") != "tyder-bench-v1":
         sys.exit(f"bench_compare: {path} is not a tyder-bench-v1 report")
@@ -67,9 +84,14 @@ def main():
     parser.add_argument("--floor-ns", type=float, default=5.0,
                         help="absolute deltas below this never gate "
                              "(default 5ns; see module docstring)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="treat an absent/unreadable baseline file as an "
+                             "empty report (everything NEW, exit 0) instead "
+                             "of a fatal error")
     args = parser.parse_args()
 
-    baseline = load_results(args.baseline)
+    baseline = load_results(args.baseline,
+                            missing_ok=args.allow_missing_baseline)
     current = load_results(args.current)
 
     regressions = []
@@ -79,16 +101,16 @@ def main():
         base = baseline.get(key)
         label = f"{key[0]}:{key[1]}"
         if base is None:
-            rows.append((label, None, None, "NEW"))
+            rows.append((label, None, None, "NEW (not compared)"))
             continue
-        # Correctness flags from the reproduction binaries: any true->false
+        # Correctness flags from the reproduction binaries and the scenario
+        # replays (oracle_clean/ledger_clean/deterministic): any true->false
         # flip is a regression regardless of timing.
         for flag, base_value in base.items():
             if isinstance(base_value, bool) and base_value \
                     and cur.get(flag) is False:
                 regressions.append(f"{label}: {flag} flipped true -> false")
-        if "/threads:" in key[1] and "items_per_second" in base \
-                and "items_per_second" in cur:
+        if "items_per_second" in base and "items_per_second" in cur:
             base_tp, cur_tp = base["items_per_second"], cur["items_per_second"]
             if base_tp <= 0:
                 rows.append((label, None, None, "zero-baseline"))

@@ -51,6 +51,20 @@ void Histogram::Record(int64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  uint64_t other_count = other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) return;
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  AtomicMin(min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMax(max_, other.max_.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);

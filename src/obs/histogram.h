@@ -52,6 +52,13 @@ class Histogram {
   // reset between deterministic phases; production code never resets.
   void Reset();
 
+  // Adds every bucket and aggregate of `other` into this histogram (the
+  // bucket layouts are identical by construction, so the merge is exact).
+  // Safe against concurrent Record() on either side with the usual
+  // approximately-consistent caveat; the workload replay merges per-thread
+  // latency histograms after the threads have joined, where it is exact.
+  void MergeFrom(const Histogram& other);
+
   struct Snapshot {
     uint64_t count = 0;
     int64_t min = 0;  // exact

@@ -1,0 +1,109 @@
+#include "workload/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace tyder::workload {
+
+namespace {
+
+// Weighted pick over small integer-weight lists; total fits easily in int.
+template <typename T, typename WeightOf>
+size_t WeightedPick(const std::vector<T>& items, WeightOf weight_of,
+                    std::mt19937_64& rng) {
+  int total = 0;
+  for (const T& item : items) total += weight_of(item);
+  int roll = static_cast<int>(rng() % static_cast<uint64_t>(total));
+  for (size_t i = 0; i < items.size(); ++i) {
+    roll -= weight_of(items[i]);
+    if (roll < 0) return i;
+  }
+  return items.size() - 1;
+}
+
+struct ZipfSampler {
+  std::vector<double> cumulative;  // empty for uniform populations
+
+  static ZipfSampler For(int zipf_centi) {
+    ZipfSampler sampler;
+    if (zipf_centi <= 0) return sampler;
+    std::vector<double> weights = ZipfWeights(zipf_centi / 100.0);
+    sampler.cumulative.resize(weights.size());
+    double running = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      running += weights[i];
+      sampler.cumulative[i] = running;
+    }
+    return sampler;
+  }
+
+  uint32_t Draw(std::mt19937_64& rng) const {
+    if (cumulative.empty()) return static_cast<uint32_t>(rng());
+    double u = std::uniform_real_distribution<double>(
+                   0.0, cumulative.back())(rng);
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<uint32_t>(it - cumulative.begin());
+  }
+};
+
+}  // namespace
+
+std::vector<double> ZipfWeights(double s) {
+  std::vector<double> weights(kZipfRanks);
+  for (uint32_t rank = 0; rank < kZipfRanks; ++rank) {
+    weights[rank] = 1.0 / std::pow(static_cast<double>(rank + 1), s);
+  }
+  return weights;
+}
+
+Workload GenerateWorkload(const ScenarioSpec& spec) {
+  Workload workload;
+  workload.spec = spec;
+  workload.steps.reserve(spec.TotalOps());
+  std::mt19937_64 rng(spec.seed * 0x9E3779B97F4A7C15ull +
+                      0x74796465722D776Bull);  // "tyder-wk"
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(spec.populations.size());
+  for (const Population& pop : spec.populations) {
+    samplers.push_back(ZipfSampler::For(pop.zipf_centi));
+  }
+  for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    const Phase& phase = spec.phases[pi];
+    size_t current = 0;
+    for (int i = 0; i < phase.ops; ++i) {
+      if (i % phase.burst == 0) {
+        current = WeightedPick(
+            spec.populations, [](const Population& p) { return p.weight; },
+            rng);
+      }
+      const Population& pop = spec.populations[current];
+      WorkloadStep step;
+      step.phase = static_cast<uint16_t>(pi);
+      step.population = static_cast<uint16_t>(current);
+      step.op = pop.mix[WeightedPick(
+                            pop.mix, [](const OpWeight& w) { return w.weight; },
+                            rng)]
+                    .op;
+      step.a = samplers[current].Draw(rng);
+      step.b = static_cast<uint32_t>(rng());
+      step.c = static_cast<uint32_t>(rng());
+      workload.steps.push_back(step);
+    }
+  }
+  return workload;
+}
+
+size_t ResolveIndex(const ScenarioSpec& spec, const WorkloadStep& step,
+                    size_t n) {
+  if (spec.populations[step.population].zipf_centi > 0) {
+    // `a` is a rank in [0, kZipfRanks): scale onto the candidate list so the
+    // head of the distribution stays the head.
+    return static_cast<size_t>((static_cast<uint64_t>(step.a % kZipfRanks) *
+                                n) /
+                               kZipfRanks);
+  }
+  return step.a % n;
+}
+
+}  // namespace tyder::workload

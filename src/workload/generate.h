@@ -1,0 +1,55 @@
+// Deterministic expansion of a ScenarioSpec into a concrete step list.
+//
+// GenerateWorkload is a pure function of the spec: the same spec (including
+// its seed) produces a byte-identical step list, so a replay that is itself
+// deterministic yields the same final catalog fingerprint on every run —
+// the property `tyder_workload --check-determinism` and the scenario
+// round-trip test pin.
+//
+// Populations with zipf > 0 draw their primary payload as a *rank* in
+// [0, kZipfRanks) from Zipf(s = zipf/100): rank 0 is the hottest. Replay
+// scales the rank onto the live candidate list with ResolveIndex, which
+// preserves the skew shape regardless of how many candidates exist at that
+// point in the run (a plain modulo would smear the head of the distribution
+// across the whole list).
+
+#ifndef TYDER_WORKLOAD_GENERATE_H_
+#define TYDER_WORKLOAD_GENERATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace tyder::workload {
+
+// Rank space for Zipf-skewed payloads.
+inline constexpr uint32_t kZipfRanks = 1024;
+
+struct WorkloadStep {
+  uint16_t phase = 0;       // index into spec.phases
+  uint16_t population = 0;  // index into spec.populations
+  ScenarioOp op = ScenarioOp::kPing;
+  uint32_t a = 0, b = 0, c = 0;  // payloads, resolved at replay time
+};
+
+struct Workload {
+  ScenarioSpec spec;
+  std::vector<WorkloadStep> steps;
+};
+
+Workload GenerateWorkload(const ScenarioSpec& spec);
+
+// Maps a step's primary payload onto [0, n). Zipf populations carry a rank
+// in [0, kZipfRanks), scaled onto the candidate list; uniform populations
+// carry a full-range draw taken modulo n. n must be > 0.
+size_t ResolveIndex(const ScenarioSpec& spec, const WorkloadStep& step,
+                    size_t n);
+
+// The un-normalized Zipf(s) weight table over kZipfRanks ranks, exposed so
+// tests can pin the skew shape the generator samples from.
+std::vector<double> ZipfWeights(double s);
+
+}  // namespace tyder::workload
+
+#endif  // TYDER_WORKLOAD_GENERATE_H_

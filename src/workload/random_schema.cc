@@ -1,4 +1,4 @@
-#include "testing/random_schema.h"
+#include "workload/random_schema.h"
 
 #include <algorithm>
 #include <set>
@@ -7,7 +7,7 @@
 #include "mir/builder.h"
 #include "mir/type_check.h"
 
-namespace tyder::testing {
+namespace tyder::workload {
 
 namespace {
 
@@ -254,4 +254,4 @@ bool PickRandomProjection(const Schema& schema, uint32_t seed, TypeId* source,
   return true;
 }
 
-}  // namespace tyder::testing
+}  // namespace tyder::workload

@@ -1,0 +1,95 @@
+// Replay drivers for generated workloads (ROADMAP item 5).
+//
+// ReplayInProc drives the step list against an in-process Catalog with the
+// differential oracle in lockstep (every spec.oracle_every steps), resolving
+// payloads against the live candidate lists exactly like fuzz ops. kCrash
+// steps run the phase's armed fault points — storage failpoints or FaultyEnv
+// injections, optionally followed by a simulated power loss — against an
+// ephemeral DurableCatalog seeded from the live catalog, require recovery to
+// land byte-identical to the pre- or post-state of the interrupted op, and
+// adopt the recovered catalog (the fuzzer's kCrash/kEnvFault contract).
+//
+// ReplayOverWire drives the same step list over the tyder1 protocol against
+// a live tyderd, one thread per population, keeping a chaos-style
+// acked/nacked/indeterminate ledger per worker (workers own disjoint view
+// namespaces, so the merged ledger is conflict-free) and verifying it — plus
+// server health and the server-side `verify` oracle — at the end.
+//
+// Both replays are deterministic for a fixed workload: in-proc runs produce
+// the same final catalog fingerprint every time; wire runs produce the same
+// command sequence per population (server-side interleaving may vary, which
+// is why wire runs are verified by ledger rather than by fingerprint).
+
+#ifndef TYDER_WORKLOAD_REPLAY_H_
+#define TYDER_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "obs/histogram.h"
+#include "workload/generate.h"
+
+namespace tyder::workload {
+
+struct ScenarioReport {
+  std::string scenario;
+
+  // Step accounting. `refusals` are engine-refused mutations (legal,
+  // all-or-nothing outcomes); `skipped` are steps with no live candidate or
+  // no wire rendering.
+  uint64_t steps = 0;
+  uint64_t mutations = 0;
+  uint64_t reads = 0;
+  uint64_t refusals = 0;
+  uint64_t skipped = 0;
+
+  // Durability churn (in-proc kCrash steps).
+  uint64_t crashes = 0;
+  uint64_t power_losses = 0;
+  uint64_t recoveries = 0;
+
+  // Oracle lockstep (in-proc) or server-side `verify` (wire).
+  uint64_t oracle_passes = 0;
+  bool oracle_clean = true;
+
+  // Wire ledger.
+  uint64_t acked = 0;
+  uint64_t nacked = 0;
+  uint64_t indeterminate = 0;
+  uint64_t reconnects = 0;
+  bool ledger_clean = true;
+
+  // Timing. Latency snapshots come from the obs histogram machinery;
+  // wire-mode per-population histograms are merged into one.
+  double elapsed_s = 0.0;
+  obs::Histogram::Snapshot mutation_ns;
+  obs::Histogram::Snapshot read_ns;
+  obs::Histogram::Snapshot recovery_ns;
+
+  // Final-state fingerprint: in-proc, CRC of the serialized catalog; wire,
+  // CRC of the sorted server view registry.
+  uint32_t final_crc = 0;
+  uint64_t final_types = 0;
+  uint64_t final_views = 0;
+};
+
+struct ReplayOptions {
+  // Honor phase pace_us between steps (sustained-load mode). Untimed replay
+  // runs flat out — the deterministic CI mode.
+  bool timed = false;
+  // Override spec.oracle_every; -1 keeps the spec's value.
+  int oracle_every = -1;
+  // Wire mode: per-request deadline.
+  uint64_t deadline_ms = 2'000;
+};
+
+Result<ScenarioReport> ReplayInProc(const Workload& workload,
+                                    const ReplayOptions& options = {});
+
+Result<ScenarioReport> ReplayOverWire(const Workload& workload, uint16_t port,
+                                      const ReplayOptions& options = {});
+
+}  // namespace tyder::workload
+
+#endif  // TYDER_WORKLOAD_REPLAY_H_

@@ -1,0 +1,333 @@
+#include "workload/spec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tyder::workload {
+
+namespace {
+
+constexpr ScenarioOp kAllOps[] = {
+    ScenarioOp::kProject, ScenarioOp::kGeneralize, ScenarioOp::kDrop,
+    ScenarioOp::kCollapse, ScenarioOp::kNewType,   ScenarioOp::kNewAttr,
+    ScenarioOp::kNewEdge,  ScenarioOp::kSubtype,   ScenarioOp::kDispatch,
+    ScenarioOp::kViews,    ScenarioOp::kPing,      ScenarioOp::kCrash,
+};
+
+std::vector<std::string> SplitCsv(std::string_view csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) comma = csv.size();
+    if (comma > start) out.emplace_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string JoinCsv(const std::vector<std::string>& items) {
+  if (items.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += items[i];
+  }
+  return out;
+}
+
+// A single token with no whitespace (names, labels, fault points).
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == ',' || c == '=') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view ScenarioOpName(ScenarioOp op) {
+  switch (op) {
+    case ScenarioOp::kProject:    return "project";
+    case ScenarioOp::kGeneralize: return "generalize";
+    case ScenarioOp::kDrop:       return "drop";
+    case ScenarioOp::kCollapse:   return "collapse";
+    case ScenarioOp::kNewType:    return "newtype";
+    case ScenarioOp::kNewAttr:    return "newattr";
+    case ScenarioOp::kNewEdge:    return "newedge";
+    case ScenarioOp::kSubtype:    return "subtype";
+    case ScenarioOp::kDispatch:   return "dispatch";
+    case ScenarioOp::kViews:      return "views";
+    case ScenarioOp::kPing:       return "ping";
+    case ScenarioOp::kCrash:      return "crash";
+  }
+  return "?";
+}
+
+bool ScenarioOpFromName(std::string_view name, ScenarioOp* out) {
+  for (ScenarioOp op : kAllOps) {
+    if (name == ScenarioOpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsMutation(ScenarioOp op) {
+  switch (op) {
+    case ScenarioOp::kProject:
+    case ScenarioOp::kGeneralize:
+    case ScenarioOp::kDrop:
+    case ScenarioOp::kCollapse:
+    case ScenarioOp::kNewType:
+    case ScenarioOp::kNewAttr:
+    case ScenarioOp::kNewEdge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RandomSchemaOptions SchemaRecipe::ToOptions() const {
+  RandomSchemaOptions options;
+  options.seed = seed;
+  options.num_types = types;
+  options.max_supers = supers;
+  options.attrs_per_type = attrs;
+  options.num_general_methods = gfs;
+  options.methods_per_gf = methods_per_gf;
+  options.max_stmts_per_body = stmts;
+  options.with_mutators = mutators;
+  return options;
+}
+
+size_t ScenarioSpec::TotalOps() const {
+  size_t total = 0;
+  for (const Phase& phase : phases) total += static_cast<size_t>(phase.ops);
+  return total;
+}
+
+std::string FormatScenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "tyder-scenario v1\n";
+  out << "name " << spec.name << "\n";
+  out << "seed " << spec.seed << "\n";
+  out << "mode " << (spec.mode == ScenarioMode::kWire ? "wire" : "inproc")
+      << "\n";
+  out << "schema seed=" << spec.schema.seed << " types=" << spec.schema.types
+      << " supers=" << spec.schema.supers << " attrs=" << spec.schema.attrs
+      << " gfs=" << spec.schema.gfs << " mpg=" << spec.schema.methods_per_gf
+      << " stmts=" << spec.schema.stmts
+      << " mutators=" << (spec.schema.mutators ? 1 : 0) << "\n";
+  out << "oracle every=" << spec.oracle_every << "\n";
+  if (spec.mode == ScenarioMode::kWire) {
+    out << "wire source=" << (spec.wire.source.empty() ? "-" : spec.wire.source)
+        << " attrs=" << JoinCsv(spec.wire.attrs)
+        << " targets=" << JoinCsv(spec.wire.targets)
+        << " gfs=" << JoinCsv(spec.wire.gfs) << "\n";
+  }
+  for (const Population& pop : spec.populations) {
+    out << "population " << pop.name << " weight=" << pop.weight
+        << " zipf=" << pop.zipf_centi << " mix=";
+    for (size_t i = 0; i < pop.mix.size(); ++i) {
+      if (i > 0) out << ",";
+      out << ScenarioOpName(pop.mix[i].op) << ":" << pop.mix[i].weight;
+    }
+    out << "\n";
+  }
+  for (const Phase& phase : spec.phases) {
+    out << "phase " << phase.label << " ops=" << phase.ops
+        << " burst=" << phase.burst << " pace_us=" << phase.pace_us
+        << " faults=" << (phase.faults.empty() ? "none" : JoinCsv(phase.faults))
+        << " power_loss_pct=" << phase.power_loss_pct << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<ScenarioSpec> ParseScenario(std::string_view text) {
+  ScenarioSpec spec;
+  spec.oracle_every = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int state = 0;  // 0: expect header, 1: body, 2: done
+  int lineno = 0;
+  bool have_name = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    size_t stop = line.find_last_not_of(" \t\r");
+    std::string body = line.substr(start, stop - start + 1);
+    if (body.empty() || body[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("scenario line " + std::to_string(lineno) +
+                                ": " + msg);
+    };
+    if (state == 0) {
+      if (body != "tyder-scenario v1") {
+        return err("expected 'tyder-scenario v1' header");
+      }
+      state = 1;
+      continue;
+    }
+    if (state == 2) return err("content after 'end'");
+    if (body == "end") {
+      state = 2;
+      continue;
+    }
+    std::istringstream fields(body);
+    std::string tag;
+    fields >> tag;
+    if (tag == "name") {
+      fields >> spec.name;
+      if (!IsToken(spec.name)) return err("name must be a single token");
+      have_name = true;
+      continue;
+    }
+    if (tag == "seed") {
+      fields >> spec.seed;
+      continue;
+    }
+    if (tag == "mode") {
+      std::string mode;
+      fields >> mode;
+      if (mode == "inproc") spec.mode = ScenarioMode::kInProc;
+      else if (mode == "wire") spec.mode = ScenarioMode::kWire;
+      else return err("mode must be 'inproc' or 'wire'");
+      continue;
+    }
+    if (tag == "schema") {
+      std::string kv;
+      while (fields >> kv) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) return err("malformed '" + kv + "'");
+        std::string key = kv.substr(0, eq);
+        long value = std::atol(kv.c_str() + eq + 1);
+        if (key == "seed") spec.schema.seed = static_cast<uint32_t>(value);
+        else if (key == "types") spec.schema.types = static_cast<int>(value);
+        else if (key == "supers") spec.schema.supers = static_cast<int>(value);
+        else if (key == "attrs") spec.schema.attrs = static_cast<int>(value);
+        else if (key == "gfs") spec.schema.gfs = static_cast<int>(value);
+        else if (key == "mpg")
+          spec.schema.methods_per_gf = static_cast<int>(value);
+        else if (key == "stmts") spec.schema.stmts = static_cast<int>(value);
+        else if (key == "mutators") spec.schema.mutators = value != 0;
+        else return err("unknown schema field '" + key + "'");
+      }
+      continue;
+    }
+    if (tag == "oracle") {
+      std::string kv;
+      fields >> kv;
+      if (kv.rfind("every=", 0) != 0) return err("expected 'oracle every=N'");
+      spec.oracle_every = std::atoi(kv.c_str() + 6);
+      if (spec.oracle_every < 0) return err("oracle every must be >= 0");
+      continue;
+    }
+    if (tag == "wire") {
+      std::string kv;
+      while (fields >> kv) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) return err("malformed '" + kv + "'");
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        if (value == "-") value.clear();
+        if (key == "source") spec.wire.source = value;
+        else if (key == "attrs") spec.wire.attrs = SplitCsv(value);
+        else if (key == "targets") spec.wire.targets = SplitCsv(value);
+        else if (key == "gfs") spec.wire.gfs = SplitCsv(value);
+        else return err("unknown wire field '" + key + "'");
+      }
+      continue;
+    }
+    if (tag == "population") {
+      Population pop;
+      fields >> pop.name;
+      if (!IsToken(pop.name)) return err("population needs a name token");
+      for (const Population& existing : spec.populations) {
+        if (existing.name == pop.name) {
+          return err("duplicate population '" + pop.name + "'");
+        }
+      }
+      std::string kv;
+      while (fields >> kv) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) return err("malformed '" + kv + "'");
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        if (key == "weight") pop.weight = std::atoi(value.c_str());
+        else if (key == "zipf") pop.zipf_centi = std::atoi(value.c_str());
+        else if (key == "mix") {
+          pop.mix.clear();
+          for (const std::string& entry : SplitCsv(value)) {
+            size_t colon = entry.find(':');
+            if (colon == std::string::npos) {
+              return err("mix entry '" + entry + "' needs op:weight");
+            }
+            OpWeight w;
+            if (!ScenarioOpFromName(entry.substr(0, colon), &w.op)) {
+              return err("unknown op '" + entry.substr(0, colon) + "'");
+            }
+            w.weight = std::atoi(entry.c_str() + colon + 1);
+            if (w.weight <= 0) return err("mix weights must be positive");
+            pop.mix.push_back(w);
+          }
+        } else {
+          return err("unknown population field '" + key + "'");
+        }
+      }
+      if (pop.weight <= 0) return err("population weight must be positive");
+      if (pop.zipf_centi < 0) return err("zipf must be >= 0");
+      if (pop.mix.empty()) return err("population needs a non-empty mix");
+      spec.populations.push_back(std::move(pop));
+      continue;
+    }
+    if (tag == "phase") {
+      Phase phase;
+      fields >> phase.label;
+      if (!IsToken(phase.label)) return err("phase needs a label token");
+      std::string kv;
+      while (fields >> kv) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) return err("malformed '" + kv + "'");
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        if (key == "ops") phase.ops = std::atoi(value.c_str());
+        else if (key == "burst") phase.burst = std::atoi(value.c_str());
+        else if (key == "pace_us") phase.pace_us = std::atoi(value.c_str());
+        else if (key == "faults") {
+          phase.faults =
+              value == "none" ? std::vector<std::string>{} : SplitCsv(value);
+          for (const std::string& fault : phase.faults) {
+            if (!IsToken(fault)) return err("bad fault token '" + fault + "'");
+          }
+        } else if (key == "power_loss_pct") {
+          phase.power_loss_pct = std::atoi(value.c_str());
+        } else {
+          return err("unknown phase field '" + key + "'");
+        }
+      }
+      if (phase.ops <= 0) return err("phase ops must be positive");
+      if (phase.burst <= 0) return err("phase burst must be positive");
+      if (phase.pace_us < 0) return err("phase pace_us must be >= 0");
+      if (phase.power_loss_pct < 0 || phase.power_loss_pct > 100) {
+        return err("power_loss_pct must be in [0, 100]");
+      }
+      spec.phases.push_back(std::move(phase));
+      continue;
+    }
+    return err("unknown directive '" + tag + "'");
+  }
+  if (state != 2) return Status::ParseError("scenario has no 'end' terminator");
+  if (!have_name) return Status::ParseError("scenario has no name");
+  if (spec.populations.empty()) {
+    return Status::ParseError("scenario has no populations");
+  }
+  if (spec.phases.empty()) return Status::ParseError("scenario has no phases");
+  return spec;
+}
+
+}  // namespace tyder::workload

@@ -1,0 +1,138 @@
+// Scenario specs for the macro-workload harness (ROADMAP item 5).
+//
+// A *scenario* is a declarative description of sustained, multi-population
+// traffic against the schema engine: a seeded random-schema recipe (the same
+// recipe the fuzzer embeds in tyder-fuzz-trace v1), a set of weighted client
+// populations (each with its own operation mix and optional Zipf skew), and
+// a list of phases (op counts, burstiness, pacing, and armed fault points
+// for crash steps). Scenarios are checked in as text packs under
+// bench/scenarios/*.scn; FormatScenario ∘ ParseScenario is the identity on
+// canonical packs, and GenerateWorkload expands a spec into a deterministic
+// step list (same spec ⇒ byte-identical workload).
+//
+// The text form (tyder-scenario v1) deliberately mirrors the fuzz-trace
+// grammar: line-oriented, '#' comments, a `schema` key=value line, an `end`
+// terminator. Canonical form — what FormatScenario prints — has every key
+// present, in fixed order, with no comments, so the round-trip test can
+// require byte identity on the checked-in packs.
+
+#ifndef TYDER_WORKLOAD_SPEC_H_
+#define TYDER_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/random_schema.h"
+
+namespace tyder::workload {
+
+// The operation vocabulary a population mixes over. Mutations and queries
+// resolve their integer payloads against the live catalog at replay time
+// (like fuzz ops); kCrash steps run the phase's armed fault points against
+// an ephemeral durable catalog and adopt the recovered state.
+enum class ScenarioOp {
+  kProject,     // define a projection view over a live type
+  kGeneralize,  // define a generalization view over two live types
+  kDrop,        // drop a live view
+  kCollapse,    // empty-surrogate reduction
+  kNewType,     // declare a type subtyping a live type
+  kNewAttr,     // declare an attribute on a live type
+  kNewEdge,     // add a supertype edge between live types
+  kSubtype,     // IsSubtype query over a (possibly skewed) type pair
+  kDispatch,    // generic-function dispatch over (possibly skewed) args
+  kViews,       // enumerate the view registry
+  kPing,        // liveness no-op (wire: round-trip; in-proc: counted read)
+  kCrash,       // fault-injected durable round trip (needs phase faults)
+};
+
+// Canonical lower-case token for the text form.
+std::string_view ScenarioOpName(ScenarioOp op);
+bool ScenarioOpFromName(std::string_view name, ScenarioOp* out);
+bool IsMutation(ScenarioOp op);
+
+// The fuzzer's SchemaParams, restated here so libtyder does not depend on
+// test code. Field-for-field compatible with the fuzz-trace `schema` line.
+struct SchemaRecipe {
+  uint32_t seed = 1;
+  int types = 10;
+  int supers = 2;
+  int attrs = 2;
+  int gfs = 6;
+  int methods_per_gf = 2;
+  int stmts = 3;
+  bool mutators = true;
+
+  RandomSchemaOptions ToOptions() const;
+};
+
+struct OpWeight {
+  ScenarioOp op = ScenarioOp::kPing;
+  int weight = 1;
+};
+
+// A client population: a named share of the traffic with its own op mix.
+// zipf_centi > 0 skews the primary payload of every step this population
+// issues: payloads are ranks drawn from Zipf(s = zipf_centi / 100) over
+// kZipfRanks ranks, so low-numbered (old, hot) catalog entries dominate.
+struct Population {
+  std::string name;
+  int weight = 1;
+  int zipf_centi = 0;
+  std::vector<OpWeight> mix;
+};
+
+// A phase: `ops` steps, re-drawing the issuing population every `burst`
+// steps. `pace_us` is honored only by timed replays (sleep between steps).
+// `faults` are the tokens kCrash steps arm, round-robin by payload:
+// `storage.*` failpoint names, or `env.{error,short,sync,enospc}@N` for the
+// Nth FaultyEnv call. `power_loss_pct` is the chance a crash step also
+// simulates power loss after the fault.
+struct Phase {
+  std::string label;
+  int ops = 100;
+  int burst = 1;
+  int pace_us = 0;
+  std::vector<std::string> faults;
+  int power_loss_pct = 0;
+};
+
+enum class ScenarioMode {
+  kInProc,  // oracle-lockstep replay against an in-process catalog
+  kWire,    // driven over the tyder1 protocol against a live tyderd
+};
+
+// Name anchors for wire mode, where payloads must render to real schema
+// entities of the served database (e.g. examples/payroll.tdl). In-proc
+// replay ignores this block and resolves payloads against the live catalog.
+struct WireTargets {
+  std::string source;                // projection source type
+  std::vector<std::string> attrs;    // projected attribute pool
+  std::vector<std::string> targets;  // subtype-query type pool
+  std::vector<std::string> gfs;      // dispatch generic-function pool
+};
+
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 1;
+  ScenarioMode mode = ScenarioMode::kInProc;
+  SchemaRecipe schema;
+  int oracle_every = 0;  // in-proc: full oracle sweep every N steps; 0 = off
+  WireTargets wire;      // meaningful only when mode == kWire
+  std::vector<Population> populations;
+  std::vector<Phase> phases;
+
+  size_t TotalOps() const;
+};
+
+// Canonical text form. ParseScenario accepts comments and blank lines;
+// FormatScenario never emits them, and re-formatting a parsed canonical
+// pack reproduces it byte-identically.
+std::string FormatScenario(const ScenarioSpec& spec);
+Result<ScenarioSpec> ParseScenario(std::string_view text);
+
+}  // namespace tyder::workload
+
+#endif  // TYDER_WORKLOAD_SPEC_H_

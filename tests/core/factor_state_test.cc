@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "objmodel/schema_printer.h"
 #include "testing/fixtures.h"
 
@@ -192,6 +194,44 @@ TEST_F(FactorStateTest, SecondDerivationGetsFreshUniquelyNamedSurrogates) {
     for (TypeId u : first.created) EXPECT_NE(t, u);
   }
   EXPECT_TRUE(fx_.schema.Validate().ok());
+}
+
+// Regression for the chaos-exposed exponential blowup: repeating an
+// identical projection must reuse the already-factored surrogate structure
+// and add exactly one type (the named view) per repetition. Before the fix
+// every repetition re-surrogated the factored region and DOUBLED the type
+// count — 50 repetitions would need ~2^50 types; op 15 alone took 40+
+// seconds. With reuse, 50 repetitions are near-instant.
+TEST_F(FactorStateTest, FiftyIdenticalProjectionsAddOneTypeEach) {
+  const std::set<AttrId> attrs = fx_.Projection();
+  SurrogateSet first;
+  ASSERT_TRUE(
+      FactorState(fx_.schema, fx_.a, attrs, "R0", &first, nullptr).ok());
+  size_t after_first = fx_.schema.types().NumTypes();
+
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 1; i < 50; ++i) {
+    SurrogateSet surrogates;
+    auto view = FactorState(fx_.schema, fx_.a, attrs,
+                            "R" + std::to_string(i), &surrogates, nullptr);
+    ASSERT_TRUE(view.ok()) << "repetition " << i << ": " << view.status();
+    // Exactly the named view type was created; the factored region (~B, ~C,
+    // ~E, ~F, ~H from the first derivation) is shared, not re-surrogated.
+    EXPECT_EQ(fx_.schema.types().NumTypes(), after_first + i)
+        << "repetition " << i;
+    EXPECT_EQ(surrogates.created.size(), 1u) << "repetition " << i;
+    // Every repetition's view projects the same cumulative state.
+    EXPECT_EQ(fx_.schema.types().CumulativeAttributes(*view).size(),
+              attrs.size());
+  }
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(fx_.schema.Validate().ok());
+  // Generous wall-clock bound: with the doubling bug this loop does not
+  // terminate in any practical amount of time; with reuse it takes
+  // milliseconds even under sanitizers.
+  EXPECT_LT(elapsed, 30.0);
 }
 
 }  // namespace

@@ -868,6 +868,7 @@ testing::RandomSchemaOptions SchemaParams::ToOptions() const {
 std::string FormatTrace(const FuzzTrace& trace) {
   std::ostringstream out;
   out << "tyder-fuzz-trace v1\n";
+  if (!trace.scenario.empty()) out << "scenario " << trace.scenario << "\n";
   out << "schema seed=" << trace.schema.seed << " types=" << trace.schema.types
       << " supers=" << trace.schema.supers << " attrs=" << trace.schema.attrs
       << " gfs=" << trace.schema.gfs << " mpg=" << trace.schema.methods_per_gf
@@ -909,6 +910,12 @@ Result<FuzzTrace> ParseTrace(std::string_view text) {
       std::istringstream fields(body);
       std::string tag;
       fields >> tag;
+      if (tag == "scenario") {
+        // Optional provenance line (traces lowered from scenario packs).
+        fields >> trace.scenario;
+        if (trace.scenario.empty()) return err("scenario line needs a name");
+        continue;
+      }
       if (tag != "schema") return err("expected schema line");
       std::string kv;
       while (fields >> kv) {
@@ -947,6 +954,44 @@ Result<FuzzTrace> ParseTrace(std::string_view text) {
   }
   if (state != 3) {
     return Status::ParseError("trace has no 'end' terminator");
+  }
+  return trace;
+}
+
+FuzzTrace LowerWorkload(const workload::Workload& workload, size_t max_ops) {
+  FuzzTrace trace;
+  trace.scenario = workload.spec.name;
+  trace.schema.seed = workload.spec.schema.seed;
+  trace.schema.types = workload.spec.schema.types;
+  trace.schema.supers = workload.spec.schema.supers;
+  trace.schema.attrs = workload.spec.schema.attrs;
+  trace.schema.gfs = workload.spec.schema.gfs;
+  trace.schema.methods_per_gf = workload.spec.schema.methods_per_gf;
+  trace.schema.stmts = workload.spec.schema.stmts;
+  trace.schema.mutators = workload.spec.schema.mutators;
+  for (const workload::WorkloadStep& step : workload.steps) {
+    if (max_ops != 0 && trace.ops.size() >= max_ops) break;
+    FuzzOp op;
+    op.a = step.a;
+    op.b = step.b;
+    op.c = step.c;
+    switch (step.op) {
+      case workload::ScenarioOp::kProject:    op.kind = OpKind::kDerive; break;
+      case workload::ScenarioOp::kDrop:       op.kind = OpKind::kDrop; break;
+      case workload::ScenarioOp::kCollapse:   op.kind = OpKind::kCollapse; break;
+      case workload::ScenarioOp::kNewType:    op.kind = OpKind::kNewType; break;
+      case workload::ScenarioOp::kNewAttr:    op.kind = OpKind::kNewAttr; break;
+      case workload::ScenarioOp::kNewEdge:    op.kind = OpKind::kNewEdge; break;
+      case workload::ScenarioOp::kCrash:      op.kind = OpKind::kCrash; break;
+      // Generalization has no fuzz op yet; every read flavor lowers onto the
+      // full differential sweep, the strictest available check.
+      case workload::ScenarioOp::kGeneralize:
+      case workload::ScenarioOp::kSubtype:
+      case workload::ScenarioOp::kDispatch:
+      case workload::ScenarioOp::kViews:
+      case workload::ScenarioOp::kPing:       op.kind = OpKind::kQuery; break;
+    }
+    trace.ops.push_back(op);
   }
   return trace;
 }

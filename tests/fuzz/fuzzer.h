@@ -36,6 +36,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "testing/random_schema.h"
+#include "workload/generate.h"
 
 namespace tyder::fuzz {
 
@@ -88,12 +89,25 @@ struct SchemaParams {
 struct FuzzTrace {
   SchemaParams schema;
   std::vector<FuzzOp> ops;
+  // Optional provenance tag: the scenario pack this trace was lowered from
+  // (see LowerWorkload). Empty for generated/shrunk traces.
+  std::string scenario;
 };
 
 // Text form (tyder-fuzz-trace v1): one line per op, '#' comments, `end`
-// terminator. FormatTrace ∘ ParseTrace is the identity on valid traces.
+// terminator, plus an optional `scenario <name>` provenance line between the
+// header and the schema line. FormatTrace ∘ ParseTrace is the identity on
+// valid traces.
 std::string FormatTrace(const FuzzTrace& trace);
 Result<FuzzTrace> ParseTrace(std::string_view text);
+
+// Lowers a generated macro-workload (src/workload) onto fuzz ops so scenario
+// traffic runs under the full model+oracle lockstep harness: project→derive,
+// drop/collapse/newtype/newattr/newedge map 1:1, every query flavor becomes
+// the kQuery differential sweep, and crash steps become kCrash. At most
+// `max_ops` steps are taken (0 = all); payloads carry over verbatim and are
+// re-resolved against the harness's candidate lists.
+FuzzTrace LowerWorkload(const workload::Workload& workload, size_t max_ops);
 
 struct FuzzProfile {
   SchemaParams schema;  // per-trace seed is drawn on top of this recipe

@@ -1,0 +1,144 @@
+// Scenario packs under the fuzzer's full lockstep harness (ISSUE 10).
+//
+// Every checked-in bench/scenarios/*.scn pack must parse, generate, and —
+// lowered onto fuzz ops via LowerWorkload — run clean under RunTrace's
+// model+oracle+all-or-nothing contract. This is the bridge between the
+// macro-workload harness and the fuzzer: scenario traffic is not just
+// replayed, it is differentially verified op by op. Also pins the
+// tyder-fuzz-trace v1 `scenario` provenance line through the trace codec.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "gtest/gtest.h"
+#include "workload/generate.h"
+#include "workload/spec.h"
+
+namespace tyder::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> CheckedInPacks() {
+  std::vector<std::filesystem::path> packs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TYDER_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") packs.push_back(entry.path());
+  }
+  std::sort(packs.begin(), packs.end());
+  return packs;
+}
+
+workload::ScenarioSpec LoadPack(const std::filesystem::path& pack) {
+  std::ifstream in(pack);
+  EXPECT_TRUE(in) << "cannot open " << pack;
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<workload::ScenarioSpec> spec = workload::ParseScenario(text.str());
+  EXPECT_TRUE(spec.ok()) << pack << ": " << spec.status().ToString();
+  return *spec;
+}
+
+TEST(ScenarioLockstep, EveryPackLowersAndRunsCleanUnderTheOracle) {
+  std::vector<std::filesystem::path> packs = CheckedInPacks();
+  ASSERT_GE(packs.size(), 4u);
+  for (const auto& pack : packs) {
+    SCOPED_TRACE(pack.string());
+    workload::ScenarioSpec spec = LoadPack(pack);
+    workload::Workload w = workload::GenerateWorkload(spec);
+    ASSERT_EQ(w.steps.size(), spec.TotalOps());
+    // 60 ops keeps the per-pack lockstep run well under a second; the full
+    // packs are replayed (and determinism-checked) by `run_all.sh scenarios`.
+    FuzzTrace trace = LowerWorkload(w, /*max_ops=*/60);
+    EXPECT_EQ(trace.scenario, spec.name);
+    EXPECT_EQ(trace.schema.seed, spec.schema.seed);
+    ASSERT_EQ(trace.ops.size(), std::min<size_t>(60, w.steps.size()));
+    RunResult run = RunTrace(trace);
+    EXPECT_TRUE(run.status.ok())
+        << "op " << run.failing_step << ": " << run.status.ToString();
+    EXPECT_EQ(run.ops_executed, trace.ops.size());
+  }
+}
+
+TEST(ScenarioLockstep, LoweringIsDeterministic) {
+  workload::ScenarioSpec spec =
+      LoadPack(std::filesystem::path(TYDER_SCENARIO_DIR) / "evolution-storm.scn");
+  workload::Workload w = workload::GenerateWorkload(spec);
+  FuzzTrace a = LowerWorkload(w, 0);
+  FuzzTrace b = LowerWorkload(w, 0);
+  EXPECT_EQ(FormatTrace(a), FormatTrace(b));
+  EXPECT_EQ(a.ops.size(), w.steps.size());
+}
+
+TEST(ScenarioLockstep, LoweringMapsEveryOpFlavor) {
+  using workload::ScenarioOp;
+  workload::ScenarioSpec spec;
+  spec.name = "flavors";
+  spec.seed = 5;
+  spec.populations.push_back({"all",
+                              1,
+                              0,
+                              {{ScenarioOp::kProject, 1},
+                               {ScenarioOp::kGeneralize, 1},
+                               {ScenarioOp::kDrop, 1},
+                               {ScenarioOp::kCollapse, 1},
+                               {ScenarioOp::kNewType, 1},
+                               {ScenarioOp::kNewAttr, 1},
+                               {ScenarioOp::kNewEdge, 1},
+                               {ScenarioOp::kSubtype, 1},
+                               {ScenarioOp::kDispatch, 1},
+                               {ScenarioOp::kViews, 1},
+                               {ScenarioOp::kPing, 1}}});
+  spec.phases.push_back({"run", 300, 1, 0, {}, 0});
+  workload::Workload w = workload::GenerateWorkload(spec);
+  FuzzTrace trace = LowerWorkload(w, 0);
+  size_t derives = 0, queries = 0, structural = 0;
+  for (const FuzzOp& op : trace.ops) {
+    switch (op.kind) {
+      case OpKind::kDerive:
+        ++derives;
+        break;
+      case OpKind::kQuery:
+        ++queries;
+        break;
+      case OpKind::kDrop:
+      case OpKind::kCollapse:
+      case OpKind::kNewType:
+      case OpKind::kNewAttr:
+      case OpKind::kNewEdge:
+        ++structural;
+        break;
+      default:
+        FAIL() << "unexpected lowered op kind";
+    }
+  }
+  // project lowers to kDerive; generalize (no fuzz counterpart) and the four
+  // read flavors (subtype/dispatch/views/ping) all lower to the kQuery sweep.
+  EXPECT_GT(derives, 10u);
+  EXPECT_GT(queries, 60u);
+  EXPECT_GT(structural, 60u);
+}
+
+TEST(ScenarioLockstep, ScenarioProvenanceRoundTripsThroughTheTraceCodec) {
+  FuzzTrace trace = GenerateTrace(99);
+  trace.scenario = "evolution-storm";
+  std::string text = FormatTrace(trace);
+  EXPECT_NE(text.find("\nscenario evolution-storm\n"), std::string::npos);
+  Result<FuzzTrace> parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->scenario, "evolution-storm");
+  EXPECT_EQ(FormatTrace(*parsed), text);
+
+  // Traces without provenance keep the old format exactly.
+  trace.scenario.clear();
+  std::string bare = FormatTrace(trace);
+  EXPECT_EQ(bare.find("scenario"), std::string::npos);
+  Result<FuzzTrace> bare_parsed = ParseTrace(bare);
+  ASSERT_TRUE(bare_parsed.ok());
+  EXPECT_TRUE(bare_parsed->scenario.empty());
+}
+
+}  // namespace
+}  // namespace tyder::fuzz

@@ -122,6 +122,55 @@ TEST(Histogram, ZeroSampleSnapshotIsAllZero) {
   EXPECT_EQ(snap.p99, 0);
 }
 
+TEST(Histogram, MergeFromCombinesExactly) {
+  Histogram a, b;
+  for (int64_t v = 1; v <= 500; ++v) a.Record(v);
+  for (int64_t v = 1'000'000; v <= 1'000'300; ++v) b.Record(v);
+  a.MergeFrom(b);
+  Histogram::Snapshot merged = a.Snap();
+  EXPECT_EQ(merged.count, 801u);
+  EXPECT_EQ(merged.min, 1);
+  EXPECT_EQ(merged.max, 1'000'300);
+  int64_t expect_sum = 0;
+  for (int64_t v = 1; v <= 500; ++v) expect_sum += v;
+  for (int64_t v = 1'000'000; v <= 1'000'300; ++v) expect_sum += v;
+  EXPECT_EQ(merged.sum, expect_sum);
+  // The merged distribution is bimodal: the median sits in the low mode,
+  // p95/p99 in the high mode (within bucket resolution).
+  EXPECT_LE(merged.p50, 500);
+  EXPECT_GT(merged.p95, 500'000);
+
+  // Merging matches recording the same values into one histogram,
+  // bucket-for-bucket (identical layouts make the merge exact).
+  Histogram direct;
+  for (int64_t v = 1; v <= 500; ++v) direct.Record(v);
+  for (int64_t v = 1'000'000; v <= 1'000'300; ++v) direct.Record(v);
+  Histogram::Snapshot one = direct.Snap();
+  EXPECT_EQ(merged.count, one.count);
+  EXPECT_EQ(merged.sum, one.sum);
+  EXPECT_EQ(merged.p50, one.p50);
+  EXPECT_EQ(merged.p95, one.p95);
+  EXPECT_EQ(merged.p99, one.p99);
+}
+
+TEST(Histogram, MergeFromEmptyIsANoOp) {
+  Histogram a, empty;
+  a.Record(7);
+  a.MergeFrom(empty);
+  Histogram::Snapshot snap = a.Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 7);
+  EXPECT_EQ(snap.max, 7);
+
+  // Merging into an empty histogram adopts the source's aggregates.
+  empty.MergeFrom(a);
+  Histogram::Snapshot adopted = empty.Snap();
+  EXPECT_EQ(adopted.count, 1u);
+  EXPECT_EQ(adopted.min, 7);
+  EXPECT_EQ(adopted.max, 7);
+  EXPECT_EQ(adopted.sum, 7);
+}
+
 TEST(Histogram, ResetClearsEverything) {
   Histogram h;
   for (int64_t v = 0; v < 1000; ++v) h.Record(v);

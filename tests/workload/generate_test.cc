@@ -1,0 +1,158 @@
+// Workload generation: determinism, phase/population accounting, Zipf skew
+// shape, and payload resolution (ISSUE 10 satellite).
+
+#include "workload/generate.h"
+
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tyder::workload {
+namespace {
+
+ScenarioSpec TwoPopulationSpec() {
+  ScenarioSpec spec;
+  spec.name = "gen-test";
+  spec.seed = 77;
+  spec.populations.push_back(
+      {"hot", 3, 150, {{ScenarioOp::kDispatch, 4}, {ScenarioOp::kSubtype, 1}}});
+  spec.populations.push_back(
+      {"cold", 1, 0, {{ScenarioOp::kProject, 1}, {ScenarioOp::kDrop, 1}}});
+  spec.phases.push_back({"warm", 200, 1, 0, {}, 0});
+  spec.phases.push_back({"main", 600, 8, 0, {}, 0});
+  return spec;
+}
+
+TEST(GenerateWorkload, SameSpecSameSteps) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  Workload a = GenerateWorkload(spec);
+  Workload b = GenerateWorkload(spec);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].phase, b.steps[i].phase) << "step " << i;
+    EXPECT_EQ(a.steps[i].population, b.steps[i].population) << "step " << i;
+    EXPECT_EQ(a.steps[i].op, b.steps[i].op) << "step " << i;
+    EXPECT_EQ(a.steps[i].a, b.steps[i].a) << "step " << i;
+    EXPECT_EQ(a.steps[i].b, b.steps[i].b) << "step " << i;
+    EXPECT_EQ(a.steps[i].c, b.steps[i].c) << "step " << i;
+  }
+}
+
+TEST(GenerateWorkload, DifferentSeedsDiverge) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  Workload a = GenerateWorkload(spec);
+  spec.seed = 78;
+  Workload b = GenerateWorkload(spec);
+  ASSERT_EQ(a.steps.size(), b.steps.size());  // structure is seed-independent
+  size_t diffs = 0;
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].op != b.steps[i].op || a.steps[i].a != b.steps[i].a)
+      ++diffs;
+  }
+  EXPECT_GT(diffs, a.steps.size() / 4);
+}
+
+TEST(GenerateWorkload, PhaseOpCountsAndOrderMatchSpec) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  Workload w = GenerateWorkload(spec);
+  ASSERT_EQ(w.steps.size(), spec.TotalOps());
+  std::map<uint16_t, size_t> per_phase;
+  uint16_t last_phase = 0;
+  for (const WorkloadStep& step : w.steps) {
+    EXPECT_GE(step.phase, last_phase);  // phases run in order
+    last_phase = step.phase;
+    ++per_phase[step.phase];
+  }
+  EXPECT_EQ(per_phase[0], 200u);
+  EXPECT_EQ(per_phase[1], 600u);
+}
+
+TEST(GenerateWorkload, PopulationsDrawOnlyFromTheirOwnMix) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  Workload w = GenerateWorkload(spec);
+  size_t hot_steps = 0;
+  for (const WorkloadStep& step : w.steps) {
+    if (step.population == 0) {
+      ++hot_steps;
+      EXPECT_TRUE(step.op == ScenarioOp::kDispatch ||
+                  step.op == ScenarioOp::kSubtype);
+    } else {
+      EXPECT_TRUE(step.op == ScenarioOp::kProject ||
+                  step.op == ScenarioOp::kDrop);
+    }
+  }
+  // weight 3-vs-1: the hot population should carry well over half.
+  EXPECT_GT(hot_steps, w.steps.size() / 2);
+  EXPECT_LT(hot_steps, w.steps.size());
+}
+
+TEST(GenerateWorkload, BurstKeepsPopulationStableWithinBursts) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  spec.phases = {{"bursty", 400, 10, 0, {}, 0}};
+  Workload w = GenerateWorkload(spec);
+  ASSERT_EQ(w.steps.size(), 400u);
+  for (size_t i = 0; i < w.steps.size(); i += 10) {
+    for (size_t j = i + 1; j < i + 10; ++j)
+      EXPECT_EQ(w.steps[j].population, w.steps[i].population)
+          << "burst starting at " << i;
+  }
+}
+
+TEST(ZipfWeights, HeadDominatesAndDecaysMonotonically) {
+  std::vector<double> w = ZipfWeights(1.2);
+  ASSERT_EQ(w.size(), static_cast<size_t>(kZipfRanks));
+  for (size_t r = 1; r < w.size(); ++r) EXPECT_LT(w[r], w[r - 1]);
+  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  double head = std::accumulate(w.begin(), w.begin() + 16, 0.0);
+  // With s=1.2 the first 16 of 1024 ranks carry the bulk of the mass.
+  EXPECT_GT(head / total, 0.5);
+}
+
+TEST(GenerateWorkload, ZipfPopulationsEmitRanksSkewedToTheHead) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  Workload w = GenerateWorkload(spec);
+  size_t zipf_draws = 0, head_draws = 0;
+  for (const WorkloadStep& step : w.steps) {
+    if (step.population != 0) continue;  // only "hot" is zipf-skewed
+    ASSERT_LT(step.a, kZipfRanks);       // payload is a rank, not full-range
+    ++zipf_draws;
+    if (step.a < kZipfRanks / 16) ++head_draws;
+  }
+  ASSERT_GT(zipf_draws, 100u);
+  // Uniform draws would put ~1/16 of the mass in the head; Zipf(1.5) puts
+  // the large majority there.
+  EXPECT_GT(head_draws * 2, zipf_draws);
+}
+
+TEST(ResolveIndex, ScalesZipfRanksAndWrapsUniformDraws) {
+  ScenarioSpec spec = TwoPopulationSpec();
+  WorkloadStep zipf_step;
+  zipf_step.population = 0;  // zipf
+  WorkloadStep uniform_step;
+  uniform_step.population = 1;
+
+  // Rank 0 always maps to index 0; the hottest rank stays the hottest entry.
+  zipf_step.a = 0;
+  EXPECT_EQ(ResolveIndex(spec, zipf_step, 7), 0u);
+  // The top rank maps near the end of the candidate list, never out of range.
+  zipf_step.a = kZipfRanks - 1;
+  size_t top = ResolveIndex(spec, zipf_step, 7);
+  EXPECT_LT(top, 7u);
+  EXPECT_GE(top, 5u);
+  // Scaling preserves order: higher rank ⇒ same-or-later index.
+  size_t prev = 0;
+  for (uint32_t r = 0; r < kZipfRanks; r += 64) {
+    zipf_step.a = r;
+    size_t idx = ResolveIndex(spec, zipf_step, 13);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+
+  uniform_step.a = 4'000'000'123u;
+  EXPECT_EQ(ResolveIndex(spec, uniform_step, 7), 4'000'000'123u % 7);
+}
+
+}  // namespace
+}  // namespace tyder::workload

@@ -1,0 +1,115 @@
+// In-proc replay: determinism of the final catalog fingerprint, oracle
+// lockstep accounting, and the crash-step durability contract
+// (ISSUE 10 satellite).
+
+#include "workload/replay.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "workload/generate.h"
+#include "workload/spec.h"
+
+namespace tyder::workload {
+namespace {
+
+ScenarioSpec SmallMixedSpec() {
+  ScenarioSpec spec;
+  spec.name = "replay-test";
+  spec.seed = 4242;
+  spec.schema.seed = 11;
+  spec.schema.types = 7;
+  spec.schema.gfs = 4;
+  spec.oracle_every = 20;
+  spec.populations.push_back({"movers",
+                              2,
+                              0,
+                              {{ScenarioOp::kProject, 3},
+                               {ScenarioOp::kDrop, 2},
+                               {ScenarioOp::kNewType, 1},
+                               {ScenarioOp::kCollapse, 1}}});
+  spec.populations.push_back(
+      {"lookers",
+       1,
+       100,
+       {{ScenarioOp::kSubtype, 2}, {ScenarioOp::kDispatch, 2},
+        {ScenarioOp::kViews, 1}, {ScenarioOp::kPing, 1}}});
+  spec.phases.push_back({"run", 120, 4, 0, {}, 0});
+  return spec;
+}
+
+TEST(ReplayInProc, SameWorkloadSameFingerprint) {
+  Workload w = GenerateWorkload(SmallMixedSpec());
+  Result<ScenarioReport> a = ReplayInProc(w);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  Result<ScenarioReport> b = ReplayInProc(w);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->final_crc, b->final_crc);
+  EXPECT_EQ(a->final_types, b->final_types);
+  EXPECT_EQ(a->final_views, b->final_views);
+  EXPECT_EQ(a->mutations, b->mutations);
+  EXPECT_EQ(a->reads, b->reads);
+  EXPECT_EQ(a->refusals, b->refusals);
+  EXPECT_EQ(a->skipped, b->skipped);
+}
+
+TEST(ReplayInProc, AccountsEveryStepAndRunsTheOracle) {
+  Workload w = GenerateWorkload(SmallMixedSpec());
+  Result<ScenarioReport> report = ReplayInProc(w);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->steps, w.steps.size());
+  EXPECT_GT(report->mutations, 0u);
+  EXPECT_GT(report->reads, 0u);
+  // 120 steps at oracle_every=20 plus the final sweep.
+  EXPECT_GE(report->oracle_passes, 6u);
+  EXPECT_TRUE(report->oracle_clean);
+  EXPECT_EQ(report->crashes, 0u);
+  EXPECT_GT(report->elapsed_s, 0.0);
+  EXPECT_GT(report->final_types, 0u);
+  EXPECT_EQ(report->scenario, "replay-test");
+  // Latency histograms saw the traffic.
+  EXPECT_EQ(report->mutation_ns.count,
+            report->mutations + report->refusals);
+  EXPECT_GT(report->read_ns.count, 0u);
+}
+
+TEST(ReplayInProc, OracleEveryOverrideDisablesLockstepSweeps) {
+  Workload w = GenerateWorkload(SmallMixedSpec());
+  ReplayOptions options;
+  options.oracle_every = 0;
+  Result<ScenarioReport> report = ReplayInProc(w, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Lockstep (and the final sweep, which is gated the same way) is off.
+  EXPECT_EQ(report->oracle_passes, 0u);
+  EXPECT_TRUE(report->oracle_clean);
+}
+
+TEST(ReplayInProc, CrashStepsRecoverUnderFaultsAndPowerLoss) {
+  ScenarioSpec spec = SmallMixedSpec();
+  spec.name = "crash-test";
+  spec.populations.push_back(
+      {"saboteurs", 4, 0, {{ScenarioOp::kCrash, 1}}});
+  spec.phases = {{"churn",
+                  40,
+                  2,
+                  0,
+                  {"storage.wal.after_append", "env.sync@1", "env.error@2"},
+                  100}};
+  Workload w = GenerateWorkload(spec);
+  Result<ScenarioReport> report = ReplayInProc(w);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->crashes, 0u);
+  EXPECT_EQ(report->recoveries, report->crashes);
+  EXPECT_EQ(report->power_losses, report->crashes);  // pct=100
+  EXPECT_EQ(report->recovery_ns.count, report->recoveries);
+  EXPECT_TRUE(report->oracle_clean);
+
+  // Crash adoption is part of the fingerprint: the run stays deterministic.
+  Result<ScenarioReport> again = ReplayInProc(w);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->final_crc, report->final_crc);
+  EXPECT_EQ(again->crashes, report->crashes);
+}
+
+}  // namespace
+}  // namespace tyder::workload

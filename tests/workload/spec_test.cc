@@ -1,0 +1,181 @@
+// Scenario-spec text form: canonical round trip on every checked-in pack,
+// parse tolerance, and rejection of malformed specs (ISSUE 10 satellite).
+
+#include "workload/spec.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tyder::workload {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<std::filesystem::path> CheckedInPacks() {
+  std::vector<std::filesystem::path> packs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TYDER_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") packs.push_back(entry.path());
+  }
+  std::sort(packs.begin(), packs.end());
+  return packs;
+}
+
+TEST(ScenarioSpec, AllFourPacksAreCheckedIn) {
+  std::set<std::string> names;
+  for (const auto& pack : CheckedInPacks()) names.insert(pack.stem().string());
+  EXPECT_TRUE(names.count("evolution-storm"));
+  EXPECT_TRUE(names.count("dispatch-skew"));
+  EXPECT_TRUE(names.count("durability-churn"));
+  EXPECT_TRUE(names.count("mixed-populations"));
+  EXPECT_GE(names.size(), 4u);
+}
+
+// The packs are stored in canonical form, so parse → format must reproduce
+// the file byte for byte. This pins both directions of the codec at once and
+// keeps `git diff` on a pack meaningful.
+TEST(ScenarioSpec, CheckedInPacksRoundTripByteIdentically) {
+  for (const auto& pack : CheckedInPacks()) {
+    SCOPED_TRACE(pack.string());
+    std::string text = ReadFile(pack);
+    Result<ScenarioSpec> spec = ParseScenario(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->name, pack.stem().string());
+    EXPECT_EQ(FormatScenario(*spec), text);
+  }
+}
+
+TEST(ScenarioSpec, FormatIsAFixpointEvenForNonCanonicalInput) {
+  std::string text =
+      "tyder-scenario v1\n"
+      "# a comment the canonical form drops\n"
+      "name tiny\n"
+      "\n"
+      "seed 7\n"
+      "mode inproc\n"
+      "schema seed=3 types=5 supers=2 attrs=2 gfs=3 mpg=1 stmts=2 mutators=0\n"
+      "population solo weight=1 zipf=0 mix=ping:1\n"
+      "phase only ops=4 burst=2 pace_us=0 faults=none power_loss_pct=0\n"
+      "end\n";
+  Result<ScenarioSpec> spec = ParseScenario(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  std::string canonical = FormatScenario(*spec);
+  EXPECT_NE(canonical, text);  // the comment and blank line are gone
+  Result<ScenarioSpec> again = ParseScenario(canonical);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(FormatScenario(*again), canonical);
+}
+
+TEST(ScenarioSpec, ParsePopulatesEveryField) {
+  std::string text =
+      "tyder-scenario v1\n"
+      "name full\n"
+      "seed 42\n"
+      "mode wire\n"
+      "schema seed=9 types=8 supers=3 attrs=2 gfs=4 mpg=2 stmts=3 mutators=1\n"
+      "oracle every=25\n"
+      "wire source=Employee attrs=SSN,pay_rate targets=Person,Employee "
+      "gfs=age\n"
+      "population hot weight=3 zipf=120 mix=dispatch:5,subtype:1\n"
+      "population cold weight=1 zipf=0 mix=project:1,drop:1\n"
+      "phase warm ops=10 burst=2 pace_us=50 faults=none power_loss_pct=0\n"
+      "phase churn ops=20 burst=4 pace_us=0 "
+      "faults=storage.wal.mid_fsync,env.sync@1 power_loss_pct=40\n"
+      "end\n";
+  Result<ScenarioSpec> spec = ParseScenario(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "full");
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->mode, ScenarioMode::kWire);
+  EXPECT_EQ(spec->schema.seed, 9u);
+  EXPECT_EQ(spec->schema.types, 8);
+  EXPECT_EQ(spec->schema.methods_per_gf, 2);
+  EXPECT_TRUE(spec->schema.mutators);
+  EXPECT_EQ(spec->oracle_every, 25);
+  EXPECT_EQ(spec->wire.source, "Employee");
+  ASSERT_EQ(spec->wire.attrs.size(), 2u);
+  EXPECT_EQ(spec->wire.targets.size(), 2u);
+  ASSERT_EQ(spec->populations.size(), 2u);
+  EXPECT_EQ(spec->populations[0].name, "hot");
+  EXPECT_EQ(spec->populations[0].zipf_centi, 120);
+  ASSERT_EQ(spec->populations[0].mix.size(), 2u);
+  EXPECT_EQ(spec->populations[0].mix[0].op, ScenarioOp::kDispatch);
+  EXPECT_EQ(spec->populations[0].mix[0].weight, 5);
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0].pace_us, 50);
+  ASSERT_EQ(spec->phases[1].faults.size(), 2u);
+  EXPECT_EQ(spec->phases[1].faults[1], "env.sync@1");
+  EXPECT_EQ(spec->phases[1].power_loss_pct, 40);
+  EXPECT_EQ(spec->TotalOps(), 30u);
+}
+
+TEST(ScenarioSpec, RejectsMalformedSpecs) {
+  auto rejects = [](const std::string& text) {
+    Result<ScenarioSpec> spec = ParseScenario(text);
+    EXPECT_FALSE(spec.ok()) << "accepted:\n" << text;
+  };
+  rejects("");  // no header
+  rejects("tyder-scenario v2\nname x\nend\n");
+  // Missing populations / phases / end.
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "phase p ops=1 burst=1 pace_us=0 faults=none power_loss_pct=0\nend\n");
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=1 zipf=0 mix=ping:1\nend\n");
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=1 zipf=0 mix=ping:1\n"
+      "phase p ops=1 burst=1 pace_us=0 faults=none power_loss_pct=0\n");
+  // Duplicate population name.
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=1 zipf=0 mix=ping:1\n"
+      "population p weight=1 zipf=0 mix=ping:1\n"
+      "phase q ops=1 burst=1 pace_us=0 faults=none power_loss_pct=0\nend\n");
+  // Non-positive weight; unknown op; out-of-range power_loss_pct.
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=0 zipf=0 mix=ping:1\n"
+      "phase q ops=1 burst=1 pace_us=0 faults=none power_loss_pct=0\nend\n");
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=1 zipf=0 mix=frobnicate:1\n"
+      "phase q ops=1 burst=1 pace_us=0 faults=none power_loss_pct=0\nend\n");
+  rejects(
+      "tyder-scenario v1\nname x\nseed 1\nmode inproc\n"
+      "population p weight=1 zipf=0 mix=ping:1\n"
+      "phase q ops=1 burst=1 pace_us=0 faults=none power_loss_pct=101\nend\n");
+}
+
+TEST(ScenarioSpec, OpNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(ScenarioOp::kCrash); ++i) {
+    ScenarioOp op = static_cast<ScenarioOp>(i);
+    ScenarioOp back;
+    ASSERT_TRUE(ScenarioOpFromName(ScenarioOpName(op), &back))
+        << ScenarioOpName(op);
+    EXPECT_EQ(back, op);
+  }
+  ScenarioOp out;
+  EXPECT_FALSE(ScenarioOpFromName("definitely-not-an-op", &out));
+  EXPECT_TRUE(IsMutation(ScenarioOp::kProject));
+  // Crash steps are accounted separately (crashes/recoveries), not as
+  // ordinary mutations.
+  EXPECT_FALSE(IsMutation(ScenarioOp::kCrash));
+  EXPECT_FALSE(IsMutation(ScenarioOp::kDispatch));
+  EXPECT_FALSE(IsMutation(ScenarioOp::kPing));
+}
+
+}  // namespace
+}  // namespace tyder::workload

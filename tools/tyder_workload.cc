@@ -1,0 +1,271 @@
+// tyder_workload: macro-workload scenario driver (ROADMAP item 5).
+//
+// Replays a checked-in scenario pack (bench/scenarios/*.scn) either against
+// an in-process catalog with the differential oracle in lockstep, or — with
+// --port — over the tyder1 protocol against a live tyderd with a chaos-style
+// ack ledger. Emits one BENCHJSON line per run so `run_all.sh scenarios`
+// assembles BENCH_scenario_<name>.json files that scripts/bench_compare.py
+// gates as a trajectory.
+//
+//   tyder_workload --pack FILE [--port P] [--seed S] [--repeat N] [--timed]
+//                  [--oracle-every N] [--check-determinism] [--print]
+//
+//   --pack FILE          scenario pack to run (required)
+//   --port P             drive a live tyderd on 127.0.0.1:P (wire replay)
+//   --seed S             override the pack's seed
+//   --repeat N           replay N times (seed, seed+1, ...): the long mode
+//   --timed              honor phase pace_us between steps (sustained load)
+//   --oracle-every N     override the in-proc oracle cadence (0 disables)
+//   --check-determinism  replay the identical workload twice in-proc and
+//                        require byte-identical final catalog fingerprints
+//   --print              echo the canonical pack text and exit
+//
+// Exit status: 0 on a clean run; 1 on usage/parse errors, replay failures,
+// oracle/ledger violations, or a determinism mismatch.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/repro_util.h"
+#include "workload/generate.h"
+#include "workload/replay.h"
+#include "workload/spec.h"
+
+namespace {
+
+using tyder::Result;
+using tyder::workload::GenerateWorkload;
+using tyder::workload::ReplayInProc;
+using tyder::workload::ReplayOptions;
+using tyder::workload::ReplayOverWire;
+using tyder::workload::ScenarioReport;
+using tyder::workload::ScenarioSpec;
+using tyder::workload::Workload;
+
+int Usage() {
+  std::cerr
+      << "usage: tyder_workload --pack FILE [--port P] [--seed S]\n"
+         "                      [--repeat N] [--timed] [--oracle-every N]\n"
+         "                      [--check-determinism] [--print]\n";
+  return 1;
+}
+
+std::string JsonResult(const std::string& scenario, const std::string& metric,
+                       const std::string& fields) {
+  return "{\"name\":\"scenario/" + scenario + "/" + metric + "\"," + fields +
+         "}";
+}
+
+std::string Fmt(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+void EmitReport(const ScenarioReport& report, bool deterministic_checked,
+                bool deterministic) {
+  const std::string& name = report.scenario;
+  double elapsed = report.elapsed_s > 0 ? report.elapsed_s : 1e-9;
+  std::vector<std::string> results;
+  results.push_back(JsonResult(
+      name, "steps_per_s",
+      "\"items_per_second\":" + Fmt(report.steps / elapsed)));
+  results.push_back(JsonResult(
+      name, "mutations_per_s",
+      "\"items_per_second\":" + Fmt(report.mutations / elapsed)));
+  results.push_back(JsonResult(
+      name, "reads_per_s",
+      "\"items_per_second\":" + Fmt(report.reads / elapsed)));
+  // Latency quantiles are recorded for the trajectory but deliberately not
+  // named cpu_time_ns: scenario latencies are host-sensitive macro numbers,
+  // so the throughput series plus the correctness flags do the gating.
+  results.push_back(JsonResult(
+      name, "mutation_p50_ns",
+      "\"value\":" + std::to_string(report.mutation_ns.p50)));
+  results.push_back(JsonResult(
+      name, "mutation_p99_ns",
+      "\"value\":" + std::to_string(report.mutation_ns.p99)));
+  results.push_back(
+      JsonResult(name, "read_p50_ns",
+                 "\"value\":" + std::to_string(report.read_ns.p50)));
+  results.push_back(
+      JsonResult(name, "read_p99_ns",
+                 "\"value\":" + std::to_string(report.read_ns.p99)));
+  if (report.recoveries > 0) {
+    results.push_back(JsonResult(
+        name, "recovery_p50_ns",
+        "\"value\":" + std::to_string(report.recovery_ns.p50)));
+  }
+  std::string verified = "\"oracle_clean\":";
+  verified += report.oracle_clean ? "true" : "false";
+  verified += ",\"ledger_clean\":";
+  verified += report.ledger_clean ? "true" : "false";
+  if (deterministic_checked) {
+    verified += ",\"deterministic\":";
+    verified += deterministic ? "true" : "false";
+  }
+  results.push_back(JsonResult(name, "verified", verified));
+
+  tyder::bench::EmitBenchJsonLine(
+      "scenario_" + name, results,
+      {{"steps", std::to_string(report.steps)},
+       {"mutations", std::to_string(report.mutations)},
+       {"reads", std::to_string(report.reads)},
+       {"refusals", std::to_string(report.refusals)},
+       {"skipped", std::to_string(report.skipped)},
+       {"crashes", std::to_string(report.crashes)},
+       {"power_losses", std::to_string(report.power_losses)},
+       {"recoveries", std::to_string(report.recoveries)},
+       {"oracle_passes", std::to_string(report.oracle_passes)},
+       {"acked", std::to_string(report.acked)},
+       {"nacked", std::to_string(report.nacked)},
+       {"indeterminate", std::to_string(report.indeterminate)},
+       {"reconnects", std::to_string(report.reconnects)},
+       {"final_crc", std::to_string(report.final_crc)},
+       {"final_types", std::to_string(report.final_types)},
+       {"final_views", std::to_string(report.final_views)},
+       {"elapsed_s", Fmt(report.elapsed_s)}});
+}
+
+void PrintSummary(const ScenarioReport& r, const char* mode) {
+  std::cout << "scenario " << r.scenario << " (" << mode << "): " << r.steps
+            << " steps, " << r.mutations << " mutations, " << r.reads
+            << " reads, " << r.refusals << " refusals, " << r.skipped
+            << " skipped";
+  if (r.crashes > 0) {
+    std::cout << ", " << r.crashes << " crashes (" << r.recoveries
+              << " recovered, " << r.power_losses << " power losses)";
+  }
+  if (r.acked + r.nacked + r.indeterminate > 0) {
+    std::cout << ", ledger " << r.acked << " acked / " << r.nacked
+              << " nacked / " << r.indeterminate << " indeterminate";
+  }
+  std::cout << ", " << r.oracle_passes << " oracle passes, final crc "
+            << r.final_crc << " (" << r.final_types << " types, "
+            << r.final_views << " views) in " << r.elapsed_s << "s\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pack_path;
+  int port = 0;
+  uint64_t seed = 0;
+  bool have_seed = false;
+  int repeat = 1;
+  bool timed = false;
+  int oracle_every = -1;
+  bool check_determinism = false;
+  bool print_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--pack") {
+      const char* v = value();
+      if (!v) return Usage();
+      pack_path = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (!v) return Usage();
+      port = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return Usage();
+      seed = std::strtoull(v, nullptr, 10);
+      have_seed = true;
+    } else if (arg == "--repeat") {
+      const char* v = value();
+      if (!v) return Usage();
+      repeat = std::atoi(v);
+    } else if (arg == "--timed") {
+      timed = true;
+    } else if (arg == "--oracle-every") {
+      const char* v = value();
+      if (!v) return Usage();
+      oracle_every = std::atoi(v);
+    } else if (arg == "--check-determinism") {
+      check_determinism = true;
+    } else if (arg == "--print") {
+      print_only = true;
+    } else {
+      std::cerr << "tyder_workload: unknown argument '" << arg << "'\n";
+      return Usage();
+    }
+  }
+  if (pack_path.empty() || repeat < 1 || port < 0 || port > 65535) {
+    return Usage();
+  }
+
+  std::ifstream in(pack_path);
+  if (!in) {
+    std::cerr << "tyder_workload: cannot read " << pack_path << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<ScenarioSpec> spec = tyder::workload::ParseScenario(text.str());
+  if (!spec.ok()) {
+    std::cerr << "tyder_workload: " << pack_path << ": "
+              << spec.status().ToString() << "\n";
+    return 1;
+  }
+  if (print_only) {
+    std::cout << tyder::workload::FormatScenario(*spec);
+    return 0;
+  }
+  if (have_seed) spec->seed = seed;
+
+  ReplayOptions options;
+  options.timed = timed;
+  options.oracle_every = oracle_every;
+
+  bool wire = port != 0;
+  bool deterministic = true;
+  ScenarioReport last;
+  for (int run = 0; run < repeat; ++run) {
+    ScenarioSpec run_spec = *spec;
+    run_spec.seed = spec->seed + static_cast<uint64_t>(run);
+    Workload workload = GenerateWorkload(run_spec);
+    Result<ScenarioReport> report =
+        wire ? ReplayOverWire(workload, static_cast<uint16_t>(port), options)
+             : ReplayInProc(workload, options);
+    if (!report.ok()) {
+      std::cerr << "tyder_workload: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    if (!wire && check_determinism) {
+      Result<ScenarioReport> again = ReplayInProc(workload, options);
+      if (!again.ok()) {
+        std::cerr << "tyder_workload: determinism re-run failed: "
+                  << again.status().ToString() << "\n";
+        return 1;
+      }
+      if (again->final_crc != report->final_crc ||
+          again->final_types != report->final_types ||
+          again->final_views != report->final_views ||
+          again->mutations != report->mutations ||
+          again->refusals != report->refusals) {
+        deterministic = false;
+        std::cerr << "tyder_workload: NON-DETERMINISTIC replay of '"
+                  << report->scenario << "': crc " << report->final_crc
+                  << " vs " << again->final_crc << ", mutations "
+                  << report->mutations << " vs " << again->mutations << "\n";
+      }
+    }
+    PrintSummary(*report, wire ? "wire" : "inproc");
+    last = *report;
+  }
+
+  EmitReport(last, !wire && check_determinism, deterministic);
+  if (!deterministic) return 1;
+  return 0;
+}
